@@ -1,0 +1,49 @@
+//! # backend — SIR → machine code (§3.3)
+//!
+//! The BITSPEC back-end lowers SIR to the machine ISA of the [`isa`] crate:
+//!
+//! * [`mir`]: Machine IR over virtual registers (SMIR in the paper), with
+//!   speculative-region membership propagated from SIR (§3.3.1).
+//! * [`isel`]: instruction selection (§3.3.2) — maps speculative SIR
+//!   instructions onto the Table 1 slice operations, legalizes 64-bit
+//!   arithmetic onto register pairs, fuses compare+branch, folds small
+//!   immediates and address offsets, and destructs SSA into parallel copies
+//!   on (split) edges.
+//! * [`regalloc`]: a slice-aware linear-scan allocator (§3.3.3). 8-bit
+//!   virtual registers may occupy any of the four byte slices of a physical
+//!   register, which is where BITSPEC's register packing comes from.
+//!   Liveness flows over misspeculation edges (every block of a region may
+//!   jump to the handler — equation 2), so values a handler needs survive
+//!   the whole region. Spilled values use a spill-everywhere scheme whose
+//!   loads/stores are tagged for the Figure 10 accounting.
+//! * [`emit`]: code layout (§3.3.4) — the spec segment is laid out
+//!   contiguously, a skeleton segment of identical size mirrors it at
+//!   `+Δ` containing branches to handlers at misspeculation-capable
+//!   offsets, and `Δ` is written by the prologue (`SetDelta`).
+//!
+//! The entry point is [`compile_module`], producing a linked [`Program`]
+//! for the simulator.
+
+pub mod emit;
+pub mod isel;
+pub mod mir;
+pub mod regalloc;
+
+pub use emit::Program;
+pub use isel::CodegenOpts;
+
+/// Compiles a verified SIR module into a linked machine program.
+///
+/// # Panics
+/// Panics on constructs the back-end does not support (64-bit division,
+/// 64-bit variable-amount shifts) — see DESIGN.md for the supported subset.
+pub fn compile_module(m: &sir::Module, opts: &CodegenOpts) -> Program {
+    let layout = interp::Layout::new(m);
+    let mut funcs = Vec::new();
+    for fid in m.func_ids() {
+        let mir = isel::select_function(m, fid, &layout, opts);
+        let alloc = regalloc::allocate(mir, opts);
+        funcs.push(alloc);
+    }
+    emit::link(m, funcs, opts, &layout)
+}

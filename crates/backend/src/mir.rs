@@ -1,0 +1,453 @@
+//! Machine IR over virtual registers (the paper's SMIR, §3.1.3).
+
+use isa::{AluOp, Cond, MemWidth};
+use sir::FuncId;
+
+/// A virtual register. Class is tracked per-function in [`MirFunction`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(pub u32);
+
+impl VReg {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for VReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Register class: a full 32-bit word or an 8-bit slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegClass {
+    Word,
+    Byte,
+}
+
+/// Slice ALU ops (re-exported naming for MIR convenience).
+pub use isa::inst::SAluOp;
+
+/// Word-op second operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MOperand {
+    VReg(VReg),
+    Imm(u32),
+}
+
+/// Slice-op second operand (Table 1 allows a 4-bit immediate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SMOperand {
+    VReg(VReg),
+    Imm(u8),
+}
+
+/// MIR block id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MBlockId(pub u32);
+
+impl MBlockId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for MBlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mb{}", self.0)
+    }
+}
+
+/// MIR instructions (virtual-register forms of [`isa::MInst`] plus
+/// call/frame/param pseudos expanded at emission).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MirInst {
+    Alu {
+        op: AluOp,
+        rd: VReg,
+        rn: VReg,
+        src2: MOperand,
+    },
+    MovImm {
+        rd: VReg,
+        imm: u32,
+    },
+    Mov {
+        rd: VReg,
+        rm: VReg,
+    },
+    /// `rd := rm` when the current flags satisfy `cond` (select lowering).
+    MovCc {
+        rd: VReg,
+        rm: VReg,
+        cond: Cond,
+    },
+    Cmp {
+        rn: VReg,
+        src2: MOperand,
+    },
+    CSet {
+        rd: VReg,
+        cond: Cond,
+    },
+    Extend {
+        rd: VReg,
+        rm: VReg,
+        from: MemWidth,
+        signed: bool,
+    },
+    /// `rdlo:rdhi := rn * rm` (64-bit product, for mul64 legalization).
+    Umull {
+        rdlo: VReg,
+        rdhi: VReg,
+        rn: VReg,
+        rm: VReg,
+    },
+    Load {
+        rd: VReg,
+        rn: VReg,
+        offset: i32,
+        width: MemWidth,
+    },
+    /// Slice-indexed load (Table 1 `Mem[R_n + B_m]` addressing).
+    LoadIdx {
+        rd: VReg,
+        rn: VReg,
+        bidx: VReg,
+        shift: u8,
+        width: MemWidth,
+    },
+    /// Slice-indexed slice load; speculative form checks > 0xFF.
+    SLoadIdx {
+        bd: VReg,
+        rn: VReg,
+        bidx: VReg,
+        shift: u8,
+        speculative: bool,
+    },
+    Store {
+        rs: VReg,
+        rn: VReg,
+        offset: i32,
+        width: MemWidth,
+    },
+    /// Materialize the address of a global.
+    GlobalAddr {
+        rd: VReg,
+        addr: u32,
+    },
+    /// Materialize the address of stack allocation `alloca`.
+    FrameAddr {
+        rd: VReg,
+        alloca: u32,
+    },
+    /// Read incoming argument word `slot` (flattened across 64-bit pairs).
+    GetParam {
+        rd: VReg,
+        slot: u32,
+    },
+    /// Call pseudo: argument/return marshalling expands at emission.
+    Call {
+        callee: FuncId,
+        args: Vec<VReg>,
+        rets: Vec<VReg>,
+    },
+    Out {
+        rn: VReg,
+    },
+    /// Misspeculate iff `rn != 0` (64-bit speculative-truncate support).
+    SpecCheck {
+        rn: VReg,
+    },
+
+    // ---- slice (Table 1) forms -------------------------------------------
+    SAlu {
+        op: SAluOp,
+        bd: VReg,
+        bn: VReg,
+        src2: SMOperand,
+        speculative: bool,
+    },
+    SCmp {
+        bn: VReg,
+        src2: SMOperand,
+    },
+    SLoadSpec {
+        bd: VReg,
+        rn: VReg,
+        offset: i32,
+    },
+    SLoad {
+        bd: VReg,
+        rn: VReg,
+        offset: i32,
+    },
+    SStore {
+        bs: VReg,
+        rn: VReg,
+        offset: i32,
+    },
+    SExtend {
+        rd: VReg,
+        bn: VReg,
+        signed: bool,
+    },
+    STrunc {
+        bd: VReg,
+        rn: VReg,
+        speculative: bool,
+    },
+    SMov {
+        bd: VReg,
+        bs: VReg,
+    },
+    SMovImm {
+        bd: VReg,
+        imm: u8,
+    },
+}
+
+impl MirInst {
+    /// The virtual registers this instruction reads.
+    pub fn uses(&self) -> Vec<VReg> {
+        use MirInst::*;
+        match self {
+            Alu { rn, src2, .. } => {
+                let mut u = vec![*rn];
+                if let MOperand::VReg(v) = src2 {
+                    u.push(*v);
+                }
+                u
+            }
+            MovImm { .. } | CSet { .. } | GlobalAddr { .. } | FrameAddr { .. }
+            | GetParam { .. } | SMovImm { .. } => vec![],
+            Mov { rm, .. } | MovCc { rm, .. } => vec![*rm],
+            Cmp { rn, src2 } => {
+                let mut u = vec![*rn];
+                if let MOperand::VReg(v) = src2 {
+                    u.push(*v);
+                }
+                u
+            }
+            Extend { rm, .. } => vec![*rm],
+            Umull { rn, rm, .. } => vec![*rn, *rm],
+            Load { rn, .. } => vec![*rn],
+            Store { rs, rn, .. } => vec![*rs, *rn],
+            Call { args, .. } => args.clone(),
+            Out { rn } | SpecCheck { rn } => vec![*rn],
+            SAlu { bn, src2, .. } => {
+                let mut u = vec![*bn];
+                if let SMOperand::VReg(v) = src2 {
+                    u.push(*v);
+                }
+                u
+            }
+            SCmp { bn, src2 } => {
+                let mut u = vec![*bn];
+                if let SMOperand::VReg(v) = src2 {
+                    u.push(*v);
+                }
+                u
+            }
+            SLoadSpec { rn, .. } | SLoad { rn, .. } => vec![*rn],
+            LoadIdx { rn, bidx, .. } | SLoadIdx { rn, bidx, .. } => vec![*rn, *bidx],
+            SStore { bs, rn, .. } => vec![*bs, *rn],
+            SExtend { bn, .. } => vec![*bn],
+            STrunc { rn, .. } => vec![*rn],
+            SMov { bs, .. } => vec![*bs],
+        }
+    }
+
+    /// The virtual registers this instruction writes.
+    pub fn defs(&self) -> Vec<VReg> {
+        use MirInst::*;
+        match self {
+            Alu { rd, .. } | MovImm { rd, .. } | Mov { rd, .. } | MovCc { rd, .. }
+            | CSet { rd, .. } | Extend { rd, .. } | Load { rd, .. } | GlobalAddr { rd, .. }
+            | FrameAddr { rd, .. } | GetParam { rd, .. } | SExtend { rd, .. } => vec![*rd],
+            Umull { rdlo, rdhi, .. } => vec![*rdlo, *rdhi],
+            Call { rets, .. } => rets.clone(),
+            SAlu { bd, .. } | SLoadSpec { bd, .. } | SLoad { bd, .. } | STrunc { bd, .. }
+            | SMov { bd, .. } | SMovImm { bd, .. } | SLoadIdx { bd, .. } => vec![*bd],
+            LoadIdx { rd, .. } => vec![*rd],
+            Cmp { .. } | Store { .. } | Out { .. } | SpecCheck { .. } | SCmp { .. }
+            | SStore { .. } => {
+                vec![]
+            }
+        }
+    }
+
+    /// Whether this is a call pseudo (interval-crossing constraint for the
+    /// register allocator).
+    pub fn is_call(&self) -> bool {
+        matches!(self, MirInst::Call { .. })
+    }
+
+    /// Whether this instruction has observable effects even if its defs are
+    /// dead.
+    pub fn has_side_effects(&self) -> bool {
+        // Flag-setting ALU ops exist for their flags (64-bit compares).
+        if let MirInst::Alu { op, .. } = self {
+            if op.sets_flags() {
+                return true;
+            }
+        }
+        matches!(
+            self,
+            MirInst::Store { .. }
+                | MirInst::SStore { .. }
+                | MirInst::Call { .. }
+                | MirInst::Out { .. }
+                | MirInst::Cmp { .. }
+                | MirInst::SCmp { .. }
+                | MirInst::SpecCheck { .. }
+                | MirInst::SLoadSpec { .. }
+                | MirInst::LoadIdx { .. }
+                | MirInst::SLoadIdx {
+                    speculative: true,
+                    ..
+                }
+                | MirInst::STrunc {
+                    speculative: true,
+                    ..
+                }
+                | MirInst::SAlu {
+                    speculative: true,
+                    ..
+                }
+                | MirInst::Load { .. }
+        )
+    }
+}
+
+/// Block terminators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MirTerm {
+    Br(MBlockId),
+    /// Branch on current flags.
+    Bc {
+        cond: Cond,
+        if_true: MBlockId,
+        if_false: MBlockId,
+    },
+    /// Return `vals` (0, 1 or 2 words → r0/r1).
+    Ret(Vec<VReg>),
+}
+
+impl MirTerm {
+    pub fn successors(&self) -> Vec<MBlockId> {
+        match self {
+            MirTerm::Br(t) => vec![*t],
+            MirTerm::Bc {
+                if_true, if_false, ..
+            } => vec![*if_true, *if_false],
+            MirTerm::Ret(_) => vec![],
+        }
+    }
+
+    pub fn uses(&self) -> Vec<VReg> {
+        match self {
+            MirTerm::Ret(vs) => vs.clone(),
+            _ => vec![],
+        }
+    }
+}
+
+/// A MIR block with its region annotations.
+#[derive(Debug, Clone)]
+pub struct MirBlock {
+    pub insts: Vec<MirInst>,
+    pub term: MirTerm,
+    /// Region index this block belongs to, if any.
+    pub region: Option<u32>,
+    /// Region index this block handles, if any.
+    pub handler_for: Option<u32>,
+    /// Whether this block is on the speculative side of the 2-CFG (laid out
+    /// in the contiguous spec segment mirrored by skeletons).
+    pub spec_side: bool,
+}
+
+/// A function in MIR form.
+#[derive(Debug, Clone)]
+pub struct MirFunction {
+    pub name: String,
+    pub blocks: Vec<MirBlock>,
+    pub entry: MBlockId,
+    /// Class per vreg.
+    pub classes: Vec<RegClass>,
+    /// (region blocks, handler block) pairs, mirrored from SIR.
+    pub regions: Vec<(Vec<MBlockId>, MBlockId)>,
+    /// Alloca sizes (bytes), indexed by the `alloca` field of `FrameAddr`.
+    pub alloca_sizes: Vec<u32>,
+    /// Number of incoming argument word slots.
+    pub param_slots: u32,
+}
+
+impl MirFunction {
+    pub fn block(&self, b: MBlockId) -> &MirBlock {
+        &self.blocks[b.index()]
+    }
+
+    pub fn block_mut(&mut self, b: MBlockId) -> &mut MirBlock {
+        &mut self.blocks[b.index()]
+    }
+
+    /// Successors including misspeculation edges (region block → handler).
+    pub fn spec_succs(&self, b: MBlockId) -> Vec<MBlockId> {
+        let mut s = self.block(b).term.successors();
+        if let Some(r) = self.block(b).region {
+            let h = self.regions[r as usize].1;
+            if !s.contains(&h) {
+                s.push(h);
+            }
+        }
+        s
+    }
+
+    pub fn block_ids(&self) -> impl Iterator<Item = MBlockId> {
+        (0..self.blocks.len() as u32).map(MBlockId)
+    }
+
+    pub fn class_of(&self, v: VReg) -> RegClass {
+        self.classes[v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa::Reg;
+
+    #[test]
+    fn uses_and_defs() {
+        let _ = Reg(0);
+        let i = MirInst::Alu {
+            op: AluOp::Add,
+            rd: VReg(0),
+            rn: VReg(1),
+            src2: MOperand::VReg(VReg(2)),
+        };
+        assert_eq!(i.defs(), vec![VReg(0)]);
+        assert_eq!(i.uses(), vec![VReg(1), VReg(2)]);
+        let s = MirInst::Store {
+            rs: VReg(3),
+            rn: VReg(4),
+            offset: 0,
+            width: MemWidth::W,
+        };
+        assert!(s.defs().is_empty());
+        assert!(s.has_side_effects());
+    }
+
+    #[test]
+    fn call_is_flagged() {
+        let c = MirInst::Call {
+            callee: sir::FuncId(0),
+            args: vec![VReg(1)],
+            rets: vec![VReg(2)],
+        };
+        assert!(c.is_call());
+        assert_eq!(c.defs(), vec![VReg(2)]);
+    }
+}

@@ -1,0 +1,710 @@
+//! Slice-aware register allocation (§3.3.3).
+//!
+//! A greedy scan over *segmented live ranges* (lifetime holes included):
+//! each virtual register's lifetime is a set of disjoint position
+//! intervals — one per block where it is live, bounded inside the block by
+//! its first/last definition or use. Liveness flows across misspeculation
+//! edges (equation 2), so anything a handler reads stays live through its
+//! whole region and the handler always finds its inputs intact.
+//!
+//! Word virtual registers claim all four slices of a physical register;
+//! byte virtual registers claim one slice — several byte values *pack*
+//! into one register, which is BITSPEC's register-file win. Values live
+//! across a call are restricted to callee-saved registers (`r4–r10`).
+//! Spills use a spill-everywhere scheme materialized at emission, tagged
+//! for the Figure 10 accounting.
+//!
+//! The paper's RQ5 branch-weight heuristic maps onto *allocation order*:
+//! with `spill_prefer_orig` (the default) `CFG_spec` values allocate first
+//! and therefore spill last — the "handlers are almost never entered"
+//! assumption. Inverting the flag prioritizes `CFG_orig`.
+
+use crate::isel::CodegenOpts;
+use crate::mir::{MBlockId, MirFunction, MirInst, RegClass, VReg};
+use isa::Reg;
+use std::collections::{BTreeMap, HashSet};
+
+/// Where a virtual register ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// A whole physical register (word class).
+    Reg(Reg),
+    /// A byte slice of a physical register (byte class).
+    Slice(isa::Slice),
+    /// A frame spill slot (index; 4 bytes each).
+    Spill(u32),
+    /// *Write-through homing*: the value lives in a register on the hot
+    /// speculative path, but every definition also stores to a frame slot,
+    /// which misspeculation handlers (and `CFG_orig`) read. This is the
+    /// spill-everywhere analogue of the paper's low-handler-branch-weight
+    /// trick: spill traffic sinks to the cold side.
+    WriteThrough { reg: Reg, slot: u32 },
+    /// Write-through homing for a byte (slice) value.
+    WriteThroughSlice { slice: isa::Slice, slot: u32 },
+}
+
+/// Allocation result consumed by the emitter.
+#[derive(Debug, Clone)]
+pub struct AllocatedFn {
+    pub mir: MirFunction,
+    /// Location per vreg (indexed by vreg number).
+    pub locs: Vec<Loc>,
+    /// Number of spill slots used.
+    pub spill_slots: u32,
+    /// Callee-saved registers written by this function.
+    pub used_callee_saved: Vec<Reg>,
+    /// Whether the function makes calls (needs lr saved).
+    pub has_calls: bool,
+    /// Final block layout order (spec segment first).
+    pub order: Vec<MBlockId>,
+}
+
+const CALLER_SAVED: [Reg; 4] = [Reg(0), Reg(1), Reg(2), Reg(3)];
+const CALLEE_SAVED: [Reg; 7] = [Reg(4), Reg(5), Reg(6), Reg(7), Reg(8), Reg(9), Reg(10)];
+/// Compact (Thumb-like) mode: only r0–r7 are generally usable.
+const CALLEE_SAVED_COMPACT: [Reg; 4] = [Reg(4), Reg(5), Reg(6), Reg(7)];
+
+/// Disjoint, sorted position intervals.
+type Segments = Vec<(u32, u32)>;
+
+/// An interval map per register slice: start → (end, owning vreg).
+#[derive(Debug, Clone, Default)]
+struct SliceOccupancy {
+    map: BTreeMap<u32, (u32, u32)>,
+}
+
+impl SliceOccupancy {
+    fn conflicts(&self, segs: &Segments) -> bool {
+        for &(s, e) in segs {
+            // Any existing interval with start < e whose end > s overlaps.
+            if let Some((_, &(pe, _))) = self.map.range(..e).next_back() {
+                if pe > s {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn insert(&mut self, segs: &Segments, owner: u32) {
+        for &(s, e) in segs {
+            self.map.insert(s, (e, owner));
+        }
+    }
+}
+
+/// Runs the allocator over a MIR function.
+pub fn allocate(mir: MirFunction, opts: &CodegenOpts) -> AllocatedFn {
+    let order = layout_order(&mir);
+    let n = mir.classes.len();
+    let lv = build_ranges(&mir, &order, true);
+    // Handler-edge-free ranges for the write-through fallback.
+    let lv_plain = if mir.regions.is_empty() {
+        None
+    } else {
+        Some(build_ranges(&mir, &order, false))
+    };
+
+    let callee: &[Reg] = if opts.compact {
+        &CALLEE_SAVED_COMPACT
+    } else {
+        &CALLEE_SAVED
+    };
+    let caller: &[Reg] = &CALLER_SAVED;
+
+    // Allocation order: the prioritized side first (RQ5 heuristic); within
+    // a side, values *without* handler-edge range extensions first — they
+    // have no write-through fallback, so they must win pure registers —
+    // then by range start.
+    let handler_extended: Vec<bool> = (0..n)
+        .map(|v| {
+            lv_plain
+                .as_ref()
+                .map(|p| p.segs[v] != lv.segs[v])
+                .unwrap_or(false)
+        })
+        .collect();
+    let mut vregs: Vec<usize> = (0..n).filter(|v| !lv.segs[*v].is_empty()).collect();
+    vregs.sort_by_key(|&v| {
+        let spec = lv.def_side[v];
+        let prioritized = spec == opts.spill_prefer_orig; // prefer_orig ⇒ spec first
+        (!prioritized, handler_extended[v], lv.segs[v][0].0)
+    });
+
+    let mut occupancy: Vec<[SliceOccupancy; 4]> =
+        (0..16).map(|_| std::array::from_fn(|_| SliceOccupancy::default())).collect();
+    let mut hosts_bytes = [false; 16];
+    let mut locs: Vec<Loc> = vec![Loc::Spill(u32::MAX); n];
+    let mut next_spill = 0u32;
+    let mut used_callee: HashSet<Reg> = HashSet::new();
+
+    // Claims `loc` for `v` in the occupancy tables.
+    macro_rules! claim {
+        ($v:expr, $loc:expr, $segs:expr) => {{
+            let loc = $loc;
+            let (r, slice_list): (Reg, Vec<usize>) = match loc {
+                Loc::Reg(r) | Loc::WriteThrough { reg: r, .. } => (r, vec![0, 1, 2, 3]),
+                Loc::Slice(sl) | Loc::WriteThroughSlice { slice: sl, .. } => {
+                    hosts_bytes[sl.reg.index()] = true;
+                    (sl.reg, vec![sl.byte as usize])
+                }
+                Loc::Spill(_) => unreachable!(),
+            };
+            for sidx in slice_list {
+                occupancy[r.index()][sidx].insert($segs, $v as u32);
+            }
+            if callee.contains(&r) {
+                used_callee.insert(r);
+            }
+            locs[$v] = loc;
+        }};
+    }
+
+    // Finds a free register/slice for `segs` in `pool`.
+    let find_free = |occupancy: &Vec<[SliceOccupancy; 4]>,
+                     hosts_bytes: &[bool; 16],
+                     class: RegClass,
+                     pool: &[Reg],
+                     segs: &Segments|
+     -> Option<Loc> {
+        match class {
+            RegClass::Word => pool
+                .iter()
+                .find(|r| (0..4).all(|s| !occupancy[r.index()][s].conflicts(segs)))
+                .map(|r| Loc::Reg(*r)),
+            RegClass::Byte => {
+                let mut best: Option<(u32, Reg, u8)> = None;
+                for &r in pool {
+                    for sl in 0..4u8 {
+                        if occupancy[r.index()][sl as usize].conflicts(segs) {
+                            continue;
+                        }
+                        let score = u32::from(hosts_bytes[r.index()]) * 10 + (4 - u32::from(sl));
+                        if best.map(|(b, _, _)| score > b).unwrap_or(true) {
+                            best = Some((score, r, sl));
+                        }
+                        break;
+                    }
+                }
+                best.map(|(_, r, sl)| Loc::Slice(isa::Slice::new(r, sl)))
+            }
+        }
+    };
+
+    for &v in &vregs {
+        let segs = lv.segs[v].clone();
+        // "Crossing" includes being *used by* the call (s < c, e == c+1):
+        // argument marshalling writes r0–r3, so argument sources must live
+        // elsewhere. Return-value vregs (s == c) are exempt.
+        let needs_callee = lv
+            .call_positions
+            .iter()
+            .any(|&c| segs.iter().any(|&(s, e)| s < c && e > c));
+        let pool: Vec<Reg> = if needs_callee {
+            callee.to_vec()
+        } else {
+            let mut p = caller.to_vec();
+            p.extend_from_slice(callee);
+            p
+        };
+        let class = mir.classes[v];
+        if let Some(loc) = find_free(&occupancy, &hosts_bytes, class, &pool, &segs) {
+            claim!(v, loc, &segs);
+            continue;
+        }
+        // No register: write-through on the handler-edge-free range, else
+        // spill.
+        rehome(
+            v,
+            &mir,
+            &lv,
+            lv_plain.as_ref(),
+            callee,
+            caller,
+            &mut occupancy,
+            &mut hosts_bytes,
+            &mut locs,
+            &mut next_spill,
+            &mut used_callee,
+        );
+    }
+    let has_calls = mir
+        .blocks
+        .iter()
+        .any(|b| b.insts.iter().any(MirInst::is_call));
+    let mut used_callee_saved: Vec<Reg> = used_callee.into_iter().collect();
+    used_callee_saved.sort();
+    AllocatedFn {
+        mir,
+        locs,
+        spill_slots: next_spill,
+        used_callee_saved,
+        has_calls,
+        order,
+    }
+}
+
+/// Block layout order: the spec side (entry first) in RPO, then `CFG_orig`
+/// and handlers. The spec segment must be contiguous for the Δ skeleton
+/// mechanism (§3.3.4).
+pub fn layout_order(mir: &MirFunction) -> Vec<MBlockId> {
+    let rpo = mir_rpo(mir);
+    let mut order: Vec<MBlockId> = Vec::new();
+    for &b in &rpo {
+        if mir.block(b).spec_side {
+            order.push(b);
+        }
+    }
+    for &b in &rpo {
+        if !mir.block(b).spec_side {
+            order.push(b);
+        }
+    }
+    for b in mir.block_ids() {
+        if !order.contains(&b) {
+            order.push(b);
+        }
+    }
+    order
+}
+
+fn mir_rpo(mir: &MirFunction) -> Vec<MBlockId> {
+    let n = mir.blocks.len();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    let mut stack = vec![(mir.entry, 0usize)];
+    visited[mir.entry.index()] = true;
+    while let Some((b, i)) = stack.pop() {
+        let succs = mir.spec_succs(b);
+        if i < succs.len() {
+            stack.push((b, i + 1));
+            let s = succs[i];
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+        }
+    }
+    post.reverse();
+    post
+}
+
+struct LiveRanges {
+    /// Disjoint position segments per vreg.
+    segs: Vec<Segments>,
+    /// Whether the vreg is defined on the spec side.
+    def_side: Vec<bool>,
+    /// Linear positions of calls.
+    call_positions: Vec<u32>,
+}
+
+/// Places `v` without evicting: tries a pure register on its full range,
+/// then write-through homing on its handler-edge-free range, then a spill
+/// slot.
+#[allow(clippy::too_many_arguments)]
+fn rehome(
+    v: usize,
+    mir: &MirFunction,
+    lv: &LiveRanges,
+    lv_plain: Option<&LiveRanges>,
+    callee: &[Reg],
+    caller: &[Reg],
+    occupancy: &mut [[SliceOccupancy; 4]],
+    hosts_bytes: &mut [bool; 16],
+    locs: &mut [Loc],
+    next_spill: &mut u32,
+    used_callee: &mut HashSet<Reg>,
+) {
+    let class = mir.classes[v];
+    let segs = &lv.segs[v];
+    let needs_callee = lv
+        .call_positions
+        .iter()
+        .any(|&c| segs.iter().any(|&(s, e)| s < c && e > c));
+    let pool: Vec<Reg> = if needs_callee {
+        callee.to_vec()
+    } else {
+        let mut p = caller.to_vec();
+        p.extend_from_slice(callee);
+        p
+    };
+    let try_place = |segs: &Segments,
+                     wt: bool,
+                     occupancy: &mut [[SliceOccupancy; 4]],
+                     hosts_bytes: &mut [bool; 16],
+                     next_spill: &mut u32|
+     -> Option<Loc> {
+        match class {
+            RegClass::Word => {
+                for &r in &pool {
+                    if (0..4).all(|s| !occupancy[r.index()][s].conflicts(segs)) {
+                        let loc = if wt {
+                            let slot = *next_spill;
+                            *next_spill += 1;
+                            Loc::WriteThrough { reg: r, slot }
+                        } else {
+                            Loc::Reg(r)
+                        };
+                        for sidx in 0..4 {
+                            occupancy[r.index()][sidx].insert(segs, v as u32);
+                        }
+                        return Some(loc);
+                    }
+                }
+                None
+            }
+            RegClass::Byte => {
+                for &r in &pool {
+                    for sl in 0..4u8 {
+                        if occupancy[r.index()][sl as usize].conflicts(segs) {
+                            continue;
+                        }
+                        let loc = if wt {
+                            let slot = *next_spill;
+                            *next_spill += 1;
+                            Loc::WriteThroughSlice {
+                                slice: isa::Slice::new(r, sl),
+                                slot,
+                            }
+                        } else {
+                            Loc::Slice(isa::Slice::new(r, sl))
+                        };
+                        occupancy[r.index()][sl as usize].insert(segs, v as u32);
+                        hosts_bytes[r.index()] = true;
+                        return Some(loc);
+                    }
+                }
+                None
+            }
+        }
+    };
+    let placed = try_place(segs, false, occupancy, hosts_bytes, next_spill).or_else(|| {
+        lv_plain.and_then(|p| {
+            let psegs = &p.segs[v];
+            if psegs.is_empty() || psegs == segs {
+                None
+            } else {
+                try_place(psegs, true, occupancy, hosts_bytes, next_spill)
+            }
+        })
+    });
+    match placed {
+        Some(loc) => {
+            if let Loc::Reg(r)
+            | Loc::WriteThrough { reg: r, .. }
+            | Loc::Slice(isa::Slice { reg: r, .. })
+            | Loc::WriteThroughSlice {
+                slice: isa::Slice { reg: r, .. },
+                ..
+            } = loc
+            {
+                if callee.contains(&r) {
+                    used_callee.insert(r);
+                }
+            }
+            locs[v] = loc;
+        }
+        None => {
+            locs[v] = Loc::Spill(*next_spill);
+            *next_spill += 1;
+        }
+    }
+}
+
+fn succs_of(mir: &MirFunction, b: MBlockId, with_handler_edges: bool) -> Vec<MBlockId> {
+    if with_handler_edges {
+        mir.spec_succs(b)
+    } else {
+        mir.block(b).term.successors()
+    }
+}
+
+/// Builds per-vreg segmented live ranges over the layout order.
+/// `with_handler_edges` selects equation-2 semantics (region block →
+/// handler) or plain branch liveness (the write-through fallback).
+fn build_ranges(mir: &MirFunction, order: &[MBlockId], with_handler_edges: bool) -> LiveRanges {
+    let n = mir.classes.len();
+    let nb = mir.blocks.len();
+    // Block-level liveness over branch + misspeculation edges.
+    let mut uevar: Vec<HashSet<VReg>> = vec![HashSet::new(); nb];
+    let mut defs: Vec<HashSet<VReg>> = vec![HashSet::new(); nb];
+    let mut def_side = vec![true; n];
+    for b in mir.block_ids() {
+        let bi = b.index();
+        for i in &mir.block(b).insts {
+            for u in i.uses() {
+                if !defs[bi].contains(&u) {
+                    uevar[bi].insert(u);
+                }
+            }
+            for d in i.defs() {
+                defs[bi].insert(d);
+                def_side[d.index()] = mir.block(b).spec_side;
+            }
+        }
+        for u in mir.block(b).term.uses() {
+            if !defs[bi].contains(&u) {
+                uevar[bi].insert(u);
+            }
+        }
+    }
+    let mut live_in: Vec<HashSet<VReg>> = vec![HashSet::new(); nb];
+    let mut live_out: Vec<HashSet<VReg>> = vec![HashSet::new(); nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..nb).rev() {
+            let b = MBlockId(bi as u32);
+            let mut out: HashSet<VReg> = HashSet::new();
+            for s in succs_of(mir, b, with_handler_edges) {
+                out.extend(live_in[s.index()].iter().copied());
+            }
+            let mut inn = uevar[bi].clone();
+            for &v in &out {
+                if !defs[bi].contains(&v) {
+                    inn.insert(v);
+                }
+            }
+            if out != live_out[bi] {
+                live_out[bi] = out;
+                changed = true;
+            }
+            if inn != live_in[bi] {
+                live_in[bi] = inn;
+                changed = true;
+            }
+        }
+    }
+    // Per-block segments with intra-block precision: [first event, last
+    // event], stretched to the block boundary on the live-in / live-out
+    // side.
+    let mut segs: Vec<Segments> = vec![Vec::new(); n];
+    let mut call_positions = Vec::new();
+    let mut first_ev: Vec<u32> = vec![u32::MAX; n];
+    let mut last_ev: Vec<u32> = vec![0; n];
+    let mut pos: u32 = 0;
+    for &b in order {
+        let bi = b.index();
+        let bstart = pos;
+        let mut touched: Vec<usize> = Vec::new();
+        let touch = |v: VReg, p: u32, first_ev: &mut Vec<u32>, last_ev: &mut Vec<u32>, touched: &mut Vec<usize>| {
+            let i = v.index();
+            if first_ev[i] == u32::MAX {
+                touched.push(i);
+                first_ev[i] = p;
+            }
+            last_ev[i] = last_ev[i].max(p + 1);
+        };
+        for inst in &mir.block(b).insts {
+            pos += 1;
+            if inst.is_call() {
+                call_positions.push(pos);
+            }
+            for u in inst.uses() {
+                touch(u, pos, &mut first_ev, &mut last_ev, &mut touched);
+            }
+            for d in inst.defs() {
+                touch(d, pos, &mut first_ev, &mut last_ev, &mut touched);
+            }
+        }
+        pos += 1; // terminator position
+        for u in mir.block(b).term.uses() {
+            touch(u, pos, &mut first_ev, &mut last_ev, &mut touched);
+        }
+        let bend = pos + 1;
+        // Emit a segment for every vreg live in this block.
+        for &vi in &touched {
+            let v = VReg(vi as u32);
+            let s = if live_in[bi].contains(&v) {
+                bstart
+            } else {
+                first_ev[vi]
+            };
+            let e = if live_out[bi].contains(&v) {
+                bend
+            } else {
+                last_ev[vi]
+            };
+            segs[vi].push((s, e.max(s + 1)));
+            first_ev[vi] = u32::MAX;
+            last_ev[vi] = 0;
+        }
+        // Live-through values with no local event.
+        for &v in live_in[bi].iter() {
+            if live_out[bi].contains(&v) && first_ev[v.index()] == u32::MAX {
+                // (events were reset above; untouched live-through values
+                // still have MAX)
+                let already = segs[v.index()]
+                    .last()
+                    .map(|&(_, e)| e >= bend)
+                    .unwrap_or(false);
+                if !already {
+                    segs[v.index()].push((bstart, bend));
+                }
+            }
+        }
+        pos += 1;
+    }
+    // Normalize: sort and merge adjacent/overlapping segments.
+    for s in &mut segs {
+        s.sort_unstable();
+        let mut merged: Segments = Vec::with_capacity(s.len());
+        for &(a, b) in s.iter() {
+            if let Some(last) = merged.last_mut() {
+                if a <= last.1 {
+                    last.1 = last.1.max(b);
+                    continue;
+                }
+            }
+            merged.push((a, b));
+        }
+        *s = merged;
+    }
+    LiveRanges {
+        segs,
+        def_side,
+        call_positions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp::Layout;
+
+    fn alloc_for(src: &str, func: &str) -> AllocatedFn {
+        let m = lang::compile("t", src).unwrap();
+        let fid = m.func_by_name(func).unwrap();
+        let layout = Layout::new(&m);
+        let opts = CodegenOpts::default();
+        let mir = crate::isel::select_function(&m, fid, &layout, &opts);
+        allocate(mir, &opts)
+    }
+
+    #[test]
+    fn small_function_spills_nothing() {
+        let a = alloc_for("u32 f(u32 a, u32 b) { return a + b * 2; }", "f");
+        assert_eq!(a.spill_slots, 0);
+        for b in a.mir.block_ids() {
+            for i in &a.mir.block(b).insts {
+                for v in i.uses().into_iter().chain(i.defs()) {
+                    assert_ne!(a.locs[v.index()], Loc::Spill(u32::MAX), "{v:?} unallocated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn straightline_temps_reuse_registers() {
+        // 30 short-lived temps in one block must not spill: sub-block
+        // precision lets them share registers.
+        let mut body = String::new();
+        body.push_str("u32 s = 0;\n");
+        for i in 0..30 {
+            body.push_str(&format!("s = s + a * {};\n", i + 2));
+        }
+        body.push_str("return s;");
+        let src = format!("u32 f(u32 a) {{ {body} }}");
+        let a = alloc_for(&src, "f");
+        assert_eq!(a.spill_slots, 0, "chained temps must reuse registers");
+    }
+
+    #[test]
+    fn no_overlapping_assignments() {
+        let src = "u32 f(u32 a, u32 b, u32 c, u32 d) {
+            u32 e = a + b; u32 g = c + d; u32 h = a * c; u32 i = b * d;
+            u32 j = e + g; u32 k = h + i;
+            return j * k + e + g + h + i;
+        }";
+        let a = alloc_for(src, "f");
+        let order = a.order.clone();
+        let lv = super::build_ranges(&a.mir, &order, true);
+        let overlap = |x: &Segments, y: &Segments| {
+            x.iter().any(|&(s1, e1)| y.iter().any(|&(s2, e2)| s1 < e2 && s2 < e1))
+        };
+        let n = a.mir.classes.len();
+        for x in 0..n {
+            for y in (x + 1)..n {
+                if lv.segs[x].is_empty() || lv.segs[y].is_empty() {
+                    continue;
+                }
+                if !overlap(&lv.segs[x], &lv.segs[y]) {
+                    continue;
+                }
+                let conflict = match (a.locs[x], a.locs[y]) {
+                    (Loc::Reg(r1), Loc::Reg(r2)) => r1 == r2,
+                    (Loc::Reg(r), Loc::Slice(s)) | (Loc::Slice(s), Loc::Reg(r)) => s.reg == r,
+                    (Loc::Slice(s1), Loc::Slice(s2)) => s1 == s2,
+                    _ => false,
+                };
+                assert!(
+                    !conflict,
+                    "live-overlapping vregs v{x} and v{y} share {:?}",
+                    a.locs[x]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn values_across_calls_use_callee_saved() {
+        let src = "
+            u32 g(u32 x) { return x + 1; }
+            u32 f(u32 a) { u32 keep = a * 3; u32 r = g(a); return keep + r; }
+        ";
+        let a = alloc_for(src, "f");
+        assert!(a.has_calls);
+        assert!(
+            !a.used_callee_saved.is_empty(),
+            "value live across call needs callee-saved"
+        );
+    }
+
+    #[test]
+    fn high_pressure_spills() {
+        let mut body = String::new();
+        for i in 0..16 {
+            body.push_str(&format!("u32 x{i} = a * {};\n", i + 3));
+        }
+        body.push_str("return ");
+        for i in 0..16 {
+            if i > 0 {
+                body.push('+');
+            }
+            body.push_str(&format!("x{i}*x{i}"));
+        }
+        body.push(';');
+        let src = format!("u32 f(u32 a) {{ {body} }}");
+        let a = alloc_for(&src, "f");
+        assert!(a.spill_slots > 0, "16 overlapping live words must spill");
+    }
+
+    #[test]
+    fn layout_keeps_spec_segment_first() {
+        let a = alloc_for("u32 f(u32 a) { return a + 1; }", "f");
+        let mut seen_nonspec = false;
+        for &b in &a.order {
+            let spec = a.mir.block(b).spec_side;
+            if !spec {
+                seen_nonspec = true;
+            }
+            if spec {
+                assert!(!seen_nonspec, "spec block after non-spec in layout");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_occupancy_conflicts() {
+        let mut o = SliceOccupancy::default();
+        o.insert(&vec![(10, 20), (30, 40)], 1);
+        assert!(o.conflicts(&vec![(15, 17)]));
+        assert!(o.conflicts(&vec![(5, 11)]));
+        assert!(o.conflicts(&vec![(39, 50)]));
+        assert!(!o.conflicts(&vec![(20, 30)]));
+        assert!(!o.conflicts(&vec![(40, 100)]));
+        assert!(!o.conflicts(&vec![(0, 10)]));
+    }
+}

@@ -1,0 +1,203 @@
+//! Backend-focused differential tests: tricky lowering corners compared
+//! interpreter-vs-simulator across both ISAs (baseline and compact).
+
+use backend::CodegenOpts;
+use sim::{SimConfig, Simulator};
+
+fn run_machine(m: &sir::Module, opts: &CodegenOpts) -> Vec<u32> {
+    let p = backend::compile_module(m, opts);
+    Simulator::new(&p, &SimConfig::default())
+        .run()
+        .expect("simulation")
+        .outputs
+}
+
+fn differential(src: &str) {
+    let mut m = lang::compile("t", src).unwrap();
+    opt::simplify::run(&mut m);
+    opt::dce::run(&mut m);
+    let expect = interp::Interpreter::new(&m)
+        .run("main", &[])
+        .expect("interp")
+        .outputs;
+    for (label, opts) in [
+        ("bitspec-isa", CodegenOpts::default()),
+        (
+            "baseline-isa",
+            CodegenOpts {
+                bitspec: false,
+                compact: false,
+                spill_prefer_orig: true,
+            },
+        ),
+        (
+            "compact-isa",
+            CodegenOpts {
+                bitspec: false,
+                compact: true,
+                spill_prefer_orig: true,
+            },
+        ),
+    ] {
+        assert_eq!(run_machine(&m, &opts), expect, "{label}\n{src}");
+    }
+}
+
+#[test]
+fn w16_canonicalization() {
+    differential(
+        "void main() {
+            u16 a = 0xFFF0;
+            u16 b = 0x1234;
+            out(a + b);          // promoted add
+            u16 c = a + b;       // truncated back to 16 bits
+            out(c);
+            out(c * c);
+            out((u32)(i16)c);    // sign-extension path
+            i16 s = 0 - 99;
+            out((u32)(s >> 2));  // arithmetic shift on sub-word
+            out((u32)(s / 5));   // signed division with sext inputs
+        }",
+    )
+}
+
+#[test]
+fn w8_canonicalization_without_slices() {
+    differential(
+        "void main() {
+            u8 x = 200;
+            u8 y = 100;
+            out(x + y);     // 300 at promoted width
+            u8 z = x + y;   // 44 after wraparound
+            out(z);
+            i8 n = 0 - 5;
+            out((u32)(n >> 1));
+            out((u32)(i32)n);
+        }",
+    )
+}
+
+#[test]
+fn ternary_select_lowering() {
+    differential(
+        "void main() {
+            u32 acc = 0;
+            for (u32 i = 0; i < 40; i++) {
+                acc += i % 3 == 0 ? i * 2 : i;
+                u64 wide = i > 20 ? (u64)i << 32 : (u64)i;
+                acc ^= (u32)(wide >> 32);
+            }
+            out(acc);
+        }",
+    )
+}
+
+#[test]
+fn u64_shift_matrix() {
+    // Constant shifts across the 32-bit boundary in both directions.
+    let mut body = String::from("u64 v = 0x123456789ABCDEF0;\n");
+    for k in [0u32, 1, 7, 8, 31, 32, 33, 48, 63] {
+        body.push_str(&format!("out(v << {k}); out(v >> {k});\n"));
+    }
+    body.push_str("i64 s = 0 - 0x123456789ABC;\n");
+    for k in [1u32, 31, 32, 47, 63] {
+        body.push_str(&format!("out((u64)(s >> {k}));\n"));
+    }
+    differential(&format!("void main() {{ {body} }}"));
+}
+
+#[test]
+fn u64_multiplication_cross_terms() {
+    differential(
+        "void main() {
+            u64 a = 0xFFFFFFFF;
+            u64 b = 0x100000001;
+            out(a * b);
+            out(a * a);
+            u64 c = 0xDEADBEEF;
+            out(c * 0x1003);
+            i64 n = 0 - 12345;
+            out((u64)(n * 789));
+        }",
+    )
+}
+
+#[test]
+fn deep_call_chains_with_stack_args() {
+    differential(
+        "u32 f6(u32 a, u32 b, u32 c, u32 d, u32 e, u32 f) {
+            return a ^ (b << 1) ^ (c << 2) ^ (d << 3) ^ (e << 4) ^ (f << 5);
+         }
+         u32 f2(u32 a, u32 b) { return f6(a, b, a + b, a - b, a * b, a ^ b); }
+         u32 f1(u32 a) { return f2(a, f2(a, a + 1)); }
+         void main() {
+            u32 s = 0;
+            for (u32 i = 0; i < 12; i++) { s ^= f1(i * 0x01010101); }
+            out(s);
+         }",
+    )
+}
+
+#[test]
+fn u64_params_and_returns() {
+    differential(
+        "u64 mix(u64 a, u64 b, u32 c) { return (a ^ (b >> 3)) + c; }
+         void main() {
+            u64 x = 0x1122334455667788;
+            u64 y = mix(x, x << 5, 77);
+            out(y);
+            out(mix(y, x, 1));
+         }",
+    )
+}
+
+#[test]
+fn bool_values_in_registers() {
+    differential(
+        "void main() {
+            u32 t = 0;
+            for (u32 i = 0; i < 30; i++) {
+                bool a = i % 2 == 0;
+                bool b = i % 3 == 0;
+                bool c = a && !b;
+                if (c) { t += i; }
+                t += a ? 1 : 0;
+            }
+            out(t);
+        }",
+    )
+}
+
+#[test]
+fn memory_aliasing_patterns() {
+    differential(
+        "global u32 buf[32];
+         void main() {
+            for (u32 i = 0; i < 32; i++) { buf[i] = i * i; }
+            // Overlapping read-modify-write with varying strides.
+            for (u32 i = 1; i < 31; i++) {
+                buf[i] = buf[i - 1] + buf[i + 1];
+            }
+            u32 h = 0;
+            for (u32 i = 0; i < 32; i++) { h = h * 31 + buf[i]; }
+            out(h);
+         }",
+    )
+}
+
+#[test]
+fn sub_word_memory_widths() {
+    differential(
+        "global u8 b8[8];
+         global u16 b16[8];
+         void main() {
+            for (u32 i = 0; i < 8; i++) {
+                b8[i] = (u8)(i * 40);
+                b16[i] = (u16)(i * 10000);
+            }
+            u32 s = 0;
+            for (u32 i = 0; i < 8; i++) { s += b8[i] + b16[i]; }
+            out(s);
+         }",
+    )
+}

@@ -1,0 +1,31 @@
+//! Figure 1: percentage of dynamic integer instructions at each bitwidth
+//! under four selection techniques — (a) required bits, (b) the
+//! programmer's declared widths, (c) LLVM-style demanded-bits analysis,
+//! (d) basic-block coercion (Pokam et al.).
+
+use interp::demanded::{distribution_bb_coerced, distribution_demanded, distribution_from_counts};
+use interp::Interpreter;
+use mibench::{names, Input};
+
+fn main() {
+    bench::header("fig01", "dynamic bitwidth distributions (a–d)");
+    for name in names() {
+        // The figure is measured on the pre-squeeze pipeline output.
+        let mut m = lang::compile(name, &mibench::source_of(name)).unwrap();
+        opt::expand_module(&mut m, &opt::ExpanderConfig::default());
+        opt::simplify::run(&mut m);
+        opt::dce::run(&mut m);
+        let mut i = Interpreter::new(&m);
+        i.enable_profiling();
+        for (g, data) in mibench::inputs_for(name, Input::Large) {
+            i.install_global(&g, &data);
+        }
+        let r = i.run("main", &[]).expect("profiling run");
+        let profile = i.take_profile().unwrap();
+        println!("{name}");
+        println!("  {}", bench::dist_row("(a) required", distribution_from_counts(r.stats.by_required)));
+        println!("  {}", bench::dist_row("(b) declared", distribution_from_counts(r.stats.by_declared)));
+        println!("  {}", bench::dist_row("(c) demanded", distribution_demanded(&m, &profile)));
+        println!("  {}", bench::dist_row("(d) bb-coerced", distribution_bb_coerced(&m, &profile)));
+    }
+}

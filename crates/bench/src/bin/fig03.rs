@@ -1,0 +1,51 @@
+//! Figure 3: loop unrolling monotonically reduces dynamic IR instructions
+//! while assembly instructions eventually *increase* (register pressure on
+//! the baseline architecture).
+
+use bitspec::{Arch, BuildConfig, Workload};
+
+fn main() {
+    bench::header("fig03", "unrolling factor vs dynamic IR / assembly instructions");
+    // A pressure-prone kernel: enough independent accumulators that deep
+    // unrolling overwhelms the 11 allocatable registers.
+    let src = "global u32 data[512];
+    void main() {
+        u32 a = 0; u32 b = 1; u32 c = 2; u32 d = 3;
+        u32 e = 4; u32 f = 5; u32 g = 6; u32 h = 7;
+        for (u32 i = 0; i < 512; i++) {
+            u32 x = data[i];
+            a += x * 3;
+            b ^= x + a;
+            c += (x >> 2) ^ b;
+            d ^= x * c + a;
+            e += (d >> 1) + b;
+            f ^= e * 5 + c;
+            g += (f ^ a) >> 3;
+            h ^= g + e + (x << 1);
+        }
+        out(a); out(b); out(c); out(d); out(e); out(f); out(g); out(h);
+    }";
+    let mut data = Vec::new();
+    for i in 0..512u32 {
+        data.extend_from_slice(&(i.wrapping_mul(2654435761)).to_le_bytes());
+    }
+    println!("{:>7} {:>14} {:>14}", "factor", "dyn IR insts", "dyn asm insts");
+    for factor in [1u32, 2, 4, 8, 16] {
+        let w = Workload::from_source("unroll-kernel", src).with_input("data", data.clone());
+        let cfg = BuildConfig {
+            arch: Arch::Baseline,
+            expander: opt::ExpanderConfig {
+                unroll_factor: factor,
+                max_loop_size: 4000,
+                max_func_size: 16000,
+                enabled: true,
+            },
+            ..BuildConfig::baseline()
+        };
+        let (compiled, sim) = bench::run(&w, &cfg);
+        println!(
+            "{factor:>7} {:>14} {:>14}",
+            compiled.profile_dyn_insts, sim.counts.dyn_insts
+        );
+    }
+}

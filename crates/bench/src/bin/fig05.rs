@@ -1,0 +1,27 @@
+//! Figure 5: percent of dynamic integer instructions the profiler
+//! classifies as 8/16/32(+) bits under T = MAX, AVG, MIN.
+
+use interp::{Heuristic, Interpreter};
+use mibench::{names, Input};
+
+fn main() {
+    bench::header("fig05", "profiler target-bitwidth classification per heuristic");
+    for name in names() {
+        let mut m = lang::compile(name, &mibench::source_of(name)).unwrap();
+        opt::expand_module(&mut m, &opt::ExpanderConfig::default());
+        opt::simplify::run(&mut m);
+        opt::dce::run(&mut m);
+        let mut i = Interpreter::new(&m);
+        i.enable_profiling();
+        for (g, data) in mibench::inputs_for(name, Input::Large) {
+            i.install_global(&g, &data);
+        }
+        i.run("main", &[]).expect("profiling run");
+        let profile = i.take_profile().unwrap();
+        println!("{name}");
+        for h in Heuristic::ALL {
+            let d = profile.classification(&m, h);
+            println!("  {}", bench::dist_row(&format!("T = {h}"), d));
+        }
+    }
+}

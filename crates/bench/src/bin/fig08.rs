@@ -1,0 +1,40 @@
+//! Figure 8 (RQ0): energy consumption, dynamic instructions and EPI of
+//! BITSPEC relative to BASELINE.
+
+use bench::{mean, pct, run};
+use bitspec::BuildConfig;
+use mibench::{names, workload, Input};
+
+fn main() {
+    bench::header("fig08", "BITSPEC vs BASELINE: energy / dynamic instructions / EPI");
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>10}",
+        "benchmark", "energyΔ%", "dynΔ%", "EPIΔ%", "misspecs"
+    );
+    let mut de = Vec::new();
+    let mut dd = Vec::new();
+    let mut dp = Vec::new();
+    for name in names() {
+        let w = workload(name, Input::Large);
+        let (_, base) = run(&w, &BuildConfig::baseline());
+        let (_, bs) = run(&w, &BuildConfig::bitspec());
+        assert_eq!(base.outputs, bs.outputs, "{name}: outputs diverge");
+        let e = pct(bs.total_energy(), base.total_energy());
+        let d = pct(bs.counts.dyn_insts as f64, base.counts.dyn_insts as f64);
+        let p = pct(bs.epi(), base.epi());
+        println!(
+            "{name:<16} {e:>8.1}% {d:>8.1}% {p:>8.1}% {:>10}",
+            bs.counts.misspecs
+        );
+        de.push(e);
+        dd.push(d);
+        dp.push(p);
+    }
+    println!(
+        "{:<16} {:>8.1}% {:>8.1}% {:>8.1}%",
+        "MEAN",
+        mean(&de),
+        mean(&dd),
+        mean(&dp)
+    );
+}

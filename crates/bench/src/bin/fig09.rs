@@ -1,0 +1,28 @@
+//! Figure 9 (RQ0): per-component energy breakdown of BITSPEC relative to
+//! BASELINE (ALU, register file, D$, I$, pipeline).
+
+use bench::{pct, run};
+use bitspec::BuildConfig;
+use mibench::{names, workload, Input};
+
+fn main() {
+    bench::header("fig09", "component energy: BITSPEC relative to BASELINE");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8}",
+        "benchmark", "ALUΔ%", "RFΔ%", "D$Δ%", "I$Δ%", "pipeΔ%", "totalΔ%"
+    );
+    for name in names() {
+        let w = workload(name, Input::Large);
+        let (_, b) = run(&w, &BuildConfig::baseline());
+        let (_, s) = run(&w, &BuildConfig::bitspec());
+        println!(
+            "{name:<16} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>8.1}% {:>7.1}%",
+            pct(s.energy.alu, b.energy.alu),
+            pct(s.energy.regfile, b.energy.regfile),
+            pct(s.energy.dcache, b.energy.dcache),
+            pct(s.energy.icache, b.energy.icache),
+            pct(s.energy.pipeline, b.energy.pipeline),
+            pct(s.total_energy(), b.total_energy()),
+        );
+    }
+}

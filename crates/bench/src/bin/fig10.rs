@@ -1,0 +1,30 @@
+//! Figure 10 (RQ1): dynamic loads, stores and copies injected by the
+//! register allocator, normalized to their BASELINE sum.
+
+use bench::run;
+use bitspec::BuildConfig;
+use mibench::{names, workload, Input};
+
+fn main() {
+    bench::header("fig10", "register-allocator traffic (normalized to BASELINE sum)");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "benchmark", "b.loads", "b.stores", "b.copies", "s.loads", "s.stores", "s.copies"
+    );
+    for name in names() {
+        let w = workload(name, Input::Large);
+        let (_, b) = run(&w, &BuildConfig::baseline());
+        let (_, s) = run(&w, &BuildConfig::bitspec());
+        let total = (b.counts.spill_loads + b.counts.spill_stores + b.counts.copies).max(1) as f64;
+        let n = |x: u64| x as f64 / total;
+        println!(
+            "{name:<16} {:>8.3} {:>8.3} {:>8.3} | {:>8.3} {:>8.3} {:>8.3}",
+            n(b.counts.spill_loads),
+            n(b.counts.spill_stores),
+            n(b.counts.copies),
+            n(s.counts.spill_loads),
+            n(s.counts.spill_stores),
+            n(s.counts.copies),
+        );
+    }
+}

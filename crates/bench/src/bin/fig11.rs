@@ -1,0 +1,27 @@
+//! Figure 11 (RQ1): dynamic register-file accesses at 8 vs 32 bits,
+//! normalized to BASELINE's total (all BASELINE accesses are 32-bit).
+
+use bench::run;
+use bitspec::BuildConfig;
+use mibench::{names, workload, Input};
+
+fn main() {
+    bench::header("fig11", "dynamic register accesses by width (normalized)");
+    println!(
+        "{:<16} {:>10} | {:>10} {:>10} {:>10}",
+        "benchmark", "base 32b", "bs 32b", "bs 8b", "bs total"
+    );
+    for name in names() {
+        let w = workload(name, Input::Large);
+        let (_, b) = run(&w, &BuildConfig::baseline());
+        let (_, s) = run(&w, &BuildConfig::bitspec());
+        let total = b.activity.reg_accesses_32.max(1) as f64;
+        println!(
+            "{name:<16} {:>10.3} | {:>10.3} {:>10.3} {:>10.3}",
+            1.0,
+            s.activity.reg_accesses_32 as f64 / total,
+            s.activity.reg_accesses_8 as f64 / total,
+            (s.activity.reg_accesses_32 + s.activity.reg_accesses_8) as f64 / total,
+        );
+    }
+}

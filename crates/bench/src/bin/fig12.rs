@@ -1,0 +1,40 @@
+//! Figure 12 (RQ2): register packing *without* speculation vs full
+//! BITSPEC, both relative to BASELINE energy (lower is better).
+
+use bench::{mean, pct, run};
+use bitspec::{Arch, BuildConfig};
+use mibench::{names, workload, Input};
+
+fn main() {
+    bench::header("fig12", "no-speculation packing vs BITSPEC (energy vs BASELINE)");
+    println!(
+        "{:<16} {:>12} {:>12}",
+        "benchmark", "no-spec Δ%", "bitspec Δ%"
+    );
+    let mut dn = Vec::new();
+    let mut db = Vec::new();
+    for name in names() {
+        let w = workload(name, Input::Large);
+        let (_, base) = run(&w, &BuildConfig::baseline());
+        let (_, nospec) = run(
+            &w,
+            &BuildConfig {
+                arch: Arch::NoSpec,
+                ..BuildConfig::baseline()
+            },
+        );
+        let (_, bs) = run(&w, &BuildConfig::bitspec());
+        let n = pct(nospec.total_energy(), base.total_energy());
+        let b = pct(bs.total_energy(), base.total_energy());
+        println!("{name:<16} {n:>11.1}% {b:>11.1}%");
+        dn.push(n);
+        db.push(b);
+    }
+    println!(
+        "{:<16} {:>11.1}% {:>11.1}%  (speculation adds {:.2}pp)",
+        "MEAN",
+        mean(&dn),
+        mean(&db),
+        mean(&dn) - mean(&db)
+    );
+}

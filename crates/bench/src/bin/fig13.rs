@@ -1,0 +1,55 @@
+//! Figure 13 (RQ4): the expander's contribution — BASELINE and BITSPEC
+//! with the expander disabled, relative to the expander-enabled BASELINE.
+
+use bench::{mean, pct, run};
+use bitspec::BuildConfig;
+use mibench::{names, workload, Input};
+
+fn main() {
+    bench::header("fig13", "expander disabled (energy & EPI vs expander-on BASELINE)");
+    println!(
+        "{:<16} {:>11} {:>11} {:>11} {:>11}",
+        "benchmark", "base-noexpΔ", "bs-noexpΔ", "bs EPIΔ", "bs-noexp EPIΔ"
+    );
+    let mut epi_on = Vec::new();
+    let mut epi_off = Vec::new();
+    for name in names() {
+        let w = workload(name, Input::Large);
+        let (_, base) = run(&w, &BuildConfig::baseline());
+        let noexp = opt::ExpanderConfig {
+            enabled: false,
+            ..Default::default()
+        };
+        let (_, base_ne) = run(
+            &w,
+            &BuildConfig {
+                expander: noexp,
+                ..BuildConfig::baseline()
+            },
+        );
+        let (_, bs) = run(&w, &BuildConfig::bitspec());
+        let (_, bs_ne) = run(
+            &w,
+            &BuildConfig {
+                expander: noexp,
+                ..BuildConfig::bitspec()
+            },
+        );
+        let e_on = pct(bs.epi(), base.epi());
+        let e_off = pct(bs_ne.epi(), base_ne.epi());
+        println!(
+            "{name:<16} {:>10.1}% {:>10.1}% {:>10.1}% {:>10.1}%",
+            pct(base_ne.total_energy(), base.total_energy()),
+            pct(bs_ne.total_energy(), base.total_energy()),
+            e_on,
+            e_off,
+        );
+        epi_on.push(e_on);
+        epi_off.push(e_off);
+    }
+    println!(
+        "MEAN EPI reduction: with expander {:.2}%, without {:.2}%",
+        mean(&epi_on),
+        mean(&epi_off)
+    );
+}

@@ -1,0 +1,35 @@
+//! Figure 14 (RQ5): energy under the MAX/AVG/MIN bitwidth-selection
+//! heuristics, relative to BASELINE.
+
+use bench::{mean, pct, run};
+use bitspec::{BitwidthHeuristic, BuildConfig};
+use mibench::{names, workload, Input};
+
+fn main() {
+    bench::header("fig14", "heuristic aggressiveness (energy vs BASELINE)");
+    println!(
+        "{:<16} {:>9} {:>9} {:>9}",
+        "benchmark", "MAX Δ%", "AVG Δ%", "MIN Δ%"
+    );
+    let mut cols = [Vec::new(), Vec::new(), Vec::new()];
+    for name in names() {
+        let w = workload(name, Input::Large);
+        let (_, base) = run(&w, &BuildConfig::baseline());
+        let e0 = base.total_energy();
+        let mut row = format!("{name:<16}");
+        for (i, h) in BitwidthHeuristic::ALL.iter().enumerate() {
+            let (_, r) = run(&w, &BuildConfig { empirical_gate: false, ..BuildConfig::bitspec_with(*h) });
+            let d = pct(r.total_energy(), e0);
+            row.push_str(&format!(" {d:>8.1}%"));
+            cols[i].push(d);
+        }
+        println!("{row}");
+    }
+    println!(
+        "{:<16} {:>8.1}% {:>8.1}% {:>8.1}%",
+        "MEAN",
+        mean(&cols[0]),
+        mean(&cols[1]),
+        mean(&cols[2])
+    );
+}

@@ -1,0 +1,36 @@
+//! Figure 15 (RQ6): input-sensitivity — BITSPEC profiled on an *alternate*
+//! input, then evaluated on the provided input; relative to BASELINE.
+
+use bench::{mean, pct, run};
+use bitspec::BuildConfig;
+use mibench::{names, workload, workload_with_train, Input};
+
+fn main() {
+    bench::header("fig15", "alternate profiling input (energy vs BASELINE)");
+    println!(
+        "{:<16} {:>13} {:>13}",
+        "benchmark", "same-inputΔ%", "alt-inputΔ%"
+    );
+    let mut same_d = Vec::new();
+    let mut alt_d = Vec::new();
+    for name in names() {
+        let w = workload(name, Input::Large);
+        let (_, base) = run(&w, &BuildConfig::baseline());
+        let e0 = base.total_energy();
+        let (_, same) = run(&w, &BuildConfig::bitspec());
+        let wa = workload_with_train(name, Input::Large, Input::Alternate);
+        let (_, alt) = run(&wa, &BuildConfig::bitspec());
+        let s = pct(same.total_energy(), e0);
+        let a = pct(alt.total_energy(), e0);
+        println!("{name:<16} {s:>12.1}% {a:>12.1}%");
+        same_d.push(s);
+        alt_d.push(a);
+    }
+    println!(
+        "{:<16} {:>12.1}% {:>12.1}%  (alt profiling costs {:.2}pp)",
+        "MEAN",
+        mean(&same_d),
+        mean(&alt_d),
+        mean(&alt_d) - mean(&same_d)
+    );
+}

@@ -1,0 +1,57 @@
+//! Figure 16 (RQ6 deep dive): susan-edges cross-input study. For each pair
+//! of images (i, j): compile with i as the profile input, run on j, and
+//! report dynamic instructions relative to the self-profiled build p_j(j).
+//! Repeated per heuristic; printed as distribution quantiles (the paper's
+//! CDF). Uses an 8-image sample (64 runs/heuristic) instead of the paper's
+//! 50 BSDS500 images — see DESIGN.md.
+
+use bitspec::{build, simulate, BitwidthHeuristic, BuildConfig, Workload};
+use mibench::{susan_image, Input};
+
+const IMAGES: u64 = 8;
+
+fn workload_for(profile_img: u64, run_img: u64) -> Workload {
+    Workload::from_source("susan-edges", mibench::source_of("susan-edges"))
+        .with_input("image", susan_image(Input::Seeded(run_img)))
+        .with_train_input("image", susan_image(Input::Seeded(profile_img)))
+}
+
+fn main() {
+    bench::header("fig16", "susan-edges cross-input dynamic-instruction ratios");
+    for h in BitwidthHeuristic::ALL {
+        // Self-profiled reference per run image.
+        let mut self_insts = Vec::new();
+        for j in 0..IMAGES {
+            let w = workload_for(j, j);
+            let c = build(&w, &BuildConfig { empirical_gate: false, ..BuildConfig::bitspec_with(h) }).expect("build");
+            let r = simulate(&c, &w).expect("sim");
+            self_insts.push(r.counts.dyn_insts as f64);
+        }
+        let mut ratios = Vec::new();
+        for i in 0..IMAGES {
+            let c = {
+                let w = workload_for(i, i);
+                build(&w, &BuildConfig { empirical_gate: false, ..BuildConfig::bitspec_with(h) }).expect("build")
+            };
+            let _ = c;
+            for j in 0..IMAGES {
+                let w = workload_for(i, j);
+                let c = build(&w, &BuildConfig { empirical_gate: false, ..BuildConfig::bitspec_with(h) }).expect("build");
+                let r = simulate(&c, &w).expect("sim");
+                ratios.push(r.counts.dyn_insts as f64 / self_insts[j as usize]);
+            }
+        }
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q = |p: f64| ratios[((ratios.len() - 1) as f64 * p) as usize];
+        println!(
+            "{h}: n={} min={:.3} p25={:.3} p50={:.3} p75={:.3} p95={:.3} max={:.3}",
+            ratios.len(),
+            q(0.0),
+            q(0.25),
+            q(0.5),
+            q(0.75),
+            q(0.95),
+            q(1.0)
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 17 (RQ8): composition with dynamic timing slack — DTS and
+//! DTS+BITSPEC energy relative to BASELINE; their savings should compose
+//! roughly multiplicatively.
+
+use bench::{mean, pct, run};
+use bitspec::BuildConfig;
+use mibench::{names, workload, Input};
+
+fn main() {
+    bench::header("fig17", "DTS and DTS+BITSPEC (energy vs BASELINE)");
+    println!(
+        "{:<16} {:>9} {:>9} {:>12} {:>12}",
+        "benchmark", "DTS Δ%", "D+B Δ%", "bitspecΔ%", "product Δ%"
+    );
+    let mut d_dts = Vec::new();
+    let mut d_db = Vec::new();
+    for name in names() {
+        let w = workload(name, Input::Large);
+        let (_, base) = run(&w, &BuildConfig::baseline());
+        let e0 = base.total_energy();
+        let (_, dts) = run(
+            &w,
+            &BuildConfig {
+                dts: true,
+                ..BuildConfig::baseline()
+            },
+        );
+        let (_, bs) = run(&w, &BuildConfig::bitspec());
+        let (_, db) = run(
+            &w,
+            &BuildConfig {
+                dts: true,
+                ..BuildConfig::bitspec()
+            },
+        );
+        let rd = dts.total_energy() / e0;
+        let rb = bs.total_energy() / e0;
+        let rdb = db.total_energy() / e0;
+        println!(
+            "{name:<16} {:>8.1}% {:>8.1}% {:>11.1}% {:>11.1}%",
+            100.0 * (rd - 1.0),
+            100.0 * (rdb - 1.0),
+            100.0 * (rb - 1.0),
+            100.0 * (rd * rb - 1.0),
+        );
+        d_dts.push(pct(dts.total_energy(), e0));
+        d_db.push(pct(db.total_energy(), e0));
+    }
+    println!(
+        "MEAN: DTS {:.1}%, DTS+BITSPEC {:.1}%",
+        mean(&d_dts),
+        mean(&d_db)
+    );
+}

@@ -1,0 +1,28 @@
+//! Figure 18 (RQ9): the compact (Thumb-like) ISA executes more dynamic
+//! instructions than BASELINE, which is why the paper builds BITSPEC on
+//! the 32-bit ISA instead.
+
+use bench::{mean, pct, run};
+use bitspec::{Arch, BuildConfig};
+use mibench::{names, workload, Input};
+
+fn main() {
+    bench::header("fig18", "compact ISA dynamic instructions vs BASELINE");
+    println!("{:<16} {:>12}", "benchmark", "dyn instsΔ%");
+    let mut ds = Vec::new();
+    for name in names() {
+        let w = workload(name, Input::Large);
+        let (_, base) = run(&w, &BuildConfig::baseline());
+        let (_, compact) = run(
+            &w,
+            &BuildConfig {
+                arch: Arch::Compact,
+                ..BuildConfig::baseline()
+            },
+        );
+        let d = pct(compact.counts.dyn_insts as f64, base.counts.dyn_insts as f64);
+        println!("{name:<16} {d:>11.1}%");
+        ds.push(d);
+    }
+    println!("{:<16} {:>11.1}%", "MEAN", mean(&ds));
+}

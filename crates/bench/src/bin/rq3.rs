@@ -1,0 +1,46 @@
+//! RQ3: ablation of the BITSPEC-specific optimizations — compare
+//! elimination and bitmask elision (§3.2.4). The paper's spotlight cases:
+//! dijkstra (compare elimination) and blowfish/rijndael (bitmask elision).
+
+use bench::{pct, run};
+use bitspec::BuildConfig;
+use mibench::{workload, Input};
+
+fn main() {
+    bench::header("rq3", "optimization ablations (energy vs BASELINE)");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12}",
+        "benchmark", "full Δ%", "no-cmpelim", "no-bitmask"
+    );
+    for name in ["dijkstra", "blowfish", "rijndael", "crc32", "stringsearch"] {
+        let w = workload(name, Input::Large);
+        let (_, base) = run(&w, &BuildConfig::baseline());
+        let e0 = base.total_energy();
+        // Gate off: the ablation measures the raw optimization effect.
+        let ungated = BuildConfig {
+            empirical_gate: false,
+            ..BuildConfig::bitspec()
+        };
+        let (_, full) = run(&w, &ungated);
+        let (_, nce) = run(
+            &w,
+            &BuildConfig {
+                compare_elim: false,
+                ..ungated.clone()
+            },
+        );
+        let (_, nbm) = run(
+            &w,
+            &BuildConfig {
+                bitmask_elision: false,
+                ..ungated.clone()
+            },
+        );
+        println!(
+            "{name:<16} {:>9.1}% {:>11.1}% {:>11.1}%",
+            pct(full.total_energy(), e0),
+            pct(nce.total_energy(), e0),
+            pct(nbm.total_energy(), e0),
+        );
+    }
+}

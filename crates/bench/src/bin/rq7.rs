@@ -1,0 +1,31 @@
+//! RQ7: can BITSPEC replace programmer bitwidth selection entirely? The
+//! dijkstra/stringsearch sources are rewritten with every integer at 64
+//! bits; BITSPEC should claw the energy back toward the unmodified
+//! program's level, while BASELINE pays the full widening cost.
+
+use bench::{pct, run};
+use bitspec::BuildConfig;
+use mibench::{rq7_wide_variant, workload, Input};
+
+fn main() {
+    bench::header("rq7", "all-64-bit source variants (energy vs unmodified BASELINE)");
+    println!(
+        "{:<16} {:>14} {:>14} {:>14}",
+        "benchmark", "base(orig)Δ%", "base(wide)Δ%", "bitspec(wide)Δ%"
+    );
+    for name in ["dijkstra", "stringsearch"] {
+        let w = workload(name, Input::Large);
+        let (_, base) = run(&w, &BuildConfig::baseline());
+        let e0 = base.total_energy();
+        let mut wide = w.clone();
+        wide.source = rq7_wide_variant(name).expect("variant");
+        let (_, base_w) = run(&wide, &BuildConfig::baseline());
+        let (_, bs_w) = run(&wide, &BuildConfig::bitspec());
+        println!(
+            "{name:<16} {:>13.1}% {:>13.1}% {:>13.1}%",
+            0.0,
+            pct(base_w.total_energy(), e0),
+            pct(bs_w.total_energy(), e0),
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Table 2 (RQ5): misspeculation counts per heuristic — more aggressive
+//! selections misspeculate more.
+
+use bench::run;
+use bitspec::{BitwidthHeuristic, BuildConfig};
+use mibench::{names, workload, Input};
+
+fn main() {
+    bench::header("table2", "misspeculation counts per heuristic");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10}",
+        "benchmark", "MAX", "AVG", "MIN"
+    );
+    for name in names() {
+        let w = workload(name, Input::Large);
+        let mut row = format!("{name:<16}");
+        for h in BitwidthHeuristic::ALL {
+            let (_, r) = run(&w, &BuildConfig { empirical_gate: false, ..BuildConfig::bitspec_with(h) });
+            row.push_str(&format!(" {:>10}", r.counts.misspecs));
+        }
+        println!("{row}");
+    }
+}

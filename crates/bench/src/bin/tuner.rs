@@ -1,0 +1,45 @@
+//! The expander auto-tuner (§3.2.1): grid search over unrolling factor and
+//! size budgets, minimizing total BASELINE dynamic instructions across the
+//! suite (the paper ran OpenTuner for 10 days; our grid finishes in
+//! minutes and its optimum is baked into `ExpanderConfig::default`).
+
+use bench::run;
+use bitspec::BuildConfig;
+use mibench::{names, workload, Input};
+
+fn main() {
+    bench::header("tuner", "expander auto-tuning on BASELINE dynamic instructions");
+    let mut best: Option<(u64, opt::ExpanderConfig)> = None;
+    for unroll in [1u32, 2, 4, 8] {
+        for max_loop in [200usize, 400, 800] {
+            for max_func in [2000usize, 4000, 8000] {
+                let cfg = opt::ExpanderConfig {
+                    unroll_factor: unroll,
+                    max_loop_size: max_loop,
+                    max_func_size: max_func,
+                    enabled: true,
+                };
+                let mut total: u64 = 0;
+                for name in names() {
+                    let w = workload(name, Input::Large);
+                    let (_, r) = run(
+                        &w,
+                        &BuildConfig {
+                            expander: cfg,
+                            ..BuildConfig::baseline()
+                        },
+                    );
+                    total += r.counts.dyn_insts;
+                }
+                println!(
+                    "unroll={unroll} max_loop={max_loop:<5} max_func={max_func:<5} total_dyn={total}"
+                );
+                if best.as_ref().map(|(t, _)| total < *t).unwrap_or(true) {
+                    best = Some((total, cfg));
+                }
+            }
+        }
+    }
+    let (total, cfg) = best.unwrap();
+    println!("BEST: {cfg:?} → {total} dynamic instructions");
+}

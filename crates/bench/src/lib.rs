@@ -1,0 +1,94 @@
+//! # bench — experiment harnesses for every table and figure
+//!
+//! One binary per paper artifact (see DESIGN.md's experiment index):
+//! `cargo run --release -p bench --bin fig08` regenerates the Figure 8
+//! series, and so on for fig01/fig03/fig05/fig09–fig18, table2, rq3 and
+//! rq7; `bin/tuner.rs` is the expander auto-tuner (§3.2.1). Harness
+//! output is checked into `results/` and summarized in EXPERIMENTS.md.
+//!
+//! This library holds the shared run/format helpers.
+
+use bitspec::{build, simulate_with, BuildConfig, Compiled, SimConfig, SimResult, Workload};
+
+/// Builds and simulates one workload under one configuration.
+///
+/// # Panics
+/// Panics on build or simulation failure — harnesses are batch tools and
+/// fail loudly.
+pub fn run(w: &Workload, cfg: &BuildConfig) -> (Compiled, SimResult) {
+    let c = build(w, cfg).unwrap_or_else(|e| panic!("{}: build failed: {e}", w.name));
+    let r = simulate_with(&c, w, &SimConfig::default())
+        .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", w.name));
+    (c, r)
+}
+
+/// Percent change of `new` vs `old` (negative = reduction).
+pub fn pct(new: f64, old: f64) -> f64 {
+    if old == 0.0 {
+        0.0
+    } else {
+        100.0 * (new - old) / old
+    }
+}
+
+/// Ratio `new / old` (1.0 = parity).
+pub fn ratio(new: f64, old: f64) -> f64 {
+    if old == 0.0 {
+        1.0
+    } else {
+        new / old
+    }
+}
+
+/// Geometric mean of ratios.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Prints a figure header in a stable, grep-friendly format.
+pub fn header(id: &str, title: &str) {
+    println!("== {id}: {title}");
+}
+
+/// Formats a distribution row (percent at 8/16/32/64 bits).
+pub fn dist_row(label: &str, d: [f64; 4]) -> String {
+    format!(
+        "{label:<16} 8b={:5.1}%  16b={:5.1}%  32b={:5.1}%  64b={:5.1}%",
+        d[0], d[1], d[2], d[3]
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_helpers() {
+        assert!((pct(90.0, 100.0) + 10.0).abs() < 1e-9);
+        assert!((ratio(50.0, 100.0) - 0.5).abs() < 1e-9);
+        assert!((geomean(&[0.5, 2.0]) - 1.0).abs() < 1e-9);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_executes_pipeline() {
+        let w = bitspec::Workload::from_source(
+            "t",
+            "void main() { u32 s = 0; for (u32 i = 0; i < 20; i++) { s += i; } out(s); }",
+        );
+        let (_, r) = run(&w, &bitspec::BuildConfig::bitspec());
+        assert_eq!(r.outputs, vec![190]);
+    }
+}

@@ -1,0 +1,340 @@
+//! Static bitwidth selection baselines for Figure 1.
+//!
+//! * [`demanded_bits`]: a backward demanded-bits dataflow modelled on LLVM's
+//!   `DemandedBits` analysis (Figure 1c) — which bits of each SSA value can
+//!   influence observable behaviour.
+//! * [`distribution_bb_coerced`]: the basic-block-granularity speculation
+//!   model of Pokam et al. (Figure 1d) — every variable in a block is
+//!   coerced to the widest *profiled* requirement in that block.
+
+use crate::profile::{bucket_of, counts_as_assignment, percentages, Profile};
+use sir::{BinOp, Function, Inst, Module, Terminator, ValueId, Width};
+use std::collections::HashMap;
+
+fn msb_fill(mask: u64) -> u64 {
+    if mask == 0 {
+        0
+    } else {
+        let msb = 63 - mask.leading_zeros();
+        if msb == 63 {
+            u64::MAX
+        } else {
+            (1u64 << (msb + 1)) - 1
+        }
+    }
+}
+
+/// Computes, per SSA value, the number of low bits demanded by its uses.
+/// Dead values demand 0 bits.
+pub fn demanded_bits(f: &Function) -> HashMap<ValueId, u32> {
+    let n = f.insts.len();
+    let mut demanded: Vec<u64> = vec![0; n];
+    let const_of = |v: ValueId| -> Option<u64> {
+        match f.inst(v) {
+            Inst::Const { value, .. } => Some(*value),
+            _ => None,
+        }
+    };
+    // Iterate to fixpoint: for each instruction, push demand onto operands.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let bump = |d: &mut Vec<u64>, v: ValueId, m: u64, changed: &mut bool| {
+            let cur = d[v.index()];
+            let new = cur | m;
+            if new != cur {
+                d[v.index()] = new;
+                *changed = true;
+            }
+        };
+        for b in f.block_ids() {
+            for &v in &f.block(b).insts {
+                let inst = f.inst(v);
+                let d = demanded[v.index()];
+                match inst {
+                    Inst::Bin {
+                        op, width, lhs, rhs, ..
+                    } => {
+                        let wm = width.mask();
+                        match op {
+                            BinOp::And => {
+                                // A constant mask trims the demand on the
+                                // other side (the LLVM bitmask-elision
+                                // pattern relies on exactly this).
+                                let dl = const_of(*rhs).map_or(d, |c| d & c) & wm;
+                                let dr = const_of(*lhs).map_or(d, |c| d & c) & wm;
+                                bump(&mut demanded, *lhs, dl, &mut changed);
+                                bump(&mut demanded, *rhs, dr, &mut changed);
+                            }
+                            BinOp::Or | BinOp::Xor => {
+                                bump(&mut demanded, *lhs, d & wm, &mut changed);
+                                bump(&mut demanded, *rhs, d & wm, &mut changed);
+                            }
+                            BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                                let m = msb_fill(d) & wm;
+                                bump(&mut demanded, *lhs, m, &mut changed);
+                                bump(&mut demanded, *rhs, m, &mut changed);
+                            }
+                            BinOp::Shl => {
+                                if let Some(k) = const_of(*rhs) {
+                                    let m = (d >> k.min(63)) & wm;
+                                    bump(&mut demanded, *lhs, m, &mut changed);
+                                } else {
+                                    bump(&mut demanded, *lhs, wm, &mut changed);
+                                    bump(&mut demanded, *rhs, wm, &mut changed);
+                                }
+                                if const_of(*rhs).is_some() {
+                                    bump(&mut demanded, *rhs, 0x3F, &mut changed);
+                                }
+                            }
+                            BinOp::Lshr => {
+                                if let Some(k) = const_of(*rhs) {
+                                    let m = (d << k.min(63)) & wm;
+                                    bump(&mut demanded, *lhs, m, &mut changed);
+                                    bump(&mut demanded, *rhs, 0x3F, &mut changed);
+                                } else {
+                                    bump(&mut demanded, *lhs, wm, &mut changed);
+                                    bump(&mut demanded, *rhs, wm, &mut changed);
+                                }
+                            }
+                            _ => {
+                                // div/rem/ashr: conservative, full width.
+                                bump(&mut demanded, *lhs, wm, &mut changed);
+                                bump(&mut demanded, *rhs, wm, &mut changed);
+                            }
+                        }
+                    }
+                    Inst::Icmp { width, lhs, rhs, .. } => {
+                        bump(&mut demanded, *lhs, width.mask(), &mut changed);
+                        bump(&mut demanded, *rhs, width.mask(), &mut changed);
+                    }
+                    Inst::Zext { arg, .. } => {
+                        let aw = f.value_width(*arg).unwrap();
+                        bump(&mut demanded, *arg, d & aw.mask(), &mut changed);
+                    }
+                    Inst::Sext { arg, to } => {
+                        let aw = f.value_width(*arg).unwrap();
+                        let mut m = d & aw.mask();
+                        // Demanding any extended bit demands the sign bit.
+                        if d & (to.mask() & !aw.mask()) != 0 {
+                            m |= 1 << (aw.bits() - 1);
+                        }
+                        bump(&mut demanded, *arg, m, &mut changed);
+                    }
+                    Inst::Trunc { arg, .. } => {
+                        bump(&mut demanded, *arg, d, &mut changed);
+                    }
+                    Inst::Load { addr, .. } => {
+                        bump(&mut demanded, *addr, Width::W32.mask(), &mut changed);
+                    }
+                    Inst::Store {
+                        width, addr, value, ..
+                    } => {
+                        bump(&mut demanded, *addr, Width::W32.mask(), &mut changed);
+                        bump(&mut demanded, *value, width.mask(), &mut changed);
+                    }
+                    Inst::Select {
+                        cond, tval, fval, ..
+                    } => {
+                        bump(&mut demanded, *cond, 1, &mut changed);
+                        bump(&mut demanded, *tval, d, &mut changed);
+                        bump(&mut demanded, *fval, d, &mut changed);
+                    }
+                    Inst::Call { args, .. } => {
+                        for a in args {
+                            let aw = f.value_width(*a).unwrap();
+                            bump(&mut demanded, *a, aw.mask(), &mut changed);
+                        }
+                    }
+                    Inst::Phi { incomings, .. } => {
+                        for (_, iv) in incomings {
+                            bump(&mut demanded, *iv, d, &mut changed);
+                        }
+                    }
+                    Inst::Output { value } => {
+                        bump(&mut demanded, *value, Width::W32.mask(), &mut changed);
+                    }
+                    Inst::Param { .. }
+                    | Inst::Const { .. }
+                    | Inst::GlobalAddr { .. }
+                    | Inst::Alloca { .. } => {}
+                }
+            }
+            match &f.block(b).term {
+                Terminator::CondBr { cond, .. } => {
+                    let cur = demanded[cond.index()];
+                    if cur | 1 != cur {
+                        demanded[cond.index()] |= 1;
+                        changed = true;
+                    }
+                }
+                Terminator::Ret(Some(v)) => {
+                    let m = f.ret.map_or(0, Width::mask);
+                    let cur = demanded[v.index()];
+                    if cur | m != cur {
+                        demanded[v.index()] |= m;
+                        changed = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    (0..n as u32)
+        .map(ValueId)
+        .map(|v| {
+            let m = demanded[v.index()];
+            let bits = if m == 0 { 0 } else { 64 - m.leading_zeros() };
+            (v, bits)
+        })
+        .collect()
+}
+
+/// Figure 1c: dynamic-assignment distribution when each value's bitwidth is
+/// `DemandedBits(v)` (clamped below by 8, above by the declared width),
+/// weighted by the profiled dynamic execution counts.
+pub fn distribution_demanded(m: &Module, profile: &Profile) -> [f64; 4] {
+    let mut counts = [0u64; 4];
+    let mut total = 0u64;
+    for fid in m.func_ids() {
+        let f = m.func(fid);
+        let db = demanded_bits(f);
+        for vi in 0..f.insts.len() as u32 {
+            let v = ValueId(vi);
+            let s = profile.stats(fid, v);
+            if s.count == 0 || !counts_as_assignment(f.inst(v)) {
+                continue;
+            }
+            let Some(w) = f.value_width(v) else { continue };
+            if w == Width::W1 {
+                continue;
+            }
+            let bits = db.get(&v).copied().unwrap_or(w.bits()).min(w.bits());
+            let sel = Width::for_bits(bits.max(1)).unwrap_or(w).min(w).max(Width::W8);
+            counts[bucket_of(sel)] += s.count;
+            total += s.count;
+        }
+    }
+    percentages(counts, total)
+}
+
+/// Figure 1a/b style distribution straight from run statistics.
+pub fn distribution_from_counts(counts: [u64; 4]) -> [f64; 4] {
+    percentages(counts, counts.iter().sum())
+}
+
+/// Figure 1d: the basic-block coercion model — every assignment in a block
+/// is charged at the widest profiled requirement of any value defined in
+/// that block (Pokam et al.'s per-block datapath-width speculation).
+pub fn distribution_bb_coerced(m: &Module, profile: &Profile) -> [f64; 4] {
+    let mut counts = [0u64; 4];
+    let mut total = 0u64;
+    for fid in m.func_ids() {
+        let f = m.func(fid);
+        for b in f.block_ids() {
+            // Widest profiled requirement in the block.
+            let mut block_bits = 0u32;
+            for &v in &f.block(b).insts {
+                if !counts_as_assignment(f.inst(v)) {
+                    continue;
+                }
+                if f.value_width(v) == Some(Width::W1) {
+                    continue;
+                }
+                let s = profile.stats(fid, v);
+                if s.count > 0 {
+                    block_bits = block_bits.max(s.max_bits);
+                }
+            }
+            if block_bits == 0 {
+                continue;
+            }
+            let coerced = Width::for_bits(block_bits)
+                .unwrap_or(Width::W64)
+                .max(Width::W8);
+            for &v in &f.block(b).insts {
+                if !counts_as_assignment(f.inst(v)) {
+                    continue;
+                }
+                if f.value_width(v) == Some(Width::W1) {
+                    continue;
+                }
+                let s = profile.stats(fid, v);
+                if s.count > 0 {
+                    counts[bucket_of(coerced)] += s.count;
+                    total += s.count;
+                }
+            }
+        }
+    }
+    percentages(counts, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Interpreter;
+
+    #[test]
+    fn masked_value_demands_few_bits() {
+        // y = x & 0xF: only 4 bits of x are demanded.
+        let m = lang::compile("t", "u32 f(u32 x) { return (x & 0xF) + 0; }").unwrap();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let db = demanded_bits(f);
+        let x = f.param_value(0);
+        assert!(db[&x] <= 4, "x should demand at most 4 bits, got {}", db[&x]);
+    }
+
+    #[test]
+    fn store_demands_store_width() {
+        let m = lang::compile(
+            "t",
+            "global u8 g[1]; void f(u32 x) { g[0] = (u8)x; }",
+        )
+        .unwrap();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let db = demanded_bits(f);
+        let x = f.param_value(0);
+        assert_eq!(db[&x], 8);
+    }
+
+    #[test]
+    fn ret_demands_full_width() {
+        let m = lang::compile("t", "u32 f(u32 x) { return x; }").unwrap();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let db = demanded_bits(f);
+        assert_eq!(db[&f.param_value(0)], 32);
+    }
+
+    #[test]
+    fn shl_shifts_demand_down() {
+        // (x << 8) & 0xFF00 stored as u16: x demands its low 8 bits.
+        let m = lang::compile(
+            "t",
+            "global u16 g[1]; void f(u32 x) { g[0] = (u16)(x << 8); }",
+        )
+        .unwrap();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let db = demanded_bits(f);
+        assert_eq!(db[&f.param_value(0)], 8);
+    }
+
+    #[test]
+    fn bb_coercion_widens_narrow_values() {
+        // One 32-bit-requiring value in the block drags all others up.
+        let src = "void main() {
+            u32 big = 0x12345678;
+            u32 small = 1;
+            u32 x = big + small;   // same block
+            out(x);
+        }";
+        let m = lang::compile("t", src).unwrap();
+        let mut i = Interpreter::new(&m);
+        i.enable_profiling();
+        i.run("main", &[]).unwrap();
+        let p = i.take_profile().unwrap();
+        let d = distribution_bb_coerced(&m, &p);
+        // Everything is coerced to the 32-bit bucket.
+        assert!(d[2] > 99.0, "expected 32-bit coercion, got {d:?}");
+    }
+}

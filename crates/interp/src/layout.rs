@@ -1,0 +1,66 @@
+//! Static memory layout for a module's globals.
+
+use sir::{GlobalId, Module};
+
+/// Base address of the first global. Address 0 stays unmapped so that a
+/// null-ish pointer faults.
+pub const GLOBAL_BASE: u32 = 0x100;
+
+/// Assigns flat addresses to every global in a module.
+///
+/// The same layout is used by the interpreter and the machine simulator so
+/// that address-dependent behaviour (e.g. cache set indexing) is comparable.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    addrs: Vec<u32>,
+    end: u32,
+}
+
+impl Layout {
+    /// Computes the layout for `m`, packing globals with their alignment.
+    pub fn new(m: &Module) -> Layout {
+        let mut addr = GLOBAL_BASE;
+        let mut addrs = Vec::with_capacity(m.globals.len());
+        for g in &m.globals {
+            let align = g.align.max(1);
+            addr = (addr + align - 1) & !(align - 1);
+            addrs.push(addr);
+            addr += g.size.max(1);
+        }
+        Layout { addrs, end: addr }
+    }
+
+    /// Address of global `g`.
+    pub fn addr(&self, g: GlobalId) -> u32 {
+        self.addrs[g.index()]
+    }
+
+    /// First address past all globals.
+    pub fn end(&self) -> u32 {
+        self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_respects_alignment() {
+        let mut m = Module::new("t");
+        let a = m.add_global("a", 3, 1);
+        let b = m.add_global("b", 8, 4);
+        let l = Layout::new(&m);
+        assert_eq!(l.addr(a), GLOBAL_BASE);
+        assert_eq!(l.addr(b) % 4, 0);
+        assert!(l.addr(b) >= l.addr(a) + 3);
+        assert_eq!(l.end(), l.addr(b) + 8);
+    }
+
+    #[test]
+    fn empty_module_layout() {
+        let m = Module::new("t");
+        let l = Layout::new(&m);
+        assert_eq!(l.end(), GLOBAL_BASE);
+    }
+}

@@ -1,0 +1,27 @@
+//! # interp — SIR interpretation, bitwidth profiling and static analyses
+//!
+//! Three roles in the reproduction:
+//!
+//! 1. **Reference execution** ([`Interpreter`]): runs SIR programs on a flat
+//!    memory image, producing the observable output stream. Speculative
+//!    instructions follow the Table 1 misspeculation semantics (the result is
+//!    squashed and control transfers to the region handler), so the
+//!    interpreter doubles as an executable model of the co-designed
+//!    microarchitecture for differential testing.
+//! 2. **Bitwidth profiling** ([`profile::Profile`], §3.2.2): records the
+//!    `RequiredBits` of every dynamic assignment, yielding the MAX/AVG/MIN
+//!    target-bitwidth heuristics and the Figure 1/Figure 5 distributions.
+//! 3. **Static analyses**: a demanded-bits analysis modelled on LLVM's
+//!    (Figure 1c) and the basic-block coercion model of Pokam et al.
+//!    (Figure 1d).
+
+pub mod demanded;
+pub mod exec;
+pub mod layout;
+pub mod memory;
+pub mod profile;
+
+pub use exec::{ExecError, Interpreter, RunResult, Stats};
+pub use layout::Layout;
+pub use memory::Memory;
+pub use profile::{Heuristic, Profile};

@@ -1,0 +1,152 @@
+//! Flat byte-addressable memory image.
+
+use sir::Width;
+use std::error::Error;
+use std::fmt;
+
+/// Out-of-bounds access description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessError {
+    pub addr: u32,
+    pub bytes: u32,
+    pub write: bool,
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of {} bytes at {:#x} out of bounds",
+            if self.write { "write" } else { "read" },
+            self.bytes,
+            self.addr
+        )
+    }
+}
+
+impl Error for AccessError {}
+
+/// A little-endian flat memory of fixed size. Address 0 up to
+/// [`crate::layout::GLOBAL_BASE`] is kept unmapped (reads/writes fault).
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates a zeroed memory of `size` bytes.
+    pub fn new(size: u32) -> Memory {
+        Memory {
+            bytes: vec![0; size as usize],
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    fn check(&self, addr: u32, n: u32, write: bool) -> Result<usize, AccessError> {
+        let lo = addr as usize;
+        let hi = lo.checked_add(n as usize);
+        if addr < crate::layout::GLOBAL_BASE
+            || hi.is_none()
+            || hi.unwrap() > self.bytes.len()
+        {
+            return Err(AccessError {
+                addr,
+                bytes: n,
+                write,
+            });
+        }
+        Ok(lo)
+    }
+
+    /// Loads a `w`-wide little-endian value (zero-extended to u64).
+    ///
+    /// # Errors
+    /// Fails on out-of-bounds or sub-base accesses.
+    pub fn load(&self, addr: u32, w: Width) -> Result<u64, AccessError> {
+        let n = w.bytes();
+        let lo = self.check(addr, n, false)?;
+        let mut v: u64 = 0;
+        for i in (0..n as usize).rev() {
+            v = (v << 8) | u64::from(self.bytes[lo + i]);
+        }
+        Ok(w.truncate(v))
+    }
+
+    /// Stores the low `w` bits of `value` little-endian.
+    ///
+    /// # Errors
+    /// Fails on out-of-bounds or sub-base accesses.
+    pub fn store(&mut self, addr: u32, w: Width, value: u64) -> Result<(), AccessError> {
+        let n = w.bytes();
+        let lo = self.check(addr, n, true)?;
+        let mut v = w.truncate(value);
+        for i in 0..n as usize {
+            self.bytes[lo + i] = (v & 0xFF) as u8;
+            v >>= 8;
+        }
+        Ok(())
+    }
+
+    /// Copies `data` into memory starting at `addr` (used to install global
+    /// initializers and benchmark inputs).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds — installation is host-side setup,
+    /// not simulated execution.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) {
+        let lo = addr as usize;
+        self.bytes[lo..lo + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads `n` bytes starting at `addr` (host-side inspection).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn read_bytes(&self, addr: u32, n: u32) -> &[u8] {
+        &self.bytes[addr as usize..(addr + n) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut m = Memory::new(0x1000);
+        for (w, v) in [
+            (Width::W8, 0xAB_u64),
+            (Width::W16, 0xBEEF),
+            (Width::W32, 0xDEAD_BEEF),
+            (Width::W64, 0x0123_4567_89AB_CDEF),
+        ] {
+            m.store(0x200, w, v).unwrap();
+            assert_eq!(m.load(0x200, w).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn little_endian_byte_order() {
+        let mut m = Memory::new(0x1000);
+        m.store(0x300, Width::W32, 0x0403_0201).unwrap();
+        assert_eq!(m.read_bytes(0x300, 4), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn null_page_faults() {
+        let mut m = Memory::new(0x1000);
+        assert!(m.load(0, Width::W8).is_err());
+        assert!(m.store(0x10, Width::W32, 1).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let m = Memory::new(0x1000);
+        assert!(m.load(0xFFF, Width::W32).is_err());
+        assert!(m.load(u32::MAX, Width::W8).is_err());
+    }
+}

@@ -1,0 +1,275 @@
+//! Bitwidth profiling (§3.2.2).
+//!
+//! For every SSA value the profiler records the maximum, minimum and mean
+//! `RequiredBits` over all dynamically computed values, from which the
+//! MAX/AVG/MIN target-bitwidth heuristics are derived.
+
+use sir::types::required_bits;
+use sir::{FuncId, Module, ValueId, Width};
+
+/// Aggressiveness of the profiler's target bitwidth selection (§3.2.2):
+/// `Max` is the least aggressive (bitwidth that always sufficed during
+/// profiling), `Min` the most aggressive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Heuristic {
+    Max,
+    Avg,
+    Min,
+}
+
+impl Heuristic {
+    /// All heuristics, least aggressive first.
+    pub const ALL: [Heuristic; 3] = [Heuristic::Max, Heuristic::Avg, Heuristic::Min];
+}
+
+impl std::fmt::Display for Heuristic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Heuristic::Max => "MAX",
+            Heuristic::Avg => "AVG",
+            Heuristic::Min => "MIN",
+        })
+    }
+}
+
+/// Per-value bitwidth statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VarStats {
+    /// Number of dynamic assignments observed.
+    pub count: u64,
+    /// Sum of `RequiredBits` over all assignments.
+    pub sum_bits: u64,
+    /// Largest `RequiredBits` observed.
+    pub max_bits: u32,
+    /// Smallest `RequiredBits` observed (u32::MAX until first sample).
+    pub min_bits: u32,
+}
+
+impl VarStats {
+    /// Mean required bits, rounded up (a variable needing 4.2 bits on
+    /// average still needs 5 bits to hold the average-case value).
+    pub fn avg_bits(&self) -> u32 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum_bits.div_ceil(self.count) as u32
+        }
+    }
+}
+
+/// A bitwidth profile for a whole module, indexed by function and value.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    funcs: Vec<Vec<VarStats>>,
+}
+
+impl Profile {
+    /// Creates an empty profile shaped for `m`.
+    pub fn new(m: &Module) -> Profile {
+        Profile {
+            funcs: m
+                .funcs
+                .iter()
+                .map(|f| {
+                    vec![
+                        VarStats {
+                            min_bits: u32::MAX,
+                            ..VarStats::default()
+                        };
+                        f.insts.len()
+                    ]
+                })
+                .collect(),
+        }
+    }
+
+    /// Records one dynamic assignment of `value` to SSA value `v` in `f`.
+    #[inline]
+    pub fn record(&mut self, f: FuncId, v: ValueId, value: u64) {
+        let bits = required_bits(value);
+        let s = &mut self.funcs[f.index()][v.index()];
+        s.count += 1;
+        s.sum_bits += u64::from(bits);
+        if bits > s.max_bits {
+            s.max_bits = bits;
+        }
+        if bits < s.min_bits {
+            s.min_bits = bits;
+        }
+    }
+
+    /// Statistics for one value (zeroed if never assigned).
+    pub fn stats(&self, f: FuncId, v: ValueId) -> VarStats {
+        self.funcs
+            .get(f.index())
+            .and_then(|fs| fs.get(v.index()))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// The *target bitwidth selection* `T(v)` under a heuristic: the
+    /// narrowest [`Width`] holding the profiled statistic, or `None` if the
+    /// value was never assigned during profiling (then the squeezer must
+    /// keep the original width).
+    pub fn target(&self, f: FuncId, v: ValueId, h: Heuristic) -> Option<Width> {
+        let s = self.stats(f, v);
+        if s.count == 0 {
+            return None;
+        }
+        let bits = match h {
+            Heuristic::Max => s.max_bits,
+            Heuristic::Avg => s.avg_bits(),
+            Heuristic::Min => s.min_bits,
+        };
+        Width::for_bits(bits)
+    }
+
+    /// Merges another profile collected on the same module shape (used when
+    /// profiling over several inputs).
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn merge(&mut self, other: &Profile) {
+        assert_eq!(self.funcs.len(), other.funcs.len(), "profile shape mismatch");
+        for (a, b) in self.funcs.iter_mut().zip(&other.funcs) {
+            assert_eq!(a.len(), b.len(), "profile shape mismatch");
+            for (x, y) in a.iter_mut().zip(b) {
+                x.count += y.count;
+                x.sum_bits += y.sum_bits;
+                x.max_bits = x.max_bits.max(y.max_bits);
+                x.min_bits = x.min_bits.min(y.min_bits);
+            }
+        }
+    }
+
+    /// Aggregates the percentage of dynamic assignments whose *target*
+    /// width under `h` falls into each of the buckets 8/16/32/64
+    /// (Figure 5). Values declared at `W1` are excluded, mirroring the
+    /// paper's focus on integer variables.
+    pub fn classification(&self, m: &Module, h: Heuristic) -> [f64; 4] {
+        let mut counts = [0u64; 4];
+        let mut total = 0u64;
+        for fid in m.func_ids() {
+            let f = m.func(fid);
+            for (vi, stats) in self.funcs[fid.index()].iter().enumerate() {
+                if stats.count == 0 {
+                    continue;
+                }
+                let v = ValueId(vi as u32);
+                let Some(w) = f.value_width(v) else { continue };
+                if w == Width::W1 {
+                    continue;
+                }
+                if !counts_as_assignment(f.inst(v)) {
+                    continue;
+                }
+                let t = self.target(fid, v, h).unwrap_or(w);
+                let bucket = bucket_of(t.max(Width::W8));
+                counts[bucket] += stats.count;
+                total += stats.count;
+            }
+        }
+        percentages(counts, total)
+    }
+}
+
+/// Whether an instruction counts as a "dynamic assignment to an integer
+/// variable" for the Figure 1/5 aggregates — computational definitions, not
+/// constants/parameters/addresses.
+pub fn counts_as_assignment(i: &sir::Inst) -> bool {
+    use sir::Inst;
+    match i {
+        Inst::Param { .. }
+        | Inst::Const { .. }
+        | Inst::GlobalAddr { .. }
+        | Inst::Alloca { .. }
+        | Inst::Store { .. }
+        | Inst::Output { .. }
+        | Inst::Icmp { .. } => false,
+        Inst::Call { ret, .. } => ret.is_some(),
+        _ => i.result_width().is_some(),
+    }
+}
+
+/// Bucket index for widths 8/16/32/64.
+pub fn bucket_of(w: Width) -> usize {
+    match w {
+        Width::W1 | Width::W8 => 0,
+        Width::W16 => 1,
+        Width::W32 => 2,
+        Width::W64 => 3,
+    }
+}
+
+/// Converts bucket counts to percentages.
+pub fn percentages(counts: [u64; 4], total: u64) -> [f64; 4] {
+    if total == 0 {
+        return [0.0; 4];
+    }
+    counts.map(|c| 100.0 * c as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sir::builder::FunctionBuilder;
+
+    fn tiny_module() -> Module {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("f", vec![Width::W32], Some(Width::W32));
+        let x = b.param(0);
+        let one = b.iconst(Width::W32, 1);
+        let y = b.bin(sir::BinOp::Add, Width::W32, x, one);
+        b.ret(Some(y));
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn record_and_heuristics() {
+        let m = tiny_module();
+        let mut p = Profile::new(&m);
+        let f = FuncId(0);
+        let v = ValueId(2);
+        p.record(f, v, 5); // 3 bits
+        p.record(f, v, 300); // 9 bits
+        let s = p.stats(f, v);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max_bits, 9);
+        assert_eq!(s.min_bits, 3);
+        assert_eq!(s.avg_bits(), 6);
+        assert_eq!(p.target(f, v, Heuristic::Max), Some(Width::W16));
+        assert_eq!(p.target(f, v, Heuristic::Avg), Some(Width::W8));
+        assert_eq!(p.target(f, v, Heuristic::Min), Some(Width::W8));
+    }
+
+    #[test]
+    fn unprofiled_value_has_no_target() {
+        let m = tiny_module();
+        let p = Profile::new(&m);
+        assert_eq!(p.target(FuncId(0), ValueId(2), Heuristic::Max), None);
+    }
+
+    #[test]
+    fn merge_combines_extremes() {
+        let m = tiny_module();
+        let mut a = Profile::new(&m);
+        let mut b = Profile::new(&m);
+        a.record(FuncId(0), ValueId(2), 10);
+        b.record(FuncId(0), ValueId(2), 70000);
+        a.merge(&b);
+        let s = a.stats(FuncId(0), ValueId(2));
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max_bits, 17);
+        assert_eq!(s.min_bits, 4);
+    }
+
+    #[test]
+    fn classification_buckets() {
+        let m = tiny_module();
+        let mut p = Profile::new(&m);
+        p.record(FuncId(0), ValueId(2), 5); // target MAX = W8
+        let pct = p.classification(&m, Heuristic::Max);
+        assert!((pct[0] - 100.0).abs() < 1e-9);
+    }
+}

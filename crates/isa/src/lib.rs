@@ -1,0 +1,22 @@
+//! # isa — the target machine ISA
+//!
+//! An ARMv7-like 32-bit RISC ISA extended with the BITSPEC speculative
+//! slice operations of Table 1, shared between the back-end (which emits
+//! it) and the simulator (which executes it).
+//!
+//! Machine model (§3.4–3.5 / §4.1 of the paper, reproduced in DESIGN.md):
+//!
+//! * 16 registers `r0–r15`; `r13` = sp, `r14` = lr, `r15` = pc.
+//! * Every general-purpose register exposes four 8-bit slices `B0–B3` in
+//!   BITSPEC mode.
+//! * Fixed 4-byte encoding (wide immediates take a `movw/movt`-style pair,
+//!   8 bytes); the compact "Thumb-like" mode (RQ9) uses 2-byte encodings.
+//! * Misspeculation (Table 1 conditions) squashes the result and sets
+//!   `pc ← pc + Δ`, where Δ lives in a special register written by
+//!   [`MInst::SetDelta`].
+
+pub mod inst;
+pub mod regs;
+
+pub use inst::{AluOp, Cond, MemWidth, MInst, Operand, SliceOperand};
+pub use regs::{Reg, Slice, FP, LR, PC, SP};

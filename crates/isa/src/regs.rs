@@ -1,0 +1,101 @@
+//! Register and slice naming.
+
+use std::fmt;
+
+/// A machine register `r0`–`r15`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+/// Stack pointer (`r13`).
+pub const SP: Reg = Reg(13);
+/// Link register (`r14`).
+pub const LR: Reg = Reg(14);
+/// Program counter (`r15`).
+pub const PC: Reg = Reg(15);
+/// Frame pointer alias (`r11`) — used as a spill scratch register by the
+/// back-end, never for frames.
+pub const FP: Reg = Reg(11);
+
+impl Reg {
+    /// Index 0–15.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SP => write!(f, "sp"),
+            LR => write!(f, "lr"),
+            PC => write!(f, "pc"),
+            Reg(n) => write!(f, "r{n}"),
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An 8-bit slice `B0`–`B3` of a register (BITSPEC µarch extension, §3.5).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Slice {
+    pub reg: Reg,
+    /// Byte index 0 (bits 7:0) through 3 (bits 31:24).
+    pub byte: u8,
+}
+
+impl Slice {
+    /// Creates a slice reference.
+    ///
+    /// # Panics
+    /// Panics if `byte > 3`.
+    pub fn new(reg: Reg, byte: u8) -> Slice {
+        assert!(byte < 4, "register slices are B0–B3");
+        Slice { reg, byte }
+    }
+
+    /// The shift amount selecting this slice within the register.
+    pub fn shift(self) -> u32 {
+        u32::from(self.byte) * 8
+    }
+}
+
+impl fmt::Debug for Slice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.b{}", self.reg, self.byte)
+    }
+}
+
+impl fmt::Display for Slice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Reg(0).to_string(), "r0");
+        assert_eq!(SP.to_string(), "sp");
+        assert_eq!(Slice::new(Reg(2), 3).to_string(), "r2.b3");
+    }
+
+    #[test]
+    fn slice_shift() {
+        assert_eq!(Slice::new(Reg(0), 0).shift(), 0);
+        assert_eq!(Slice::new(Reg(0), 2).shift(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "B0–B3")]
+    fn bad_slice_rejected() {
+        Slice::new(Reg(0), 4);
+    }
+}

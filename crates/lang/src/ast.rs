@@ -1,0 +1,228 @@
+//! Abstract syntax tree for the mini-C language.
+
+/// Scalar/pointer types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    Bool,
+    U8,
+    U16,
+    U32,
+    U64,
+    I8,
+    I16,
+    I32,
+    I64,
+    /// Pointer to an element type (arrays decay to these).
+    Ptr(ScalarType),
+    Void,
+}
+
+/// Element types that can live in memory (everything but `void`/`bool`
+/// pointers-to-pointers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarType {
+    U8,
+    U16,
+    U32,
+    U64,
+    I8,
+    I16,
+    I32,
+    I64,
+}
+
+impl ScalarType {
+    /// Width in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            ScalarType::U8 | ScalarType::I8 => 8,
+            ScalarType::U16 | ScalarType::I16 => 16,
+            ScalarType::U32 | ScalarType::I32 => 32,
+            ScalarType::U64 | ScalarType::I64 => 64,
+        }
+    }
+
+    /// Size in bytes.
+    pub fn bytes(self) -> u32 {
+        self.bits() / 8
+    }
+
+    /// Whether the type is signed.
+    pub fn is_signed(self) -> bool {
+        matches!(
+            self,
+            ScalarType::I8 | ScalarType::I16 | ScalarType::I32 | ScalarType::I64
+        )
+    }
+
+    /// The type as a (non-pointer) [`Type`].
+    pub fn as_type(self) -> Type {
+        match self {
+            ScalarType::U8 => Type::U8,
+            ScalarType::U16 => Type::U16,
+            ScalarType::U32 => Type::U32,
+            ScalarType::U64 => Type::U64,
+            ScalarType::I8 => Type::I8,
+            ScalarType::I16 => Type::I16,
+            ScalarType::I32 => Type::I32,
+            ScalarType::I64 => Type::I64,
+        }
+    }
+}
+
+impl Type {
+    /// The scalar version of this type, if it is one.
+    pub fn scalar(self) -> Option<ScalarType> {
+        Some(match self {
+            Type::U8 => ScalarType::U8,
+            Type::U16 => ScalarType::U16,
+            Type::U32 => ScalarType::U32,
+            Type::U64 => ScalarType::U64,
+            Type::I8 => ScalarType::I8,
+            Type::I16 => ScalarType::I16,
+            Type::I32 => ScalarType::I32,
+            Type::I64 => ScalarType::I64,
+            _ => return None,
+        })
+    }
+}
+
+/// Binary AST operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogicalAnd,
+    LogicalOr,
+}
+
+/// Unary AST operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+    LogicalNot,
+}
+
+/// Expressions, annotated with source position.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+#[derive(Debug, Clone)]
+pub enum ExprKind {
+    Int(u64),
+    Bool(bool),
+    Ident(String),
+    /// `a[i]`
+    Index(Box<Expr>, Box<Expr>),
+    /// `&a[i]` — address of an element.
+    AddrOf(Box<Expr>, Box<Expr>),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `(T) e`
+    Cast(Type, Box<Expr>),
+    Call(String, Vec<Expr>),
+    /// `c ? t : f`
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `volatile_load(addr_expr)` — 8-bit volatile load intrinsic.
+    VolatileLoad(Box<Expr>),
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone)]
+pub enum LValue {
+    Var(String),
+    /// `a[i] = …`
+    Index(Expr, Expr),
+}
+
+/// Statements.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// Scalar declaration `T x = e;` (initializer required).
+    Decl(Type, String, Expr),
+    /// Local array declaration `T x[N];`
+    ArrayDecl(ScalarType, String, u32),
+    /// `lv = e;` (compound assignments are desugared by the parser).
+    Assign(LValue, Expr),
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    While(Expr, Vec<Stmt>),
+    DoWhile(Vec<Stmt>, Expr),
+    /// `for (init; cond; step) body` — all parts already desugared to parts.
+    For(Box<Option<Stmt>>, Option<Expr>, Box<Option<Stmt>>, Vec<Stmt>),
+    Break,
+    Continue,
+    Return(Option<Expr>),
+    /// Expression statement (e.g. a call).
+    Expr(Expr),
+    /// `out(e);`
+    Out(Expr),
+}
+
+/// A function definition.
+#[derive(Debug, Clone)]
+pub struct FuncDef {
+    pub name: String,
+    pub params: Vec<(Type, String)>,
+    pub ret: Type,
+    pub body: Vec<Stmt>,
+    pub line: u32,
+}
+
+/// A global array definition.
+#[derive(Debug, Clone)]
+pub struct GlobalDef {
+    pub name: String,
+    pub elem: ScalarType,
+    /// Element count.
+    pub len: u32,
+    /// Initial element values (zero-filled if shorter than `len`).
+    pub init: Vec<u64>,
+    pub line: u32,
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, Default)]
+pub struct Unit {
+    pub globals: Vec<GlobalDef>,
+    pub funcs: Vec<FuncDef>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_type_properties() {
+        assert_eq!(ScalarType::U8.bits(), 8);
+        assert_eq!(ScalarType::I64.bytes(), 8);
+        assert!(ScalarType::I16.is_signed());
+        assert!(!ScalarType::U32.is_signed());
+        assert_eq!(ScalarType::U16.as_type(), Type::U16);
+    }
+
+    #[test]
+    fn type_scalar_roundtrip() {
+        assert_eq!(Type::U32.scalar(), Some(ScalarType::U32));
+        assert_eq!(Type::Void.scalar(), None);
+        assert_eq!(Type::Ptr(ScalarType::U8).scalar(), None);
+    }
+}

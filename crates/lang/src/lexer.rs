@@ -1,0 +1,477 @@
+//! Hand-written lexer for the mini-C language.
+
+use crate::CompileError;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    // literals & identifiers
+    Int(u64),
+    Str(Vec<u8>),
+    Ident(String),
+    // keywords
+    KwU8,
+    KwU16,
+    KwU32,
+    KwU64,
+    KwI8,
+    KwI16,
+    KwI32,
+    KwI64,
+    KwBool,
+    KwVoid,
+    KwConst,
+    KwGlobal,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwDo,
+    KwFor,
+    KwBreak,
+    KwContinue,
+    KwReturn,
+    KwOut,
+    KwTrue,
+    KwFalse,
+    KwVolatileLoad,
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Question,
+    Colon,
+    // operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Assign,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    ShlEq,
+    ShrEq,
+    PlusPlus,
+    MinusMinus,
+    Eof,
+}
+
+/// A token with its source position (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+    pub col: u32,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(msg, self.line, self.col)
+    }
+}
+
+fn keyword(s: &str) -> Option<Tok> {
+    Some(match s {
+        "u8" => Tok::KwU8,
+        "u16" => Tok::KwU16,
+        "u32" => Tok::KwU32,
+        "u64" => Tok::KwU64,
+        "i8" => Tok::KwI8,
+        "i16" => Tok::KwI16,
+        "i32" => Tok::KwI32,
+        "i64" => Tok::KwI64,
+        "bool" => Tok::KwBool,
+        "void" => Tok::KwVoid,
+        "const" => Tok::KwConst,
+        "global" => Tok::KwGlobal,
+        "if" => Tok::KwIf,
+        "else" => Tok::KwElse,
+        "while" => Tok::KwWhile,
+        "do" => Tok::KwDo,
+        "for" => Tok::KwFor,
+        "break" => Tok::KwBreak,
+        "continue" => Tok::KwContinue,
+        "return" => Tok::KwReturn,
+        "out" => Tok::KwOut,
+        "true" => Tok::KwTrue,
+        "false" => Tok::KwFalse,
+        "volatile_load" => Tok::KwVolatileLoad,
+        _ => return None,
+    })
+}
+
+/// Lexes `source` into a token stream (terminated by [`Tok::Eof`]).
+///
+/// # Errors
+/// Returns a [`CompileError`] on malformed literals or unknown characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut lx = Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        // skip whitespace and comments
+        loop {
+            match lx.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    lx.bump();
+                }
+                Some(b'/') if lx.peek2() == Some(b'/') => {
+                    while let Some(c) = lx.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if lx.peek2() == Some(b'*') => {
+                    lx.bump();
+                    lx.bump();
+                    loop {
+                        match lx.bump() {
+                            Some(b'*') if lx.peek() == Some(b'/') => {
+                                lx.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => return Err(lx.err("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let (line, col) = (lx.line, lx.col);
+        let Some(c) = lx.peek() else {
+            out.push(Token {
+                tok: Tok::Eof,
+                line,
+                col,
+            });
+            return Ok(out);
+        };
+        let tok = match c {
+            b'0'..=b'9' => lex_number(&mut lx)?,
+            b'\'' => lex_char(&mut lx)?,
+            b'"' => lex_string(&mut lx)?,
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = lx.pos;
+                while matches!(lx.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                    lx.bump();
+                }
+                let s = std::str::from_utf8(&lx.src[start..lx.pos]).unwrap();
+                keyword(s).unwrap_or_else(|| Tok::Ident(s.to_string()))
+            }
+            _ => lex_punct(&mut lx)?,
+        };
+        out.push(Token { tok, line, col });
+    }
+}
+
+fn lex_number(lx: &mut Lexer<'_>) -> Result<Tok, CompileError> {
+    let mut val: u64 = 0;
+    if lx.peek() == Some(b'0') && matches!(lx.peek2(), Some(b'x') | Some(b'X')) {
+        lx.bump();
+        lx.bump();
+        let mut any = false;
+        while let Some(c) = lx.peek() {
+            let d = match c {
+                b'0'..=b'9' => c - b'0',
+                b'a'..=b'f' => c - b'a' + 10,
+                b'A'..=b'F' => c - b'A' + 10,
+                b'_' => {
+                    lx.bump();
+                    continue;
+                }
+                _ => break,
+            };
+            any = true;
+            val = val
+                .checked_mul(16)
+                .and_then(|v| v.checked_add(u64::from(d)))
+                .ok_or_else(|| lx.err("integer literal overflows u64"))?;
+            lx.bump();
+        }
+        if !any {
+            return Err(lx.err("empty hex literal"));
+        }
+    } else {
+        while let Some(c) = lx.peek() {
+            match c {
+                b'0'..=b'9' => {
+                    val = val
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add(u64::from(c - b'0')))
+                        .ok_or_else(|| lx.err("integer literal overflows u64"))?;
+                    lx.bump();
+                }
+                b'_' => {
+                    lx.bump();
+                }
+                _ => break,
+            }
+        }
+    }
+    Ok(Tok::Int(val))
+}
+
+fn lex_char(lx: &mut Lexer<'_>) -> Result<Tok, CompileError> {
+    lx.bump(); // '
+    let c = match lx.bump() {
+        Some(b'\\') => escape(lx)?,
+        Some(c) => c,
+        None => return Err(lx.err("unterminated char literal")),
+    };
+    if lx.bump() != Some(b'\'') {
+        return Err(lx.err("expected closing quote in char literal"));
+    }
+    Ok(Tok::Int(u64::from(c)))
+}
+
+fn lex_string(lx: &mut Lexer<'_>) -> Result<Tok, CompileError> {
+    lx.bump(); // "
+    let mut bytes = Vec::new();
+    loop {
+        match lx.bump() {
+            Some(b'"') => return Ok(Tok::Str(bytes)),
+            Some(b'\\') => bytes.push(escape(lx)?),
+            Some(c) => bytes.push(c),
+            None => return Err(lx.err("unterminated string literal")),
+        }
+    }
+}
+
+fn escape(lx: &mut Lexer<'_>) -> Result<u8, CompileError> {
+    match lx.bump() {
+        Some(b'n') => Ok(b'\n'),
+        Some(b't') => Ok(b'\t'),
+        Some(b'r') => Ok(b'\r'),
+        Some(b'0') => Ok(0),
+        Some(b'\\') => Ok(b'\\'),
+        Some(b'\'') => Ok(b'\''),
+        Some(b'"') => Ok(b'"'),
+        _ => Err(lx.err("unknown escape sequence")),
+    }
+}
+
+fn lex_punct(lx: &mut Lexer<'_>) -> Result<Tok, CompileError> {
+    let c = lx.bump().unwrap();
+    let two = |lx: &mut Lexer<'_>, next: u8, a: Tok, b: Tok| {
+        if lx.peek() == Some(next) {
+            lx.bump();
+            a
+        } else {
+            b
+        }
+    };
+    Ok(match c {
+        b'(' => Tok::LParen,
+        b')' => Tok::RParen,
+        b'{' => Tok::LBrace,
+        b'}' => Tok::RBrace,
+        b'[' => Tok::LBracket,
+        b']' => Tok::RBracket,
+        b',' => Tok::Comma,
+        b';' => Tok::Semi,
+        b'?' => Tok::Question,
+        b':' => Tok::Colon,
+        b'~' => Tok::Tilde,
+        b'+' => {
+            if lx.peek() == Some(b'+') {
+                lx.bump();
+                Tok::PlusPlus
+            } else {
+                two(lx, b'=', Tok::PlusEq, Tok::Plus)
+            }
+        }
+        b'-' => {
+            if lx.peek() == Some(b'-') {
+                lx.bump();
+                Tok::MinusMinus
+            } else {
+                two(lx, b'=', Tok::MinusEq, Tok::Minus)
+            }
+        }
+        b'*' => two(lx, b'=', Tok::StarEq, Tok::Star),
+        b'/' => two(lx, b'=', Tok::SlashEq, Tok::Slash),
+        b'%' => two(lx, b'=', Tok::PercentEq, Tok::Percent),
+        b'^' => two(lx, b'=', Tok::CaretEq, Tok::Caret),
+        b'!' => two(lx, b'=', Tok::Ne, Tok::Bang),
+        b'=' => two(lx, b'=', Tok::EqEq, Tok::Assign),
+        b'&' => {
+            if lx.peek() == Some(b'&') {
+                lx.bump();
+                Tok::AndAnd
+            } else {
+                two(lx, b'=', Tok::AmpEq, Tok::Amp)
+            }
+        }
+        b'|' => {
+            if lx.peek() == Some(b'|') {
+                lx.bump();
+                Tok::OrOr
+            } else {
+                two(lx, b'=', Tok::PipeEq, Tok::Pipe)
+            }
+        }
+        b'<' => {
+            if lx.peek() == Some(b'<') {
+                lx.bump();
+                two(lx, b'=', Tok::ShlEq, Tok::Shl)
+            } else {
+                two(lx, b'=', Tok::Le, Tok::Lt)
+            }
+        }
+        b'>' => {
+            if lx.peek() == Some(b'>') {
+                lx.bump();
+                two(lx, b'=', Tok::ShrEq, Tok::Shr)
+            } else {
+                two(lx, b'=', Tok::Ge, Tok::Gt)
+            }
+        }
+        _ => return Err(lx.err(format!("unexpected character `{}`", c as char))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("0 42 0xFF 1_000"),
+            vec![
+                Tok::Int(0),
+                Tok::Int(42),
+                Tok::Int(255),
+                Tok::Int(1000),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_char_and_string() {
+        assert_eq!(
+            kinds(r#"'a' '\n' "hi\0""#),
+            vec![
+                Tok::Int(97),
+                Tok::Int(10),
+                Tok::Str(vec![b'h', b'i', 0]),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_maximal_munch() {
+        assert_eq!(
+            kinds("<< <<= < <= a+++b"),
+            vec![
+                Tok::Shl,
+                Tok::ShlEq,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Ident("a".into()),
+                Tok::PlusPlus,
+                Tok::Plus,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("1 // line\n 2 /* block \n still */ 3"),
+            vec![Tok::Int(1), Tok::Int(2), Tok::Int(3), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            kinds("u32 u32x while whiler"),
+            vec![
+                Tok::KwU32,
+                Tok::Ident("u32x".into()),
+                Tok::KwWhile,
+                Tok::Ident("whiler".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn error_position_reported() {
+        let e = lex("a\n  $").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 4));
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

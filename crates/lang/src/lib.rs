@@ -1,0 +1,81 @@
+//! # lang — a mini-C frontend for SIR
+//!
+//! The BITSPEC paper compiles C with clang and operates on LLVM IR. This
+//! crate is the corresponding substrate in our reproduction: a small C-like
+//! language (integers, arrays, pointers, functions, loops) compiled straight
+//! to SSA-form [`sir`] IR using on-the-fly SSA construction (Braun et al.,
+//! "Simple and Efficient Construction of Static Single Assignment Form").
+//!
+//! Supported surface (see the parser module for the grammar):
+//!
+//! * types `u8 u16 u32 u64 i8 i16 i32 i64 bool void`, pointers `T*`
+//! * `const`/`global` arrays with optional initializer lists or strings
+//! * functions with parameters and scalar/array locals
+//! * `if`/`else`, `while`, `do`/`while`, `for`, `break`, `continue`,
+//!   `return`, compound assignment, `++`/`--`
+//! * the full C expression set over integers, with short-circuit `&&`/`||`
+//! * `out(expr);` — writes to the observable output stream (used for
+//!   differential testing between interpreter and simulator)
+//! * `volatile_load(expr)` — a volatile (non-idempotent) load intrinsic
+//!
+//! ```
+//! let src = r#"
+//!     u32 add1(u32 x) { return x + 1; }
+//!     void main() { out(add1(41)); }
+//! "#;
+//! let module = lang::compile("demo", src).unwrap();
+//! assert!(module.func_by_name("main").is_some());
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+use std::error::Error;
+use std::fmt;
+
+/// A frontend failure, with 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    pub message: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl CompileError {
+    pub(crate) fn new(message: impl Into<String>, line: u32, col: u32) -> CompileError {
+        CompileError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for CompileError {}
+
+/// Compiles mini-C source text into a verified SIR module.
+///
+/// # Errors
+/// Returns a [`CompileError`] on lexical, syntactic or semantic errors, and
+/// converts any verifier failure (a frontend bug) into an error as well.
+pub fn compile(name: &str, source: &str) -> Result<sir::Module, CompileError> {
+    let tokens = lexer::lex(source)?;
+    let unit = parser::parse(&tokens)?;
+    let module = lower::lower(name, &unit)?;
+    if let Err(e) = sir::verify::verify_module(&module) {
+        return Err(CompileError::new(
+            format!("internal error: generated IR failed verification: {e}"),
+            0,
+            0,
+        ));
+    }
+    Ok(module)
+}

@@ -1,0 +1,1539 @@
+//! AST → SIR lowering with on-the-fly SSA construction.
+//!
+//! Scalar locals are lowered directly to SSA using the algorithm of Braun et
+//! al. (CC'13): per-block variable definitions, φ insertion at join points,
+//! incomplete φs in unsealed blocks, and trivial-φ elimination.
+//!
+//! Integer semantics follow C's *usual arithmetic conversions*: operands
+//! narrower than 32 bits are promoted to 32 bits before arithmetic, and the
+//! wider operand wins (unsigned wins ties). This faithfully reproduces the
+//! "programmer-selected bitwidth ≫ required bitwidth" gap that BITSPEC
+//! exploits (paper §2, Figure 1b): even `u8` arithmetic occupies 32-bit
+//! values in the IR until the squeezer narrows it.
+
+use crate::ast::{self, BinOp as ABinOp, Expr, ExprKind, LValue, ScalarType, Stmt, Type, UnOp};
+use crate::CompileError;
+use sir::{BinOp, BlockId, Cc, FuncId, Function, GlobalId, Inst, Module, Terminator, ValueId, Width};
+use std::collections::HashMap;
+
+/// Lowers a parsed unit into a SIR module.
+///
+/// # Errors
+/// Returns a [`CompileError`] on semantic errors (unknown names, type
+/// mismatches, invalid operations).
+pub fn lower(name: &str, unit: &ast::Unit) -> Result<Module, CompileError> {
+    let mut module = Module::new(name);
+    let mut globals: HashMap<String, (GlobalId, ScalarType)> = HashMap::new();
+    for g in &unit.globals {
+        if globals.contains_key(&g.name) {
+            return Err(CompileError::new(
+                format!("duplicate global `{}`", g.name),
+                g.line,
+                1,
+            ));
+        }
+        let size = g.len * g.elem.bytes();
+        let mut init = Vec::with_capacity(g.init.len() * g.elem.bytes() as usize);
+        for v in &g.init {
+            init.extend_from_slice(&v.to_le_bytes()[..g.elem.bytes() as usize]);
+        }
+        let gid = module.add_global_init(g.name.clone(), size, g.elem.bytes().max(1), init);
+        globals.insert(g.name.clone(), (gid, g.elem));
+    }
+    // Pre-declare signatures so calls can be resolved in any order.
+    let mut sigs: HashMap<String, (FuncId, Vec<Type>, Type)> = HashMap::new();
+    for (i, f) in unit.funcs.iter().enumerate() {
+        if sigs.contains_key(&f.name) {
+            return Err(CompileError::new(
+                format!("duplicate function `{}`", f.name),
+                f.line,
+                1,
+            ));
+        }
+        let params: Vec<Type> = f.params.iter().map(|(t, _)| *t).collect();
+        sigs.insert(f.name.clone(), (FuncId(i as u32), params, f.ret));
+    }
+    for f in &unit.funcs {
+        let lowered = FnLower::run(f, &sigs, &globals)?;
+        module.add_function(lowered);
+    }
+    Ok(module)
+}
+
+fn width_of(ty: Type) -> Width {
+    match ty {
+        Type::Bool => Width::W1,
+        Type::U8 | Type::I8 => Width::W8,
+        Type::U16 | Type::I16 => Width::W16,
+        Type::U32 | Type::I32 | Type::Ptr(_) => Width::W32,
+        Type::U64 | Type::I64 => Width::W64,
+        Type::Void => unreachable!("void has no width"),
+    }
+}
+
+fn is_signed(ty: Type) -> bool {
+    matches!(ty, Type::I8 | Type::I16 | Type::I32 | Type::I64)
+}
+
+/// C integer promotion: anything narrower than 32 bits widens to 32.
+fn promote(ty: Type) -> Type {
+    match ty {
+        Type::Bool | Type::U8 | Type::U16 => Type::U32,
+        Type::I8 | Type::I16 => Type::I32,
+        t => t,
+    }
+}
+
+/// Usual arithmetic conversions over already-promoted types.
+fn common_type(a: Type, b: Type) -> Type {
+    let (a, b) = (promote(a), promote(b));
+    let wa = width_of(a).bits();
+    let wb = width_of(b).bits();
+    if wa == wb {
+        // unsigned wins ties
+        if !is_signed(a) || !is_signed(b) {
+            if is_signed(a) {
+                b
+            } else {
+                a
+            }
+        } else {
+            a
+        }
+    } else if wa > wb {
+        a
+    } else {
+        b
+    }
+}
+
+/// Identity of an SSA-tracked scalar variable.
+type VarKey = u32;
+
+#[derive(Clone)]
+enum Binding {
+    /// SSA scalar (includes pointer-typed values).
+    Scalar { key: VarKey, ty: Type },
+    /// Local array on the stack.
+    LocalArray { addr: ValueId, elem: ScalarType },
+    /// Module global array.
+    GlobalArray { gid: GlobalId, elem: ScalarType },
+}
+
+struct FnLower<'a> {
+    f: Function,
+    sigs: &'a HashMap<String, (FuncId, Vec<Type>, Type)>,
+    globals: &'a HashMap<String, (GlobalId, ScalarType)>,
+    scopes: Vec<HashMap<String, Binding>>,
+    next_var: VarKey,
+    var_types: HashMap<VarKey, Type>,
+    /// Braun SSA state.
+    current_def: HashMap<(VarKey, BlockId), ValueId>,
+    /// Forwarding map for removed trivial φs: lowering code may hold stale
+    /// ids across a removal; operands are resolved through this map at
+    /// every insertion point.
+    replaced: HashMap<ValueId, ValueId>,
+    sealed: Vec<bool>,
+    incomplete: HashMap<BlockId, Vec<(VarKey, ValueId)>>,
+    preds: Vec<Vec<BlockId>>,
+    cur: BlockId,
+    terminated: bool,
+    /// (break target, continue target) stack.
+    loop_stack: Vec<(BlockId, BlockId)>,
+    ret_ty: Type,
+}
+
+impl<'a> FnLower<'a> {
+    fn run(
+        def: &ast::FuncDef,
+        sigs: &'a HashMap<String, (FuncId, Vec<Type>, Type)>,
+        globals: &'a HashMap<String, (GlobalId, ScalarType)>,
+    ) -> Result<Function, CompileError> {
+        let param_widths: Vec<Width> = def.params.iter().map(|(t, _)| width_of(*t)).collect();
+        let ret_w = match def.ret {
+            Type::Void => None,
+            t => Some(width_of(t)),
+        };
+        let f = Function::new(def.name.clone(), param_widths, ret_w);
+        let entry = f.entry;
+        let mut lw = FnLower {
+            f,
+            sigs,
+            globals,
+            scopes: vec![HashMap::new()],
+            next_var: 0,
+            var_types: HashMap::new(),
+            current_def: HashMap::new(),
+            replaced: HashMap::new(),
+            sealed: vec![true],
+            incomplete: HashMap::new(),
+            preds: vec![Vec::new()],
+            cur: entry,
+            terminated: false,
+            loop_stack: Vec::new(),
+            ret_ty: def.ret,
+        };
+        // Bind parameters as SSA variables.
+        for (i, (ty, name)) in def.params.iter().enumerate() {
+            let key = lw.fresh_var(*ty);
+            let pv = lw.f.param_value(i);
+            lw.current_def.insert((key, entry), pv);
+            lw.scopes[0].insert(name.clone(), Binding::Scalar { key, ty: *ty });
+        }
+        lw.stmts(&def.body)?;
+        if !lw.terminated {
+            match def.ret {
+                Type::Void => lw.set_term(Terminator::Ret(None)),
+                t => {
+                    let z = lw.konst(width_of(t), 0);
+                    lw.set_term(Terminator::Ret(Some(z)));
+                }
+            }
+        }
+        let mut f = lw.f;
+        f.remove_unreachable_blocks();
+        Ok(f)
+    }
+
+    // ---- SSA machinery -------------------------------------------------
+
+    fn fresh_var(&mut self, ty: Type) -> VarKey {
+        let k = self.next_var;
+        self.next_var += 1;
+        self.var_types.insert(k, ty);
+        k
+    }
+
+    fn write_var(&mut self, var: VarKey, block: BlockId, value: ValueId) {
+        self.current_def.insert((var, block), value);
+    }
+
+    fn resolve(&self, mut v: ValueId) -> ValueId {
+        let mut hops = 0;
+        while let Some(n) = self.replaced.get(&v) {
+            v = *n;
+            hops += 1;
+            if hops > self.replaced.len() {
+                break;
+            }
+        }
+        v
+    }
+
+    fn read_var(&mut self, var: VarKey, block: BlockId) -> ValueId {
+        if let Some(v) = self.current_def.get(&(var, block)) {
+            return self.resolve(*v);
+        }
+        let v = self.read_var_recursive(var, block);
+        self.resolve(v)
+    }
+
+    fn read_var_recursive(&mut self, var: VarKey, block: BlockId) -> ValueId {
+        let w = width_of(self.var_types[&var]);
+        let val;
+        if !self.sealed[block.index()] {
+            val = self.new_phi(block, w);
+            self.incomplete.entry(block).or_default().push((var, val));
+            self.write_var(var, block, val);
+        } else if self.preds[block.index()].len() == 1 {
+            let p = self.preds[block.index()][0];
+            let v = self.read_var(var, p);
+            self.write_var(var, block, v);
+            return v;
+        } else if self.preds[block.index()].is_empty() {
+            // Unreachable block or use of an uninitialized variable: any
+            // value is fine; materialize a zero.
+            let z = self.f.append_inst(
+                block,
+                Inst::Const {
+                    width: w,
+                    value: 0,
+                },
+            );
+            // Constants must not precede φs; move to after φ group.
+            self.move_after_phis(block, z);
+            self.write_var(var, block, z);
+            return z;
+        } else {
+            let phi = self.new_phi(block, w);
+            self.write_var(var, block, phi);
+            val = self.add_phi_operands(var, phi, block);
+            self.write_var(var, block, val);
+        }
+        val
+    }
+
+    fn new_phi(&mut self, block: BlockId, width: Width) -> ValueId {
+        let v = self.f.add_inst(Inst::Phi {
+            width,
+            incomings: Vec::new(),
+        });
+        // Insert after existing φs at the head of the block — but after
+        // parameters if this is the entry block (params never need φs since
+        // entry has no predecessors, so this path is never hit for entry).
+        let pos = self
+            .f
+            .block(block)
+            .insts
+            .iter()
+            .take_while(|x| self.f.inst(**x).is_phi())
+            .count();
+        self.f.block_mut(block).insts.insert(pos, v);
+        v
+    }
+
+    fn move_after_phis(&mut self, block: BlockId, v: ValueId) {
+        let blk = self.f.block_mut(block);
+        if let Some(p) = blk.insts.iter().position(|x| *x == v) {
+            blk.insts.remove(p);
+            let pos = {
+                let f = &self.f;
+                f.block(block)
+                    .insts
+                    .iter()
+                    .take_while(|x| f.inst(**x).is_phi())
+                    .count()
+            };
+            self.f.block_mut(block).insts.insert(pos, v);
+        }
+    }
+
+    fn add_phi_operands(&mut self, var: VarKey, phi: ValueId, block: BlockId) -> ValueId {
+        let preds = self.preds[block.index()].clone();
+        let mut incomings = Vec::with_capacity(preds.len());
+        for p in preds {
+            let v = self.read_var(var, p);
+            incomings.push((p, self.resolve(v)));
+        }
+        if let Inst::Phi { incomings: inc, .. } = self.f.inst_mut(phi) {
+            *inc = incomings;
+        }
+        self.try_remove_trivial_phi(phi)
+    }
+
+    fn try_remove_trivial_phi(&mut self, phi: ValueId) -> ValueId {
+        let mut same: Option<ValueId> = None;
+        let Inst::Phi { incomings, .. } = self.f.inst(phi).clone() else {
+            return phi;
+        };
+        for (_, op) in &incomings {
+            if Some(*op) == same || *op == phi {
+                continue;
+            }
+            if same.is_some() {
+                return phi; // merges at least two distinct values
+            }
+            same = Some(*op);
+        }
+        let same = match same {
+            Some(s) => self.resolve(s),
+            None => return phi, // unreachable φ; keep (block will be removed)
+        };
+        self.replaced.insert(phi, same);
+        // Collect φ users before rewriting (to recursively re-check them).
+        let phi_users: Vec<ValueId> = (0..self.f.insts.len() as u32)
+            .map(ValueId)
+            .filter(|v| {
+                *v != phi
+                    && self.f.inst(*v).is_phi()
+                    && self.f.inst(*v).operands().contains(&phi)
+            })
+            .collect();
+        self.f.replace_all_uses(phi, same);
+        // Remove the φ from its block.
+        for blk in &mut self.f.blocks {
+            blk.insts.retain(|v| *v != phi);
+        }
+        // Redirect SSA bookkeeping that still refers to the removed φ.
+        for v in self.current_def.values_mut() {
+            if *v == phi {
+                *v = same;
+            }
+        }
+        for u in phi_users {
+            self.try_remove_trivial_phi(u);
+        }
+        same
+    }
+
+    fn seal_block(&mut self, block: BlockId) {
+        if self.sealed[block.index()] {
+            return;
+        }
+        self.sealed[block.index()] = true;
+        if let Some(list) = self.incomplete.remove(&block) {
+            for (var, phi) in list {
+                self.add_phi_operands(var, phi, block);
+            }
+        }
+    }
+
+    // ---- CFG helpers ---------------------------------------------------
+
+    fn new_block_unsealed(&mut self) -> BlockId {
+        let b = self.f.add_block();
+        self.sealed.push(false);
+        self.preds.push(Vec::new());
+        b
+    }
+
+    fn set_term(&mut self, mut t: Terminator) {
+        if !self.replaced.is_empty() {
+            let ops: Vec<(ValueId, ValueId)> = t
+                .operands()
+                .into_iter()
+                .map(|o| (o, self.resolve(o)))
+                .collect();
+            t.map_operands(|o| ops.iter().find(|(a, _)| *a == o).map_or(o, |(_, b)| *b));
+        }
+        for s in t.successors() {
+            self.preds[s.index()].push(self.cur);
+        }
+        self.f.block_mut(self.cur).term = t;
+        self.terminated = true;
+    }
+
+    fn branch_to(&mut self, target: BlockId) {
+        if !self.terminated {
+            self.set_term(Terminator::Br(target));
+        }
+    }
+
+    fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+        self.terminated = false;
+    }
+
+    fn konst(&mut self, w: Width, v: u64) -> ValueId {
+        self.f.append_inst(
+            self.cur,
+            Inst::Const {
+                width: w,
+                value: w.truncate(v),
+            },
+        )
+    }
+
+    fn push(&mut self, mut i: Inst) -> ValueId {
+        if !self.replaced.is_empty() {
+            let map: Vec<(ValueId, ValueId)> = i
+                .operands()
+                .into_iter()
+                .map(|o| (o, self.resolve(o)))
+                .collect();
+            i.map_operands(|o| map.iter().find(|(a, _)| *a == o).map_or(o, |(_, b)| *b));
+        }
+        self.f.append_inst(self.cur, i)
+    }
+
+    // ---- scopes ----------------------------------------------------------
+
+    fn lookup(&self, name: &str) -> Option<Binding> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(b) = scope.get(name) {
+                return Some(b.clone());
+            }
+        }
+        self.globals
+            .get(name)
+            .map(|(gid, elem)| Binding::GlobalArray {
+                gid: *gid,
+                elem: *elem,
+            })
+    }
+
+    fn declare(&mut self, name: &str, b: Binding, line: u32) -> Result<(), CompileError> {
+        let scope = self.scopes.last_mut().unwrap();
+        if scope.contains_key(name) {
+            return Err(CompileError::new(
+                format!("duplicate declaration of `{name}` in this scope"),
+                line,
+                1,
+            ));
+        }
+        scope.insert(name.to_string(), b);
+        Ok(())
+    }
+
+    // ---- conversions ----------------------------------------------------
+
+    /// Converts `v` of type `from` to type `to` (truncating/extending per C
+    /// rules: the *source* signedness decides sign- vs zero-extension).
+    fn convert(&mut self, v: ValueId, from: Type, to: Type) -> ValueId {
+        let (wf, wt) = (width_of(from), width_of(to));
+        if wf == wt {
+            return v;
+        }
+        if wt.bits() < wf.bits() {
+            self.push(Inst::Trunc {
+                to: wt,
+                arg: v,
+                speculative: false,
+            })
+        } else if is_signed(from) {
+            self.push(Inst::Sext { to: wt, arg: v })
+        } else {
+            self.push(Inst::Zext { to: wt, arg: v })
+        }
+    }
+
+    /// Converts a value to `bool` (`!= 0` for integers).
+    fn to_bool(&mut self, v: ValueId, ty: Type) -> ValueId {
+        if ty == Type::Bool {
+            return v;
+        }
+        let w = width_of(ty);
+        let z = self.konst(w, 0);
+        self.push(Inst::Icmp {
+            cc: Cc::Ne,
+            width: w,
+            lhs: v,
+            rhs: z,
+        })
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        for s in body {
+            if self.terminated {
+                // Dead code after return/break: lower into a fresh
+                // unreachable block to keep the IR well-formed.
+                let dead = self.new_block_unsealed();
+                self.seal_block(dead);
+                self.switch_to(dead);
+            }
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Decl(ty, name, init) => {
+                let (v, vt) = self.expr(init)?;
+                let v = self.convert_for_assign(v, vt, *ty, init)?;
+                let key = self.fresh_var(*ty);
+                self.write_var(key, self.cur, v);
+                self.declare(name, Binding::Scalar { key, ty: *ty }, init.line)?;
+            }
+            Stmt::ArrayDecl(elem, name, n) => {
+                let addr = self.push(Inst::Alloca {
+                    size: n * elem.bytes(),
+                });
+                self.declare(
+                    name,
+                    Binding::LocalArray {
+                        addr,
+                        elem: *elem,
+                    },
+                    0,
+                )?;
+            }
+            Stmt::Assign(lv, e) => self.assign(lv, e)?,
+            Stmt::If(cond, then, els) => self.if_stmt(cond, then, els)?,
+            Stmt::While(cond, body) => self.while_stmt(cond, body)?,
+            Stmt::DoWhile(body, cond) => self.do_while_stmt(body, cond)?,
+            Stmt::For(init, cond, step, body) => self.for_stmt(init, cond, step, body)?,
+            Stmt::Break => {
+                let Some((brk, _)) = self.loop_stack.last().copied() else {
+                    return Err(CompileError::new("`break` outside loop", 0, 0));
+                };
+                self.set_term(Terminator::Br(brk));
+            }
+            Stmt::Continue => {
+                let Some((_, cont)) = self.loop_stack.last().copied() else {
+                    return Err(CompileError::new("`continue` outside loop", 0, 0));
+                };
+                self.set_term(Terminator::Br(cont));
+            }
+            Stmt::Return(e) => {
+                let v = match (e, self.ret_ty) {
+                    (None, Type::Void) => None,
+                    (Some(e), Type::Void) => {
+                        return Err(CompileError::new(
+                            "returning a value from a void function",
+                            e.line,
+                            e.col,
+                        ))
+                    }
+                    (Some(e), t) => {
+                        let (v, vt) = self.expr(e)?;
+                        Some(self.convert_for_assign(v, vt, t, e)?)
+                    }
+                    (None, _) => {
+                        return Err(CompileError::new("missing return value", 0, 0));
+                    }
+                };
+                self.set_term(Terminator::Ret(v));
+            }
+            Stmt::Expr(e) => {
+                self.expr_allow_void(e)?;
+            }
+            Stmt::Out(e) => {
+                let (v, vt) = self.expr(e)?;
+                let t = promote(vt);
+                if width_of(t) == Width::W64 {
+                    let lo = self.push(Inst::Trunc {
+                        to: Width::W32,
+                        arg: v,
+                        speculative: false,
+                    });
+                    self.push(Inst::Output { value: lo });
+                    let sh = self.konst(Width::W64, 32);
+                    let hi64 = self.push(Inst::Bin {
+                        op: BinOp::Lshr,
+                        width: Width::W64,
+                        lhs: v,
+                        rhs: sh,
+                        speculative: false,
+                    });
+                    let hi = self.push(Inst::Trunc {
+                        to: Width::W32,
+                        arg: hi64,
+                        speculative: false,
+                    });
+                    self.push(Inst::Output { value: hi });
+                } else {
+                    let v32 = self.convert(v, vt, Type::U32);
+                    self.push(Inst::Output { value: v32 });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn convert_for_assign(
+        &mut self,
+        v: ValueId,
+        from: Type,
+        to: Type,
+        at: &Expr,
+    ) -> Result<ValueId, CompileError> {
+        match (from, to) {
+            (Type::Ptr(a), Type::Ptr(b)) if a == b => Ok(v),
+            (Type::Ptr(_), Type::Ptr(_)) => Err(CompileError::new(
+                "incompatible pointer types",
+                at.line,
+                at.col,
+            )),
+            (Type::Ptr(_), t) if t.scalar().is_some() => Ok(self.convert(v, Type::U32, t)),
+            (t, Type::Ptr(_)) if t.scalar().is_some() => Ok(self.convert(v, t, Type::U32)),
+            (Type::Void, _) | (_, Type::Void) => {
+                Err(CompileError::new("void in assignment", at.line, at.col))
+            }
+            (f, t) => {
+                if f == Type::Bool && t != Type::Bool {
+                    let z = self.push(Inst::Zext {
+                        to: width_of(t),
+                        arg: v,
+                    });
+                    Ok(z)
+                } else if t == Type::Bool && f != Type::Bool {
+                    Ok(self.to_bool(v, f))
+                } else {
+                    Ok(self.convert(v, f, t))
+                }
+            }
+        }
+    }
+
+    fn assign(&mut self, lv: &LValue, e: &Expr) -> Result<(), CompileError> {
+        match lv {
+            LValue::Var(name) => {
+                let Some(binding) = self.lookup(name) else {
+                    return Err(CompileError::new(
+                        format!("unknown variable `{name}`"),
+                        e.line,
+                        e.col,
+                    ));
+                };
+                match binding {
+                    Binding::Scalar { key, ty } => {
+                        let (v, vt) = self.expr(e)?;
+                        let v = self.convert_for_assign(v, vt, ty, e)?;
+                        self.write_var(key, self.cur, v);
+                        Ok(())
+                    }
+                    _ => Err(CompileError::new(
+                        format!("cannot assign to array `{name}`"),
+                        e.line,
+                        e.col,
+                    )),
+                }
+            }
+            LValue::Index(base, idx) => {
+                let (addr, elem) = self.element_addr(base, idx)?;
+                let (v, vt) = self.expr(e)?;
+                let v = self.convert_for_assign(v, vt, elem.as_type(), e)?;
+                self.push(Inst::Store {
+                    width: width_of(elem.as_type()),
+                    addr,
+                    value: v,
+                    volatile: false,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn if_stmt(
+        &mut self,
+        cond: &Expr,
+        then: &[Stmt],
+        els: &[Stmt],
+    ) -> Result<(), CompileError> {
+        let (cv, ct) = self.expr(cond)?;
+        let c = self.to_bool(cv, ct);
+        let tb = self.new_block_unsealed();
+        let eb = self.new_block_unsealed();
+        let join = self.new_block_unsealed();
+        self.set_term(Terminator::CondBr {
+            cond: c,
+            if_true: tb,
+            if_false: eb,
+        });
+        self.seal_block(tb);
+        self.seal_block(eb);
+        self.switch_to(tb);
+        self.stmts(then)?;
+        self.branch_to(join);
+        self.switch_to(eb);
+        self.stmts(els)?;
+        self.branch_to(join);
+        self.seal_block(join);
+        self.switch_to(join);
+        Ok(())
+    }
+
+    fn while_stmt(&mut self, cond: &Expr, body: &[Stmt]) -> Result<(), CompileError> {
+        let head = self.new_block_unsealed();
+        let body_b = self.new_block_unsealed();
+        let exit = self.new_block_unsealed();
+        self.branch_to(head);
+        self.switch_to(head);
+        let (cv, ct) = self.expr(cond)?;
+        let c = self.to_bool(cv, ct);
+        self.set_term(Terminator::CondBr {
+            cond: c,
+            if_true: body_b,
+            if_false: exit,
+        });
+        self.seal_block(body_b);
+        self.switch_to(body_b);
+        self.loop_stack.push((exit, head));
+        self.stmts(body)?;
+        self.loop_stack.pop();
+        self.branch_to(head);
+        self.seal_block(head);
+        self.seal_block(exit);
+        self.switch_to(exit);
+        Ok(())
+    }
+
+    fn do_while_stmt(&mut self, body: &[Stmt], cond: &Expr) -> Result<(), CompileError> {
+        let body_b = self.new_block_unsealed();
+        let cond_b = self.new_block_unsealed();
+        let exit = self.new_block_unsealed();
+        self.branch_to(body_b);
+        self.switch_to(body_b);
+        self.loop_stack.push((exit, cond_b));
+        self.stmts(body)?;
+        self.loop_stack.pop();
+        self.branch_to(cond_b);
+        self.seal_block(cond_b);
+        self.switch_to(cond_b);
+        let (cv, ct) = self.expr(cond)?;
+        let c = self.to_bool(cv, ct);
+        self.set_term(Terminator::CondBr {
+            cond: c,
+            if_true: body_b,
+            if_false: exit,
+        });
+        self.seal_block(body_b);
+        self.seal_block(exit);
+        self.switch_to(exit);
+        Ok(())
+    }
+
+    fn for_stmt(
+        &mut self,
+        init: &Option<Stmt>,
+        cond: &Option<Expr>,
+        step: &Option<Stmt>,
+        body: &[Stmt],
+    ) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        if let Some(i) = init {
+            self.stmt(i)?;
+        }
+        let head = self.new_block_unsealed();
+        let body_b = self.new_block_unsealed();
+        let step_b = self.new_block_unsealed();
+        let exit = self.new_block_unsealed();
+        self.branch_to(head);
+        self.switch_to(head);
+        let c = match cond {
+            Some(e) => {
+                let (cv, ct) = self.expr(e)?;
+                self.to_bool(cv, ct)
+            }
+            None => self.push(Inst::Const {
+                width: Width::W1,
+                value: 1,
+            }),
+        };
+        self.set_term(Terminator::CondBr {
+            cond: c,
+            if_true: body_b,
+            if_false: exit,
+        });
+        self.seal_block(body_b);
+        self.switch_to(body_b);
+        self.loop_stack.push((exit, step_b));
+        self.stmts(body)?;
+        self.loop_stack.pop();
+        self.branch_to(step_b);
+        self.seal_block(step_b);
+        self.switch_to(step_b);
+        if let Some(s) = step {
+            self.stmt(s)?;
+        }
+        self.branch_to(head);
+        self.seal_block(head);
+        self.seal_block(exit);
+        self.switch_to(exit);
+        self.scopes.pop();
+        Ok(())
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn expr_allow_void(&mut self, e: &Expr) -> Result<Option<(ValueId, Type)>, CompileError> {
+        if let ExprKind::Call(name, args) = &e.kind {
+            let Some((fid, params, ret)) = self.sigs.get(name).cloned() else {
+                return Err(CompileError::new(
+                    format!("unknown function `{name}`"),
+                    e.line,
+                    e.col,
+                ));
+            };
+            let v = self.lower_call(fid, &params, ret, args, e)?;
+            return Ok(match ret {
+                Type::Void => None,
+                t => Some((v, t)),
+            });
+        }
+        Ok(Some(self.expr(e)?))
+    }
+
+    fn lower_call(
+        &mut self,
+        fid: FuncId,
+        params: &[Type],
+        ret: Type,
+        args: &[Expr],
+        at: &Expr,
+    ) -> Result<ValueId, CompileError> {
+        if args.len() != params.len() {
+            return Err(CompileError::new(
+                format!("expected {} arguments, found {}", params.len(), args.len()),
+                at.line,
+                at.col,
+            ));
+        }
+        let mut vals = Vec::with_capacity(args.len());
+        for (a, p) in args.iter().zip(params) {
+            let (v, vt) = self.expr_maybe_array(a, *p)?;
+            let v = self.convert_for_assign(v, vt, *p, a)?;
+            vals.push(v);
+        }
+        let ret_w = match ret {
+            Type::Void => None,
+            t => Some(width_of(t)),
+        };
+        Ok(self.push(Inst::Call {
+            callee: fid,
+            args: vals,
+            ret: ret_w,
+        }))
+    }
+
+    /// Like [`Self::expr`], but lets an array name decay to a pointer when
+    /// the expected type is a pointer.
+    fn expr_maybe_array(&mut self, e: &Expr, expected: Type) -> Result<(ValueId, Type), CompileError> {
+        if let (ExprKind::Ident(name), Type::Ptr(_)) = (&e.kind, expected) {
+            if let Some(binding) = self.lookup(name) {
+                match binding {
+                    Binding::LocalArray { addr, elem } => {
+                        return Ok((addr, Type::Ptr(elem)));
+                    }
+                    Binding::GlobalArray { gid, elem } => {
+                        let a = self.push(Inst::GlobalAddr { global: gid });
+                        return Ok((a, Type::Ptr(elem)));
+                    }
+                    Binding::Scalar { .. } => {}
+                }
+            }
+        }
+        self.expr(e)
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<(ValueId, Type), CompileError> {
+        match &e.kind {
+            ExprKind::Int(v) => {
+                // C-style literal typing: the first of int, unsigned int,
+                // long long, unsigned long long that fits.
+                let ty = if *v <= i32::MAX as u64 {
+                    Type::I32
+                } else if *v <= u64::from(u32::MAX) {
+                    Type::U32
+                } else if *v <= i64::MAX as u64 {
+                    Type::I64
+                } else {
+                    Type::U64
+                };
+                Ok((self.konst(width_of(ty), *v), ty))
+            }
+            ExprKind::Bool(b) => Ok((self.konst(Width::W1, u64::from(*b)), Type::Bool)),
+            ExprKind::Ident(name) => {
+                let Some(binding) = self.lookup(name) else {
+                    return Err(CompileError::new(
+                        format!("unknown variable `{name}`"),
+                        e.line,
+                        e.col,
+                    ));
+                };
+                match binding {
+                    Binding::Scalar { key, ty } => Ok((self.read_var(key, self.cur), ty)),
+                    Binding::LocalArray { addr, elem } => Ok((addr, Type::Ptr(elem))),
+                    Binding::GlobalArray { gid, elem } => {
+                        let a = self.push(Inst::GlobalAddr { global: gid });
+                        Ok((a, Type::Ptr(elem)))
+                    }
+                }
+            }
+            ExprKind::Index(base, idx) => {
+                let (addr, elem) = self.element_addr(base, idx)?;
+                let v = self.push(Inst::Load {
+                    width: width_of(elem.as_type()),
+                    addr,
+                    volatile: false,
+                    speculative: false,
+                });
+                Ok((v, elem.as_type()))
+            }
+            ExprKind::AddrOf(base, idx) => {
+                let (addr, elem) = self.element_addr(base, idx)?;
+                Ok((addr, Type::Ptr(elem)))
+            }
+            ExprKind::Unary(op, inner) => {
+                let (v, vt) = self.expr(inner)?;
+                match op {
+                    UnOp::Neg => {
+                        let t = promote(vt);
+                        let v = self.convert(v, vt, t);
+                        let z = self.konst(width_of(t), 0);
+                        let r = self.push(Inst::Bin {
+                            op: BinOp::Sub,
+                            width: width_of(t),
+                            lhs: z,
+                            rhs: v,
+                            speculative: false,
+                        });
+                        Ok((r, t))
+                    }
+                    UnOp::Not => {
+                        let t = promote(vt);
+                        let v = self.convert(v, vt, t);
+                        let m = self.konst(width_of(t), u64::MAX);
+                        let r = self.push(Inst::Bin {
+                            op: BinOp::Xor,
+                            width: width_of(t),
+                            lhs: v,
+                            rhs: m,
+                            speculative: false,
+                        });
+                        Ok((r, t))
+                    }
+                    UnOp::LogicalNot => {
+                        let b = self.to_bool(v, vt);
+                        let one = self.konst(Width::W1, 1);
+                        let r = self.push(Inst::Bin {
+                            op: BinOp::Xor,
+                            width: Width::W1,
+                            lhs: b,
+                            rhs: one,
+                            speculative: false,
+                        });
+                        Ok((r, Type::Bool))
+                    }
+                }
+            }
+            ExprKind::Binary(op, l, r) => self.binary(*op, l, r, e),
+            ExprKind::Cast(ty, inner) => {
+                let (v, vt) = self.expr(inner)?;
+                let v = self.convert_for_assign(v, vt, *ty, e)?;
+                Ok((v, *ty))
+            }
+            ExprKind::Call(name, args) => {
+                let Some((fid, params, ret)) = self.sigs.get(name).cloned() else {
+                    return Err(CompileError::new(
+                        format!("unknown function `{name}`"),
+                        e.line,
+                        e.col,
+                    ));
+                };
+                if ret == Type::Void {
+                    return Err(CompileError::new(
+                        format!("void function `{name}` used as a value"),
+                        e.line,
+                        e.col,
+                    ));
+                }
+                let v = self.lower_call(fid, &params, ret, args, e)?;
+                Ok((v, ret))
+            }
+            ExprKind::Ternary(c, t, f) => {
+                let (cv, ct) = self.expr(c)?;
+                let cb = self.to_bool(cv, ct);
+                // Lower as control flow to preserve C's lazy evaluation.
+                let tb = self.new_block_unsealed();
+                let fb = self.new_block_unsealed();
+                let join = self.new_block_unsealed();
+                self.set_term(Terminator::CondBr {
+                    cond: cb,
+                    if_true: tb,
+                    if_false: fb,
+                });
+                self.seal_block(tb);
+                self.seal_block(fb);
+                self.switch_to(tb);
+                let (tv, tt) = self.expr(t)?;
+                let t_end = self.cur;
+                self.switch_to(fb);
+                let (fv, ft) = self.expr(f)?;
+                let f_end = self.cur;
+                let ty = common_type(tt, ft);
+                self.switch_to(t_end);
+                let tv = self.convert(tv, tt, ty);
+                self.branch_to(join);
+                self.switch_to(f_end);
+                let fv = self.convert(fv, ft, ty);
+                self.branch_to(join);
+                self.seal_block(join);
+                self.switch_to(join);
+                let key = self.fresh_var(ty);
+                // Write on each predecessor then read at the join to let the
+                // SSA machinery place the φ.
+                self.current_def.insert((key, t_end), tv);
+                self.current_def.insert((key, f_end), fv);
+                let v = self.read_var(key, join);
+                Ok((v, ty))
+            }
+            ExprKind::VolatileLoad(addr) => {
+                let (av, at) = self.expr(addr)?;
+                let (addr32, elem) = match at {
+                    Type::Ptr(elem) => (av, elem),
+                    t if t.scalar().is_some() => {
+                        (self.convert(av, t, Type::U32), ScalarType::U8)
+                    }
+                    _ => {
+                        return Err(CompileError::new(
+                            "volatile_load needs a pointer or integer address",
+                            e.line,
+                            e.col,
+                        ))
+                    }
+                };
+                let v = self.push(Inst::Load {
+                    width: width_of(elem.as_type()),
+                    addr: addr32,
+                    volatile: true,
+                    speculative: false,
+                });
+                Ok((v, elem.as_type()))
+            }
+        }
+    }
+
+    fn binary(
+        &mut self,
+        op: ABinOp,
+        l: &Expr,
+        r: &Expr,
+        at: &Expr,
+    ) -> Result<(ValueId, Type), CompileError> {
+        // Short-circuit logical operators first (they don't evaluate rhs
+        // eagerly).
+        if matches!(op, ABinOp::LogicalAnd | ABinOp::LogicalOr) {
+            return self.short_circuit(op, l, r);
+        }
+        let (lv, lt) = self.expr(l)?;
+        let (rv, rt) = self.expr(r)?;
+        // Pointer arithmetic.
+        if let Type::Ptr(elem) = lt {
+            return self.pointer_arith(op, lv, elem, rv, rt, at);
+        }
+        if let Type::Ptr(elem) = rt {
+            if op == ABinOp::Add {
+                return self.pointer_arith(op, rv, elem, lv, lt, at);
+            }
+            return Err(CompileError::new(
+                "invalid pointer operand",
+                at.line,
+                at.col,
+            ));
+        }
+        match op {
+            ABinOp::Shl | ABinOp::Shr => {
+                let t = promote(lt);
+                let lvp = self.convert(lv, lt, t);
+                let rvp = self.convert(rv, rt, t);
+                let sop = match op {
+                    ABinOp::Shl => BinOp::Shl,
+                    _ if is_signed(t) => BinOp::Ashr,
+                    _ => BinOp::Lshr,
+                };
+                let v = self.push(Inst::Bin {
+                    op: sop,
+                    width: width_of(t),
+                    lhs: lvp,
+                    rhs: rvp,
+                    speculative: false,
+                });
+                Ok((v, t))
+            }
+            ABinOp::Lt
+            | ABinOp::Le
+            | ABinOp::Gt
+            | ABinOp::Ge
+            | ABinOp::Eq
+            | ABinOp::Ne => {
+                let t = common_type(lt, rt);
+                let lvp = self.convert_for_assign(lv, lt, t, at)?;
+                let rvp = self.convert_for_assign(rv, rt, t, at)?;
+                let cc = match (op, is_signed(t)) {
+                    (ABinOp::Lt, false) => Cc::Ult,
+                    (ABinOp::Lt, true) => Cc::Slt,
+                    (ABinOp::Le, false) => Cc::Ule,
+                    (ABinOp::Le, true) => Cc::Sle,
+                    (ABinOp::Gt, false) => Cc::Ugt,
+                    (ABinOp::Gt, true) => Cc::Sgt,
+                    (ABinOp::Ge, false) => Cc::Uge,
+                    (ABinOp::Ge, true) => Cc::Sge,
+                    (ABinOp::Eq, _) => Cc::Eq,
+                    (ABinOp::Ne, _) => Cc::Ne,
+                    _ => unreachable!(),
+                };
+                let v = self.push(Inst::Icmp {
+                    cc,
+                    width: width_of(t),
+                    lhs: lvp,
+                    rhs: rvp,
+                });
+                Ok((v, Type::Bool))
+            }
+            _ => {
+                let t = common_type(lt, rt);
+                let lvp = self.convert_for_assign(lv, lt, t, at)?;
+                let rvp = self.convert_for_assign(rv, rt, t, at)?;
+                let sop = match op {
+                    ABinOp::Add => BinOp::Add,
+                    ABinOp::Sub => BinOp::Sub,
+                    ABinOp::Mul => BinOp::Mul,
+                    ABinOp::Div if is_signed(t) => BinOp::Sdiv,
+                    ABinOp::Div => BinOp::Udiv,
+                    ABinOp::Rem if is_signed(t) => BinOp::Srem,
+                    ABinOp::Rem => BinOp::Urem,
+                    ABinOp::And => BinOp::And,
+                    ABinOp::Or => BinOp::Or,
+                    ABinOp::Xor => BinOp::Xor,
+                    _ => unreachable!(),
+                };
+                let v = self.push(Inst::Bin {
+                    op: sop,
+                    width: width_of(t),
+                    lhs: lvp,
+                    rhs: rvp,
+                    speculative: false,
+                });
+                Ok((v, t))
+            }
+        }
+    }
+
+    fn pointer_arith(
+        &mut self,
+        op: ABinOp,
+        ptr: ValueId,
+        elem: ScalarType,
+        iv: ValueId,
+        it: Type,
+        at: &Expr,
+    ) -> Result<(ValueId, Type), CompileError> {
+        if it.scalar().is_none() && it != Type::Bool {
+            // pointer compared with pointer
+            if let Type::Ptr(_) = it {
+                let cc = match op {
+                    ABinOp::Eq => Cc::Eq,
+                    ABinOp::Ne => Cc::Ne,
+                    ABinOp::Lt => Cc::Ult,
+                    ABinOp::Le => Cc::Ule,
+                    ABinOp::Gt => Cc::Ugt,
+                    ABinOp::Ge => Cc::Uge,
+                    _ => {
+                        return Err(CompileError::new(
+                            "unsupported pointer operation",
+                            at.line,
+                            at.col,
+                        ))
+                    }
+                };
+                let v = self.push(Inst::Icmp {
+                    cc,
+                    width: Width::W32,
+                    lhs: ptr,
+                    rhs: iv,
+                });
+                return Ok((v, Type::Bool));
+            }
+            return Err(CompileError::new(
+                "invalid pointer operand",
+                at.line,
+                at.col,
+            ));
+        }
+        if !matches!(op, ABinOp::Add | ABinOp::Sub) {
+            return Err(CompileError::new(
+                "only +/- allowed on pointers",
+                at.line,
+                at.col,
+            ));
+        }
+        let idx = self.convert(iv, it, Type::U32);
+        let scaled = if elem.bytes() == 1 {
+            idx
+        } else {
+            let s = self.konst(Width::W32, u64::from(elem.bytes()));
+            self.push(Inst::Bin {
+                op: BinOp::Mul,
+                width: Width::W32,
+                lhs: idx,
+                rhs: s,
+                speculative: false,
+            })
+        };
+        let sop = if op == ABinOp::Add {
+            BinOp::Add
+        } else {
+            BinOp::Sub
+        };
+        let v = self.push(Inst::Bin {
+            op: sop,
+            width: Width::W32,
+            lhs: ptr,
+            rhs: scaled,
+            speculative: false,
+        });
+        Ok((v, Type::Ptr(elem)))
+    }
+
+    fn short_circuit(
+        &mut self,
+        op: ABinOp,
+        l: &Expr,
+        r: &Expr,
+    ) -> Result<(ValueId, Type), CompileError> {
+        let (lv, lt) = self.expr(l)?;
+        let lb = self.to_bool(lv, lt);
+        let rhs_b = self.new_block_unsealed();
+        let join = self.new_block_unsealed();
+        let l_end = self.cur;
+        let (t_target, f_target) = if op == ABinOp::LogicalAnd {
+            (rhs_b, join)
+        } else {
+            (join, rhs_b)
+        };
+        self.set_term(Terminator::CondBr {
+            cond: lb,
+            if_true: t_target,
+            if_false: f_target,
+        });
+        self.seal_block(rhs_b);
+        self.switch_to(rhs_b);
+        let (rv, rt) = self.expr(r)?;
+        let rb = self.to_bool(rv, rt);
+        let r_end = self.cur;
+        self.branch_to(join);
+        self.seal_block(join);
+        self.switch_to(join);
+        let key = self.fresh_var(Type::Bool);
+        self.current_def.insert((key, l_end), lb);
+        self.current_def.insert((key, r_end), rb);
+        let v = self.read_var(key, join);
+        Ok((v, Type::Bool))
+    }
+
+    /// Computes the address and element type of `base[idx]`.
+    fn element_addr(
+        &mut self,
+        base: &Expr,
+        idx: &Expr,
+    ) -> Result<(ValueId, ScalarType), CompileError> {
+        let (bv, bt) = self.expr(base)?;
+        let Type::Ptr(elem) = bt else {
+            return Err(CompileError::new(
+                "indexing a non-array value",
+                base.line,
+                base.col,
+            ));
+        };
+        let (iv, it) = self.expr(idx)?;
+        if it.scalar().is_none() && it != Type::Bool {
+            return Err(CompileError::new(
+                "array index must be an integer",
+                idx.line,
+                idx.col,
+            ));
+        }
+        let iv = if it == Type::Bool {
+            self.push(Inst::Zext {
+                to: Width::W32,
+                arg: iv,
+            })
+        } else {
+            self.convert(iv, it, Type::U32)
+        };
+        let scaled = if elem.bytes() == 1 {
+            iv
+        } else {
+            let s = self.konst(Width::W32, u64::from(elem.bytes()));
+            self.push(Inst::Bin {
+                op: BinOp::Mul,
+                width: Width::W32,
+                lhs: iv,
+                rhs: s,
+                speculative: false,
+            })
+        };
+        let addr = self.push(Inst::Bin {
+            op: BinOp::Add,
+            width: Width::W32,
+            lhs: bv,
+            rhs: scaled,
+            speculative: false,
+        });
+        Ok((addr, elem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> Module {
+        crate::compile("test", src).expect("compilation should succeed")
+    }
+
+    /// Counts φ-nodes actually placed in blocks (the arena may retain
+    /// removed trivial φs).
+    fn placed_phis(f: &Function) -> usize {
+        f.block_ids()
+            .flat_map(|b| f.block(b).insts.clone())
+            .filter(|v| f.inst(*v).is_phi())
+            .count()
+    }
+
+    #[test]
+    fn lowers_simple_function() {
+        let m = compile("u32 f(u32 x) { return x + 1; }");
+        let f = m.func(m.func_by_name("f").unwrap());
+        assert_eq!(f.params, vec![Width::W32]);
+        assert_eq!(f.ret, Some(Width::W32));
+    }
+
+    #[test]
+    fn u8_arithmetic_promotes_to_32_bits() {
+        // C-style: u8 + u8 happens at 32 bits; assignment truncates back.
+        let m = compile("u8 f(u8 a, u8 b) { u8 c = a + b; return c; }");
+        let f = m.func(m.func_by_name("f").unwrap());
+        let has_w32_add = f.insts.iter().any(|i| {
+            matches!(
+                i,
+                Inst::Bin {
+                    op: BinOp::Add,
+                    width: Width::W32,
+                    ..
+                }
+            )
+        });
+        assert!(has_w32_add, "u8 addition should be promoted to 32 bits");
+    }
+
+    #[test]
+    fn while_loop_builds_phi() {
+        let m = compile("u32 f(u32 n) { u32 i = 0; while (i < n) { i = i + 1; } return i; }");
+        let f = m.func(m.func_by_name("f").unwrap());
+        assert!(placed_phis(f) >= 1, "loop variable needs a φ");
+    }
+
+    #[test]
+    fn trivial_phi_removed() {
+        // if/else writing the same variable the same way in one branch only…
+        let m = compile(
+            "u32 f(u32 a) { u32 x = a; if (a > 1) { u32 y = 0; } return x; }",
+        );
+        let f = m.func(m.func_by_name("f").unwrap());
+        // x is never redefined, so no φ should survive for it.
+        assert_eq!(placed_phis(f), 0);
+    }
+
+    #[test]
+    fn if_else_merges_with_phi() {
+        let m = compile("u32 f(u32 a) { u32 x = 0; if (a > 1) { x = 1; } else { x = 2; } return x; }");
+        let f = m.func(m.func_by_name("f").unwrap());
+        assert_eq!(placed_phis(f), 1);
+    }
+
+    #[test]
+    fn global_array_load_store() {
+        let m = compile("global u32 t[4]; void f() { t[0] = 7; out(t[0]); }");
+        assert_eq!(m.globals.len(), 1);
+        assert_eq!(m.globals[0].size, 16);
+        let f = m.func(m.func_by_name("f").unwrap());
+        assert!(f.insts.iter().any(|i| matches!(i, Inst::Store { .. })));
+        assert!(f.insts.iter().any(|i| matches!(i, Inst::Load { .. })));
+    }
+
+    #[test]
+    fn local_array_uses_alloca() {
+        let m = compile("void f() { u16 buf[8]; buf[3] = 1; }");
+        let f = m.func(m.func_by_name("f").unwrap());
+        assert!(f
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Alloca { size: 16 })));
+    }
+
+    #[test]
+    fn pointer_param_and_arith() {
+        let m = compile("u32 f(u32* p) { return p[2] + volatile_load(p); }");
+        let f = m.func(m.func_by_name("f").unwrap());
+        assert!(f
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Load { volatile: true, .. })));
+    }
+
+    #[test]
+    fn array_decays_to_pointer_arg() {
+        let m = compile(
+            "global u8 buf[8];
+             u32 g(u8* p) { return p[0]; }
+             u32 f() { return g(buf); }",
+        );
+        assert!(m.func_by_name("f").is_some());
+    }
+
+    #[test]
+    fn short_circuit_generates_control_flow() {
+        let m = compile("u32 f(u32 a, u32 b) { if (a > 0 && b > 0) { return 1; } return 0; }");
+        let f = m.func(m.func_by_name("f").unwrap());
+        assert!(f.blocks.len() >= 4, "short-circuit needs extra blocks");
+    }
+
+    #[test]
+    fn ternary_result() {
+        let m = compile("u32 max(u32 a, u32 b) { return a > b ? a : b; }");
+        assert!(m.func_by_name("max").is_some());
+    }
+
+    #[test]
+    fn signed_ops_selected() {
+        let m = compile("i32 f(i32 a, i32 b) { return a / b + (a % b) + (a >> 2); }");
+        let f = m.func(m.func_by_name("f").unwrap());
+        assert!(f
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Bin { op: BinOp::Sdiv, .. })));
+        assert!(f
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Bin { op: BinOp::Ashr, .. })));
+    }
+
+    #[test]
+    fn u64_widening() {
+        let m = compile("u64 f(u32 a, u64 b) { return a + b; }");
+        let f = m.func(m.func_by_name("f").unwrap());
+        assert!(f
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Bin { width: Width::W64, .. })));
+        assert!(f.insts.iter().any(|i| matches!(i, Inst::Zext { .. })));
+    }
+
+    #[test]
+    fn break_and_continue() {
+        let m = compile(
+            "u32 f(u32 n) {
+                u32 s = 0;
+                for (u32 i = 0; i < n; i++) {
+                    if (i == 3) { continue; }
+                    if (i == 7) { break; }
+                    s += i;
+                }
+                return s;
+            }",
+        );
+        assert!(m.func_by_name("f").is_some());
+    }
+
+    #[test]
+    fn errors_on_unknown_variable() {
+        let err = crate::compile("t", "u32 f() { return nope; }").unwrap_err();
+        assert!(err.message.contains("unknown variable"));
+    }
+
+    #[test]
+    fn errors_on_unknown_function() {
+        let err = crate::compile("t", "u32 f() { return g(); }").unwrap_err();
+        assert!(err.message.contains("unknown function"));
+    }
+
+    #[test]
+    fn errors_on_arity_mismatch() {
+        let err = crate::compile("t", "u32 g(u32 a) { return a; } u32 f() { return g(); }")
+            .unwrap_err();
+        assert!(err.message.contains("arguments"));
+    }
+
+    #[test]
+    fn errors_on_duplicate_function() {
+        let err = crate::compile("t", "void f() { } void f() { }").unwrap_err();
+        assert!(err.message.contains("duplicate function"));
+    }
+
+    #[test]
+    fn dead_code_after_return_is_dropped() {
+        let m = compile("u32 f() { return 1; u32 x = 2; return x; }");
+        let f = m.func(m.func_by_name("f").unwrap());
+        // The trailing code lands in an unreachable block which is removed.
+        assert_eq!(f.blocks.len(), 1);
+    }
+
+    #[test]
+    fn out_of_64_bit_value_splits() {
+        let m = compile("void f(u64 x) { out(x); }");
+        let f = m.func(m.func_by_name("f").unwrap());
+        let outs = f
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Output { .. }))
+            .count();
+        assert_eq!(outs, 2);
+    }
+}

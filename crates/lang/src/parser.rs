@@ -1,0 +1,806 @@
+//! Recursive-descent parser for the mini-C language.
+//!
+//! Grammar sketch (C-like, precedence climbing for expressions):
+//!
+//! ```text
+//! unit      := (global | func)*
+//! global    := ("global" | "const") scalar_ty IDENT "[" INT? "]" ("=" init)? ";"
+//! init      := "{" INT ("," INT)* ","? "}" | STRING
+//! func      := ty IDENT "(" params ")" block
+//! params    := ε | param ("," param)*
+//! param     := ty IDENT
+//! ty        := scalar_ty "*"? | "bool" | "void"
+//! stmt      := decl | assign | if | while | do-while | for | break |
+//!              continue | return | out | expr ";"
+//! ```
+
+use crate::ast::*;
+use crate::lexer::{Tok, Token};
+use crate::CompileError;
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+/// Parses a token stream into a [`Unit`].
+///
+/// # Errors
+/// Returns a [`CompileError`] at the first syntax error.
+pub fn parse(tokens: &[Token]) -> Result<Unit, CompileError> {
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+    };
+    let mut unit = Unit::default();
+    while p.peek() != &Tok::Eof {
+        if matches!(p.peek(), Tok::KwGlobal | Tok::KwConst) {
+            unit.globals.push(p.global()?);
+        } else {
+            unit.funcs.push(p.func()?);
+        }
+    }
+    Ok(unit)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek_at(&self, n: usize) -> &Tok {
+        &self.toks[(self.pos + n).min(self.toks.len() - 1)].tok
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let t = &self.toks[self.pos];
+        (t.line, t.col)
+    }
+
+    fn bump(&mut self) -> &Tok {
+        let t = &self.toks[self.pos].tok;
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        let (l, c) = self.here();
+        CompileError::new(msg, l, c)
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), CompileError> {
+        if self.peek() == &t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, t: Tok) -> bool {
+        if self.peek() == &t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn scalar_type(&mut self) -> Result<ScalarType, CompileError> {
+        let st = match self.peek() {
+            Tok::KwU8 => ScalarType::U8,
+            Tok::KwU16 => ScalarType::U16,
+            Tok::KwU32 => ScalarType::U32,
+            Tok::KwU64 => ScalarType::U64,
+            Tok::KwI8 => ScalarType::I8,
+            Tok::KwI16 => ScalarType::I16,
+            Tok::KwI32 => ScalarType::I32,
+            Tok::KwI64 => ScalarType::I64,
+            other => return Err(self.err(format!("expected scalar type, found {other:?}"))),
+        };
+        self.bump();
+        Ok(st)
+    }
+
+    fn is_type_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::KwU8
+                | Tok::KwU16
+                | Tok::KwU32
+                | Tok::KwU64
+                | Tok::KwI8
+                | Tok::KwI16
+                | Tok::KwI32
+                | Tok::KwI64
+                | Tok::KwBool
+                | Tok::KwVoid
+        )
+    }
+
+    fn ty(&mut self) -> Result<Type, CompileError> {
+        match self.peek() {
+            Tok::KwBool => {
+                self.bump();
+                Ok(Type::Bool)
+            }
+            Tok::KwVoid => {
+                self.bump();
+                Ok(Type::Void)
+            }
+            _ => {
+                let st = self.scalar_type()?;
+                if self.eat(Tok::Star) {
+                    Ok(Type::Ptr(st))
+                } else {
+                    Ok(st.as_type())
+                }
+            }
+        }
+    }
+
+    fn global(&mut self) -> Result<GlobalDef, CompileError> {
+        let (line, _) = self.here();
+        self.bump(); // global | const
+        let elem = self.scalar_type()?;
+        let name = self.ident()?;
+        self.expect(Tok::LBracket)?;
+        let declared_len = match self.peek() {
+            Tok::Int(n) => {
+                let n = *n;
+                self.bump();
+                Some(u32::try_from(n).map_err(|_| self.err("array length too large"))?)
+            }
+            _ => None,
+        };
+        self.expect(Tok::RBracket)?;
+        let mut init = Vec::new();
+        if self.eat(Tok::Assign) {
+            match self.peek().clone() {
+                Tok::LBrace => {
+                    self.bump();
+                    loop {
+                        if self.eat(Tok::RBrace) {
+                            break;
+                        }
+                        match self.peek().clone() {
+                            Tok::Int(v) => {
+                                self.bump();
+                                init.push(v);
+                            }
+                            Tok::Minus => {
+                                self.bump();
+                                match self.peek().clone() {
+                                    Tok::Int(v) => {
+                                        self.bump();
+                                        init.push((v as i64).wrapping_neg() as u64);
+                                    }
+                                    other => {
+                                        return Err(self.err(format!(
+                                            "expected integer after `-`, found {other:?}"
+                                        )))
+                                    }
+                                }
+                            }
+                            other => {
+                                return Err(
+                                    self.err(format!("expected integer, found {other:?}"))
+                                )
+                            }
+                        }
+                        if !self.eat(Tok::Comma) {
+                            self.expect(Tok::RBrace)?;
+                            break;
+                        }
+                    }
+                }
+                Tok::Str(bytes) => {
+                    self.bump();
+                    if elem != ScalarType::U8 && elem != ScalarType::I8 {
+                        return Err(self.err("string initializer requires an 8-bit element"));
+                    }
+                    init = bytes.iter().map(|b| u64::from(*b)).collect();
+                    init.push(0); // NUL terminator
+                }
+                other => return Err(self.err(format!("expected initializer, found {other:?}"))),
+            }
+        }
+        self.expect(Tok::Semi)?;
+        let len = match declared_len {
+            Some(n) => {
+                if init.len() > n as usize {
+                    return Err(self.err("initializer longer than declared array length"));
+                }
+                n
+            }
+            None => {
+                if init.is_empty() {
+                    return Err(self.err("array without length needs an initializer"));
+                }
+                init.len() as u32
+            }
+        };
+        Ok(GlobalDef {
+            name,
+            elem,
+            len,
+            init,
+            line,
+        })
+    }
+
+    fn func(&mut self) -> Result<FuncDef, CompileError> {
+        let (line, _) = self.here();
+        let ret = self.ty()?;
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(Tok::RParen) {
+            loop {
+                let t = self.ty()?;
+                let n = self.ident()?;
+                params.push((t, n));
+                if !self.eat(Tok::Comma) {
+                    self.expect(Tok::RParen)?;
+                    break;
+                }
+            }
+        }
+        let body = self.block()?;
+        Ok(FuncDef {
+            name,
+            params,
+            ret,
+            body,
+            line,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(Tok::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if self.peek() == &Tok::LBrace {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        match self.peek().clone() {
+            Tok::KwIf => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then = self.stmt_or_block()?;
+                let els = if self.eat(Tok::KwElse) {
+                    self.stmt_or_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then, els))
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.stmt_or_block()?;
+                Ok(Stmt::While(cond, body))
+            }
+            Tok::KwDo => {
+                self.bump();
+                let body = self.stmt_or_block()?;
+                self.expect(Tok::KwWhile)?;
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::DoWhile(body, cond))
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let init = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.simple_stmt()?)
+                };
+                self.expect(Tok::Semi)?;
+                let cond = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                let step = if self.peek() == &Tok::RParen {
+                    None
+                } else {
+                    Some(self.simple_stmt()?)
+                };
+                self.expect(Tok::RParen)?;
+                let body = self.stmt_or_block()?;
+                Ok(Stmt::For(Box::new(init), cond, Box::new(step), body))
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Break)
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Continue)
+            }
+            Tok::KwReturn => {
+                self.bump();
+                if self.eat(Tok::Semi) {
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(Tok::Semi)?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            Tok::KwOut => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Out(e))
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(Tok::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// A declaration, assignment or expression — the statement forms legal
+    /// in `for(…)` headers.
+    fn simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        if self.is_type_start() {
+            // declaration
+            let line = self.here();
+            let _ = line;
+            if self.peek() == &Tok::KwVoid {
+                return Err(self.err("cannot declare a void variable"));
+            }
+            let ty = self.ty()?;
+            let name = self.ident()?;
+            if self.eat(Tok::LBracket) {
+                let n = match self.peek().clone() {
+                    Tok::Int(n) => {
+                        self.bump();
+                        u32::try_from(n).map_err(|_| self.err("array too large"))?
+                    }
+                    other => return Err(self.err(format!("expected length, found {other:?}"))),
+                };
+                self.expect(Tok::RBracket)?;
+                let st = ty
+                    .scalar()
+                    .ok_or_else(|| self.err("array element must be a scalar type"))?;
+                return Ok(Stmt::ArrayDecl(st, name, n));
+            }
+            self.expect(Tok::Assign)?;
+            let e = self.expr()?;
+            return Ok(Stmt::Decl(ty, name, e));
+        }
+        // assignment / inc-dec / expression
+        let start = self.pos;
+        let e = self.expr()?;
+        let lv_of = |e: &Expr, p: &Parser<'_>| -> Result<LValue, CompileError> {
+            match &e.kind {
+                ExprKind::Ident(n) => Ok(LValue::Var(n.clone())),
+                ExprKind::Index(a, i) => Ok(LValue::Index((**a).clone(), (**i).clone())),
+                _ => Err(CompileError::new(
+                    "expression is not assignable",
+                    p.toks[start].line,
+                    p.toks[start].col,
+                )),
+            }
+        };
+        let compound = |op: BinOp| move |lhs: Expr, rhs: Expr| Expr {
+            line: lhs.line,
+            col: lhs.col,
+            kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+        };
+        match self.peek().clone() {
+            Tok::Assign => {
+                self.bump();
+                let rhs = self.expr()?;
+                Ok(Stmt::Assign(lv_of(&e, self)?, rhs))
+            }
+            Tok::PlusEq
+            | Tok::MinusEq
+            | Tok::StarEq
+            | Tok::SlashEq
+            | Tok::PercentEq
+            | Tok::AmpEq
+            | Tok::PipeEq
+            | Tok::CaretEq
+            | Tok::ShlEq
+            | Tok::ShrEq => {
+                let op = match self.bump() {
+                    Tok::PlusEq => BinOp::Add,
+                    Tok::MinusEq => BinOp::Sub,
+                    Tok::StarEq => BinOp::Mul,
+                    Tok::SlashEq => BinOp::Div,
+                    Tok::PercentEq => BinOp::Rem,
+                    Tok::AmpEq => BinOp::And,
+                    Tok::PipeEq => BinOp::Or,
+                    Tok::CaretEq => BinOp::Xor,
+                    Tok::ShlEq => BinOp::Shl,
+                    Tok::ShrEq => BinOp::Shr,
+                    _ => unreachable!(),
+                };
+                let rhs = self.expr()?;
+                Ok(Stmt::Assign(lv_of(&e, self)?, compound(op)(e, rhs)))
+            }
+            Tok::PlusPlus | Tok::MinusMinus => {
+                let op = if self.bump() == &Tok::PlusPlus {
+                    BinOp::Add
+                } else {
+                    BinOp::Sub
+                };
+                let one = Expr {
+                    kind: ExprKind::Int(1),
+                    line: e.line,
+                    col: e.col,
+                };
+                Ok(Stmt::Assign(lv_of(&e, self)?, compound(op)(e, one)))
+            }
+            _ => Ok(Stmt::Expr(e)),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, CompileError> {
+        let c = self.binary(0)?;
+        if self.eat(Tok::Question) {
+            let t = self.expr()?;
+            self.expect(Tok::Colon)?;
+            let f = self.expr()?;
+            Ok(Expr {
+                line: c.line,
+                col: c.col,
+                kind: ExprKind::Ternary(Box::new(c), Box::new(t), Box::new(f)),
+            })
+        } else {
+            Ok(c)
+        }
+    }
+
+    fn bin_op_prec(tok: &Tok) -> Option<(BinOp, u8)> {
+        Some(match tok {
+            Tok::OrOr => (BinOp::LogicalOr, 1),
+            Tok::AndAnd => (BinOp::LogicalAnd, 2),
+            Tok::Pipe => (BinOp::Or, 3),
+            Tok::Caret => (BinOp::Xor, 4),
+            Tok::Amp => (BinOp::And, 5),
+            Tok::EqEq => (BinOp::Eq, 6),
+            Tok::Ne => (BinOp::Ne, 6),
+            Tok::Lt => (BinOp::Lt, 7),
+            Tok::Le => (BinOp::Le, 7),
+            Tok::Gt => (BinOp::Gt, 7),
+            Tok::Ge => (BinOp::Ge, 7),
+            Tok::Shl => (BinOp::Shl, 8),
+            Tok::Shr => (BinOp::Shr, 8),
+            Tok::Plus => (BinOp::Add, 9),
+            Tok::Minus => (BinOp::Sub, 9),
+            Tok::Star => (BinOp::Mul, 10),
+            Tok::Slash => (BinOp::Div, 10),
+            Tok::Percent => (BinOp::Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        while let Some((op, prec)) = Self::bin_op_prec(self.peek()) {
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr {
+                line: lhs.line,
+                col: lhs.col,
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let (line, col) = self.here();
+        let mk = |kind| Expr { kind, line, col };
+        match self.peek().clone() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(mk(ExprKind::Unary(UnOp::Neg, Box::new(e))))
+            }
+            Tok::Tilde => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(mk(ExprKind::Unary(UnOp::Not, Box::new(e))))
+            }
+            Tok::Bang => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(mk(ExprKind::Unary(UnOp::LogicalNot, Box::new(e))))
+            }
+            Tok::Amp => {
+                self.bump();
+                // &name[index]
+                let base = self.postfix()?;
+                match base.kind {
+                    ExprKind::Index(a, i) => Ok(mk(ExprKind::AddrOf(a, i))),
+                    ExprKind::Ident(n) => {
+                        // &arr == &arr[0]
+                        let zero = Expr {
+                            kind: ExprKind::Int(0),
+                            line,
+                            col,
+                        };
+                        Ok(mk(ExprKind::AddrOf(
+                            Box::new(Expr {
+                                kind: ExprKind::Ident(n),
+                                line,
+                                col,
+                            }),
+                            Box::new(zero),
+                        )))
+                    }
+                    _ => Err(self.err("`&` requires an array element")),
+                }
+            }
+            Tok::LParen if self.type_cast_ahead() => {
+                self.bump();
+                let ty = self.ty()?;
+                self.expect(Tok::RParen)?;
+                let e = self.unary()?;
+                Ok(mk(ExprKind::Cast(ty, Box::new(e))))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    /// Looks ahead to distinguish `(u8)x` (cast) from `(x + y)` (grouping).
+    fn type_cast_ahead(&self) -> bool {
+        matches!(
+            self.peek_at(1),
+            Tok::KwU8
+                | Tok::KwU16
+                | Tok::KwU32
+                | Tok::KwU64
+                | Tok::KwI8
+                | Tok::KwI16
+                | Tok::KwI32
+                | Tok::KwI64
+                | Tok::KwBool
+        )
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let (line, col) = self.here();
+        let mut e = match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Expr {
+                    kind: ExprKind::Int(v),
+                    line,
+                    col,
+                }
+            }
+            Tok::KwTrue => {
+                self.bump();
+                Expr {
+                    kind: ExprKind::Bool(true),
+                    line,
+                    col,
+                }
+            }
+            Tok::KwFalse => {
+                self.bump();
+                Expr {
+                    kind: ExprKind::Bool(false),
+                    line,
+                    col,
+                }
+            }
+            Tok::KwVolatileLoad => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let a = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Expr {
+                    kind: ExprKind::VolatileLoad(Box::new(a)),
+                    line,
+                    col,
+                }
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.eat(Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(Tok::Comma) {
+                                self.expect(Tok::RParen)?;
+                                break;
+                            }
+                        }
+                    }
+                    Expr {
+                        kind: ExprKind::Call(name, args),
+                        line,
+                        col,
+                    }
+                } else {
+                    Expr {
+                        kind: ExprKind::Ident(name),
+                        line,
+                        col,
+                    }
+                }
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                e
+            }
+            other => return Err(self.err(format!("expected expression, found {other:?}"))),
+        };
+        while self.eat(Tok::LBracket) {
+            let i = self.expr()?;
+            self.expect(Tok::RBracket)?;
+            e = Expr {
+                line,
+                col,
+                kind: ExprKind::Index(Box::new(e), Box::new(i)),
+            };
+        }
+        Ok(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Unit {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_function_with_params() {
+        let u = parse_src("u32 f(u32 a, u8* p) { return a; }");
+        assert_eq!(u.funcs.len(), 1);
+        assert_eq!(u.funcs[0].params.len(), 2);
+        assert_eq!(u.funcs[0].params[1].0, Type::Ptr(ScalarType::U8));
+    }
+
+    #[test]
+    fn parses_global_with_init() {
+        let u = parse_src("const u32 t[4] = {1, 2, 3};");
+        assert_eq!(u.globals[0].len, 4);
+        assert_eq!(u.globals[0].init, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parses_string_global() {
+        let u = parse_src(r#"const u8 s[] = "hi";"#);
+        assert_eq!(u.globals[0].len, 3); // includes NUL
+        assert_eq!(u.globals[0].init, vec![104, 105, 0]);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let u = parse_src("u32 f() { return 1 + 2 * 3; }");
+        let Stmt::Return(Some(e)) = &u.funcs[0].body[0] else {
+            panic!()
+        };
+        let ExprKind::Binary(BinOp::Add, _, rhs) = &e.kind else {
+            panic!("expected add at top")
+        };
+        assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn compound_assign_desugared() {
+        let u = parse_src("void f() { u32 x = 0; x += 2; }");
+        let Stmt::Assign(LValue::Var(n), e) = &u.funcs[0].body[1] else {
+            panic!()
+        };
+        assert_eq!(n, "x");
+        assert!(matches!(e.kind, ExprKind::Binary(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn increment_desugared() {
+        let u = parse_src("void f() { u32 i = 0; i++; }");
+        assert!(matches!(&u.funcs[0].body[1], Stmt::Assign(_, _)));
+    }
+
+    #[test]
+    fn for_loop_parts() {
+        let u = parse_src("void f() { for (u32 i = 0; i < 10; i++) { out(i); } }");
+        let Stmt::For(init, cond, step, body) = &u.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(init.is_some());
+        assert!(cond.is_some());
+        assert!(step.is_some());
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn cast_vs_grouping() {
+        let u = parse_src("u32 f(u32 x) { return (u8)x + (x); }");
+        let Stmt::Return(Some(e)) = &u.funcs[0].body[0] else {
+            panic!()
+        };
+        let ExprKind::Binary(BinOp::Add, l, _) = &e.kind else {
+            panic!()
+        };
+        assert!(matches!(l.kind, ExprKind::Cast(Type::U8, _)));
+    }
+
+    #[test]
+    fn ternary_and_logical() {
+        let u = parse_src("u32 f(u32 a, u32 b) { return a && b ? a : b; }");
+        let Stmt::Return(Some(e)) = &u.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(e.kind, ExprKind::Ternary(_, _, _)));
+    }
+
+    #[test]
+    fn address_of_element() {
+        let u = parse_src("global u8 buf[8]; void f(u8* p) { f(&buf[2]); }");
+        let Stmt::Expr(e) = &u.funcs[0].body[0] else {
+            panic!()
+        };
+        let ExprKind::Call(_, args) = &e.kind else {
+            panic!()
+        };
+        assert!(matches!(args[0].kind, ExprKind::AddrOf(_, _)));
+    }
+
+    #[test]
+    fn syntax_error_position() {
+        let toks = lex("u32 f( { }").unwrap();
+        let err = parse(&toks).unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+}

@@ -1,0 +1,13 @@
+use bitspec::*;
+use mibench::{workload, Input};
+fn main() {
+    let w = workload("sha", Input::Large);
+    let base = build(&w, &BuildConfig::baseline()).unwrap();
+    let refr = simulate(&base, &w).unwrap().outputs;
+    let c = build(&w, &BuildConfig::bitspec_with(BitwidthHeuristic::Avg)).unwrap();
+    let ir = interpret(&c, &w).unwrap();
+    let sim = simulate(&c, &w).unwrap();
+    println!("ref  = {:?}", refr);
+    println!("ir   = {:?} (misspecs={})", ir.outputs, ir.stats.misspecs);
+    println!("sim  = {:?} (misspecs={})", sim.outputs, sim.counts.misspecs);
+}

@@ -1,0 +1,23 @@
+//! RQ5 deep dive: inverting the register allocator's handler-weight
+//! heuristic under the MIN heuristic (the paper's CFG_orig quality study).
+use bitspec::*;
+use mibench::{workload, Input};
+fn main() {
+    println!("{:<16} {:>14} {:>14}", "benchmark", "MIN dynΔ%", "MIN-inv dynΔ%");
+    for name in ["crc32", "dijkstra", "sha", "stringsearch"] {
+        let w = workload(name, Input::Large);
+        let base = build(&w, &BuildConfig::baseline()).unwrap();
+        let rb = simulate(&base, &w).unwrap();
+        let run_pref = |prefer: bool| {
+            let cfg = BuildConfig {
+                empirical_gate: false,
+                spill_prefer_orig: prefer,
+                ..BuildConfig::bitspec_with(BitwidthHeuristic::Min)
+            };
+            let c = build(&w, &cfg).unwrap();
+            let r = simulate(&c, &w).unwrap();
+            100.0 * (r.counts.dyn_insts as f64 / rb.counts.dyn_insts as f64 - 1.0)
+        };
+        println!("{name:<16} {:>13.1}% {:>13.1}%", run_pref(true), run_pref(false));
+    }
+}

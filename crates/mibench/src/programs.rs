@@ -1,0 +1,1015 @@
+//! The benchmark sources (mini-C).
+//!
+//! Each program reads its inputs from named globals (installed by the
+//! harness), computes, and emits checksums with `out(...)` — the
+//! observable stream both the interpreter and the simulator produce, which
+//! the differential tests compare.
+
+/// Returns the mini-C source of benchmark `name`.
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn source_of(name: &str) -> String {
+    match name {
+        "crc32" => CRC32.to_string(),
+        "fft" => fft_source(),
+        "basicmath" => BASICMATH.to_string(),
+        "bitcount" => BITCOUNT.to_string(),
+        "blowfish" => BLOWFISH.to_string(),
+        "dijkstra" => DIJKSTRA.to_string(),
+        "patricia" => PATRICIA.to_string(),
+        "qsort" => QSORT.to_string(),
+        "rijndael" => RIJNDAEL.to_string(),
+        "sha" => SHA.to_string(),
+        "stringsearch" => STRINGSEARCH.to_string(),
+        "susan-edges" => susan_edges(),
+        "susan-corners" => susan_corners(),
+        "susan-smoothing" => susan_smoothing(),
+        other => panic!("unknown benchmark `{other}`"),
+    }
+}
+
+/// RQ7: source variants where every integer variable was widened to
+/// 64 bits by the "programmer" (only dijkstra and stringsearch tolerate
+/// this without changing observable behaviour, as in the paper).
+pub fn rq7_wide_variant(name: &str) -> Option<String> {
+    match name {
+        "dijkstra" => Some(DIJKSTRA_W64.to_string()),
+        "stringsearch" => Some(STRINGSEARCH_W64.to_string()),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+const CRC32: &str = r#"
+// CRC-32 over newline-separated text, tracking per-line lengths in a
+// size_t-wide counter — the paper's CRC32 narrative: lengths are almost
+// always < 256, with rare long outliers.
+global u8 input[8192];
+global u32 crctab[256];
+
+void init_tab() {
+    for (u32 i = 0; i < 256; i++) {
+        u32 c = i;
+        for (u32 k = 0; k < 8; k++) {
+            if (c & 1) { c = 0xEDB88320 ^ (c >> 1); } else { c = c >> 1; }
+        }
+        crctab[i] = c;
+    }
+}
+
+void main() {
+    init_tab();
+    u32 pos = 0;
+    u32 total = 0;
+    u32 lines = 0;
+    u32 longest = 0;
+    while (input[pos] != 0) {
+        u32 crc = 0xFFFFFFFF;
+        u64 len = 0;
+        while (input[pos] != 0 && input[pos] != 10) {
+            u32 c = input[pos];
+            crc = crctab[(crc ^ c) & 0xFF] ^ (crc >> 8);
+            pos++;
+            len = len + 1;
+        }
+        if (input[pos] == 10) { pos++; }
+        total = total ^ (crc ^ 0xFFFFFFFF);
+        total += (u32)len;
+        if ((u32)len > longest) { longest = (u32)len; }
+        lines++;
+    }
+    out(total);
+    out(lines);
+    out(longest);
+}
+"#;
+
+fn fft_source() -> String {
+    // Twiddle factors for N = 64, Q10 fixed point (the paper's FFT is
+    // floating point; DESIGN.md records the fixed-point substitution).
+    let n = 64usize;
+    let mut cos_t = String::new();
+    let mut sin_t = String::new();
+    for k in 0..n / 2 {
+        let a = -2.0 * std::f64::consts::PI * (k as f64) / (n as f64);
+        cos_t.push_str(&format!("{}, ", (a.cos() * 1024.0).round() as i64));
+        sin_t.push_str(&format!("{}, ", (a.sin() * 1024.0).round() as i64));
+    }
+    format!(
+        r#"
+// Radix-2 in-place fixed-point FFT, N = 64, Q10 twiddles.
+global u8 wave[128];
+global i32 re[64];
+global i32 im[64];
+const i32 costab[32] = {{ {cos_t} }};
+const i32 sintab[32] = {{ {sin_t} }};
+
+u32 rev6(u32 x) {{
+    u32 r = 0;
+    for (u32 b = 0; b < 6; b++) {{
+        r = (r << 1) | (x & 1);
+        x = x >> 1;
+    }}
+    return r;
+}}
+
+void main() {{
+    // Parse little-endian i16 samples.
+    for (u32 i = 0; i < 64; i++) {{
+        u32 lo = wave[i * 2];
+        u32 hi = wave[i * 2 + 1];
+        i32 v = (i32)(i16)(u16)(lo | (hi << 8));
+        re[i] = v;
+        im[i] = 0;
+    }}
+    // Bit-reversal permutation.
+    for (u32 i = 0; i < 64; i++) {{
+        u32 j = rev6(i);
+        if (j > i) {{
+            i32 t = re[i]; re[i] = re[j]; re[j] = t;
+            i32 u = im[i]; im[i] = im[j]; im[j] = u;
+        }}
+    }}
+    // Butterflies.
+    for (u32 len = 2; len <= 64; len = len << 1) {{
+        u32 half = len >> 1;
+        u32 step = 64 / len;
+        for (u32 base = 0; base < 64; base += len) {{
+            for (u32 k = 0; k < half; k++) {{
+                u32 tw = k * step;
+                i32 wr = costab[tw];
+                i32 wi = sintab[tw];
+                i32 xr = re[base + k + half];
+                i32 xi = im[base + k + half];
+                i32 vr = (xr * wr - xi * wi) >> 10;
+                i32 vi = (xr * wi + xi * wr) >> 10;
+                i32 ur = re[base + k];
+                i32 ui = im[base + k];
+                re[base + k] = ur + vr;
+                im[base + k] = ui + vi;
+                re[base + k + half] = ur - vr;
+                im[base + k + half] = ui - vi;
+            }}
+        }}
+    }}
+    // Spectral checksum.
+    u32 acc = 0;
+    for (u32 i = 0; i < 64; i++) {{
+        i32 r = re[i];
+        i32 m = im[i];
+        if (r < 0) {{ r = 0 - r; }}
+        if (m < 0) {{ m = 0 - m; }}
+        acc += (u32)(r + m);
+    }}
+    out(acc);
+    out((u32)re[1]);
+    out((u32)im[7]);
+}}
+"#
+    )
+}
+
+const BASICMATH: &str = r#"
+// Integer square roots, GCDs and angle conversions over a number stream.
+global u32 nums[96];
+
+u32 isqrt(u32 x) {
+    u32 r = 0;
+    u32 bit = 1 << 30;
+    while (bit > x) { bit = bit >> 2; }
+    while (bit != 0) {
+        if (x >= r + bit) {
+            x -= r + bit;
+            r = (r >> 1) + bit;
+        } else {
+            r = r >> 1;
+        }
+        bit = bit >> 2;
+    }
+    return r;
+}
+
+u32 gcd(u32 a, u32 b) {
+    while (b != 0) {
+        u32 t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+void main() {
+    u32 s1 = 0;
+    u32 s2 = 0;
+    u32 s3 = 0;
+    for (u32 i = 0; i < 96; i++) {
+        u32 v = nums[i];
+        s1 += isqrt(v);
+        s2 ^= gcd(v | 1, (v >> 3) | 1);
+        // deg → rad in Q12: rad = deg * 71 / 4068 (pi/180 ≈ 71/4068).
+        u32 deg = v % 360;
+        u32 rad_q12 = (deg * 71 * 4096) / 4068;
+        s3 += rad_q12 >> 8;
+    }
+    out(s1);
+    out(s2);
+    out(s3);
+}
+"#;
+
+const BITCOUNT: &str = r#"
+// Five bit-counting strategies over a word stream (the MiBench kernel).
+global u32 words[256];
+global u8 bytetab[256];
+const u8 nibtab[16] = {0,1,1,2,1,2,2,3,1,2,2,3,2,3,3,4};
+
+u32 cnt_shift(u32 x) {
+    u32 c = 0;
+    while (x != 0) {
+        c += x & 1;
+        x = x >> 1;
+    }
+    return c;
+}
+
+u32 cnt_kernighan(u32 x) {
+    u32 c = 0;
+    while (x != 0) {
+        x = x & (x - 1);
+        c++;
+    }
+    return c;
+}
+
+u32 cnt_nibble(u32 x) {
+    u32 c = 0;
+    for (u32 i = 0; i < 8; i++) {
+        c += nibtab[x & 0xF];
+        x = x >> 4;
+    }
+    return c;
+}
+
+u32 cnt_byte(u32 x) {
+    return (u32)bytetab[x & 0xFF] + bytetab[(x >> 8) & 0xFF]
+         + bytetab[(x >> 16) & 0xFF] + bytetab[(x >> 24) & 0xFF];
+}
+
+u32 cnt_swar(u32 x) {
+    x = x - ((x >> 1) & 0x55555555);
+    x = (x & 0x33333333) + ((x >> 2) & 0x33333333);
+    x = (x + (x >> 4)) & 0x0F0F0F0F;
+    return (x * 0x01010101) >> 24;
+}
+
+void main() {
+    for (u32 i = 0; i < 256; i++) {
+        bytetab[i] = (u8)cnt_kernighan(i);
+    }
+    u32 a = 0; u32 b = 0; u32 c = 0; u32 d = 0; u32 e = 0;
+    for (u32 i = 0; i < 256; i++) {
+        u32 w = words[i];
+        a += cnt_shift(w);
+        b += cnt_kernighan(w);
+        c += cnt_nibble(w);
+        d += cnt_byte(w);
+        e += cnt_swar(w);
+    }
+    out(a); out(b); out(c); out(d); out(e);
+}
+"#;
+
+const BLOWFISH: &str = r#"
+// Blowfish ECB encryption: PRNG-seeded boxes (substituting the hexdigits
+// of pi, see DESIGN.md) + the genuine key schedule and 16-round Feistel
+// network with its byte-extraction F function.
+global u8 key[16];
+global u8 plain[1024];
+global u32 P[18];
+global u32 S0[256];
+global u32 S1[256];
+global u32 S2[256];
+global u32 S3[256];
+global u32 lr[2];
+
+u32 f(u32 x) {
+    u32 a = (x >> 24) & 0xFF;
+    u32 b = (x >> 16) & 0xFF;
+    u32 c = (x >> 8) & 0xFF;
+    u32 d = x & 0xFF;
+    return ((S0[a] + S1[b]) ^ S2[c]) + S3[d];
+}
+
+void encrypt_pair() {
+    u32 l = lr[0];
+    u32 r = lr[1];
+    for (u32 i = 0; i < 16; i++) {
+        l = l ^ P[i];
+        r = f(l) ^ r;
+        u32 t = l; l = r; r = t;
+    }
+    u32 t2 = lr[0];
+    lr[0] = r ^ P[17];
+    lr[1] = l ^ P[16];
+    t2 = 0;
+}
+
+void main() {
+    // Box initialization (LCG in place of pi digits).
+    u32 seed = 0x243F6A88;
+    for (u32 i = 0; i < 18; i++) { seed = seed * 1664525 + 1013904223; P[i] = seed; }
+    for (u32 i = 0; i < 256; i++) { seed = seed * 1664525 + 1013904223; S0[i] = seed; }
+    for (u32 i = 0; i < 256; i++) { seed = seed * 1664525 + 1013904223; S1[i] = seed; }
+    for (u32 i = 0; i < 256; i++) { seed = seed * 1664525 + 1013904223; S2[i] = seed; }
+    for (u32 i = 0; i < 256; i++) { seed = seed * 1664525 + 1013904223; S3[i] = seed; }
+    // Key mixing.
+    for (u32 i = 0; i < 18; i++) {
+        u32 k = 0;
+        for (u32 j = 0; j < 4; j++) {
+            k = (k << 8) | key[(i * 4 + j) % 16];
+        }
+        P[i] = P[i] ^ k;
+    }
+    // Key schedule: chain-encrypt zeros through P and the first S-box.
+    lr[0] = 0; lr[1] = 0;
+    for (u32 i = 0; i < 9; i++) {
+        encrypt_pair();
+        P[i * 2] = lr[0];
+        P[i * 2 + 1] = lr[1];
+    }
+    for (u32 i = 0; i < 128; i++) {
+        encrypt_pair();
+        S0[i * 2] = lr[0];
+        S0[i * 2 + 1] = lr[1];
+    }
+    // ECB-encrypt the payload.
+    u32 acc = 0;
+    for (u32 blk = 0; blk < 128; blk++) {
+        u32 l = 0;
+        u32 r = 0;
+        for (u32 j = 0; j < 4; j++) {
+            l = (l << 8) | plain[blk * 8 + j];
+            r = (r << 8) | plain[blk * 8 + 4 + j];
+        }
+        lr[0] = l; lr[1] = r;
+        encrypt_pair();
+        acc = acc ^ lr[0] ^ (lr[1] >> 3);
+    }
+    out(acc);
+}
+"#;
+
+const DIJKSTRA: &str = r#"
+// Repeated single-source shortest paths over a dense 32-node graph with
+// byte-sized edge weights (weight 200 = no edge).
+global u8 adj[1024];
+global u32 dist[32];
+global u8 visited[32];
+
+void shortest(u32 src) {
+    for (u32 i = 0; i < 32; i++) {
+        dist[i] = 1000000;
+        visited[i] = 0;
+    }
+    dist[src] = 0;
+    for (u32 it = 0; it < 32; it++) {
+        u32 best = 0xFFFFFFFF;
+        u32 u = 32;
+        for (u32 i = 0; i < 32; i++) {
+            if (visited[i] == 0 && dist[i] < best) {
+                best = dist[i];
+                u = i;
+            }
+        }
+        if (u == 32) { break; }
+        visited[u] = 1;
+        for (u32 v = 0; v < 32; v++) {
+            u32 w = adj[u * 32 + v];
+            if (w < 200) {
+                u32 nd = best + w;
+                if (nd < dist[v]) { dist[v] = nd; }
+            }
+        }
+    }
+}
+
+void main() {
+    u32 acc = 0;
+    for (u32 src = 0; src < 10; src++) {
+        shortest(src);
+        for (u32 i = 0; i < 32; i++) {
+            if (dist[i] < 1000000) { acc += dist[i]; }
+        }
+    }
+    out(acc);
+}
+"#;
+
+const DIJKSTRA_W64: &str = r#"
+// RQ7 variant: every integer variable widened to 64 bits.
+global u8 adj[1024];
+global u64 dist[32];
+global u8 visited[32];
+
+void shortest(u64 src) {
+    for (u64 i = 0; i < 32; i++) {
+        dist[i] = 1000000;
+        visited[i] = 0;
+    }
+    dist[src] = 0;
+    for (u64 it = 0; it < 32; it++) {
+        u64 best = 0xFFFFFFFFFFFF;
+        u64 u = 32;
+        for (u64 i = 0; i < 32; i++) {
+            if (visited[i] == 0 && dist[i] < best) {
+                best = dist[i];
+                u = i;
+            }
+        }
+        if (u == 32) { break; }
+        visited[u] = 1;
+        for (u64 v = 0; v < 32; v++) {
+            u64 w = adj[u * 32 + v];
+            if (w < 200) {
+                u64 nd = best + w;
+                if (nd < dist[v]) { dist[v] = nd; }
+            }
+        }
+    }
+}
+
+void main() {
+    u64 acc = 0;
+    for (u64 src = 0; src < 10; src++) {
+        shortest(src);
+        for (u64 i = 0; i < 32; i++) {
+            if (dist[i] < 1000000) { acc = acc + dist[i]; }
+        }
+    }
+    out((u32)acc);
+}
+"#;
+
+const PATRICIA: &str = r#"
+// Patricia-style radix trie over IPv4-like keys: insert-or-find with
+// bit-index tests, then membership queries.
+global u32 addrs[192];
+global u32 node_key[512];
+global u32 node_bit[512];
+global u32 node_left[512];
+global u32 node_right[512];
+global u32 meta[2]; // [0] = node count, [1] = hits
+
+u32 bit_of(u32 key, u32 b) {
+    return (key >> (31 - b)) & 1;
+}
+
+u32 find_leaf(u32 key) {
+    u32 n = 0;
+    while (node_bit[n] < 32) {
+        if (bit_of(key, node_bit[n]) != 0) {
+            n = node_right[n];
+        } else {
+            n = node_left[n];
+        }
+    }
+    return n;
+}
+
+void insert(u32 key) {
+    u32 count = meta[0];
+    if (count == 0) {
+        node_key[0] = key;
+        node_bit[0] = 32;
+        meta[0] = 1;
+        return;
+    }
+    u32 leaf = find_leaf(key);
+    u32 existing = node_key[leaf];
+    if (existing == key) { return; }
+    // First differing bit.
+    u32 diff = existing ^ key;
+    u32 b = 0;
+    while (((diff >> (31 - b)) & 1) == 0) { b++; }
+    // New internal node + new leaf.
+    u32 internal = count;
+    u32 newleaf = count + 1;
+    if (count + 2 > 512) { return; }
+    meta[0] = count + 2;
+    node_key[newleaf] = key;
+    node_bit[newleaf] = 32;
+    // Re-descend to the insertion point: the first node whose bit ≥ b.
+    u32 n = 0;
+    u32 parent = 0xFFFFFFFF;
+    u32 went_right = 0;
+    while (node_bit[n] < b && node_bit[n] < 32) {
+        parent = n;
+        went_right = bit_of(key, node_bit[n]);
+        if (went_right != 0) { n = node_right[n]; } else { n = node_left[n]; }
+    }
+    node_bit[internal] = b;
+    if (bit_of(key, b) != 0) {
+        node_right[internal] = newleaf;
+        node_left[internal] = n;
+    } else {
+        node_left[internal] = newleaf;
+        node_right[internal] = n;
+    }
+    if (parent == 0xFFFFFFFF) {
+        // New root: swap contents with slot 0.
+        u32 tb = node_bit[0]; u32 tk = node_key[0];
+        u32 tl = node_left[0]; u32 tr = node_right[0];
+        node_bit[0] = node_bit[internal]; node_key[0] = node_key[internal];
+        node_left[0] = node_left[internal]; node_right[0] = node_right[internal];
+        node_bit[internal] = tb; node_key[internal] = tk;
+        node_left[internal] = tl; node_right[internal] = tr;
+        if (node_left[0] == 0) { node_left[0] = internal; }
+        if (node_right[0] == 0) { node_right[0] = internal; }
+    } else if (went_right != 0) {
+        node_right[parent] = internal;
+    } else {
+        node_left[parent] = internal;
+    }
+}
+
+void main() {
+    meta[0] = 0;
+    meta[1] = 0;
+    for (u32 i = 0; i < 128; i++) {
+        insert(addrs[i]);
+    }
+    u32 hits = 0;
+    for (u32 i = 0; i < 192; i++) {
+        u32 leaf = find_leaf(addrs[i]);
+        if (node_key[leaf] == addrs[i]) { hits++; }
+    }
+    out(hits);
+    out(meta[0]);
+}
+"#;
+
+const QSORT: &str = r#"
+// Recursive quicksort driven through a comparison *function call* — the
+// paper's qsort pays misspeculation double-execution inside cmp.
+global u32 arr[600];
+
+i32 cmp(u32 a, u32 b) {
+    if (a < b) { return 0 - 1; }
+    if (a > b) { return 1; }
+    return 0;
+}
+
+void qs(u32 lo, u32 hi) {
+    if (lo >= hi) { return; }
+    u32 pivot = arr[(lo + hi) / 2];
+    u32 i = lo;
+    u32 j = hi;
+    while (i <= j) {
+        while (cmp(arr[i], pivot) < 0) { i++; }
+        while (cmp(arr[j], pivot) > 0) { j--; }
+        if (i <= j) {
+            u32 t = arr[i];
+            arr[i] = arr[j];
+            arr[j] = t;
+            i++;
+            if (j == 0) { break; }
+            j--;
+        }
+    }
+    if (j > lo) { qs(lo, j); }
+    if (i < hi) { qs(i, hi); }
+}
+
+void main() {
+    qs(0, 599);
+    u32 acc = 0;
+    u32 sorted = 1;
+    for (u32 i = 0; i < 600; i++) {
+        acc = acc * 31 + (arr[i] & 0xFFFF);
+        if (i > 0 && arr[i - 1] > arr[i]) { sorted = 0; }
+    }
+    out(acc);
+    out(sorted);
+}
+"#;
+
+const RIJNDAEL: &str = r#"
+// AES-128 ECB, byte-oriented: GF(2^8) log/alog S-box construction, key
+// expansion, and SubBytes/ShiftRows/MixColumns/AddRoundKey rounds — the
+// workload where BITSPEC peaks (28.2% in the paper).
+global u8 key[16];
+global u8 plain[896];
+global u8 sbox[256];
+global u8 alog[256];
+global u8 logt[256];
+global u8 rk[176];
+global u8 st[16];
+
+u8 xtime(u8 x) {
+    u32 v = (u32)x << 1;
+    if (x & 0x80) { v = v ^ 0x1B; }
+    return (u8)v;
+}
+
+u8 gmul(u8 a, u8 b) {
+    if (a == 0 || b == 0) { return 0; }
+    u32 s = (u32)logt[a] + logt[b];
+    if (s >= 255) { s -= 255; }
+    return alog[s];
+}
+
+void init_sbox() {
+    // Generator 3 over GF(2^8).
+    u8 a = 1;
+    for (u32 i = 0; i < 255; i++) {
+        alog[i] = a;
+        logt[a] = (u8)i;
+        a = a ^ xtime(a);
+    }
+    alog[255] = alog[0];
+    sbox[0] = 0x63;
+    for (u32 i = 1; i < 256; i++) {
+        u8 inv = alog[255 - logt[i]];
+        u32 x = inv;
+        u32 r = x;
+        for (u32 k = 0; k < 4; k++) {
+            x = ((x << 1) | (x >> 7)) & 0xFF;
+            r = r ^ x;
+        }
+        sbox[i] = (u8)(r ^ 0x63);
+    }
+}
+
+void expand_key() {
+    for (u32 i = 0; i < 16; i++) { rk[i] = key[i]; }
+    u8 rcon = 1;
+    for (u32 i = 16; i < 176; i += 4) {
+        u8 t0 = rk[i - 4];
+        u8 t1 = rk[i - 3];
+        u8 t2 = rk[i - 2];
+        u8 t3 = rk[i - 1];
+        if (i % 16 == 0) {
+            u8 tmp = t0;
+            t0 = sbox[t1] ^ rcon;
+            t1 = sbox[t2];
+            t2 = sbox[t3];
+            t3 = sbox[tmp];
+            rcon = xtime(rcon);
+        }
+        rk[i] = rk[i - 16] ^ t0;
+        rk[i + 1] = rk[i - 15] ^ t1;
+        rk[i + 2] = rk[i - 14] ^ t2;
+        rk[i + 3] = rk[i - 13] ^ t3;
+    }
+}
+
+void add_round_key(u32 round) {
+    for (u32 i = 0; i < 16; i++) {
+        st[i] = st[i] ^ rk[round * 16 + i];
+    }
+}
+
+void sub_shift() {
+    // SubBytes + ShiftRows combined.
+    for (u32 i = 0; i < 16; i++) { st[i] = sbox[st[i]]; }
+    u8 t = st[1]; st[1] = st[5]; st[5] = st[9]; st[9] = st[13]; st[13] = t;
+    u8 u = st[2]; st[2] = st[10]; st[10] = u;
+    u8 v = st[6]; st[6] = st[14]; st[14] = v;
+    u8 w = st[15]; st[15] = st[11]; st[11] = st[7]; st[7] = st[3]; st[3] = w;
+}
+
+void mix_columns() {
+    for (u32 c = 0; c < 4; c++) {
+        u8 a0 = st[c * 4];
+        u8 a1 = st[c * 4 + 1];
+        u8 a2 = st[c * 4 + 2];
+        u8 a3 = st[c * 4 + 3];
+        u8 x = a0 ^ a1 ^ a2 ^ a3;
+        st[c * 4]     = a0 ^ x ^ xtime(a0 ^ a1);
+        st[c * 4 + 1] = a1 ^ x ^ xtime(a1 ^ a2);
+        st[c * 4 + 2] = a2 ^ x ^ xtime(a2 ^ a3);
+        st[c * 4 + 3] = a3 ^ x ^ xtime(a3 ^ a0);
+    }
+}
+
+void main() {
+    init_sbox();
+    expand_key();
+    u32 acc = 0;
+    for (u32 blk = 0; blk < 56; blk++) {
+        for (u32 i = 0; i < 16; i++) { st[i] = plain[blk * 16 + i]; }
+        add_round_key(0);
+        for (u32 round = 1; round < 10; round++) {
+            sub_shift();
+            mix_columns();
+            add_round_key(round);
+        }
+        sub_shift();
+        add_round_key(10);
+        for (u32 i = 0; i < 16; i++) {
+            acc = (acc * 257) ^ st[i];
+        }
+    }
+    out(acc);
+    out(gmul(87, 131));
+}
+"#;
+
+const SHA: &str = r#"
+// SHA-1 with genuine padding; 32-bit rotate-heavy — the workload where
+// static demanded-bits analysis finds nothing (paper §2.2).
+global u8 message[3072];
+global u32 w[80];
+global u32 h[5];
+
+u32 rotl(u32 x, u32 n) {
+    return (x << n) | (x >> (32 - n));
+}
+
+void process(u32 base, u32 final_len, u32 is_final, u32 is_pad_only) {
+    for (u32 t = 0; t < 16; t++) {
+        u32 x = 0;
+        for (u32 b = 0; b < 4; b++) {
+            u32 idx = base + t * 4 + b;
+            u32 byte = 0;
+            if (is_final == 0) {
+                byte = message[idx];
+            } else {
+                u32 off = t * 4 + b;
+                if (is_pad_only == 0 && off < final_len) { byte = message[idx]; }
+                else if (is_pad_only == 0 && off == final_len) { byte = 0x80; }
+                else if (is_pad_only == 1 && off == 0 && final_len == 0xFFFFFFFF) { byte = 0; }
+                if (off == 56) { byte = (3072 * 8) >> 24 & 0xFF; }
+                if (off == 57) { byte = ((3072 * 8) >> 16) & 0xFF; }
+                if (off == 58) { byte = ((3072 * 8) >> 8) & 0xFF; }
+                if (off == 59) { byte = (3072 * 8) & 0xFF; }
+                if (off == 60) { byte = 0; }
+            }
+            x = (x << 8) | byte;
+        }
+        w[t] = x;
+    }
+    // Length goes in the last two words of the final block.
+    if (is_final == 1) {
+        w[14] = 0;
+        w[15] = 3072 * 8;
+        if (is_pad_only == 0) {
+            // first byte 0x80 already placed above when final_len < 64
+            w[0] = w[0] | 0;
+        }
+    }
+    for (u32 t = 16; t < 80; t++) {
+        w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+    }
+    u32 a = h[0]; u32 b = h[1]; u32 c = h[2]; u32 d = h[3]; u32 e = h[4];
+    for (u32 t = 0; t < 80; t++) {
+        u32 f = 0;
+        u32 k = 0;
+        if (t < 20) { f = (b & c) | ((~b) & d); k = 0x5A827999; }
+        else if (t < 40) { f = b ^ c ^ d; k = 0x6ED9EBA1; }
+        else if (t < 60) { f = (b & c) | (b & d) | (c & d); k = 0x8F1BBCDC; }
+        else { f = b ^ c ^ d; k = 0xCA62C1D6; }
+        u32 tmp = rotl(a, 5) + f + e + k + w[t];
+        e = d; d = c; c = rotl(b, 30); b = a; a = tmp;
+    }
+    h[0] += a; h[1] += b; h[2] += c; h[3] += d; h[4] += e;
+}
+
+void main() {
+    h[0] = 0x67452301; h[1] = 0xEFCDAB89; h[2] = 0x98BADCFE;
+    h[3] = 0x10325476; h[4] = 0xC3D2E1F0;
+    // 3072 bytes = 48 whole blocks; padding occupies one extra block.
+    for (u32 blk = 0; blk < 48; blk++) {
+        process(blk * 64, 64, 0, 0);
+    }
+    process(0, 0, 1, 0);
+    out(h[0]); out(h[1]); out(h[2]); out(h[3]); out(h[4]);
+}
+"#;
+
+const STRINGSEARCH: &str = r#"
+// Boyer–Moore–Horspool multi-pattern search. Lengths and positions use
+// u64 (the original's size_t) — the paper's Listing 1 scenario: patterns
+// ≤ 12 bytes, text lines ≤ 56, all comfortably 8-bit at run time.
+global u8 text[2048];
+global u8 pats[128];
+global u8 skip[256];
+
+u64 strlen8(u8* s) {
+    u64 n = 0;
+    while (s[n] != 0) { n = n + 1; }
+    return n;
+}
+
+u32 search(u8* pat, u64 patlen, u64 textlen) {
+    for (u32 i = 0; i < 256; i++) { skip[i] = (u8)patlen; }
+    for (u64 i = 0; i + 1 < patlen; i = i + 1) {
+        skip[pat[i]] = (u8)(patlen - 1 - i);
+    }
+    u32 found = 0;
+    u64 pos = patlen - 1;
+    while (pos < textlen) {
+        u64 j = 0;
+        while (j < patlen && pat[patlen - 1 - j] == text[pos - j]) {
+            j = j + 1;
+        }
+        if (j == patlen) {
+            found++;
+            pos = pos + patlen;
+        } else {
+            pos = pos + skip[text[pos]];
+        }
+    }
+    return found;
+}
+
+void main() {
+    u64 textlen = strlen8(text);
+    u32 total = 0;
+    u32 p = 0;
+    while (pats[p] != 0) {
+        u64 patlen = strlen8(&pats[p]);
+        total += search(&pats[p], patlen, textlen);
+        p = p + (u32)patlen + 1;
+    }
+    out(total);
+    out((u32)textlen);
+}
+"#;
+
+const STRINGSEARCH_W64: &str = r#"
+// RQ7 variant: all counters widened to 64 bits.
+global u8 text[2048];
+global u8 pats[128];
+global u8 skip[256];
+
+u64 strlen8(u8* s) {
+    u64 n = 0;
+    while (s[n] != 0) { n = n + 1; }
+    return n;
+}
+
+u64 search(u8* pat, u64 patlen, u64 textlen) {
+    for (u64 i = 0; i < 256; i = i + 1) { skip[i] = (u8)patlen; }
+    for (u64 i = 0; i + 1 < patlen; i = i + 1) {
+        skip[pat[i]] = (u8)(patlen - 1 - i);
+    }
+    u64 found = 0;
+    u64 pos = patlen - 1;
+    while (pos < textlen) {
+        u64 j = 0;
+        while (j < patlen && pat[patlen - 1 - j] == text[pos - j]) {
+            j = j + 1;
+        }
+        if (j == patlen) {
+            found = found + 1;
+            pos = pos + patlen;
+        } else {
+            pos = pos + skip[text[pos]];
+        }
+    }
+    return found;
+}
+
+void main() {
+    u64 textlen = strlen8(text);
+    u64 total = 0;
+    u64 p = 0;
+    while (pats[p] != 0) {
+        u64 patlen = strlen8(&pats[p]);
+        total = total + search(&pats[p], patlen, textlen);
+        p = p + patlen + 1;
+    }
+    out((u32)total);
+    out((u32)textlen);
+}
+"#;
+
+/// Shared SUSAN preamble: the brightness-similarity LUT and image access.
+const SUSAN_COMMON: &str = r#"
+global u8 image[1024];
+global u8 lut[512];
+
+void init_lut() {
+    // Brightness-similarity table: 100 * exp(-(d/t)^6) approximated with
+    // an integer rational falloff, t = 27 (SUSAN's default threshold).
+    for (i32 d = 0 - 255; d <= 255; d++) {
+        i32 ad = d;
+        if (ad < 0) { ad = 0 - ad; }
+        u32 num = 100 * 27 * 27;
+        u32 den = 27 * 27 + (u32)(ad * ad);
+        u32 v = num / den;
+        if (ad > 60) { v = 0; }
+        lut[(u32)(d + 256)] = (u8)v;
+    }
+}
+
+u32 usan(u32 x, u32 y) {
+    // Sum of brightness similarities over a 5x5 mask (the circular 37-pixel
+    // mask trimmed to our 32x32 images).
+    i32 center = image[y * 32 + x];
+    u32 n = 0;
+    for (u32 dy = 0; dy < 5; dy++) {
+        for (u32 dx = 0; dx < 5; dx++) {
+            u32 px = x + dx - 2;
+            u32 py = y + dy - 2;
+            i32 p = image[py * 32 + px];
+            n += lut[(u32)(p - center + 256)];
+        }
+    }
+    return n;
+}
+"#;
+
+pub(crate) fn susan_edges() -> String {
+    format!(
+        "{SUSAN_COMMON}\n{}",
+        r#"
+void main() {
+    init_lut();
+    u32 gmax = 2500; // geometric threshold ~ 3/4 of max USAN
+    u32 edges = 0;
+    u32 acc = 0;
+    for (u32 y = 2; y < 30; y++) {
+        for (u32 x = 2; x < 30; x++) {
+            u32 n = usan(x, y);
+            if (n < gmax) {
+                u32 r = gmax - n;
+                acc += r >> 4;
+                if (r > 600) { edges++; }
+            }
+        }
+    }
+    out(acc);
+    out(edges);
+}
+"#
+    )
+}
+
+pub(crate) fn susan_corners() -> String {
+    format!(
+        "{SUSAN_COMMON}\n{}",
+        r#"
+void main() {
+    init_lut();
+    u32 gmax = 1400; // tighter geometric threshold for corners
+    u32 corners = 0;
+    u32 acc = 0;
+    for (u32 y = 2; y < 30; y++) {
+        for (u32 x = 2; x < 30; x++) {
+            u32 n = usan(x, y);
+            if (n < gmax) {
+                u32 r = gmax - n;
+                acc += r;
+                if (r > 500) { corners++; }
+            }
+        }
+    }
+    out(acc);
+    out(corners);
+}
+"#
+    )
+}
+
+pub(crate) fn susan_smoothing() -> String {
+    format!(
+        "{SUSAN_COMMON}\nglobal u8 smoothed[1024];\n{}",
+        r#"
+void main() {
+    init_lut();
+    for (u32 y = 2; y < 30; y++) {
+        for (u32 x = 2; x < 30; x++) {
+            i32 center = image[y * 32 + x];
+            u32 total = 0;
+            u32 weight = 0;
+            for (u32 dy = 0; dy < 5; dy++) {
+                for (u32 dx = 0; dx < 5; dx++) {
+                    if (dx == 2 && dy == 2) { continue; }
+                    u32 px = x + dx - 2;
+                    u32 py = y + dy - 2;
+                    i32 p = image[py * 32 + px];
+                    u32 wgt = lut[(u32)(p - center + 256)];
+                    total += wgt * (u32)p;
+                    weight += wgt;
+                }
+            }
+            if (weight > 0) {
+                smoothed[y * 32 + x] = (u8)(total / weight);
+            } else {
+                smoothed[y * 32 + x] = (u8)center;
+            }
+        }
+    }
+    u32 acc = 0;
+    for (u32 i = 0; i < 1024; i++) {
+        acc = acc * 31 + smoothed[i];
+    }
+    out(acc);
+}
+"#
+    )
+}

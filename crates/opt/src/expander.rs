@@ -1,0 +1,720 @@
+//! The expander (§3.2.1): aggressive function inlining and loop unrolling.
+//!
+//! The paper implements these with NOELLE and tunes three knobs with an
+//! auto-tuner (unrolling factor, max function size, max loop size),
+//! targeting minimum dynamic instructions on the BASELINE architecture. We
+//! implement both transformations from scratch; the tuner lives in the
+//! bench harness (`bench/src/bin/tuner.rs`) and the defaults below are its
+//! output on the MiBench-like suite.
+
+use crate::ssa_repair::SsaRepair;
+use sir::loops::{find_loops, NaturalLoop};
+use sir::{BlockId, FuncId, Function, Inst, Module, Terminator, ValueId};
+use std::collections::{HashMap, HashSet};
+
+/// Expander knobs (§3.2.1). `unroll_factor` bounds how many times any loop
+/// body is replicated; `max_func_size`/`max_loop_size` bound the static
+/// instruction count any function/loop may reach through expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpanderConfig {
+    pub unroll_factor: u32,
+    pub max_func_size: usize,
+    pub max_loop_size: usize,
+    /// Master switch (RQ4 runs with the expander disabled).
+    pub enabled: bool,
+}
+
+impl Default for ExpanderConfig {
+    fn default() -> Self {
+        // Auto-tuned configuration: `bench/src/bin/tuner.rs` grid-searched
+        // (unroll × loop budget × function budget) for minimum BASELINE
+        // dynamic instructions across the suite, matching the paper's
+        // OpenTuner procedure.
+        ExpanderConfig {
+            unroll_factor: 8,
+            max_func_size: 4000,
+            max_loop_size: 400,
+            enabled: true,
+        }
+    }
+}
+
+/// Runs inlining then unrolling over the whole module, followed by cleanup.
+pub fn expand_module(m: &mut Module, cfg: &ExpanderConfig) {
+    if !cfg.enabled {
+        return;
+    }
+    inline_pass(m, cfg);
+    for fid in m.func_ids().collect::<Vec<_>>() {
+        unroll_function(m.func_mut(fid), cfg);
+    }
+    crate::simplify::run(m);
+    crate::dce::run(m);
+}
+
+// --------------------------------------------------------------------------
+// Inlining
+// --------------------------------------------------------------------------
+
+fn inline_pass(m: &mut Module, cfg: &ExpanderConfig) {
+    // Iterate to a fixpoint bounded by the size budget.
+    for _round in 0..8 {
+        let mut any = false;
+        for caller in m.func_ids().collect::<Vec<_>>() {
+            loop {
+                let Some((block, idx, callee)) = find_inline_site(m, caller, cfg) else {
+                    break;
+                };
+                let callee_clone = m.func(callee).clone();
+                inline_at(m.func_mut(caller), block, idx, &callee_clone);
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+}
+
+fn find_inline_site(
+    m: &Module,
+    caller: FuncId,
+    cfg: &ExpanderConfig,
+) -> Option<(BlockId, usize, FuncId)> {
+    let f = m.func(caller);
+    let caller_size = f.static_size();
+    for b in f.block_ids() {
+        for (i, &v) in f.block(b).insts.iter().enumerate() {
+            if let Inst::Call { callee, .. } = f.inst(v) {
+                if *callee == caller {
+                    continue; // direct recursion
+                }
+                let callee_f = m.func(*callee);
+                if calls_function(callee_f, caller) || calls_function(callee_f, *callee) {
+                    continue; // mutual/self recursion in callee
+                }
+                let callee_size = callee_f.static_size();
+                if caller_size + callee_size <= cfg.max_func_size {
+                    return Some((b, i, *callee));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn calls_function(f: &Function, target: FuncId) -> bool {
+    f.insts
+        .iter()
+        .any(|i| matches!(i, Inst::Call { callee, .. } if *callee == target))
+}
+
+/// Inlines `callee` at instruction index `idx` of `block` in `f`.
+///
+/// The call instruction must be at that position.
+fn inline_at(f: &mut Function, block: BlockId, idx: usize, callee: &Function) {
+    let call_v = f.block(block).insts[idx];
+    let Inst::Call { args, ret, .. } = f.inst(call_v).clone() else {
+        panic!("inline_at: not a call");
+    };
+    // Split off everything after the call into the continuation block.
+    let cont = f.split_block(block, idx + 1);
+    // Remove the call from its block (it will be replaced by the clone's
+    // return value).
+    f.block_mut(block).insts.pop();
+
+    // Clone callee bodies.
+    let mut vmap: HashMap<ValueId, ValueId> = HashMap::new();
+    let mut bmap: HashMap<BlockId, BlockId> = HashMap::new();
+    for cb in callee.block_ids() {
+        bmap.insert(cb, f.add_block());
+    }
+    // Parameters map to the call arguments.
+    for (i, a) in args.iter().enumerate() {
+        vmap.insert(callee.param_value(i), *a);
+    }
+    // Pass 1: clone all instructions with *callee-space* operands, building
+    // the value map. Pass 2 remaps operands exactly once (this also handles
+    // forward references through φs).
+    let mut new_values: Vec<ValueId> = Vec::new();
+    for cb in callee.block_ids() {
+        let nb = bmap[&cb];
+        for &cv in &callee.block(cb).insts {
+            let inst = callee.inst(cv);
+            if matches!(inst, Inst::Param { .. }) {
+                continue;
+            }
+            let nv = f.add_inst(inst.clone());
+            f.block_mut(nb).insts.push(nv);
+            vmap.insert(cv, nv);
+            new_values.push(nv);
+        }
+    }
+    for &nv in &new_values {
+        let mut inst = f.inst(nv).clone();
+        inst.map_operands(|v| *vmap.get(&v).unwrap_or(&v));
+        if let Inst::Phi { incomings, .. } = &mut inst {
+            for (pb, _) in incomings {
+                *pb = bmap[pb];
+            }
+        }
+        *f.inst_mut(nv) = inst;
+    }
+    let mut rets: Vec<(BlockId, Option<ValueId>)> = Vec::new();
+    for cb in callee.block_ids() {
+        let nb = bmap[&cb];
+        let term = match callee.block(cb).term.clone() {
+            Terminator::Br(t) => Terminator::Br(bmap[&t]),
+            Terminator::CondBr {
+                cond,
+                if_true,
+                if_false,
+            } => Terminator::CondBr {
+                cond: *vmap.get(&cond).unwrap_or(&cond),
+                if_true: bmap[&if_true],
+                if_false: bmap[&if_false],
+            },
+            Terminator::Ret(v) => {
+                let v = v.map(|v| *vmap.get(&v).unwrap_or(&v));
+                rets.push((nb, v));
+                Terminator::Br(cont)
+            }
+            Terminator::Unreachable => Terminator::Unreachable,
+        };
+        f.block_mut(nb).term = term;
+    }
+    // Enter the clone.
+    f.block_mut(block).term = Terminator::Br(bmap[&callee.entry]);
+    // Merge return values at the continuation.
+    if ret.is_some() {
+        let merged = match rets.len() {
+            0 => {
+                // Callee never returns; continuation is dead.
+                let c = f.add_inst(Inst::Const {
+                    width: ret.unwrap(),
+                    value: 0,
+                });
+                f.block_mut(cont).insts.insert(0, c);
+                c
+            }
+            1 => rets[0].1.expect("non-void return"),
+            _ => {
+                let phi = f.add_inst(Inst::Phi {
+                    width: ret.unwrap(),
+                    incomings: rets
+                        .iter()
+                        .map(|(b, v)| (*b, v.expect("non-void return")))
+                        .collect(),
+                });
+                f.block_mut(cont).insts.insert(0, phi);
+                phi
+            }
+        };
+        // Replace all uses of the old call result.
+        f.replace_all_uses(call_v, merged);
+    }
+    // The continuation may have had φs naming `block` as predecessor; they
+    // were moved by split_block already. But the return-merge edges are new:
+    // any pre-existing φ in `cont` with incoming from `block` must be split
+    // across the return blocks. split_block rewired (block→cont) φs to point
+    // at cont's new id… there were none since cont is fresh. Nothing to do.
+}
+
+// --------------------------------------------------------------------------
+// Unrolling
+// --------------------------------------------------------------------------
+
+/// Unrolls every eligible natural loop of `f` by the configured factor.
+pub fn unroll_function(f: &mut Function, cfg: &ExpanderConfig) {
+    if cfg.unroll_factor < 2 {
+        return;
+    }
+    let mut processed: HashSet<BlockId> = HashSet::new();
+    // Re-discover loops after each transformation (ids stay stable since
+    // cloning only appends blocks).
+    loop {
+        let loops = find_loops(f);
+        let Some(l) = loops.iter().find(|l| {
+            !processed.contains(&l.header)
+                && single_backedge(f, l)
+                && loop_size(f, l) * (cfg.unroll_factor as usize) <= cfg.max_loop_size
+                && f.static_size() + loop_size(f, l) * (cfg.unroll_factor as usize - 1)
+                    <= cfg.max_func_size
+        }) else {
+            break;
+        };
+        let header = l.header;
+        unroll_loop(f, l, cfg.unroll_factor);
+        processed.insert(header);
+    }
+}
+
+fn single_backedge(f: &Function, l: &NaturalLoop) -> bool {
+    let mut n = 0;
+    for &b in &l.blocks {
+        for s in f.succs(b) {
+            if s == l.header {
+                n += 1;
+            }
+        }
+    }
+    n == 1
+}
+
+fn loop_size(f: &Function, l: &NaturalLoop) -> usize {
+    l.blocks
+        .iter()
+        .map(|b| f.block(*b).insts.len() + 1)
+        .sum()
+}
+
+fn unroll_loop(f: &mut Function, l: &NaturalLoop, factor: u32) {
+    let header = l.header;
+    let latch = l.latch;
+    let in_loop: HashSet<BlockId> = l.blocks.iter().copied().collect();
+    // Deterministic block order (HashSet iteration varies per process and
+    // would perturb clone numbering, allocation and measured energy).
+    let mut loop_blocks: Vec<BlockId> = l.blocks.iter().copied().collect();
+    loop_blocks.sort();
+    // Values defined in the loop (for live-out repair and remapping).
+    let loop_defs: Vec<ValueId> = loop_blocks
+        .iter()
+        .flat_map(|b| f.block(*b).insts.clone())
+        .collect();
+    // Header φs and their latch-incoming values.
+    let header_phis: Vec<(ValueId, ValueId)> = f
+        .block(header)
+        .insts
+        .iter()
+        .filter_map(|&v| match f.inst(v) {
+            Inst::Phi { incomings, .. } => incomings
+                .iter()
+                .find(|(p, _)| *p == latch)
+                .map(|(_, u)| (v, *u)),
+            _ => None,
+        })
+        .collect();
+
+    // map[c] : orig value/block → copy c's value/block (map[0] = identity).
+    let mut vmaps: Vec<HashMap<ValueId, ValueId>> = vec![HashMap::new()];
+    let mut bmaps: Vec<HashMap<BlockId, BlockId>> = vec![HashMap::new()];
+    let copies = factor as usize - 1;
+    for c in 1..=copies {
+        let mut vmap = HashMap::new();
+        let mut bmap = HashMap::new();
+        for &b in &loop_blocks {
+            bmap.insert(b, f.add_block());
+        }
+        // Header φs in copy c resolve to the latch value from copy c-1.
+        let resolve_prev = |v: ValueId, prev: &HashMap<ValueId, ValueId>| -> ValueId {
+            *prev.get(&v).unwrap_or(&v)
+        };
+        for &(phi, u) in &header_phis {
+            let val = resolve_prev(u, &vmaps[c - 1]);
+            vmap.insert(phi, val);
+        }
+        // Clone instructions block by block (two-pass for forward refs).
+        let block_order: Vec<BlockId> = {
+            // RPO restricted to loop blocks for better def-before-use odds.
+            f.rpo().into_iter().filter(|b| in_loop.contains(b)).collect()
+        };
+        for &b in &block_order {
+            let nb = bmap[&b];
+            for &v in &f.block(b).insts.clone() {
+                if b == header && header_phis.iter().any(|(p, _)| *p == v) {
+                    continue; // φ replaced by mapping
+                }
+                let nv = f.add_inst(f.inst(v).clone());
+                f.block_mut(nb).insts.push(nv);
+                vmap.insert(v, nv);
+            }
+        }
+        // Second pass: remap operands of all cloned instructions.
+        for &b in &block_order {
+            let nb = bmap[&b];
+            for &nv in &f.block(nb).insts.clone() {
+                let mut inst = f.inst(nv).clone();
+                inst.map_operands(|v| *vmap.get(&v).unwrap_or(&v));
+                if let Inst::Phi { incomings, .. } = &mut inst {
+                    for (pb, _) in incomings {
+                        if let Some(nb2) = bmap.get(pb) {
+                            *pb = *nb2;
+                        }
+                    }
+                }
+                *f.inst_mut(nv) = inst;
+            }
+        }
+        // Terminators.
+        for &b in &block_order {
+            let nb = bmap[&b];
+            let mut term = f.block(b).term.clone();
+            term.map_operands(|v| *vmap.get(&v).unwrap_or(&v));
+            term.map_successors(|s| {
+                if s == header && b == latch {
+                    // back edge: handled below
+                    s
+                } else if let Some(ns) = bmap.get(&s) {
+                    *ns
+                } else {
+                    s // exit edge
+                }
+            });
+            f.block_mut(nb).term = term;
+        }
+        vmaps.push(vmap);
+        bmaps.push(bmap);
+    }
+
+    // Rewire back edges: orig latch → copy1 header; copy c latch → copy c+1
+    // header; last copy latch → orig header.
+    let copy_header = |c: usize| -> BlockId {
+        if c == 0 {
+            header
+        } else {
+            bmaps[c][&header]
+        }
+    };
+    let copy_latch = |c: usize, bmaps: &[HashMap<BlockId, BlockId>]| -> BlockId {
+        if c == 0 {
+            latch
+        } else {
+            bmaps[c][&latch]
+        }
+    };
+    for c in 0..=copies {
+        let next_header = copy_header((c + 1) % (copies + 1));
+        let lb = copy_latch(c, &bmaps);
+        let mut term = f.block(lb).term.clone();
+        term.map_successors(|s| if s == header { next_header } else { s });
+        f.block_mut(lb).term = term;
+    }
+    // Header φ latch edges now come from the LAST copy's latch.
+    let last = copies;
+    let last_latch = copy_latch(last, &bmaps);
+    for &(phi, u) in &header_phis {
+        let mapped_u = *vmaps[last].get(&u).unwrap_or(&u);
+        if let Inst::Phi { incomings, .. } = f.inst_mut(phi) {
+            for (pb, pv) in incomings {
+                if *pb == latch {
+                    *pb = last_latch;
+                    *pv = mapped_u;
+                }
+            }
+        }
+    }
+    // Exit-target φs gain incoming edges from each copy's exiting blocks.
+    let exit_targets: Vec<BlockId> = l.exit_targets(f);
+    for &et in &exit_targets {
+        let phis: Vec<ValueId> = f
+            .block(et)
+            .insts
+            .iter()
+            .copied()
+            .filter(|v| f.inst(*v).is_phi())
+            .collect();
+        for p in phis {
+            if let Inst::Phi { incomings, .. } = f.inst(p).clone() {
+                let mut inc = incomings.clone();
+                for (pb, pv) in &incomings {
+                    if in_loop.contains(pb) {
+                        for c in 1..=copies {
+                            let npb = bmaps[c][pb];
+                            let npv = *vmaps[c].get(pv).unwrap_or(pv);
+                            inc.push((npb, npv));
+                        }
+                    }
+                }
+                if let Inst::Phi { incomings: i2, .. } = f.inst_mut(p) {
+                    *i2 = inc;
+                }
+            }
+        }
+    }
+    // SSA repair for loop-defined values used outside the loop (and outside
+    // the copies): each copy provides an alternative definition.
+    if copies > 0 {
+        let all_clone_blocks: HashSet<BlockId> = bmaps
+            .iter()
+            .skip(1)
+            .flat_map(|bm| bm.values().copied())
+            .collect();
+        let mut repair = SsaRepair::new(f);
+        let mut vars: HashMap<ValueId, u32> = HashMap::new();
+        // Pre-register definitions per copy.
+        let def_block_of: HashMap<ValueId, BlockId> = sir::dom::def_blocks(f);
+        for &d in &loop_defs {
+            let Some(w) = f.value_width(d) else { continue };
+            // Used outside?
+            let used_outside = value_used_outside(f, d, &in_loop, &all_clone_blocks);
+            if !used_outside {
+                continue;
+            }
+            let var = repair.fresh_var(w);
+            vars.insert(d, var);
+            let db = def_block_of[&d];
+            repair.define(var, db, d);
+            for c in 1..=copies {
+                if let Some(nd) = vmaps[c].get(&d) {
+                    let ndb = bmaps[c][&db];
+                    repair.define(var, ndb, *nd);
+                }
+            }
+        }
+        if !vars.is_empty() {
+            rewrite_outside_uses(f, &vars, &in_loop, &all_clone_blocks, &mut repair);
+        }
+    }
+    f.remove_unreachable_blocks();
+}
+
+fn value_used_outside(
+    f: &Function,
+    d: ValueId,
+    in_loop: &HashSet<BlockId>,
+    clones: &HashSet<BlockId>,
+) -> bool {
+    for b in f.block_ids() {
+        let inside = in_loop.contains(&b) || clones.contains(&b);
+        if inside {
+            continue;
+        }
+        for &v in &f.block(b).insts {
+            if f.inst(v).is_phi() {
+                // φ uses count at the incoming predecessor, handled above.
+                if let Inst::Phi { incomings, .. } = f.inst(v) {
+                    for (pb, pv) in incomings {
+                        if *pv == d && !in_loop.contains(pb) && !clones.contains(pb) {
+                            return true;
+                        }
+                    }
+                }
+                continue;
+            }
+            if f.inst(v).operands().contains(&d) {
+                return true;
+            }
+        }
+        if f.block(b).term.operands().contains(&d) {
+            return true;
+        }
+    }
+    false
+}
+
+fn rewrite_outside_uses(
+    f: &mut Function,
+    vars: &HashMap<ValueId, u32>,
+    in_loop: &HashSet<BlockId>,
+    clones: &HashSet<BlockId>,
+    repair: &mut SsaRepair,
+) {
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if in_loop.contains(&b) || clones.contains(&b) {
+            continue;
+        }
+        let insts = f.block(b).insts.clone();
+        for v in insts {
+            let inst = f.inst(v).clone();
+            if let Inst::Phi { mut incomings, width } = inst {
+                let mut changed = false;
+                for (pb, pv) in &mut incomings {
+                    if let Some(&var) = vars.get(pv) {
+                        if !in_loop.contains(pb) && !clones.contains(pb) {
+                            *pv = repair.read_at_exit(f, var, *pb);
+                            changed = true;
+                        }
+                    }
+                }
+                if changed {
+                    *f.inst_mut(v) = Inst::Phi { width, incomings };
+                }
+            } else {
+                let needs = inst.operands().iter().any(|o| vars.contains_key(o));
+                if needs {
+                    let mut reads: HashMap<ValueId, ValueId> = HashMap::new();
+                    for o in inst.operands() {
+                        if let Some(&var) = vars.get(&o) {
+                            let r = repair.read_at_entry(f, var, b);
+                            reads.insert(o, r);
+                        }
+                    }
+                    let mut inst2 = inst.clone();
+                    inst2.map_operands(|o| *reads.get(&o).unwrap_or(&o));
+                    *f.inst_mut(v) = inst2;
+                }
+            }
+        }
+        let term_ops = f.block(b).term.operands();
+        if term_ops.iter().any(|o| vars.contains_key(o)) {
+            let mut reads: HashMap<ValueId, ValueId> = HashMap::new();
+            for o in term_ops {
+                if let Some(&var) = vars.get(&o) {
+                    let r = repair.read_at_entry(f, var, b);
+                    reads.insert(o, r);
+                }
+            }
+            let mut term = f.block(b).term.clone();
+            term.map_operands(|o| *reads.get(&o).unwrap_or(&o));
+            f.block_mut(b).term = term;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp::Interpreter;
+
+    fn outputs_of(m: &sir::Module) -> Vec<u32> {
+        let mut i = Interpreter::new(m);
+        i.run("main", &[]).unwrap().outputs
+    }
+
+    fn expanded(src: &str, cfg: &ExpanderConfig) -> (sir::Module, sir::Module) {
+        let m0 = lang::compile("t", src).unwrap();
+        let mut m1 = m0.clone();
+        expand_module(&mut m1, cfg);
+        sir::verify::verify_module(&m1).expect("expanded module verifies");
+        (m0, m1)
+    }
+
+    #[test]
+    fn inlining_preserves_behaviour() {
+        let src = "
+            u32 sq(u32 x) { return x * x; }
+            u32 tw(u32 x) { return sq(x) + sq(x + 1); }
+            void main() { for (u32 i = 0; i < 5; i++) { out(tw(i)); } }
+        ";
+        let (m0, m1) = expanded(src, &ExpanderConfig::default());
+        assert_eq!(outputs_of(&m0), outputs_of(&m1));
+        // main should no longer contain calls.
+        let f = m1.func(m1.func_by_name("main").unwrap());
+        let calls = f
+            .block_ids()
+            .flat_map(|b| f.block(b).insts.clone())
+            .filter(|v| matches!(f.inst(*v), Inst::Call { .. }))
+            .count();
+        assert_eq!(calls, 0, "all calls should be inlined");
+    }
+
+    #[test]
+    fn recursive_functions_not_inlined() {
+        let src = "
+            u32 fib(u32 n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+            void main() { out(fib(8)); }
+        ";
+        let (m0, m1) = expanded(src, &ExpanderConfig::default());
+        assert_eq!(outputs_of(&m0), outputs_of(&m1));
+    }
+
+    #[test]
+    fn unrolling_preserves_behaviour_various_trip_counts() {
+        for n in [0u32, 1, 3, 4, 7, 8, 13] {
+            let src = format!(
+                "void main() {{
+                    u32 s = 0;
+                    for (u32 i = 0; i < {n}; i++) {{ s += i * i; }}
+                    out(s);
+                }}"
+            );
+            let (m0, m1) = expanded(&src, &ExpanderConfig::default());
+            assert_eq!(outputs_of(&m0), outputs_of(&m1), "trip count {n}");
+        }
+    }
+
+    #[test]
+    fn unrolling_with_memory_side_effects() {
+        let src = "
+            global u32 acc[16];
+            void main() {
+                for (u32 i = 0; i < 13; i++) { acc[i & 7] += i; }
+                for (u32 i = 0; i < 8; i++) { out(acc[i]); }
+            }
+        ";
+        let (m0, m1) = expanded(src, &ExpanderConfig::default());
+        assert_eq!(outputs_of(&m0), outputs_of(&m1));
+    }
+
+    #[test]
+    fn unrolling_loop_with_break() {
+        let src = "
+            void main() {
+                u32 s = 0;
+                for (u32 i = 0; i < 100; i++) {
+                    if (i * i > 50) { break; }
+                    s += i;
+                }
+                out(s);
+            }
+        ";
+        let (m0, m1) = expanded(src, &ExpanderConfig::default());
+        assert_eq!(outputs_of(&m0), outputs_of(&m1));
+    }
+
+    #[test]
+    fn live_out_values_repaired() {
+        // s is loop-defined and used after the loop.
+        let src = "
+            void main() {
+                u32 s = 0;
+                u32 i = 0;
+                do { s = s + i; i++; } while (i < 10);
+                out(s + i);
+            }
+        ";
+        let (m0, m1) = expanded(src, &ExpanderConfig::default());
+        assert_eq!(outputs_of(&m0), outputs_of(&m1));
+    }
+
+    #[test]
+    fn nested_loops_unroll() {
+        let src = "
+            void main() {
+                u32 s = 0;
+                for (u32 i = 0; i < 6; i++) {
+                    for (u32 j = 0; j < 5; j++) { s += i * j; }
+                }
+                out(s);
+            }
+        ";
+        let (m0, m1) = expanded(src, &ExpanderConfig::default());
+        assert_eq!(outputs_of(&m0), outputs_of(&m1));
+    }
+
+    #[test]
+    fn disabled_expander_is_identity() {
+        let src = "u32 g(u32 x) { return x + 1; } void main() { out(g(1)); }";
+        let m0 = lang::compile("t", src).unwrap();
+        let mut m1 = m0.clone();
+        expand_module(
+            &mut m1,
+            &ExpanderConfig {
+                enabled: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(m0.static_size(), m1.static_size());
+    }
+
+    #[test]
+    fn unroll_reduces_dynamic_phi_overhead() {
+        let src = "void main() {
+            u32 s = 0;
+            for (u32 i = 0; i < 64; i++) { s += i; }
+            out(s);
+        }";
+        let (m0, m1) = expanded(src, &ExpanderConfig::default());
+        let mut i0 = Interpreter::new(&m0);
+        let mut i1 = Interpreter::new(&m1);
+        let r0 = i0.run("main", &[]).unwrap();
+        let r1 = i1.run("main", &[]).unwrap();
+        assert_eq!(r0.outputs, r1.outputs);
+        assert!(
+            r1.stats.branches < r0.stats.branches,
+            "unrolling should cut branch count: {} vs {}",
+            r1.stats.branches,
+            r0.stats.branches
+        );
+    }
+}

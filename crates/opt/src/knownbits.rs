@@ -1,0 +1,198 @@
+//! A forward maximum-value analysis (a simple known-bits/value-range
+//! analysis in the spirit of the static bitwidth-selection literature the
+//! paper cites: Budiu et al., Stephenson et al.).
+//!
+//! Used by the *no-speculation* register-packing mode (RQ2): a value may be
+//! statically narrowed to 8 bits only when this analysis proves its maximum
+//! possible value fits — no hardware check exists to catch a miss.
+
+use sir::{BinOp, Function, Inst, ValueId, Width};
+
+/// Computes, per SSA value, a sound upper bound on its (zero-extended)
+/// runtime value. `u64::MAX` means "unknown".
+pub fn max_values(f: &Function) -> Vec<u64> {
+    let n = f.insts.len();
+    // Optimistic initialization (0) + ascending fixpoint.
+    let mut max: Vec<u64> = vec![0; n];
+    let top_for = |w: Width| w.mask();
+    let mut changed = true;
+    let mut iters = 0;
+    while changed {
+        changed = false;
+        iters += 1;
+        // Widening: after a few rounds, jump straight to top to terminate.
+        let widen = iters > 8;
+        for b in f.block_ids() {
+            for &v in &f.block(b).insts {
+                let inst = f.inst(v);
+                let Some(w) = inst.result_width() else {
+                    continue;
+                };
+                let old = max[v.index()];
+                let get = |x: ValueId| max[x.index()];
+                let new = match inst {
+                    Inst::Const { value, .. } => *value,
+                    Inst::Param { width, .. } => width.mask(),
+                    Inst::GlobalAddr { .. } | Inst::Alloca { .. } => Width::W32.mask(),
+                    Inst::Icmp { .. } => 1,
+                    Inst::Zext { arg, .. } => get(*arg),
+                    Inst::Sext { arg, to } => {
+                        let aw = f.value_width(*arg).unwrap();
+                        let a = get(*arg);
+                        // Non-negative proven iff sign bit can't be set.
+                        if a < (1 << (aw.bits() - 1)) {
+                            a
+                        } else {
+                            to.mask()
+                        }
+                    }
+                    Inst::Trunc { to, arg, .. } => get(*arg).min(to.mask()),
+                    Inst::Load { width, speculative, .. } => {
+                        if *speculative {
+                            0xFF
+                        } else {
+                            width.mask()
+                        }
+                    }
+                    Inst::Select { tval, fval, .. } => get(*tval).max(get(*fval)),
+                    Inst::Call { ret, .. } => ret.map_or(0, Width::mask),
+                    Inst::Phi { incomings, .. } => incomings
+                        .iter()
+                        .map(|(_, x)| get(*x))
+                        .max()
+                        .unwrap_or(0),
+                    Inst::Bin {
+                        op, width, lhs, rhs, ..
+                    } => {
+                        let (a, c) = (get(*lhs), get(*rhs));
+                        let m = width.mask();
+                        match op {
+                            BinOp::Add => a.checked_add(c).unwrap_or(u64::MAX).min(m),
+                            // a - b ≤ a only when b is provably 0; any
+                            // possible underflow wraps to the full mask.
+                            BinOp::Sub => {
+                                if c == 0 {
+                                    a.min(m)
+                                } else {
+                                    m
+                                }
+                            }
+                            BinOp::Mul => a.checked_mul(c).unwrap_or(u64::MAX).min(m),
+                            BinOp::And => a.min(c).min(m),
+                            BinOp::Or | BinOp::Xor => {
+                                // bounded by the next power of two covering both
+                                let hb = 64 - a.max(c).leading_zeros();
+                                if hb >= 64 {
+                                    m
+                                } else {
+                                    ((1u64 << hb) - 1).min(m)
+                                }
+                            }
+                            BinOp::Udiv => a.min(m),
+                            BinOp::Urem => {
+                                if c == 0 {
+                                    m
+                                } else {
+                                    a.min(c - 1).min(m)
+                                }
+                            }
+                            BinOp::Shl => {
+                                // conservative unless shift is constant
+                                if let Inst::Const { value, .. } = f.inst(*rhs) {
+                                    a.checked_shl(*value as u32).unwrap_or(u64::MAX).min(m)
+                                } else {
+                                    m
+                                }
+                            }
+                            BinOp::Lshr => a.min(m),
+                            BinOp::Ashr | BinOp::Sdiv | BinOp::Srem => m,
+                        }
+                    }
+                    _ => top_for(w),
+                };
+                let new = if widen && new != old { top_for(w) } else { new };
+                if new > old {
+                    max[v.index()] = new;
+                    changed = true;
+                }
+            }
+        }
+    }
+    max
+}
+
+/// Values statically provable to fit in 8 bits (candidates for
+/// no-speculation register packing).
+pub fn provably_narrow(f: &Function) -> Vec<bool> {
+    max_values(f).iter().map(|m| *m <= 0xFF).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyse(src: &str, func: &str) -> (sir::Module, Vec<u64>) {
+        let m = lang::compile("t", src).unwrap();
+        let fid = m.func_by_name(func).unwrap();
+        let mv = max_values(m.func(fid));
+        (m, mv)
+    }
+
+    #[test]
+    fn and_mask_bounds_value() {
+        let (m, mv) = analyse("u32 f(u32 x) { return x & 0xF; }", "f");
+        let f = m.func(m.func_by_name("f").unwrap());
+        let and = (0..f.insts.len() as u32)
+            .map(ValueId)
+            .find(|v| matches!(f.inst(*v), Inst::Bin { op: BinOp::And, .. }))
+            .unwrap();
+        assert_eq!(mv[and.index()], 0xF);
+    }
+
+    #[test]
+    fn add_of_bounded_values() {
+        let (m, mv) = analyse("u32 f(u32 x, u32 y) { return (x & 0xF) + (y & 0xF); }", "f");
+        let f = m.func(m.func_by_name("f").unwrap());
+        let add = (0..f.insts.len() as u32)
+            .map(ValueId)
+            .find(|v| matches!(f.inst(*v), Inst::Bin { op: BinOp::Add, .. }))
+            .unwrap();
+        assert_eq!(mv[add.index()], 0x1E);
+    }
+
+    #[test]
+    fn u8_load_is_narrow() {
+        let src = "global u8 g[4]; u32 f(u32 i) { return g[i & 3]; }";
+        let m = lang::compile("t", src).unwrap();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let narrow = provably_narrow(f);
+        let load = (0..f.insts.len() as u32)
+            .map(ValueId)
+            .find(|v| matches!(f.inst(*v), Inst::Load { .. }))
+            .unwrap();
+        assert!(narrow[load.index()]);
+    }
+
+    #[test]
+    fn unbounded_param_is_wide() {
+        let (m, mv) = analyse("u32 f(u32 x) { return x + 1; }", "f");
+        let f = m.func(m.func_by_name("f").unwrap());
+        assert_eq!(mv[f.param_value(0).index()], u32::MAX as u64);
+    }
+
+    #[test]
+    fn loop_counter_widens_to_top() {
+        // The analysis must terminate and be sound for loop-carried values.
+        let (m, mv) = analyse(
+            "u32 f(u32 n) { u32 i = 0; while (i < n) { i = i + 1; } return i; }",
+            "f",
+        );
+        let f = m.func(m.func_by_name("f").unwrap());
+        // The φ'd counter cannot be proven narrow.
+        let phi = (0..f.insts.len() as u32)
+            .map(ValueId)
+            .find(|v| f.inst(*v).is_phi())
+            .unwrap();
+        assert!(mv[phi.index()] > 0xFF);
+    }
+}

@@ -1,0 +1,31 @@
+//! # opt — the BITSPEC middle-end
+//!
+//! Implements the compilation pipeline of Figure 4 between the frontend and
+//! the back-end:
+//!
+//! * [`expander`] (§3.2.1): aggressive function inlining and loop unrolling
+//!   (the paper builds this on NOELLE; we implement both transformations
+//!   from scratch), plus the auto-tuned configuration knobs.
+//! * [`squeezer`] (§3.2.3): the core BITSPEC transformation — CFG
+//!   preparation (equations 4–6), 2-CFG cloning, speculative bitwidth
+//!   reduction into 8-bit slices, speculative-region creation and
+//!   misspeculation-handler insertion.
+//! * Speculation-enabled optimizations (§3.2.4): compare
+//!   elimination and bitmask elision, togglable for the RQ3 ablations.
+//! * Supporting passes: [`dce`], [`simplify`] (constant folding +
+//!   reassociation), [`knownbits`] (a static value-range analysis used by
+//!   the no-speculation register-packing mode of RQ2), and [`ssa_repair`]
+//!   (SSA reconstruction after handler edges are wired).
+
+pub mod dce;
+pub mod expander;
+pub mod knownbits;
+pub mod simplify;
+pub mod squeezer;
+pub mod ssa_repair;
+
+#[cfg(test)]
+mod optim_tests;
+
+pub use expander::{expand_module, ExpanderConfig};
+pub use squeezer::{squeeze_module, SqueezeConfig, SqueezeReport};

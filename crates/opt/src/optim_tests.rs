@@ -1,0 +1,129 @@
+//! Extra black-box tests of the §3.2.4 optimizations and the squeezer's
+//! interaction with the index-addressing lowering (split out of
+//! `squeezer.rs` to keep that file navigable).
+
+use crate::squeezer::{squeeze_module, SqueezeConfig};
+use interp::{Heuristic, Interpreter};
+use sir::{Inst, Module};
+
+fn profile_and_squeeze(src: &str, cfg: &SqueezeConfig) -> (Module, Module) {
+    let m0 = lang::compile("t", src).unwrap();
+    let mut i = Interpreter::new(&m0);
+    i.enable_profiling();
+    i.run("main", &[]).unwrap();
+    let profile = i.take_profile().unwrap();
+    let mut m1 = m0.clone();
+    squeeze_module(&mut m1, &profile, cfg);
+    sir::verify::verify_module(&m1).expect("squeezed module verifies");
+    (m0, m1)
+}
+
+fn outputs(m: &Module) -> Vec<u32> {
+    Interpreter::new(m).run("main", &[]).unwrap().outputs
+}
+
+/// Table-lookup kernels keep their masked indices narrow: the bitmask
+/// result flows into the load address (lowered to slice-indexed
+/// addressing), so elision must survive profitability pruning.
+#[test]
+fn elided_mask_feeding_table_lookup_stays_narrow() {
+    let src = "global u32 table[256];
+        void main() {
+            for (u32 i = 0; i < 256; i++) { table[i] = i * 2654435761; }
+            u32 acc = 0x12345678;
+            for (u32 i = 0; i < 64; i++) {
+                acc = table[acc & 0xFF] ^ (acc >> 8);
+            }
+            out(acc);
+        }";
+    let (m0, m1) = profile_and_squeeze(src, &SqueezeConfig::default());
+    assert_eq!(outputs(&m0), outputs(&m1));
+    // The squeezed module contains a plain (non-speculative) W8 truncate —
+    // the elided mask — feeding the zext/address chain.
+    let main = m1.func(m1.func_by_name("main").unwrap());
+    let has_elided_trunc = main
+        .block_ids()
+        .flat_map(|b| main.block(b).insts.clone())
+        .any(|v| {
+            matches!(
+                main.inst(v),
+                Inst::Trunc {
+                    to: sir::Width::W8,
+                    speculative: false,
+                    ..
+                }
+            )
+        });
+    assert!(has_elided_trunc, "x & 0xFF should lower to a slice read");
+}
+
+/// Compare elimination folds `narrow < wide-constant` into a constant —
+/// verified by behaviour (outputs equal) and by the disappearance of the
+/// compare from the speculative CFG path.
+#[test]
+fn compare_elimination_behavioural() {
+    let src = "void main() {
+        u32 hits = 0;
+        u32 v = 0;
+        for (u32 i = 0; i < 120; i++) {
+            v = (v + i) % 97;
+            if (v < 5000) { hits++; }   // always true once v is a slice
+        }
+        out(hits); out(v);
+    }";
+    let with = profile_and_squeeze(src, &SqueezeConfig::default());
+    let without = profile_and_squeeze(
+        src,
+        &SqueezeConfig {
+            compare_elim: false,
+            ..Default::default()
+        },
+    );
+    assert_eq!(outputs(&with.0), outputs(&with.1));
+    assert_eq!(outputs(&without.0), outputs(&without.1));
+}
+
+/// The squeezer leaves functions with no narrow opportunities untouched
+/// (size-identical), keeping cold code free of 2-CFG bloat.
+#[test]
+fn wide_only_function_untouched() {
+    let src = "
+        u32 wide(u32 a, u32 b) { return a * b + (a ^ 0xDEADBEEF); }
+        void main() {
+            u32 s = 0;
+            for (u32 i = 0; i < 10; i++) { s ^= wide(s | 0x10000, i + 0x20000); }
+            out(s);
+        }";
+    let (m0, m1) = profile_and_squeeze(src, &SqueezeConfig::default());
+    assert_eq!(outputs(&m0), outputs(&m1));
+    let f0 = m0.func(m0.func_by_name("wide").unwrap()).static_size();
+    let f1 = m1.func(m1.func_by_name("wide").unwrap()).static_size();
+    assert_eq!(f0, f1, "wide-only function should not be cloned");
+}
+
+/// Squeezing is idempotent at the observable level even when applied to
+/// programs with early exits and multiple loops.
+#[test]
+fn multi_loop_early_exit() {
+    let src = "global u8 buf[128];
+        void main() {
+            for (u32 i = 0; i < 128; i++) { buf[i] = (u8)(i * 7); }
+            u32 found = 128;
+            for (u32 i = 0; i < 128; i++) {
+                if (buf[i] == 35) { found = i; break; }
+            }
+            u32 sum = 0;
+            for (u32 i = 0; i < found && i < 128; i++) { sum += buf[i]; }
+            out(found); out(sum);
+        }";
+    for h in Heuristic::ALL {
+        let (m0, m1) = profile_and_squeeze(
+            src,
+            &SqueezeConfig {
+                heuristic: h,
+                ..Default::default()
+            },
+        );
+        assert_eq!(outputs(&m0), outputs(&m1), "heuristic {h}");
+    }
+}

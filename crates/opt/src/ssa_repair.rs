@@ -1,0 +1,198 @@
+//! SSA reconstruction after CFG surgery.
+//!
+//! When the squeezer wires misspeculation-handler edges into `CFG_orig`
+//! (§3.2.3 ③) or the unroller replicates loop bodies, a definition may stop
+//! dominating its uses. [`SsaRepair`] re-establishes SSA form for a chosen
+//! set of *variables*: the caller registers the reaching definition(s) of
+//! each variable per block, then asks for the reaching value at any use
+//! block; φ-nodes are created on demand (the classic Braun et al. algorithm
+//! over a fully built CFG).
+
+use sir::{BlockId, Function, Inst, ValueId, Width};
+use std::collections::HashMap;
+
+/// One SSA-repair session over a function whose CFG is final.
+#[derive(Debug)]
+pub struct SsaRepair {
+    preds: Vec<Vec<BlockId>>,
+    /// Reaching definition per (variable, block-where-defined).
+    defs: HashMap<(u32, BlockId), ValueId>,
+    widths: HashMap<u32, Width>,
+    next_var: u32,
+}
+
+impl SsaRepair {
+    /// Captures the (final) predecessor structure of `f`.
+    pub fn new(f: &Function) -> SsaRepair {
+        SsaRepair {
+            preds: f.branch_preds(),
+            defs: HashMap::new(),
+            widths: HashMap::new(),
+            next_var: 0,
+        }
+    }
+
+    /// Registers a fresh repair variable of the given width.
+    pub fn fresh_var(&mut self, width: Width) -> u32 {
+        let v = self.next_var;
+        self.next_var += 1;
+        self.widths.insert(v, width);
+        v
+    }
+
+    /// Declares that `value` is the definition of `var` reaching the end of
+    /// `block`.
+    pub fn define(&mut self, var: u32, block: BlockId, value: ValueId) {
+        self.defs.insert((var, block), value);
+    }
+
+    /// The value of `var` reaching the *start* of `block` (i.e. along the
+    /// incoming edges), inserting φ-nodes into `f` as needed.
+    pub fn read_at_entry(&mut self, f: &mut Function, var: u32, block: BlockId) -> ValueId {
+        let preds = self.preds[block.index()].clone();
+        match preds.len() {
+            0 => self.undef(f, var, block),
+            1 => self.read_at_exit(f, var, preds[0]),
+            _ => {
+                // Create the φ first (registering it as the block's def)
+                // so cyclic reads terminate.
+                if let Some(v) = self.defs.get(&(var, block)) {
+                    // A definition in this block shadows entry reads only
+                    // for *exit* queries; entry reads need a dedicated φ.
+                    // Distinguish by a marker key.
+                    let _ = v;
+                }
+                let w = self.widths[&var];
+                let phi = f.add_inst(Inst::Phi {
+                    width: w,
+                    incomings: Vec::new(),
+                });
+                let pos = f
+                    .block(block)
+                    .insts
+                    .iter()
+                    .take_while(|x| f.inst(**x).is_phi())
+                    .count();
+                f.block_mut(block).insts.insert(pos, phi);
+                // Register as block-entry memo (and exit def if the block
+                // has no local redefinition).
+                self.defs.entry((var, block)).or_insert(phi);
+                let mut incomings = Vec::with_capacity(preds.len());
+                for p in preds {
+                    let v = self.read_at_exit(f, var, p);
+                    incomings.push((p, v));
+                }
+                if let Inst::Phi { incomings: inc, .. } = f.inst_mut(phi) {
+                    *inc = incomings;
+                }
+                phi
+            }
+        }
+    }
+
+    /// The value of `var` reaching the *end* of `block`.
+    pub fn read_at_exit(&mut self, f: &mut Function, var: u32, block: BlockId) -> ValueId {
+        if let Some(v) = self.defs.get(&(var, block)) {
+            return *v;
+        }
+        let v = self.read_at_entry(f, var, block);
+        self.defs.insert((var, block), v);
+        v
+    }
+
+    fn undef(&mut self, f: &mut Function, var: u32, block: BlockId) -> ValueId {
+        // A read with no reaching definition: only possible on paths that
+        // cannot execute the use; any value is sound.
+        let w = self.widths[&var];
+        let c = f.add_inst(Inst::Const { width: w, value: 0 });
+        let pos = f
+            .block(block)
+            .insts
+            .iter()
+            .take_while(|x| f.inst(**x).is_phi())
+            .count();
+        f.block_mut(block).insts.insert(pos, c);
+        self.defs.insert((var, block), c);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sir::builder::FunctionBuilder;
+    use sir::Terminator;
+
+    /// Diamond with two distinct definitions; repair must φ-merge them.
+    #[test]
+    fn merges_at_join() {
+        let mut b = FunctionBuilder::new("t", vec![sir::Width::W1], Some(Width::W32));
+        let cond = b.param(0);
+        let tb = b.new_block();
+        let fb = b.new_block();
+        let join = b.new_block();
+        b.cond_br(cond, tb, fb);
+        b.switch_to(tb);
+        let v1 = b.iconst(Width::W32, 1);
+        b.br(join);
+        b.switch_to(fb);
+        let v2 = b.iconst(Width::W32, 2);
+        b.br(join);
+        b.switch_to(join);
+        b.ret(None);
+        let mut f = b.finish();
+
+        let mut r = SsaRepair::new(&f);
+        let var = r.fresh_var(Width::W32);
+        r.define(var, tb, v1);
+        r.define(var, fb, v2);
+        let merged = r.read_at_entry(&mut f, var, join);
+        assert!(f.inst(merged).is_phi());
+        f.block_mut(join).term = Terminator::Ret(Some(merged));
+        sir::verify::verify_function(&f).unwrap();
+    }
+
+    /// Reading through a loop back edge must terminate and produce a φ.
+    #[test]
+    fn loop_read_terminates() {
+        let mut b = FunctionBuilder::new("t", vec![sir::Width::W1], Some(Width::W32));
+        let cond = b.param(0);
+        let entryv = b.iconst(Width::W32, 7);
+        let head = b.new_block();
+        let exit = b.new_block();
+        b.br(head);
+        b.switch_to(head);
+        b.cond_br(cond, head, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut f = b.finish();
+
+        let mut r = SsaRepair::new(&f);
+        let var = r.fresh_var(Width::W32);
+        r.define(var, f.entry, entryv);
+        let at_exit = r.read_at_entry(&mut f, var, exit);
+        // head has two preds (entry, itself) → φ; exit reads through it.
+        assert!(f.inst(at_exit).is_phi() || at_exit == entryv);
+        f.block_mut(exit).term = Terminator::Ret(Some(at_exit));
+        sir::verify::verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn single_pred_chains_through() {
+        let mut b = FunctionBuilder::new("t", vec![], Some(Width::W32));
+        let v = b.iconst(Width::W32, 3);
+        let mid = b.new_block();
+        let end = b.new_block();
+        b.br(mid);
+        b.switch_to(mid);
+        b.br(end);
+        b.switch_to(end);
+        b.ret(None);
+        let mut f = b.finish();
+        let mut r = SsaRepair::new(&f);
+        let var = r.fresh_var(Width::W32);
+        r.define(var, f.entry, v);
+        let got = r.read_at_entry(&mut f, var, end);
+        assert_eq!(got, v, "no φ needed through single-pred chain");
+    }
+}

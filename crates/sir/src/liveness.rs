@@ -1,0 +1,185 @@
+//! Block-level liveness analysis.
+//!
+//! Liveness respects SIR/SMIR speculative-region semantics: every block of a
+//! region has an implicit edge to the region's handler (equation 2 of
+//! §3.1.3), so anything live into a handler stays live throughout its region.
+//! φ-node operands are treated as uses at the end of the corresponding
+//! predecessor, in the usual SSA fashion.
+
+use crate::func::Function;
+use crate::inst::Inst;
+use crate::types::{BlockId, ValueId};
+use std::collections::HashSet;
+
+/// Per-block live-in/live-out sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    pub live_in: Vec<HashSet<ValueId>>,
+    pub live_out: Vec<HashSet<ValueId>>,
+}
+
+impl Liveness {
+    /// Computes liveness for `f` by iterating a backward dataflow to a
+    /// fixpoint over branch + misspeculation edges.
+    pub fn compute(f: &Function) -> Liveness {
+        let n = f.blocks.len();
+        // Per-block upward-exposed uses (excluding φ operands) and defs.
+        let mut uevar: Vec<HashSet<ValueId>> = vec![HashSet::new(); n];
+        let mut defs: Vec<HashSet<ValueId>> = vec![HashSet::new(); n];
+        for b in f.block_ids() {
+            let bi = b.index();
+            for &v in &f.block(b).insts {
+                let inst = f.inst(v);
+                if !inst.is_phi() {
+                    for op in inst.operands() {
+                        if !defs[bi].contains(&op) {
+                            uevar[bi].insert(op);
+                        }
+                    }
+                }
+                if inst.result_width().is_some() {
+                    defs[bi].insert(v);
+                }
+            }
+            for op in f.block(b).term.operands() {
+                if !defs[bi].contains(&op) {
+                    uevar[bi].insert(op);
+                }
+            }
+        }
+        // φ contributions: value v flowing along edge p→b is live-out of p.
+        let mut phi_uses_out: Vec<HashSet<ValueId>> = vec![HashSet::new(); n];
+        for b in f.block_ids() {
+            for &v in &f.block(b).insts {
+                if let Inst::Phi { incomings, .. } = f.inst(v) {
+                    for (p, val) in incomings {
+                        phi_uses_out[p.index()].insert(*val);
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut live_in: Vec<HashSet<ValueId>> = vec![HashSet::new(); n];
+        let mut live_out: Vec<HashSet<ValueId>> = vec![HashSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Backward iteration converges faster in post-order; simple
+            // reverse block order is adequate for our sizes.
+            for bi in (0..n).rev() {
+                let b = BlockId(bi as u32);
+                let mut out: HashSet<ValueId> = phi_uses_out[bi].clone();
+                for s in f.spec_succs(b) {
+                    for &v in &live_in[s.index()] {
+                        out.insert(v);
+                    }
+                }
+                let mut inn: HashSet<ValueId> = uevar[bi].clone();
+                for &v in &out {
+                    if !defs[bi].contains(&v) {
+                        inn.insert(v);
+                    }
+                }
+                if out != live_out[bi] {
+                    live_out[bi] = out;
+                    changed = true;
+                }
+                if inn != live_in[bi] {
+                    live_in[bi] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Values live on entry to `b`.
+    pub fn live_in_of(&self, b: BlockId) -> &HashSet<ValueId> {
+        &self.live_in[b.index()]
+    }
+
+    /// Values live on exit from `b`.
+    pub fn live_out_of(&self, b: BlockId) -> &HashSet<ValueId> {
+        &self.live_out[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, Cc, Terminator};
+    use crate::types::Width;
+
+    #[test]
+    fn straightline_liveness() {
+        let mut b = FunctionBuilder::new("f", vec![Width::W32, Width::W32], Some(Width::W32));
+        let x = b.param(0);
+        let y = b.param(1);
+        let s = b.bin(BinOp::Add, Width::W32, x, y);
+        b.ret(Some(s));
+        let f = b.finish();
+        let lv = Liveness::compute(&f);
+        // Params are defined in entry, so nothing is live-in.
+        assert!(lv.live_in_of(f.entry).is_empty());
+        assert!(lv.live_out_of(f.entry).is_empty());
+    }
+
+    #[test]
+    fn loop_carries_liveness() {
+        // entry -> body(phi x) -> body | exit; exit returns x.
+        let mut b = FunctionBuilder::new("f", vec![Width::W32], Some(Width::W32));
+        let n = b.param(0);
+        let zero = b.iconst(Width::W32, 0);
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(body);
+        b.switch_to(body);
+        let x = b.phi(Width::W32, vec![]);
+        let one = b.iconst(Width::W32, 1);
+        let x1 = b.bin(BinOp::Add, Width::W32, x, one);
+        let c = b.icmp(Cc::Ult, Width::W32, x1, n);
+        b.cond_br(c, body, exit);
+        let entry = b.func().entry;
+        b.set_phi_incomings(x, vec![(entry, zero), (body, x1)]);
+        b.switch_to(exit);
+        b.ret(Some(x1));
+        let f = b.finish();
+        let lv = Liveness::compute(&f);
+        // n is live into the loop body (used by the compare every iteration).
+        assert!(lv.live_in_of(body).contains(&n));
+        // x1 is live out of body (φ use on backedge + use in exit).
+        assert!(lv.live_out_of(body).contains(&x1));
+        // zero flows into body's φ, so it is live out of entry…
+        assert!(lv.live_out_of(entry).contains(&zero));
+        // …but not live into body (φ semantics).
+        assert!(!lv.live_in_of(body).contains(&zero));
+    }
+
+    #[test]
+    fn handler_uses_keep_values_live_through_region() {
+        // entry defines k; region block r uses nothing; handler uses k.
+        // k must be live-out of r because of the misspeculation edge.
+        let mut f = crate::func::Function::new("f", vec![Width::W32], Some(Width::W32));
+        let k = f.param_value(0);
+        let r = f.add_block();
+        let h = f.add_block();
+        let exit = f.add_block();
+        f.block_mut(f.entry).term = Terminator::Br(r);
+        f.block_mut(r).term = Terminator::Br(exit);
+        f.block_mut(h).term = Terminator::Ret(Some(k));
+        let zero = f.append_inst(
+            exit,
+            crate::inst::Inst::Const {
+                width: Width::W32,
+                value: 0,
+            },
+        );
+        f.block_mut(exit).term = Terminator::Ret(Some(zero));
+        f.add_region(vec![r], h);
+        let lv = Liveness::compute(&f);
+        assert!(lv.live_in_of(r).contains(&k));
+        assert!(lv.live_in_of(h).contains(&k));
+    }
+}

@@ -1,0 +1,144 @@
+//! Natural loop detection, used by the expander's unroller.
+
+use crate::dom::DomTree;
+use crate::func::Function;
+use crate::types::BlockId;
+use std::collections::HashSet;
+
+/// A natural loop: a back edge `latch → header` plus the set of blocks that
+/// can reach the latch without passing through the header.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    pub header: BlockId,
+    pub latch: BlockId,
+    /// All blocks in the loop, including header and latch.
+    pub blocks: HashSet<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Number of blocks in the loop body.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Blocks outside the loop targeted by branches from inside (loop
+    /// exits), in deterministic (sorted-block) order.
+    pub fn exit_targets(&self, f: &Function) -> Vec<BlockId> {
+        let mut blocks: Vec<BlockId> = self.blocks.iter().copied().collect();
+        blocks.sort();
+        let mut out = Vec::new();
+        for &b in &blocks {
+            for s in f.succs(b) {
+                if !self.blocks.contains(&s) && !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Finds all natural loops of `f` (one per back edge). Back edges through
+/// speculative-region handler edges are ignored: loops are a branch-CFG
+/// concept.
+pub fn find_loops(f: &Function) -> Vec<NaturalLoop> {
+    let dt = DomTree::compute(f);
+    let mut loops = Vec::new();
+    for b in f.block_ids() {
+        if !dt.is_reachable(b) {
+            continue;
+        }
+        for s in f.succs(b) {
+            if dt.dominates(s, b) {
+                loops.push(collect_loop(f, s, b));
+            }
+        }
+    }
+    loops
+}
+
+fn collect_loop(f: &Function, header: BlockId, latch: BlockId) -> NaturalLoop {
+    let preds = f.branch_preds();
+    let mut blocks: HashSet<BlockId> = HashSet::new();
+    blocks.insert(header);
+    let mut work = vec![latch];
+    while let Some(b) = work.pop() {
+        if blocks.insert(b) {
+            for &p in &preds[b.index()] {
+                work.push(p);
+            }
+        }
+    }
+    NaturalLoop {
+        header,
+        latch,
+        blocks,
+    }
+}
+
+/// Innermost-first ordering: loops sorted by ascending block count, so that
+/// an unroller processing in order transforms inner loops before the outer
+/// loops that contain them.
+pub fn loops_innermost_first(f: &Function) -> Vec<NaturalLoop> {
+    let mut ls = find_loops(f);
+    ls.sort_by_key(|l| l.blocks.len());
+    ls
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, Cc};
+    use crate::types::Width;
+
+    fn counting_loop() -> (Function, BlockId) {
+        let mut b = FunctionBuilder::new("f", vec![Width::W32], Some(Width::W32));
+        let n = b.param(0);
+        let zero = b.iconst(Width::W32, 0);
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(body);
+        b.switch_to(body);
+        let x = b.phi(Width::W32, vec![]);
+        let one = b.iconst(Width::W32, 1);
+        let x1 = b.bin(BinOp::Add, Width::W32, x, one);
+        let c = b.icmp(Cc::Ult, Width::W32, x1, n);
+        b.cond_br(c, body, exit);
+        let entry = b.func().entry;
+        b.set_phi_incomings(x, vec![(entry, zero), (body, x1)]);
+        b.switch_to(exit);
+        b.ret(Some(x1));
+        (b.finish(), body)
+    }
+
+    #[test]
+    fn finds_single_block_loop() {
+        let (f, body) = counting_loop();
+        let loops = find_loops(&f);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, body);
+        assert_eq!(loops[0].latch, body);
+        assert_eq!(loops[0].blocks.len(), 1);
+    }
+
+    #[test]
+    fn exit_targets_of_loop() {
+        let (f, _) = counting_loop();
+        let loops = find_loops(&f);
+        let exits = loops[0].exit_targets(&f);
+        assert_eq!(exits.len(), 1);
+    }
+
+    #[test]
+    fn no_loops_in_straightline() {
+        let mut b = FunctionBuilder::new("g", vec![], None);
+        b.ret(None);
+        let f = b.finish();
+        assert!(find_loops(&f).is_empty());
+    }
+}

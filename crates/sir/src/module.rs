@@ -1,0 +1,146 @@
+//! Modules and globals.
+
+use crate::func::Function;
+use crate::types::{FuncId, GlobalId};
+
+/// A module global: a named, aligned byte array with optional initial data.
+///
+/// Globals live at statically assigned addresses in the simulated flat
+/// address space; SIR code references them via [`crate::Inst::GlobalAddr`].
+#[derive(Clone, Debug)]
+pub struct Global {
+    pub name: String,
+    /// Total size in bytes.
+    pub size: u32,
+    /// Initial contents; zero-filled to `size` if shorter.
+    pub init: Vec<u8>,
+    /// Required alignment in bytes (power of two).
+    pub align: u32,
+}
+
+/// A SIR module: functions plus globals.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    pub name: String,
+    pub funcs: Vec<Function>,
+    pub globals: Vec<Global>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            funcs: Vec::new(),
+            globals: Vec::new(),
+        }
+    }
+
+    /// Adds a function, returning its id.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(f);
+        id
+    }
+
+    /// Adds a zero-initialized global of `size` bytes.
+    pub fn add_global(&mut self, name: impl Into<String>, size: u32, align: u32) -> GlobalId {
+        self.add_global_init(name, size, align, Vec::new())
+    }
+
+    /// Adds a global with initial data.
+    ///
+    /// # Panics
+    /// Panics if `init` is longer than `size` or `align` is not a power of two.
+    pub fn add_global_init(
+        &mut self,
+        name: impl Into<String>,
+        size: u32,
+        align: u32,
+        init: Vec<u8>,
+    ) -> GlobalId {
+        assert!(init.len() <= size as usize, "global initializer too large");
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(Global {
+            name: name.into(),
+            size,
+            init,
+            align,
+        });
+        id
+    }
+
+    /// Looks up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Accessor for a function.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// Mutable accessor for a function.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.index()]
+    }
+
+    /// Accessor for a global.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.index()]
+    }
+
+    /// Iterator over function ids.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> {
+        (0..self.funcs.len() as u32).map(FuncId)
+    }
+
+    /// Total static size (non-φ instructions) across all functions.
+    pub fn static_size(&self) -> usize {
+        self.funcs.iter().map(|f| f.static_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Width;
+
+    #[test]
+    fn module_add_and_lookup() {
+        let mut m = Module::new("m");
+        let f = Function::new("main", vec![], None);
+        let id = m.add_function(f);
+        assert_eq!(m.func_by_name("main"), Some(id));
+        assert_eq!(m.func_by_name("nope"), None);
+        assert_eq!(m.func(id).name, "main");
+    }
+
+    #[test]
+    fn globals_with_init() {
+        let mut m = Module::new("m");
+        let g = m.add_global_init("table", 16, 4, vec![1, 2, 3]);
+        assert_eq!(m.global(g).size, 16);
+        assert_eq!(m.global(g).init, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "global initializer too large")]
+    fn oversized_init_panics() {
+        let mut m = Module::new("m");
+        m.add_global_init("g", 2, 1, vec![0; 3]);
+    }
+
+    #[test]
+    fn static_size_counts_terminators() {
+        let mut m = Module::new("m");
+        let f = Function::new("f", vec![Width::W32], None);
+        m.add_function(f);
+        // one param + one terminator, params are not φ
+        assert_eq!(m.static_size(), 2);
+    }
+}

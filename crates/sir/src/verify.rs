@@ -1,0 +1,556 @@
+//! IR verifier.
+//!
+//! Checks structural SSA invariants (dominance, φ placement, width
+//! agreement) plus the speculative-region rules of §3.1.1:
+//!
+//! * a handler cannot be contained in any speculative region,
+//! * handlers are never the target of an ordinary branch,
+//! * a block belongs to at most one region and a handler handles exactly one,
+//! * speculative instructions only appear inside speculative regions,
+//! * Theorem 3.1: no value defined within a region is used by its handler.
+
+use crate::dom::{def_blocks, DomTree};
+use crate::func::Function;
+use crate::inst::{Inst, Terminator};
+use crate::module::Module;
+use crate::types::{BlockId, ValueId, Width};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// Verification failure: one or more broken invariants in a function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Name of the offending function.
+    pub func: String,
+    /// Human-readable descriptions of each violated invariant.
+    pub problems: Vec<String>,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verification of `{}` failed:", self.func)?;
+        for p in &self.problems {
+            write!(f, "\n  - {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verifies every function in `m`, including call-signature agreement.
+///
+/// # Errors
+/// Returns the first function's accumulated violations.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for f in &m.funcs {
+        verify_function_in(f, Some(m))?;
+    }
+    Ok(())
+}
+
+/// Verifies a single function without module context (calls unchecked).
+///
+/// # Errors
+/// Returns all violations found in `f`.
+pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
+    verify_function_in(f, None)
+}
+
+fn verify_function_in(f: &Function, m: Option<&Module>) -> Result<(), VerifyError> {
+    let mut problems = Vec::new();
+    check_params(f, &mut problems);
+    check_blocks(f, &mut problems);
+    check_widths(f, m, &mut problems);
+    check_ssa(f, &mut problems);
+    check_regions(f, &mut problems);
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(VerifyError {
+            func: f.name.clone(),
+            problems,
+        })
+    }
+}
+
+fn check_params(f: &Function, problems: &mut Vec<String>) {
+    let entry = f.block(f.entry);
+    if entry.insts.len() < f.params.len() {
+        problems.push("entry block shorter than parameter list".to_string());
+        return;
+    }
+    for (i, w) in f.params.iter().enumerate() {
+        match f.inst(entry.insts[i]) {
+            Inst::Param { index, width } if *index == i as u32 && width == w => {}
+            other => problems.push(format!(
+                "entry slot {i} should be param {i} of {w}, found {other:?}"
+            )),
+        }
+    }
+}
+
+fn check_blocks(f: &Function, problems: &mut Vec<String>) {
+    let preds = f.branch_preds();
+    for b in f.block_ids() {
+        let blk = f.block(b);
+        // φ-nodes first.
+        let mut seen_non_phi = false;
+        for &v in &blk.insts {
+            let inst = f.inst(v);
+            if inst.is_phi() {
+                if seen_non_phi {
+                    problems.push(format!("{b}: φ {v} after non-φ instruction"));
+                }
+            } else if !matches!(inst, Inst::Param { .. }) {
+                seen_non_phi = true;
+            }
+        }
+        // φ incoming edges must exactly match branch predecessors.
+        let pred_set: HashSet<BlockId> = preds[b.index()].iter().copied().collect();
+        for &v in &blk.insts {
+            if let Inst::Phi { incomings, .. } = f.inst(v) {
+                let inc: HashSet<BlockId> = incomings.iter().map(|(p, _)| *p).collect();
+                if inc != pred_set {
+                    problems.push(format!(
+                        "{b}: φ {v} incoming blocks {inc:?} != predecessors {pred_set:?}"
+                    ));
+                }
+                if inc.len() != incomings.len() {
+                    problems.push(format!("{b}: φ {v} has duplicate incoming blocks"));
+                }
+            }
+        }
+        // Branch targets in range.
+        for s in blk.term.successors() {
+            if s.index() >= f.blocks.len() {
+                problems.push(format!("{b}: branch to out-of-range block {s}"));
+            }
+        }
+    }
+}
+
+fn check_widths(f: &Function, m: Option<&Module>, problems: &mut Vec<String>) {
+    let w_of = |v: ValueId| f.value_width(v);
+    for (vi, inst) in f.insts.iter().enumerate() {
+        let v = ValueId(vi as u32);
+        match inst {
+            Inst::Bin {
+                width, lhs, rhs, ..
+            } => {
+                for op in [lhs, rhs] {
+                    if w_of(*op) != Some(*width) {
+                        problems.push(format!("{v}: bin operand {op} width mismatch ({width})"));
+                    }
+                }
+            }
+            Inst::Icmp {
+                width, lhs, rhs, ..
+            } => {
+                for op in [lhs, rhs] {
+                    if w_of(*op) != Some(*width) {
+                        problems.push(format!("{v}: icmp operand {op} width mismatch"));
+                    }
+                }
+            }
+            Inst::Zext { to, arg } | Inst::Sext { to, arg } => match w_of(*arg) {
+                Some(fw) if fw < *to => {}
+                _ => problems.push(format!("{v}: extension must widen")),
+            },
+            Inst::Trunc { to, arg, .. } => match w_of(*arg) {
+                Some(fw) if fw > *to => {}
+                _ => problems.push(format!("{v}: truncation must narrow")),
+            },
+            Inst::Load {
+                addr,
+                speculative,
+                width,
+                ..
+            } => {
+                if w_of(*addr) != Some(Width::W32) {
+                    problems.push(format!("{v}: load address must be i32"));
+                }
+                if *speculative && *width != Width::W32 {
+                    problems.push(format!("{v}: speculative load must access i32"));
+                }
+            }
+            Inst::Store {
+                width, addr, value, ..
+            } => {
+                if w_of(*addr) != Some(Width::W32) {
+                    problems.push(format!("{v}: store address must be i32"));
+                }
+                if w_of(*value) != Some(*width) {
+                    problems.push(format!("{v}: store value width mismatch"));
+                }
+            }
+            Inst::Select {
+                width,
+                cond,
+                tval,
+                fval,
+            } => {
+                if w_of(*cond) != Some(Width::W1) {
+                    problems.push(format!("{v}: select condition must be i1"));
+                }
+                for op in [tval, fval] {
+                    if w_of(*op) != Some(*width) {
+                        problems.push(format!("{v}: select operand width mismatch"));
+                    }
+                }
+            }
+            Inst::Call { callee, args, ret } => {
+                if let Some(m) = m {
+                    if callee.index() >= m.funcs.len() {
+                        problems.push(format!("{v}: call to unknown function {callee}"));
+                        continue;
+                    }
+                    let cf = m.func(*callee);
+                    if cf.params.len() != args.len() {
+                        problems.push(format!("{v}: call arity mismatch for `{}`", cf.name));
+                    } else {
+                        for (a, pw) in args.iter().zip(&cf.params) {
+                            if w_of(*a) != Some(*pw) {
+                                problems
+                                    .push(format!("{v}: call arg {a} width != param {pw}"));
+                            }
+                        }
+                    }
+                    if *ret != cf.ret {
+                        problems.push(format!("{v}: call return width mismatch"));
+                    }
+                }
+            }
+            Inst::Phi {
+                width, incomings, ..
+            } => {
+                for (_, val) in incomings {
+                    if w_of(*val) != Some(*width) {
+                        problems.push(format!("{v}: φ incoming {val} width mismatch"));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for b in f.block_ids() {
+        if let Terminator::CondBr { cond, .. } = &f.block(b).term {
+            if w_of(*cond) != Some(Width::W1) {
+                problems.push(format!("{b}: condbr condition must be i1"));
+            }
+        }
+        if let Terminator::Ret(Some(v)) = &f.block(b).term {
+            if w_of(*v) != f.ret {
+                problems.push(format!("{b}: return width mismatch"));
+            }
+        }
+    }
+}
+
+fn check_ssa(f: &Function, problems: &mut Vec<String>) {
+    let defs = def_blocks(f);
+    let dt = DomTree::compute(f);
+    // Each value placed at most once.
+    let mut placed: HashSet<ValueId> = HashSet::new();
+    for b in f.block_ids() {
+        for &v in &f.block(b).insts {
+            if !placed.insert(v) {
+                problems.push(format!("{v}: placed in more than one block"));
+            }
+        }
+    }
+    // Dominance of uses. Within a block, a def must precede its use.
+    for b in f.block_ids() {
+        if !dt.is_reachable(b) {
+            continue;
+        }
+        let mut seen: HashSet<ValueId> = HashSet::new();
+        for &v in &f.block(b).insts {
+            let inst = f.inst(v);
+            if let Inst::Phi { incomings, .. } = inst {
+                for (p, val) in incomings {
+                    if let Some(db) = defs.get(val) {
+                        if !dt.is_reachable(*p) {
+                            continue;
+                        }
+                        if !dt.dominates(*db, *p) {
+                            problems.push(format!(
+                                "{v}: φ incoming {val} from {p} not dominated by def in {db}"
+                            ));
+                        }
+                    } else {
+                        problems.push(format!("{v}: φ incoming {val} is not placed"));
+                    }
+                }
+            } else {
+                for op in inst.operands() {
+                    check_use(f, &defs, &dt, b, &seen, v, op, problems);
+                }
+            }
+            seen.insert(v);
+        }
+        let term_ops = f.block(b).term.operands();
+        for op in term_ops {
+            check_use_generic(f, &defs, &dt, b, &seen, op, "terminator", problems);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_use(
+    f: &Function,
+    defs: &std::collections::HashMap<ValueId, BlockId>,
+    dt: &DomTree,
+    b: BlockId,
+    seen: &HashSet<ValueId>,
+    user: ValueId,
+    op: ValueId,
+    problems: &mut Vec<String>,
+) {
+    check_use_generic(f, defs, dt, b, seen, op, &format!("{user}"), problems);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_use_generic(
+    _f: &Function,
+    defs: &std::collections::HashMap<ValueId, BlockId>,
+    dt: &DomTree,
+    b: BlockId,
+    seen: &HashSet<ValueId>,
+    op: ValueId,
+    user: &str,
+    problems: &mut Vec<String>,
+) {
+    match defs.get(&op) {
+        None => problems.push(format!("{user} in {b}: operand {op} is not placed")),
+        Some(db) if *db == b => {
+            if !seen.contains(&op) {
+                problems.push(format!("{user} in {b}: use of {op} before its definition"));
+            }
+        }
+        Some(db) => {
+            if dt.is_reachable(*db) && !dt.dominates(*db, b) {
+                problems.push(format!(
+                    "{user} in {b}: def of {op} in {db} does not dominate use"
+                ));
+            }
+        }
+    }
+}
+
+fn check_regions(f: &Function, problems: &mut Vec<String>) {
+    let preds = f.branch_preds();
+    let defs = def_blocks(f);
+    let mut handler_of: Vec<Option<usize>> = vec![None; f.blocks.len()];
+    for (ri, r) in f.regions.iter().enumerate() {
+        if r.blocks.is_empty() {
+            problems.push(format!("sr{ri}: empty region"));
+            continue;
+        }
+        // Handler not inside any region.
+        if f.block(r.handler).region.is_some() {
+            problems.push(format!("sr{ri}: handler {} inside a region", r.handler));
+        }
+        // Handler not targeted by branches.
+        if !preds[r.handler.index()].is_empty() {
+            problems.push(format!(
+                "sr{ri}: handler {} is a branch target of {:?}",
+                r.handler,
+                preds[r.handler.index()]
+            ));
+        }
+        // Handler handles exactly one region.
+        if let Some(prev) = handler_of[r.handler.index()] {
+            problems.push(format!(
+                "sr{ri}: handler {} already handles sr{prev}",
+                r.handler
+            ));
+        }
+        handler_of[r.handler.index()] = Some(ri);
+        // Blocks belong to this region (single membership by construction).
+        let members: HashSet<BlockId> = r.blocks.iter().copied().collect();
+        for &b in &r.blocks {
+            if f.block(b).region != Some(crate::types::RegionId(ri as u32)) {
+                problems.push(format!("sr{ri}: block {b} membership out of sync"));
+            }
+            // Single entry: outside branches may only target the entry.
+            if b != r.entry() {
+                for &p in &preds[b.index()] {
+                    if !members.contains(&p) {
+                        problems.push(format!(
+                            "sr{ri}: outside branch {p} → {b} enters region past entry"
+                        ));
+                    }
+                }
+            }
+        }
+        // No φ in handler (handlers begin with extensions, per §3.2.3 ③).
+        for &v in &f.block(r.handler).insts {
+            if f.inst(v).is_phi() {
+                problems.push(format!("sr{ri}: handler {} contains φ {v}", r.handler));
+            }
+        }
+        // Theorem 3.1: handler must not use values defined in the region.
+        for &v in &f.block(r.handler).insts {
+            for op in f.inst(v).operands() {
+                if let Some(db) = defs.get(&op) {
+                    if members.contains(db) {
+                        problems.push(format!(
+                            "sr{ri}: handler uses {op} defined inside the region (Thm 3.1)"
+                        ));
+                    }
+                }
+            }
+        }
+        for op in f.block(r.handler).term.operands() {
+            if let Some(db) = defs.get(&op) {
+                if members.contains(db) {
+                    problems.push(format!(
+                        "sr{ri}: handler terminator uses {op} defined inside the region"
+                    ));
+                }
+            }
+        }
+    }
+    // Speculative instructions only inside regions.
+    for b in f.block_ids() {
+        let in_region = f.block(b).region.is_some();
+        for &v in &f.block(b).insts {
+            if f.inst(v).is_speculative() && !in_region {
+                problems.push(format!("{v}: speculative instruction outside any region"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::BinOp;
+    use crate::module::Module;
+
+    #[test]
+    fn valid_function_passes() {
+        let mut b = FunctionBuilder::new("ok", vec![Width::W32], Some(Width::W32));
+        let x = b.param(0);
+        let one = b.iconst(Width::W32, 1);
+        let y = b.bin(BinOp::Add, Width::W32, x, one);
+        b.ret(Some(y));
+        assert!(verify_function(&b.finish()).is_ok());
+    }
+
+    #[test]
+    fn width_mismatch_detected() {
+        let mut b = FunctionBuilder::new("bad", vec![Width::W32], Some(Width::W32));
+        let x = b.param(0);
+        let narrow = b.iconst(Width::W8, 1);
+        let y = b.bin(BinOp::Add, Width::W32, x, narrow);
+        b.ret(Some(y));
+        let err = verify_function(&b.finish()).unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("width mismatch")));
+        assert!(err.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn use_before_def_detected() {
+        let mut f = Function::new("ubd", vec![], Some(Width::W32));
+        let e = f.entry;
+        // Create add that uses a later const.
+        let c = f.add_inst(Inst::Const {
+            width: Width::W32,
+            value: 1,
+        });
+        let a = f.add_inst(Inst::Bin {
+            op: BinOp::Add,
+            width: Width::W32,
+            lhs: c,
+            rhs: c,
+            speculative: false,
+        });
+        f.block_mut(e).insts.push(a);
+        f.block_mut(e).insts.push(c);
+        f.block_mut(e).term = Terminator::Ret(Some(a));
+        let err = verify_function(&f).unwrap_err();
+        assert!(err
+            .problems
+            .iter()
+            .any(|p| p.contains("before its definition")));
+    }
+
+    #[test]
+    fn speculative_inst_outside_region_rejected() {
+        let mut b = FunctionBuilder::new("spec", vec![], Some(Width::W8));
+        let x = b.iconst(Width::W8, 1);
+        let mut f = b.finish();
+        let y = f.append_inst(
+            f.entry,
+            Inst::Bin {
+                op: BinOp::Add,
+                width: Width::W8,
+                lhs: x,
+                rhs: x,
+                speculative: true,
+            },
+        );
+        f.block_mut(f.entry).term = Terminator::Ret(Some(y));
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("outside any region")));
+    }
+
+    #[test]
+    fn handler_branch_target_rejected() {
+        let mut f = Function::new("h", vec![], None);
+        let r = f.add_block();
+        let h = f.add_block();
+        f.block_mut(f.entry).term = Terminator::Br(r);
+        f.block_mut(r).term = Terminator::Br(h); // illegal: branch to handler
+        f.block_mut(h).term = Terminator::Ret(None);
+        f.add_region(vec![r], h);
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("branch target")));
+    }
+
+    #[test]
+    fn theorem_3_1_violation_rejected() {
+        let mut f = Function::new("t31", vec![], Some(Width::W32));
+        let r = f.add_block();
+        let h = f.add_block();
+        let x = f.add_block();
+        f.block_mut(f.entry).term = Terminator::Br(r);
+        let v = f.append_inst(
+            r,
+            Inst::Const {
+                width: Width::W32,
+                value: 7,
+            },
+        );
+        f.block_mut(r).term = Terminator::Br(x);
+        // handler illegally uses v (defined inside the region)
+        f.block_mut(h).term = Terminator::Ret(Some(v));
+        f.block_mut(x).term = Terminator::Ret(Some(v));
+        f.add_region(vec![r], h);
+        let err = verify_function(&f).unwrap_err();
+        assert!(err
+            .problems
+            .iter()
+            .any(|p| p.contains("defined inside the region")));
+    }
+
+    #[test]
+    fn call_signature_checked_at_module_level() {
+        let mut m = Module::new("m");
+        let mut callee = FunctionBuilder::new("callee", vec![Width::W32], Some(Width::W32));
+        let p = callee.param(0);
+        callee.ret(Some(p));
+        let cid = m.add_function(callee.finish());
+        let mut caller = FunctionBuilder::new("caller", vec![], Some(Width::W32));
+        let narrow = caller.iconst(Width::W8, 3);
+        let r = caller.call(cid, vec![narrow], Some(Width::W32));
+        caller.ret(Some(r));
+        m.add_function(caller.finish());
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("call arg")));
+    }
+}

@@ -1,0 +1,123 @@
+//! Energy explorer: sweep the evaluation matrix (heuristics,
+//! optimizations, expander, speculation, DTS) for one workload and print
+//! the energy landscape.
+//!
+//! ```sh
+//! cargo run --release -p bitspec --example energy_explorer
+//! ```
+
+use bitspec::{build, simulate, Arch, BitwidthHeuristic, BuildConfig, Workload};
+
+fn workload() -> Workload {
+    // A CRC-style kernel with an outlier-prone length counter.
+    let src = r#"
+        global u8 input[4096];
+        global u32 tab[256];
+        void main() {
+            for (u32 i = 0; i < 256; i++) {
+                u32 c = i;
+                for (u32 k = 0; k < 8; k++) {
+                    if (c & 1) { c = 0xEDB88320 ^ (c >> 1); } else { c = c >> 1; }
+                }
+                tab[i] = c;
+            }
+            u32 pos = 0;
+            u32 acc = 0;
+            while (input[pos] != 0) {
+                u32 crc = 0xFFFFFFFF;
+                u64 len = 0;
+                while (input[pos] != 0 && input[pos] != 10) {
+                    crc = tab[(crc ^ input[pos]) & 0xFF] ^ (crc >> 8);
+                    pos++;
+                    len = len + 1;
+                }
+                if (input[pos] == 10) { pos++; }
+                acc ^= crc + (u32)len;
+            }
+            out(acc);
+        }
+    "#;
+    let mut data = Vec::new();
+    for line in 0..40 {
+        let len = 20 + (line * 13) % 120;
+        for i in 0..len {
+            data.push(b'a' + ((line + i) % 23) as u8);
+        }
+        data.push(b'\n');
+    }
+    data.push(0);
+    Workload::from_source("explorer", src).with_input("input", data)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = workload();
+    let base = build(&w, &BuildConfig::baseline())?;
+    let rb = simulate(&base, &w)?;
+    let e0 = rb.total_energy();
+    println!(
+        "{:<34} {:>10} {:>9} {:>9}",
+        "configuration", "energy nJ", "delta%", "misspecs"
+    );
+    let row = |label: &str, cfg: &BuildConfig| -> Result<(), Box<dyn std::error::Error>> {
+        let c = build(&w, cfg)?;
+        let r = simulate(&c, &w)?;
+        assert_eq!(r.outputs, rb.outputs);
+        println!(
+            "{label:<34} {:>10.1} {:>8.1}% {:>9}",
+            r.total_energy() / 1000.0,
+            100.0 * (r.total_energy() / e0 - 1.0),
+            r.counts.misspecs
+        );
+        Ok(())
+    };
+    row("BASELINE", &BuildConfig::baseline())?;
+    for h in BitwidthHeuristic::ALL {
+        row(&format!("BITSPEC T={h}"), &BuildConfig::bitspec_with(h))?;
+    }
+    row(
+        "BITSPEC, no compare-elim",
+        &BuildConfig {
+            compare_elim: false,
+            ..BuildConfig::bitspec()
+        },
+    )?;
+    row(
+        "BITSPEC, no bitmask-elision",
+        &BuildConfig {
+            bitmask_elision: false,
+            ..BuildConfig::bitspec()
+        },
+    )?;
+    row(
+        "BITSPEC, no expander",
+        &BuildConfig {
+            expander: opt::ExpanderConfig {
+                enabled: false,
+                ..Default::default()
+            },
+            ..BuildConfig::bitspec()
+        },
+    )?;
+    row(
+        "register packing, no speculation",
+        &BuildConfig {
+            arch: Arch::NoSpec,
+            ..BuildConfig::baseline()
+        },
+    )?;
+    row(
+        "DTS (time squeezing)",
+        &BuildConfig {
+            dts: true,
+            ..BuildConfig::baseline()
+        },
+    )?;
+    row(
+        "DTS + BITSPEC",
+        &BuildConfig {
+            dts: true,
+            ..BuildConfig::bitspec()
+        },
+    )?;
+    Ok(())
+}

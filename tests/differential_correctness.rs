@@ -1,0 +1,146 @@
+//! Property-based differential testing: randomly generated programs must
+//! produce identical observable output on
+//!
+//! * the interpreter (untransformed IR),
+//! * the BASELINE processor, and
+//! * the BITSPEC processor under every bitwidth heuristic, with the
+//!   empirical gate disabled so the speculative machinery (slices,
+//!   misspeculation, Δ-skeleton dispatch, handlers) is always exercised.
+
+use bitspec::{build, simulate, BitwidthHeuristic, BuildConfig, Workload};
+use proptest::prelude::*;
+
+/// A tiny random-program model: N variables mutated in a loop by random
+/// binary expressions, then printed. Division is kept safe with `| 1`.
+#[derive(Debug, Clone)]
+struct RandomProgram {
+    widths: Vec<&'static str>,
+    inits: Vec<u32>,
+    trips: u32,
+    steps: Vec<(usize, usize, usize, u8, u8)>, // dst, a, b, op, const
+}
+
+impl RandomProgram {
+    fn to_source(&self) -> String {
+        let n = self.widths.len();
+        let mut src = String::from("void main() {\n");
+        for (i, (w, init)) in self.widths.iter().zip(&self.inits).enumerate() {
+            src.push_str(&format!("    {w} v{i} = {init};\n"));
+        }
+        src.push_str(&format!(
+            "    for (u32 i = 0; i < {}; i++) {{\n",
+            self.trips
+        ));
+        for (dst, a, b, op, c) in &self.steps {
+            let (dst, a, b) = (dst % n, a % n, b % n);
+            let expr = match op % 8 {
+                0 => format!("v{a} + v{b}"),
+                1 => format!("v{a} - v{b}"),
+                2 => format!("v{a} ^ v{b}"),
+                3 => format!("v{a} & (v{b} | {c})"),
+                4 => format!("v{a} | (v{b} >> {})", c % 7),
+                5 => format!("v{a} * {}", (c % 13) + 1),
+                6 => format!("((u32)v{a}) % (((u32)v{b} & 63) | 1)"),
+                _ => format!("(v{a} << {}) ^ i", c % 5),
+            };
+            src.push_str(&format!("        v{dst} = ({}) & 0x3FF;\n", expr));
+        }
+        src.push_str("    }\n");
+        for i in 0..n {
+            src.push_str(&format!("    out(v{i});\n"));
+        }
+        src.push_str("}\n");
+        src
+    }
+}
+
+fn random_program() -> impl Strategy<Value = RandomProgram> {
+    let widths = prop::collection::vec(
+        prop::sample::select(vec!["u8", "u16", "u32", "u64"]),
+        2..6,
+    );
+    (
+        widths,
+        prop::collection::vec(0u32..300, 6),
+        1u32..40,
+        prop::collection::vec(
+            (0usize..8, 0usize..8, 0usize..8, 0u8..8, 0u8..255),
+            1..8,
+        ),
+    )
+        .prop_map(|(widths, inits, trips, steps)| {
+            let n = widths.len();
+            RandomProgram {
+                inits: inits.into_iter().take(n).collect(),
+                widths,
+                trips,
+                steps,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_programs_agree_across_architectures(p in random_program()) {
+        let src = p.to_source();
+        let w = Workload::from_source("fuzz", &src);
+        // Reference: interpreter on the untransformed module.
+        let base = build(&w, &BuildConfig::baseline())
+            .unwrap_or_else(|e| panic!("baseline build failed: {e}\n{src}"));
+        let interp_out = bitspec::interpret(&base, &w)
+            .unwrap_or_else(|e| panic!("interp failed: {e}\n{src}"))
+            .outputs;
+        let rb = simulate(&base, &w)
+            .unwrap_or_else(|e| panic!("baseline sim failed: {e}\n{src}"));
+        prop_assert_eq!(&rb.outputs, &interp_out, "baseline vs interp\n{}", src);
+        for h in BitwidthHeuristic::ALL {
+            let cfg = BuildConfig {
+                empirical_gate: false, // always run the speculative code
+                ..BuildConfig::bitspec_with(h)
+            };
+            let c = build(&w, &cfg)
+                .unwrap_or_else(|e| panic!("bitspec({h}) build failed: {e}\n{src}"));
+            let rs = simulate(&c, &w)
+                .unwrap_or_else(|e| panic!("bitspec({h}) sim failed: {e}\n{src}"));
+            prop_assert_eq!(
+                &rs.outputs, &interp_out,
+                "BITSPEC({}) diverges (misspecs={})\n{}", h, rs.counts.misspecs, src
+            );
+        }
+    }
+}
+
+/// The classic boundary cases around the 8-bit slice limit, checked under
+/// every heuristic with adversarial train/eval splits.
+#[test]
+fn slice_boundary_values() {
+    for limit in [254u32, 255, 256, 257, 511, 513] {
+        let src = "global u32 n[1];
+             void main() {
+                u32 s = 0;
+                u32 x = 0;
+                for (u32 i = 0; i < n[0]; i++) {
+                    x = x + 1;
+                    s = s ^ x;
+                }
+                out(s); out(x);
+             }";
+        // Train small (narrow profile), evaluate across the boundary.
+        let w = Workload::from_source("boundary", src)
+            .with_input("n", limit.to_le_bytes().to_vec())
+            .with_train_input("n", 100u32.to_le_bytes().to_vec());
+        let base = build(&w, &BuildConfig::baseline()).unwrap();
+        let expect = simulate(&base, &w).unwrap().outputs;
+        for h in BitwidthHeuristic::ALL {
+            let cfg = BuildConfig {
+                empirical_gate: false,
+                ..BuildConfig::bitspec_with(h)
+            };
+            let c = build(&w, &cfg).unwrap();
+            let r = simulate(&c, &w).unwrap();
+            assert_eq!(r.outputs, expect, "limit={limit} heuristic={h}");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Suite-wide differential correctness: every MiBench workload must produce
+//! identical observable output on
+//!
+//! 1. the interpreter running the untransformed module,
+//! 2. the BASELINE processor (baseline compiler + simulator),
+//! 3. the BITSPEC processor (squeezed module + slice ISA + misspeculation
+//!    hardware), under each bitwidth heuristic, and
+//! 4. the no-speculation register-packing build (RQ2),
+//!
+//! exercising the complete co-design end to end.
+
+use bitspec::{build, simulate, Arch, BitwidthHeuristic, BuildConfig};
+use mibench::{names, workload, Input};
+
+fn reference_outputs(name: &str) -> Vec<u32> {
+    let w = workload(name, Input::Large);
+    let base = build(&w, &BuildConfig::baseline()).expect("baseline build");
+    let r = simulate(&base, &w).expect("baseline sim");
+    assert!(
+        !r.outputs.is_empty(),
+        "{name}: benchmarks must produce output"
+    );
+    // The interpreter on the same (untransformed) module agrees.
+    let ir = bitspec::interpret(&base, &w).expect("interp");
+    assert_eq!(ir.outputs, r.outputs, "{name}: interp vs baseline sim");
+    r.outputs
+}
+
+#[test]
+fn baseline_matches_interpreter_everywhere() {
+    for name in names() {
+        let _ = reference_outputs(name);
+    }
+}
+
+#[test]
+fn bitspec_max_heuristic_matches_baseline() {
+    for name in names() {
+        let reference = reference_outputs(name);
+        let w = workload(name, Input::Large);
+        let c = build(&w, &BuildConfig::bitspec()).expect("bitspec build");
+        let r = simulate(&c, &w).unwrap_or_else(|e| panic!("{name}: bitspec sim: {e}"));
+        assert_eq!(r.outputs, reference, "{name}: BITSPEC(MAX) diverges");
+        // The transformed module also interprets identically (checks the
+        // squeezer's IR semantics independent of the back-end).
+        let ir = bitspec::interpret(&c, &w).expect("interp of squeezed");
+        assert_eq!(ir.outputs, reference, "{name}: squeezed IR diverges");
+    }
+}
+
+#[test]
+fn bitspec_avg_and_min_heuristics_match() {
+    // The aggressive heuristics misspeculate more (Table 2) but must stay
+    // correct. A subset keeps test time in check; these are the paper's
+    // high-misspeculation workloads.
+    for name in ["crc32", "blowfish", "dijkstra", "sha", "stringsearch"] {
+        let reference = reference_outputs(name);
+        for h in [BitwidthHeuristic::Avg, BitwidthHeuristic::Min] {
+            let w = workload(name, Input::Large);
+            let c = build(&w, &BuildConfig::bitspec_with(h)).expect("build");
+            let r = simulate(&c, &w).unwrap_or_else(|e| panic!("{name}/{h}: {e}"));
+            assert_eq!(r.outputs, reference, "{name}: BITSPEC({h}) diverges");
+        }
+    }
+}
+
+#[test]
+fn nospec_packing_matches() {
+    for name in names() {
+        let reference = reference_outputs(name);
+        let w = workload(name, Input::Large);
+        let c = build(
+            &w,
+            &BuildConfig {
+                arch: Arch::NoSpec,
+                ..BuildConfig::baseline()
+            },
+        )
+        .expect("nospec build");
+        let r = simulate(&c, &w).unwrap_or_else(|e| panic!("{name}: nospec sim: {e}"));
+        assert_eq!(r.outputs, reference, "{name}: NoSpec diverges");
+    }
+}
+
+#[test]
+fn compact_isa_matches_and_runs_more_instructions() {
+    let mut more = 0;
+    let mut total = 0;
+    for name in names() {
+        let w = workload(name, Input::Large);
+        let base = build(&w, &BuildConfig::baseline()).expect("build");
+        let rb = simulate(&base, &w).expect("sim");
+        let compact = build(
+            &w,
+            &BuildConfig {
+                arch: Arch::Compact,
+                ..BuildConfig::baseline()
+            },
+        )
+        .expect("compact build");
+        let rc = simulate(&compact, &w).unwrap_or_else(|e| panic!("{name}: compact: {e}"));
+        assert_eq!(rc.outputs, rb.outputs, "{name}: compact ISA diverges");
+        total += 1;
+        if rc.counts.dyn_insts > rb.counts.dyn_insts {
+            more += 1;
+        }
+    }
+    // RQ9's shape: the 2-address/8-register ISA pays extra instructions on
+    // most workloads.
+    assert!(
+        more * 2 > total,
+        "compact mode should execute more instructions on most benchmarks ({more}/{total})"
+    );
+}
+
+#[test]
+fn alternate_profile_inputs_stay_correct() {
+    // RQ6 methodology: profile on the alternate input, evaluate on large.
+    for name in ["crc32", "stringsearch", "susan-edges", "qsort"] {
+        let reference = reference_outputs(name);
+        let w = mibench::workload_with_train(name, Input::Large, Input::Alternate);
+        let c = build(&w, &BuildConfig::bitspec()).expect("build");
+        let r = simulate(&c, &w).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(r.outputs, reference, "{name}: alt-profile run diverges");
+    }
+}
+
+#[test]
+fn rq7_wide_variants_match_narrow_sources() {
+    for name in ["dijkstra", "stringsearch"] {
+        let reference = reference_outputs(name);
+        let mut w = workload(name, Input::Large);
+        w.source = mibench::rq7_wide_variant(name).expect("variant");
+        let base = build(&w, &BuildConfig::baseline()).expect("wide baseline");
+        let rb = simulate(&base, &w).expect("sim");
+        assert_eq!(rb.outputs, reference, "{name}: wide variant diverges");
+        let bs = build(&w, &BuildConfig::bitspec()).expect("wide bitspec");
+        let rs = simulate(&bs, &w).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(rs.outputs, reference, "{name}: wide BITSPEC diverges");
+    }
+}

@@ -1,0 +1,177 @@
+//! Cross-crate integration checks on the pipeline's *artifacts*:
+//! verifier-level invariants of squeezed IR, the Δ/skeleton machine-code
+//! layout contract (DESIGN.md invariant 5), and compilation-level
+//! statistics the evaluation relies on.
+
+use bitspec::{build, simulate, BitwidthHeuristic, BuildConfig, Workload};
+use isa::MInst;
+
+fn demo_workload() -> Workload {
+    // Unmasked accumulators kept under 256 by wrap-around subtraction:
+    // every profiled value fits 8 bits, so the additions/subtractions
+    // become *speculative* slice ops and regions/handlers/skeleton slots
+    // all exist.
+    let src = "global u8 data[512];
+        void main() {
+            u32 a = 0; u32 b = 1; u32 c = 2; u32 d = 3;
+            u32 e = 4; u32 f = 5; u32 g = 6; u32 h = 7;
+            for (u32 i = 0; i < 512; i++) {
+                u32 x = data[i] & 7;
+                a = a + x;      if (a > 199) { a = a - 199; }
+                b = b + a;      if (b > 211) { b = b - 211; }
+                c = c + (b ^ x); if (c > 193) { c = c - 193; }
+                d = d + c;      if (d > 223) { d = d - 223; }
+                e = e + (d ^ a); if (e > 181) { e = e - 181; }
+                f = f + e;      if (f > 167) { f = f - 167; }
+                g = g + (f ^ b); if (g > 149) { g = g - 149; }
+                h = h + g;      if (h > 131) { h = h - 131; }
+            }
+            out(a + b + c + d); out(e + f + g + h);
+        }";
+    let data: Vec<u8> = (0..512u32).map(|i| (i * 73 + 5) as u8).collect();
+    Workload::from_source("pipeline-demo", src).with_input("data", data)
+}
+
+/// The squeezed module passes the SIR verifier, which includes the
+/// speculative-region rules of §3.1.1 and the Theorem 3.1 deadness check.
+#[test]
+fn squeezed_module_verifies_with_regions() {
+    let w = demo_workload();
+    let cfg = BuildConfig {
+        empirical_gate: false,
+        ..BuildConfig::bitspec()
+    };
+    let c = build(&w, &cfg).expect("build");
+    assert!(c.squeeze.narrowed > 0);
+    assert!(c.squeeze.regions > 0);
+    sir::verify::verify_module(&c.module).expect("squeezed IR verifies");
+    // At least one function actually carries regions with handlers.
+    let with_regions = c.module.funcs.iter().filter(|f| !f.regions.is_empty());
+    assert!(with_regions.count() > 0);
+}
+
+/// DESIGN.md invariant 5: for every misspeculation-capable instruction in
+/// the image, `pc + Δ` lands on an instruction boundary holding an
+/// unconditional branch (the skeleton slot for its handler). Δ is read
+/// from the `SetDelta` in force at that point of the function.
+#[test]
+fn skeleton_layout_contract() {
+    let w = demo_workload();
+    let cfg = BuildConfig {
+        empirical_gate: false,
+        ..BuildConfig::bitspec()
+    };
+    let c = build(&w, &cfg).expect("build");
+    let p = &c.program;
+    let mut checked = 0;
+    let mut delta: Option<u32> = None;
+    for (i, inst) in p.insts.iter().enumerate() {
+        match inst {
+            MInst::SetDelta { bytes } => delta = Some(*bytes),
+            _ if inst.can_misspeculate() => {
+                let d = delta.expect("misspec-capable inst before any SetDelta");
+                let target_addr = p.addrs[i] + d;
+                let ti = *p
+                    .addr_index
+                    .get(&target_addr)
+                    .unwrap_or_else(|| panic!("pc+Δ {target_addr:#x} off instruction grid"));
+                assert!(
+                    matches!(p.insts[ti], MInst::B { .. }),
+                    "skeleton slot at {target_addr:#x} is {:?}, not a branch",
+                    p.insts[ti]
+                );
+                checked += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(checked > 0, "no speculative instructions in the image");
+}
+
+/// Machine image sanity: static instruction counts, address monotonicity,
+/// and the interpreter/simulator/squeeze agreement on a run that actually
+/// misspeculates.
+#[test]
+fn end_to_end_misspeculation_statistics() {
+    let src = "global u32 bound[1];
+        void main() {
+            u32 x = 0;
+            u32 s = 0;
+            for (u32 i = 0; i < bound[0]; i++) {
+                x = x + 3;
+                s = s ^ (x & 0xFF);
+            }
+            out(s); out(x);
+        }";
+    let w = Workload::from_source("misspec-stats", src)
+        .with_input("bound", 400u32.to_le_bytes().to_vec())
+        .with_train_input("bound", 60u32.to_le_bytes().to_vec());
+    let cfg = BuildConfig {
+        empirical_gate: false,
+        ..BuildConfig::bitspec_with(BitwidthHeuristic::Max)
+    };
+    let c = build(&w, &cfg).expect("build");
+    let r = simulate(&c, &w).expect("sim");
+    // Interpreter on the squeezed module sees the same misspeculations as
+    // the machine (the IR-level and µarch-level models agree event-wise).
+    let ir = bitspec::interpret(&c, &w).expect("interp");
+    assert_eq!(r.outputs, ir.outputs);
+    assert!(r.counts.misspecs > 0, "training at 60 iterations must misspeculate at 400");
+    assert_eq!(
+        r.counts.misspecs, ir.stats.misspecs,
+        "machine and IR misspeculation counts must agree"
+    );
+}
+
+/// The compact (Thumb-like) image really is denser per instruction.
+#[test]
+fn compact_image_density() {
+    let w = demo_workload();
+    let base = build(&w, &BuildConfig::baseline()).unwrap();
+    let compact = build(
+        &w,
+        &BuildConfig {
+            arch: bitspec::Arch::Compact,
+            ..BuildConfig::baseline()
+        },
+    )
+    .unwrap();
+    let bpi_base = base.program.code_bytes() as f64 / base.program.static_insts() as f64;
+    let bpi_compact =
+        compact.program.code_bytes() as f64 / compact.program.static_insts() as f64;
+    assert!(
+        bpi_compact < bpi_base,
+        "compact encoding should be denser: {bpi_compact:.2} vs {bpi_base:.2} bytes/inst"
+    );
+}
+
+/// Addresses are strictly monotone and every branch target is in range —
+/// over every architecture variant.
+#[test]
+fn image_wellformedness_all_archs() {
+    let w = demo_workload();
+    for cfg in [
+        BuildConfig::baseline(),
+        BuildConfig::bitspec(),
+        BuildConfig {
+            arch: bitspec::Arch::NoSpec,
+            ..BuildConfig::baseline()
+        },
+        BuildConfig {
+            arch: bitspec::Arch::Compact,
+            ..BuildConfig::baseline()
+        },
+    ] {
+        let c = build(&w, &cfg).unwrap();
+        let p = &c.program;
+        for win in p.addrs.windows(2) {
+            assert!(win[1] > win[0]);
+        }
+        for inst in &p.insts {
+            if let MInst::B { target } | MInst::Bc { target, .. } | MInst::Bl { target } = inst
+            {
+                assert!(*target < p.insts.len(), "{:?} dangling", cfg.arch);
+            }
+        }
+    }
+}
