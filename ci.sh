@@ -1,0 +1,9 @@
+#!/bin/sh
+# Local CI gate: formatting, lints, and the tier-1 test suite.
+# Everything runs offline; the workspace has no external dependencies.
+set -eux
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test -q

@@ -43,15 +43,17 @@ pub struct Program {
     pub compact: bool,
     /// addr → instruction index (for `pc + Δ` resolution).
     pub addr_index: HashMap<u32, usize>,
+    /// Misspeculation cover table: `(spec, branch, handler)` instruction
+    /// indices — the misspeculation-capable instruction, its mirrored
+    /// skeleton branch at `+Δ`, and the handler entry that branch targets.
+    /// Recorded during skeleton emission and checked by [`verify_layout`].
+    pub spec_targets: Vec<(usize, usize, usize)>,
 }
 
 impl Program {
     /// Total static code size in bytes.
     pub fn code_bytes(&self) -> u32 {
-        self.insts
-            .iter()
-            .map(|i| i.size(self.compact))
-            .sum()
+        self.insts.iter().map(|i| i.size(self.compact)).sum()
     }
 
     /// Static instruction count (excluding skeleton NOP padding).
@@ -73,26 +75,26 @@ enum Fixup {
 }
 
 /// Links allocated functions into a program image.
-pub fn link(
-    m: &Module,
-    funcs: Vec<AllocatedFn>,
-    opts: &CodegenOpts,
-    layout: &Layout,
-) -> Program {
+pub fn link(m: &Module, funcs: Vec<AllocatedFn>, opts: &CodegenOpts, layout: &Layout) -> Program {
     let mut insts: Vec<MInst> = Vec::new();
     let mut fixups: Vec<(usize, Fixup)> = Vec::new();
     let mut func_entries = Vec::with_capacity(funcs.len());
     let mut block_index: Vec<HashMap<MBlockId, usize>> = Vec::with_capacity(funcs.len());
+    let mut spec_targets: Vec<(usize, usize, usize)> = Vec::new();
 
     for (fi, af) in funcs.iter().enumerate() {
         let mut e = FnEmitter::new(af, opts, fi);
-        let (code, fx, blocks) = e.emit();
+        let (code, fx, blocks, pairs) = e.emit();
         let base = insts.len();
         func_entries.push(base);
         for (slot, f) in fx {
             fixups.push((base + slot, f));
         }
         block_index.push(blocks.into_iter().map(|(b, i)| (b, base + i)).collect());
+        let bi = block_index.last().expect("just pushed");
+        for (spec, branch, handler) in pairs {
+            spec_targets.push((base + spec, base + branch, bi[&handler]));
+        }
         insts.extend(code);
     }
     // Halt stub.
@@ -141,7 +143,101 @@ pub fn link(
         mem_size: MEM_SIZE,
         compact: opts.compact,
         addr_index,
+        spec_targets,
     }
+}
+
+/// Pass name for layout diagnostics.
+pub const VERIFY_PASS: &str = "emit-verify";
+
+/// Checks the §3.3.4 Δ-skeleton layout of a linked program: every
+/// misspeculation-capable instruction must land, at `pc + Δ`, on an
+/// instruction boundary (`EMIT-GRID`) holding its recorded skeleton branch
+/// to its handler's entry (`EMIT-DELTA`), and no misspeculation-capable
+/// instruction may lack a cover entry altogether (`EMIT-UNCOVERED`).
+pub fn verify_layout(p: &Program) -> Vec<sir::Diag> {
+    let mut problems = Vec::new();
+    let func_of = |idx: usize| -> (usize, &str) {
+        let fi = p
+            .func_entries
+            .partition_point(|&e| e <= idx)
+            .saturating_sub(1);
+        (fi, p.func_names.get(fi).map_or("?", |n| n.as_str()))
+    };
+    // Δ in effect at an instruction: the nearest preceding SetDelta within
+    // the same function (after patching they all carry the same value).
+    let delta_at = |idx: usize| -> Option<u32> {
+        let (fi, _) = func_of(idx);
+        let start = p.func_entries[fi];
+        (start..=idx).rev().find_map(|i| match p.insts[i] {
+            MInst::SetDelta { bytes } => Some(bytes),
+            _ => None,
+        })
+    };
+    let diag = |rule: &'static str, idx: usize, msg: String| {
+        let (_, name) = func_of(idx);
+        sir::Diag::new(rule, VERIFY_PASS, name, format!("#{idx}"), msg)
+    };
+    for &(spec, branch, handler) in &p.spec_targets {
+        if !p.insts[spec].can_misspeculate() {
+            problems.push(diag(
+                "EMIT-DELTA",
+                spec,
+                "cover entry on a non-misspeculating instruction".into(),
+            ));
+            continue;
+        }
+        let Some(delta) = delta_at(spec) else {
+            problems.push(diag(
+                "EMIT-DELTA",
+                spec,
+                "no SetDelta precedes a misspeculation-capable instruction".into(),
+            ));
+            continue;
+        };
+        let land = p.addrs[spec] + delta;
+        let Some(&landed) = p.addr_index.get(&land) else {
+            problems.push(diag(
+                "EMIT-GRID",
+                spec,
+                format!("pc+Δ = {land:#x} is not an instruction boundary"),
+            ));
+            continue;
+        };
+        if landed != branch {
+            problems.push(diag(
+                "EMIT-DELTA",
+                spec,
+                format!("pc+Δ lands on #{landed}, not the skeleton branch #{branch}"),
+            ));
+            continue;
+        }
+        match p.insts[branch] {
+            MInst::B { target } if target == handler => {}
+            MInst::B { target } => problems.push(diag(
+                "EMIT-DELTA",
+                branch,
+                format!("skeleton branch targets #{target}, want handler #{handler}"),
+            )),
+            ref other => problems.push(diag(
+                "EMIT-DELTA",
+                branch,
+                format!("skeleton slot holds {other:?}, want a branch to #{handler}"),
+            )),
+        }
+    }
+    let covered: std::collections::HashSet<usize> =
+        p.spec_targets.iter().map(|&(s, _, _)| s).collect();
+    for (i, inst) in p.insts.iter().enumerate() {
+        if inst.can_misspeculate() && !covered.contains(&i) {
+            problems.push(diag(
+                "EMIT-UNCOVERED",
+                i,
+                "misspeculation-capable instruction without a skeleton cover entry".into(),
+            ));
+        }
+    }
+    problems
 }
 
 struct FnEmitter<'a> {
@@ -153,6 +249,9 @@ struct FnEmitter<'a> {
     block_starts: Vec<(MBlockId, usize)>,
     /// Handler (region) mirrored for each emitted spec-segment slot.
     spec_slots: Vec<Option<MBlockId>>,
+    /// `(spec slot, skeleton branch slot, handler block)` cover triples,
+    /// function-relative; globalized by `link` into [`Program::spec_targets`].
+    spec_pairs: Vec<(usize, usize, MBlockId)>,
     /// Index of SetDelta instructions to patch with Δ.
     delta_slots: Vec<usize>,
     frame: FrameInfo,
@@ -204,6 +303,7 @@ impl<'a> FnEmitter<'a> {
             fixups: Vec::new(),
             block_starts: Vec::new(),
             spec_slots: Vec::new(),
+            spec_pairs: Vec::new(),
             delta_slots: Vec::new(),
             frame,
             cur_spec_side: true,
@@ -255,7 +355,15 @@ impl<'a> FnEmitter<'a> {
         self.out.push(i);
     }
 
-    fn emit(&mut self) -> (Vec<MInst>, Vec<(usize, Fixup)>, Vec<(MBlockId, usize)>) {
+    #[allow(clippy::type_complexity)]
+    fn emit(
+        &mut self,
+    ) -> (
+        Vec<MInst>,
+        Vec<(usize, Fixup)>,
+        Vec<(MBlockId, usize)>,
+        Vec<(usize, usize, MBlockId)>,
+    ) {
         let order = self.af.order.clone();
         let has_regions = !self.af.mir.regions.is_empty();
         let spec_count = order
@@ -275,12 +383,13 @@ impl<'a> FnEmitter<'a> {
                 .zip(&self.spec_slots)
                 .map(|(i, h)| (*h, i.size(self.opts.compact)))
                 .collect();
-            for (handler, size) in mirrored {
+            for (spec_slot, (handler, size)) in mirrored.into_iter().enumerate() {
                 match handler {
                     Some(h) => {
                         let slot = self.out.len();
                         self.push(MInst::B { target: 0 });
                         self.fixups.push((slot, Fixup::Block(self.fi, h)));
+                        self.spec_pairs.push((spec_slot, slot, h));
                     }
                     None => {
                         // Mirror the byte footprint with NOP slots.
@@ -305,6 +414,7 @@ impl<'a> FnEmitter<'a> {
             std::mem::take(&mut self.out),
             std::mem::take(&mut self.fixups),
             std::mem::take(&mut self.block_starts),
+            std::mem::take(&mut self.spec_pairs),
         )
     }
 
@@ -317,9 +427,12 @@ impl<'a> FnEmitter<'a> {
             self.emit_prologue();
         }
         // In-region handler label for skeleton mirroring.
-        let handler = self.af.mir.block(b).region.map(|r| {
-            self.af.mir.regions[r as usize].1
-        });
+        let handler = self
+            .af
+            .mir
+            .block(b)
+            .region
+            .map(|r| self.af.mir.regions[r as usize].1);
         let mut param_run: Vec<(VReg, u32)> = Vec::new();
         let insts = self.af.mir.block(b).insts.clone();
         for inst in insts {
@@ -471,18 +584,14 @@ impl<'a> FnEmitter<'a> {
 
     /// Clash-free register-to-register move sequencing (r12 breaks cycles).
     fn emit_parallel_moves(&mut self, moves: &[(Reg, Reg)]) {
-        let mut pending: Vec<(Reg, Reg)> =
-            moves.iter().copied().filter(|(d, s)| d != s).collect();
+        let mut pending: Vec<(Reg, Reg)> = moves.iter().copied().filter(|(d, s)| d != s).collect();
         while !pending.is_empty() {
             let ready: Vec<usize> = (0..pending.len())
                 .filter(|&i| !pending.iter().any(|(_, s)| *s == pending[i].0))
                 .collect();
             if ready.is_empty() {
                 let (d, s) = pending[0];
-                self.push(MInst::Mov {
-                    rd: Reg(12),
-                    rm: s,
-                });
+                self.push(MInst::Mov { rd: Reg(12), rm: s });
                 pending[0] = (d, Reg(12));
                 continue;
             }
@@ -768,7 +877,11 @@ impl<'a> FnEmitter<'a> {
                 // MovCc conditionally writes rd: rd must hold its previous
                 // value, so a spilled destination needs reload-modify-store.
                 match self.loc(*rd) {
-                    Loc::Reg(r) => self.push(MInst::MovCc { rd: r, rm, cond: *cond }),
+                    Loc::Reg(r) => self.push(MInst::MovCc {
+                        rd: r,
+                        rm,
+                        cond: *cond,
+                    }),
                     Loc::WriteThrough { reg, slot } if self.cur_spec_side => {
                         self.push(MInst::MovCc {
                             rd: reg,
@@ -795,7 +908,11 @@ impl<'a> FnEmitter<'a> {
                             width: MemWidth::W,
                             spill: true,
                         });
-                        self.push(MInst::MovCc { rd: r, rm, cond: *cond });
+                        self.push(MInst::MovCc {
+                            rd: r,
+                            rm,
+                            cond: *cond,
+                        });
                         self.push(MInst::Store {
                             rs: r,
                             rn: SP,
@@ -814,7 +931,11 @@ impl<'a> FnEmitter<'a> {
                             width: MemWidth::W,
                             spill: true,
                         });
-                        self.push(MInst::MovCc { rd: r, rm, cond: *cond });
+                        self.push(MInst::MovCc {
+                            rd: r,
+                            rm,
+                            cond: *cond,
+                        });
                         self.push(MInst::Store {
                             rs: r,
                             rn: SP,
@@ -967,11 +1088,7 @@ impl<'a> FnEmitter<'a> {
                 self.writeback_word(rd, wb);
             }
             MirInst::GetParam { .. } => unreachable!("params flushed in runs"),
-            MirInst::Call {
-                callee,
-                args,
-                rets,
-            } => {
+            MirInst::Call { callee, args, rets } => {
                 // Arguments: slots 0–3 in r0–r3, rest on the outgoing stack
                 // area. Sources never live in r0–r3 (they cross the call).
                 for (slot, a) in args.iter().enumerate() {
@@ -1021,7 +1138,9 @@ impl<'a> FnEmitter<'a> {
                                 });
                             }
                         }
-                        Loc::Slice(_) | Loc::WriteThrough { .. } | Loc::WriteThroughSlice { .. } => {
+                        Loc::Slice(_)
+                        | Loc::WriteThrough { .. }
+                        | Loc::WriteThroughSlice { .. } => {
                             panic!("unexpected call-arg location")
                         }
                     }
@@ -1189,7 +1308,10 @@ impl<'a> FnEmitter<'a> {
             return;
         }
         // Thumb-like: rd must equal rn.
-        let commutative = matches!(op, AluOp::Add | AluOp::And | AluOp::Orr | AluOp::Eor | AluOp::Mul);
+        let commutative = matches!(
+            op,
+            AluOp::Add | AluOp::And | AluOp::Orr | AluOp::Eor | AluOp::Mul
+        );
         match src2 {
             Operand::Reg(r2) if r2 == rd => {
                 if commutative {

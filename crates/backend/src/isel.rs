@@ -15,8 +15,7 @@
 //!   registers, mirroring Thumb's main costs.
 
 use crate::mir::{
-    MBlockId, MOperand, MirBlock, MirFunction, MirInst, MirTerm, RegClass, SAluOp, SMOperand,
-    VReg,
+    MBlockId, MOperand, MirBlock, MirFunction, MirInst, MirTerm, RegClass, SAluOp, SMOperand, VReg,
 };
 use interp::Layout;
 use isa::{AluOp, Cond, MemWidth};
@@ -1233,7 +1232,10 @@ impl<'a> Selector<'a> {
             }
             Val::Pair(lo, hi) => {
                 if from == MemWidth::W || matches!(self.val_of(arg), Val::B(_)) {
-                    self.emit(MirInst::Mov { rd: lo, rm: src_word });
+                    self.emit(MirInst::Mov {
+                        rd: lo,
+                        rm: src_word,
+                    });
                 } else {
                     self.emit(MirInst::Extend {
                         rd: lo,
@@ -1351,9 +1353,7 @@ impl<'a> Selector<'a> {
                 rhs,
                 speculative: false,
             } => match (self.slice_index_of(*lhs), self.f.inst(*rhs)) {
-                (Some((b, 0)), Inst::Const { value, .. }) if *value <= 3 => {
-                    Some((b, *value as u8))
-                }
+                (Some((b, 0)), Inst::Const { value, .. }) if *value <= 3 => Some((b, *value as u8)),
                 _ => None,
             },
             Inst::Bin {
@@ -1363,9 +1363,7 @@ impl<'a> Selector<'a> {
                 rhs,
                 speculative: false,
             } => match (self.slice_index_of(*lhs), self.f.inst(*rhs)) {
-                (Some((b, 0)), Inst::Const { value, .. })
-                    if matches!(value, 1 | 2 | 4 | 8) =>
-                {
+                (Some((b, 0)), Inst::Const { value, .. }) if matches!(value, 1 | 2 | 4 | 8) => {
                     Some((b, (*value as u8).trailing_zeros() as u8))
                 }
                 _ => None,
@@ -1542,7 +1540,14 @@ impl<'a> Selector<'a> {
         }
     }
 
-    fn select_select(&mut self, v: ValueId, width: Width, cond: ValueId, tval: ValueId, fval: ValueId) {
+    fn select_select(
+        &mut self,
+        v: ValueId,
+        width: Width,
+        cond: ValueId,
+        tval: ValueId,
+        fval: ValueId,
+    ) {
         let c = self.word_of(cond);
         let emit_sel = |sel: &mut Self, rd: VReg, t: VReg, fv: VReg| {
             sel.emit(MirInst::Mov { rd, rm: fv });
@@ -1852,9 +1857,13 @@ mod tests {
             &CodegenOpts::default(),
         );
         let insts: Vec<&MirInst> = f.blocks.iter().flat_map(|b| &b.insts).collect();
-        assert!(insts
-            .iter()
-            .any(|i| matches!(i, MirInst::Alu { op: AluOp::Adds, .. })));
+        assert!(insts.iter().any(|i| matches!(
+            i,
+            MirInst::Alu {
+                op: AluOp::Adds,
+                ..
+            }
+        )));
         assert!(insts
             .iter()
             .any(|i| matches!(i, MirInst::Alu { op: AluOp::Adc, .. })));

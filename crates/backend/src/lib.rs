@@ -27,6 +27,7 @@
 pub mod emit;
 pub mod isel;
 pub mod mir;
+pub mod mir_verify;
 pub mod regalloc;
 
 pub use emit::Program;
@@ -38,12 +39,46 @@ pub use isel::CodegenOpts;
 /// Panics on constructs the back-end does not support (64-bit division,
 /// 64-bit variable-amount shifts) — see DESIGN.md for the supported subset.
 pub fn compile_module(m: &sir::Module, opts: &CodegenOpts) -> Program {
+    compile_module_checked(m, opts, false).expect("unchecked compile cannot fail verification")
+}
+
+/// Like [`compile_module`], but optionally verifying the machine IR after
+/// instruction selection and register allocation (`mir-verify`) and the
+/// Δ-skeleton layout of the linked image (`emit-verify`).
+///
+/// With `verify` false this is exactly [`compile_module`] and always
+/// succeeds.
+///
+/// # Errors
+/// Returns every diagnostic collected across all stages when `verify` is
+/// set and an invariant is violated.
+///
+/// # Panics
+/// Panics on constructs the back-end does not support (64-bit division,
+/// 64-bit variable-amount shifts) — see DESIGN.md for the supported subset.
+pub fn compile_module_checked(
+    m: &sir::Module,
+    opts: &CodegenOpts,
+    verify: bool,
+) -> Result<Program, sir::verify::VerifyError> {
     let layout = interp::Layout::new(m);
     let mut funcs = Vec::new();
+    let mut problems = Vec::new();
     for fid in m.func_ids() {
         let mir = isel::select_function(m, fid, &layout, opts);
+        if verify {
+            problems.extend(mir_verify::verify_mir(&mir));
+        }
         let alloc = regalloc::allocate(mir, opts);
+        if verify {
+            problems.extend(mir_verify::verify_allocated(&alloc));
+        }
         funcs.push(alloc);
     }
-    emit::link(m, funcs, opts, &layout)
+    let program = emit::link(m, funcs, opts, &layout);
+    if verify {
+        problems.extend(emit::verify_layout(&program));
+    }
+    sir::verify::VerifyError::check(problems)?;
+    Ok(program)
 }

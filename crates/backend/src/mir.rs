@@ -220,8 +220,12 @@ impl MirInst {
                 }
                 u
             }
-            MovImm { .. } | CSet { .. } | GlobalAddr { .. } | FrameAddr { .. }
-            | GetParam { .. } | SMovImm { .. } => vec![],
+            MovImm { .. }
+            | CSet { .. }
+            | GlobalAddr { .. }
+            | FrameAddr { .. }
+            | GetParam { .. }
+            | SMovImm { .. } => vec![],
             Mov { rm, .. } | MovCc { rm, .. } => vec![*rm],
             Cmp { rn, src2 } => {
                 let mut u = vec![*rn];
@@ -263,15 +267,32 @@ impl MirInst {
     pub fn defs(&self) -> Vec<VReg> {
         use MirInst::*;
         match self {
-            Alu { rd, .. } | MovImm { rd, .. } | Mov { rd, .. } | MovCc { rd, .. }
-            | CSet { rd, .. } | Extend { rd, .. } | Load { rd, .. } | GlobalAddr { rd, .. }
-            | FrameAddr { rd, .. } | GetParam { rd, .. } | SExtend { rd, .. } => vec![*rd],
+            Alu { rd, .. }
+            | MovImm { rd, .. }
+            | Mov { rd, .. }
+            | MovCc { rd, .. }
+            | CSet { rd, .. }
+            | Extend { rd, .. }
+            | Load { rd, .. }
+            | GlobalAddr { rd, .. }
+            | FrameAddr { rd, .. }
+            | GetParam { rd, .. }
+            | SExtend { rd, .. } => vec![*rd],
             Umull { rdlo, rdhi, .. } => vec![*rdlo, *rdhi],
             Call { rets, .. } => rets.clone(),
-            SAlu { bd, .. } | SLoadSpec { bd, .. } | SLoad { bd, .. } | STrunc { bd, .. }
-            | SMov { bd, .. } | SMovImm { bd, .. } | SLoadIdx { bd, .. } => vec![*bd],
+            SAlu { bd, .. }
+            | SLoadSpec { bd, .. }
+            | SLoad { bd, .. }
+            | STrunc { bd, .. }
+            | SMov { bd, .. }
+            | SMovImm { bd, .. }
+            | SLoadIdx { bd, .. } => vec![*bd],
             LoadIdx { rd, .. } => vec![*rd],
-            Cmp { .. } | Store { .. } | Out { .. } | SpecCheck { .. } | SCmp { .. }
+            Cmp { .. }
+            | Store { .. }
+            | Out { .. }
+            | SpecCheck { .. }
+            | SCmp { .. }
             | SStore { .. } => {
                 vec![]
             }

@@ -1,0 +1,689 @@
+//! SMIR verifier — machine-IR counterpart of `sir::verify`.
+//!
+//! Runs after instruction selection (`verify_mir`) and again after register
+//! allocation (`verify_allocated`), checking the invariants the emitter and
+//! the §3.3.4 layout rely on:
+//!
+//! * every vreg is defined before use on all paths, including misspeculation
+//!   edges into handlers (`MIR-UNDEF`, a forward dataflow over the 2-CFG);
+//! * every operand position carries a vreg of the expected register class —
+//!   no wide read of a slice-defined register without an `SExtend`
+//!   (`MIR-CLASS`);
+//! * region/handler cross-references are consistent, region blocks sit on
+//!   the speculative side, and every misspeculation-capable instruction is
+//!   covered by a region (`MIR-REGION`);
+//! * after allocation, locations agree with classes and the block order
+//!   keeps the spec segment a contiguous prefix (`MIR-LOC`, `MIR-REGION`).
+
+use crate::mir::{
+    MBlockId, MOperand, MirFunction, MirInst, MirTerm, RegClass, SAluOp, SMOperand, VReg,
+};
+use crate::regalloc::{AllocatedFn, Loc};
+use sir::dataflow::{self, Analysis, Direction, Graph};
+use sir::Diag;
+
+/// Pass name used in every diagnostic this module emits.
+pub const PASS: &str = "mir-verify";
+
+/// [`Graph`] over a MIR function's CFG with misspeculation edges included,
+/// so definedness facts reach handlers conservatively.
+impl Graph for MirFunction {
+    fn num_nodes(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn entry(&self) -> usize {
+        self.entry.index()
+    }
+
+    fn succs(&self, n: usize) -> Vec<usize> {
+        self.spec_succs(MBlockId(n as u32))
+            .into_iter()
+            .map(|b| b.index())
+            .collect()
+    }
+}
+
+/// Whether a MIR instruction can trigger misspeculation (mirrors
+/// [`isa::MInst::can_misspeculate`] one level up).
+pub fn can_misspeculate(i: &MirInst) -> bool {
+    match i {
+        MirInst::SAlu {
+            op, speculative, ..
+        } => *speculative && matches!(op, SAluOp::Add | SAluOp::Sub | SAluOp::Lsl),
+        MirInst::SLoadSpec { .. } => true,
+        MirInst::SLoadIdx { speculative, .. } | MirInst::STrunc { speculative, .. } => *speculative,
+        MirInst::SpecCheck { .. } => true,
+        _ => false,
+    }
+}
+
+/// Definitely-defined vregs, as a forward intersection dataflow: a vreg is
+/// defined at a point iff it is defined on *every* path reaching it.
+struct Defined {
+    nvregs: usize,
+}
+
+impl Analysis<MirFunction> for Defined {
+    type Fact = Vec<bool>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self, _g: &MirFunction) -> Vec<bool> {
+        vec![false; self.nvregs]
+    }
+
+    fn init(&self, _g: &MirFunction, _n: usize) -> Vec<bool> {
+        // Optimistic top for an intersection join: everything defined.
+        vec![true; self.nvregs]
+    }
+
+    fn join(&self, into: &mut Vec<bool>, from: &Vec<bool>) -> bool {
+        let mut changed = false;
+        for (a, b) in into.iter_mut().zip(from) {
+            if *a && !*b {
+                *a = false;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer(&self, g: &MirFunction, n: usize, input: &Vec<bool>) -> Vec<bool> {
+        let mut out = input.clone();
+        for i in &g.blocks[n].insts {
+            for d in i.defs() {
+                out[d.index()] = true;
+            }
+        }
+        out
+    }
+}
+
+/// Expected register class for every vreg operand of `i`, as
+/// `(vreg, class, role)` triples covering both uses and defs.
+fn operand_classes(i: &MirInst) -> Vec<(VReg, RegClass, &'static str)> {
+    use RegClass::{Byte, Word};
+    let mut out: Vec<(VReg, RegClass, &'static str)> = Vec::new();
+    let word = |out: &mut Vec<_>, v: VReg, role| out.push((v, Word, role));
+    let byte = |out: &mut Vec<_>, v: VReg, role| out.push((v, Byte, role));
+    match i {
+        MirInst::Alu { rd, rn, src2, .. } => {
+            word(&mut out, *rd, "rd");
+            word(&mut out, *rn, "rn");
+            if let MOperand::VReg(v) = src2 {
+                word(&mut out, *v, "src2");
+            }
+        }
+        MirInst::MovImm { rd, .. } | MirInst::CSet { rd, .. } => word(&mut out, *rd, "rd"),
+        MirInst::Mov { rd, rm } | MirInst::MovCc { rd, rm, .. } => {
+            word(&mut out, *rd, "rd");
+            word(&mut out, *rm, "rm");
+        }
+        MirInst::Cmp { rn, src2 } => {
+            word(&mut out, *rn, "rn");
+            if let MOperand::VReg(v) = src2 {
+                word(&mut out, *v, "src2");
+            }
+        }
+        MirInst::Extend { rd, rm, .. } => {
+            word(&mut out, *rd, "rd");
+            word(&mut out, *rm, "rm");
+        }
+        MirInst::Umull { rdlo, rdhi, rn, rm } => {
+            word(&mut out, *rdlo, "rdlo");
+            word(&mut out, *rdhi, "rdhi");
+            word(&mut out, *rn, "rn");
+            word(&mut out, *rm, "rm");
+        }
+        MirInst::Load { rd, rn, .. } => {
+            word(&mut out, *rd, "rd");
+            word(&mut out, *rn, "rn");
+        }
+        MirInst::LoadIdx { rd, rn, bidx, .. } => {
+            word(&mut out, *rd, "rd");
+            word(&mut out, *rn, "rn");
+            byte(&mut out, *bidx, "bidx");
+        }
+        MirInst::SLoadIdx { bd, rn, bidx, .. } => {
+            byte(&mut out, *bd, "bd");
+            word(&mut out, *rn, "rn");
+            byte(&mut out, *bidx, "bidx");
+        }
+        MirInst::Store { rs, rn, .. } => {
+            word(&mut out, *rs, "rs");
+            word(&mut out, *rn, "rn");
+        }
+        MirInst::GlobalAddr { rd, .. }
+        | MirInst::FrameAddr { rd, .. }
+        | MirInst::GetParam { rd, .. } => word(&mut out, *rd, "rd"),
+        MirInst::Call { args, rets, .. } => {
+            for a in args {
+                word(&mut out, *a, "arg");
+            }
+            for r in rets {
+                word(&mut out, *r, "ret");
+            }
+        }
+        MirInst::Out { rn } | MirInst::SpecCheck { rn } => word(&mut out, *rn, "rn"),
+        MirInst::SAlu { bd, bn, src2, .. } => {
+            byte(&mut out, *bd, "bd");
+            byte(&mut out, *bn, "bn");
+            if let SMOperand::VReg(v) = src2 {
+                byte(&mut out, *v, "src2");
+            }
+        }
+        MirInst::SCmp { bn, src2 } => {
+            byte(&mut out, *bn, "bn");
+            if let SMOperand::VReg(v) = src2 {
+                byte(&mut out, *v, "src2");
+            }
+        }
+        MirInst::SLoadSpec { bd, rn, .. } | MirInst::SLoad { bd, rn, .. } => {
+            byte(&mut out, *bd, "bd");
+            word(&mut out, *rn, "rn");
+        }
+        MirInst::SStore { bs, rn, .. } => {
+            byte(&mut out, *bs, "bs");
+            word(&mut out, *rn, "rn");
+        }
+        MirInst::SExtend { rd, bn, .. } => {
+            word(&mut out, *rd, "rd");
+            byte(&mut out, *bn, "bn");
+        }
+        MirInst::STrunc { bd, rn, .. } => {
+            byte(&mut out, *bd, "bd");
+            word(&mut out, *rn, "rn");
+        }
+        MirInst::SMov { bd, bs } => {
+            byte(&mut out, *bd, "bd");
+            byte(&mut out, *bs, "bs");
+        }
+        MirInst::SMovImm { bd, .. } => byte(&mut out, *bd, "bd"),
+    }
+    out
+}
+
+/// Verifies a post-isel MIR function. Returns diagnostics (empty = clean).
+pub fn verify_mir(f: &MirFunction) -> Vec<Diag> {
+    let mut problems = Vec::new();
+    check_classes(f, &mut problems);
+    check_regions(f, &mut problems);
+    check_defined(f, &mut problems);
+    problems
+}
+
+/// Verifies an allocated function: MIR invariants must still hold, every
+/// location must agree with its vreg's class, and the layout order must keep
+/// the spec segment contiguous.
+pub fn verify_allocated(a: &AllocatedFn) -> Vec<Diag> {
+    let mut problems = verify_mir(&a.mir);
+    check_locs(a, &mut problems);
+    check_order(a, &mut problems);
+    problems
+}
+
+fn diag(f: &MirFunction, rule: &'static str, loc: impl ToString, msg: impl Into<String>) -> Diag {
+    Diag::new(rule, PASS, f.name.clone(), loc, msg)
+}
+
+fn check_classes(f: &MirFunction, problems: &mut Vec<Diag>) {
+    for b in f.block_ids() {
+        for (ii, inst) in f.block(b).insts.iter().enumerate() {
+            for (v, expected, role) in operand_classes(inst) {
+                if v.index() >= f.classes.len() {
+                    problems.push(diag(
+                        f,
+                        "MIR-CLASS",
+                        format!("{b:?}[{ii}]"),
+                        format!("{v:?} ({role}) has no class entry"),
+                    ));
+                } else if f.class_of(v) != expected {
+                    problems.push(diag(
+                        f,
+                        "MIR-CLASS",
+                        format!("{b:?}[{ii}]"),
+                        format!(
+                            "{v:?} ({role}) is {:?} but position requires {expected:?}",
+                            f.class_of(v)
+                        ),
+                    ));
+                }
+            }
+        }
+        if let MirTerm::Ret(vals) = &f.block(b).term {
+            for v in vals {
+                if v.index() >= f.classes.len() || f.class_of(*v) != RegClass::Word {
+                    problems.push(diag(
+                        f,
+                        "MIR-CLASS",
+                        format!("{b:?}"),
+                        format!("return value {v:?} must be Word (extend slices before return)"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn check_regions(f: &MirFunction, problems: &mut Vec<Diag>) {
+    // Region tables and block annotations must cross-reference exactly.
+    for (ri, (members, handler)) in f.regions.iter().enumerate() {
+        for &m in members {
+            if m.index() >= f.blocks.len() {
+                problems.push(diag(
+                    f,
+                    "MIR-REGION",
+                    format!("{m:?}"),
+                    format!("region {ri} member out of range"),
+                ));
+                continue;
+            }
+            if f.block(m).region != Some(ri as u32) {
+                problems.push(diag(
+                    f,
+                    "MIR-REGION",
+                    format!("{m:?}"),
+                    format!(
+                        "listed in region {ri} but annotated {:?}",
+                        f.block(m).region
+                    ),
+                ));
+            }
+            if !f.block(m).spec_side {
+                problems.push(diag(
+                    f,
+                    "MIR-REGION",
+                    format!("{m:?}"),
+                    format!("region {ri} member is not on the speculative side"),
+                ));
+            }
+        }
+        if handler.index() >= f.blocks.len() {
+            problems.push(diag(
+                f,
+                "MIR-REGION",
+                format!("{handler:?}"),
+                format!("region {ri} handler out of range"),
+            ));
+        } else {
+            if f.block(*handler).handler_for != Some(ri as u32) {
+                problems.push(diag(
+                    f,
+                    "MIR-REGION",
+                    format!("{handler:?}"),
+                    format!(
+                        "handler of region {ri} annotated handler_for {:?}",
+                        f.block(*handler).handler_for
+                    ),
+                ));
+            }
+            if f.block(*handler).spec_side {
+                problems.push(diag(
+                    f,
+                    "MIR-REGION",
+                    format!("{handler:?}"),
+                    format!("handler of region {ri} must not be on the speculative side"),
+                ));
+            }
+        }
+    }
+    for b in f.block_ids() {
+        if let Some(r) = f.block(b).region {
+            if r as usize >= f.regions.len() {
+                problems.push(diag(
+                    f,
+                    "MIR-REGION",
+                    format!("{b:?}"),
+                    format!("block annotated with unknown region {r}"),
+                ));
+            } else if !f.regions[r as usize].0.contains(&b) {
+                problems.push(diag(
+                    f,
+                    "MIR-REGION",
+                    format!("{b:?}"),
+                    format!("annotated region {r} but absent from its member list"),
+                ));
+            }
+        }
+        if let Some(r) = f.block(b).handler_for {
+            if r as usize >= f.regions.len() || f.regions[r as usize].1 != b {
+                problems.push(diag(
+                    f,
+                    "MIR-REGION",
+                    format!("{b:?}"),
+                    format!("annotated handler_for {r} but region disagrees"),
+                ));
+            }
+        }
+        // Every misspeculation-capable instruction needs a covering region,
+        // or the skeleton has no branch slot for it and a misspeculation
+        // would land on a NOP (or worse).
+        if f.block(b).region.is_none() {
+            for (ii, inst) in f.block(b).insts.iter().enumerate() {
+                if can_misspeculate(inst) {
+                    problems.push(diag(
+                        f,
+                        "MIR-REGION",
+                        format!("{b:?}[{ii}]"),
+                        "misspeculation-capable instruction outside any region",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn check_defined(f: &MirFunction, problems: &mut Vec<Diag>) {
+    let nvregs = f.classes.len();
+    let sol = dataflow::solve(f, &Defined { nvregs });
+    for b in f.block_ids() {
+        let mut defined = sol.input[b.index()].clone();
+        let mut check = |uses: Vec<VReg>, defined: &[bool], loc: String| {
+            for u in uses {
+                if u.index() >= nvregs || !defined[u.index()] {
+                    problems.push(Diag::new(
+                        "MIR-UNDEF",
+                        PASS,
+                        f.name.clone(),
+                        loc.clone(),
+                        format!("{u:?} used before definition"),
+                    ));
+                }
+            }
+        };
+        for (ii, inst) in f.block(b).insts.iter().enumerate() {
+            check(inst.uses(), &defined, format!("{b:?}[{ii}]"));
+            for d in inst.defs() {
+                if d.index() < nvregs {
+                    defined[d.index()] = true;
+                }
+            }
+        }
+        check(f.block(b).term.uses(), &defined, format!("{b:?}"));
+    }
+}
+
+fn check_locs(a: &AllocatedFn, problems: &mut Vec<Diag>) {
+    let f = &a.mir;
+    if a.locs.len() < f.classes.len() {
+        problems.push(diag(
+            f,
+            "MIR-LOC",
+            "fn",
+            format!(
+                "{} vregs but only {} locations",
+                f.classes.len(),
+                a.locs.len()
+            ),
+        ));
+        return;
+    }
+    for (vi, class) in f.classes.iter().enumerate() {
+        let loc = a.locs[vi];
+        // `Spill(u32::MAX)` is the allocator's "never allocated" sentinel
+        // for dead vregs; it carries no class.
+        if loc == Loc::Spill(u32::MAX) {
+            continue;
+        }
+        let ok = match class {
+            RegClass::Word => matches!(loc, Loc::Reg(_) | Loc::WriteThrough { .. } | Loc::Spill(_)),
+            RegClass::Byte => matches!(
+                loc,
+                Loc::Slice(_) | Loc::WriteThroughSlice { .. } | Loc::Spill(_)
+            ),
+        };
+        if !ok {
+            problems.push(diag(
+                f,
+                "MIR-LOC",
+                format!("v{vi}"),
+                format!("{class:?} vreg assigned incompatible location {loc:?}"),
+            ));
+        }
+    }
+}
+
+fn check_order(a: &AllocatedFn, problems: &mut Vec<Diag>) {
+    let f = &a.mir;
+    let mut seen = vec![0u32; f.blocks.len()];
+    for &b in &a.order {
+        if b.index() >= f.blocks.len() {
+            problems.push(diag(
+                f,
+                "MIR-REGION",
+                format!("{b:?}"),
+                "order names unknown block",
+            ));
+            return;
+        }
+        seen[b.index()] += 1;
+    }
+    for (bi, &count) in seen.iter().enumerate() {
+        if count != 1 {
+            problems.push(diag(
+                f,
+                "MIR-REGION",
+                format!("mb{bi}"),
+                format!("block appears {count} times in layout order (want exactly 1)"),
+            ));
+        }
+    }
+    // The emitter takes the leading run of spec-side blocks as the spec
+    // segment; a spec block after the first non-spec block would escape the
+    // skeleton mirror entirely.
+    let spec_count = a
+        .order
+        .iter()
+        .take_while(|b| f.block(**b).spec_side)
+        .count();
+    for &b in a.order.iter().skip(spec_count) {
+        if f.block(b).spec_side {
+            problems.push(diag(
+                f,
+                "MIR-REGION",
+                format!("{b:?}"),
+                "speculative-side block laid out after the spec segment",
+            ));
+        }
+    }
+    if !a.order.is_empty() && a.order[0] != f.entry {
+        problems.push(diag(
+            f,
+            "MIR-REGION",
+            format!("{:?}", a.order[0]),
+            "layout order must start at the entry block",
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isel::CodegenOpts;
+    use crate::{isel, regalloc};
+
+    /// Compiles `src` (squeezing when `opts.bitspec`) into allocated functions.
+    fn allocated(src: &str, opts: &CodegenOpts) -> Vec<AllocatedFn> {
+        let mut m = lang::compile("t", src).unwrap();
+        if opts.bitspec {
+            let mut i = interp::Interpreter::new(&m);
+            i.enable_profiling();
+            i.run("main", &[]).unwrap();
+            let profile = i.take_profile().unwrap();
+            opt::squeeze_module(
+                &mut m,
+                &profile,
+                &opt::SqueezeConfig {
+                    heuristic: interp::Heuristic::Max,
+                    compare_elim: true,
+                    bitmask_elision: true,
+                    speculation: true,
+                },
+            );
+            sir::verify::verify_module(&m).unwrap();
+        }
+        let layout = interp::Layout::new(&m);
+        m.func_ids()
+            .map(|fid| regalloc::allocate(isel::select_function(&m, fid, &layout, opts), opts))
+            .collect()
+    }
+
+    const LOOPY: &str = "
+        u32 sum(u32 n) {
+            u32 s = 0;
+            for (u32 i = 0; i < n; i++) { s += i; }
+            return s;
+        }
+        void main() { out(sum(200)); }
+    ";
+
+    #[test]
+    fn clean_pipeline_verifies_post_isel_and_post_regalloc() {
+        for opts in [
+            CodegenOpts::default(),
+            CodegenOpts {
+                bitspec: true,
+                compact: false,
+                spill_prefer_orig: true,
+            },
+        ] {
+            for af in allocated(LOOPY, &opts) {
+                let d = verify_mir(&af.mir);
+                assert!(d.is_empty(), "post-isel: {d:?}");
+                let d = verify_allocated(&af);
+                assert!(d.is_empty(), "post-regalloc: {d:?}");
+            }
+        }
+    }
+
+    fn first_bitspec_fn() -> AllocatedFn {
+        let opts = CodegenOpts {
+            bitspec: true,
+            compact: false,
+            spill_prefer_orig: true,
+        };
+        allocated(LOOPY, &opts)
+            .into_iter()
+            .find(|af| !af.mir.regions.is_empty())
+            .expect("bitspec compile must form at least one region")
+    }
+
+    #[test]
+    fn dropped_extend_is_undefined_use() {
+        // Replace the first SExtend with a Mov from a fresh (never-defined)
+        // word vreg: the use must surface as MIR-UNDEF.
+        let mut af = first_bitspec_fn();
+        let f = &mut af.mir;
+        let fresh = VReg(f.classes.len() as u32);
+        f.classes.push(RegClass::Word);
+        let mut replaced = false;
+        'outer: for b in 0..f.blocks.len() {
+            for i in 0..f.blocks[b].insts.len() {
+                if let MirInst::SExtend { rd, .. } = f.blocks[b].insts[i] {
+                    f.blocks[b].insts[i] = MirInst::Mov { rd, rm: fresh };
+                    replaced = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(replaced, "expected an SExtend in bitspec output");
+        let d = verify_mir(&af.mir);
+        assert!(
+            d.iter().any(|p| p.rule == "MIR-UNDEF"),
+            "want MIR-UNDEF, got {d:?}"
+        );
+    }
+
+    #[test]
+    fn wide_read_of_slice_vreg_is_a_class_violation() {
+        // Route a Byte vreg into a word position (the "forgot the extend"
+        // bug): MIR-CLASS must fire.
+        let mut af = first_bitspec_fn();
+        let f = &mut af.mir;
+        let mut mutated = false;
+        'outer: for b in 0..f.blocks.len() {
+            for i in 0..f.blocks[b].insts.len() {
+                if let MirInst::SExtend { rd, bn, .. } = f.blocks[b].insts[i] {
+                    f.blocks[b].insts[i] = MirInst::Mov { rd, rm: bn };
+                    mutated = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(mutated, "expected an SExtend in bitspec output");
+        let d = verify_mir(&af.mir);
+        assert!(
+            d.iter().any(|p| p.rule == "MIR-CLASS"),
+            "want MIR-CLASS, got {d:?}"
+        );
+    }
+
+    #[test]
+    fn erased_region_leaves_uncovered_speculation() {
+        let mut af = first_bitspec_fn();
+        let f = &mut af.mir;
+        f.regions.clear();
+        for b in &mut f.blocks {
+            b.region = None;
+            b.handler_for = None;
+        }
+        let d = verify_mir(f);
+        assert!(
+            d.iter()
+                .any(|p| p.rule == "MIR-REGION" && p.msg.contains("outside any region")),
+            "want uncovered-speculation MIR-REGION, got {d:?}"
+        );
+    }
+
+    #[test]
+    fn handler_marked_speculative_is_rejected() {
+        let mut af = first_bitspec_fn();
+        let f = &mut af.mir;
+        let h = f.regions[0].1;
+        f.block_mut(h).spec_side = true;
+        let d = verify_mir(f);
+        assert!(
+            d.iter()
+                .any(|p| p.rule == "MIR-REGION" && p.msg.contains("speculative side")),
+            "got {d:?}"
+        );
+    }
+
+    #[test]
+    fn misallocated_slice_location_is_rejected() {
+        let mut af = first_bitspec_fn();
+        let byte_vreg = af
+            .mir
+            .classes
+            .iter()
+            .enumerate()
+            .find(|(vi, c)| **c == RegClass::Byte && af.locs[*vi] != Loc::Spill(u32::MAX))
+            .map(|(vi, _)| vi)
+            .expect("bitspec output has live byte vregs");
+        af.locs[byte_vreg] = Loc::Reg(isa::Reg(4));
+        let d = verify_allocated(&af);
+        assert!(
+            d.iter().any(|p| p.rule == "MIR-LOC"),
+            "want MIR-LOC, got {d:?}"
+        );
+    }
+
+    #[test]
+    fn spec_block_after_segment_is_rejected() {
+        let mut af = first_bitspec_fn();
+        // Move the first spec-side block to the end of the order.
+        let first = af.order.remove(0);
+        assert!(af.mir.block(first).spec_side);
+        // Ensure something non-spec now leads the order tail.
+        af.order.push(first);
+        let d = verify_allocated(&af);
+        assert!(
+            d.iter().any(|p| p.rule == "MIR-REGION"
+                && (p.msg.contains("after the spec segment") || p.msg.contains("entry block"))),
+            "got {d:?}"
+        );
+    }
+}

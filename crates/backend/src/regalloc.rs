@@ -131,8 +131,9 @@ pub fn allocate(mir: MirFunction, opts: &CodegenOpts) -> AllocatedFn {
         (!prioritized, handler_extended[v], lv.segs[v][0].0)
     });
 
-    let mut occupancy: Vec<[SliceOccupancy; 4]> =
-        (0..16).map(|_| std::array::from_fn(|_| SliceOccupancy::default())).collect();
+    let mut occupancy: Vec<[SliceOccupancy; 4]> = (0..16)
+        .map(|_| std::array::from_fn(|_| SliceOccupancy::default()))
+        .collect();
     let mut hosts_bytes = [false; 16];
     let mut locs: Vec<Loc> = vec![Loc::Spill(u32::MAX); n];
     let mut next_spill = 0u32;
@@ -347,8 +348,8 @@ fn rehome(
                         } else {
                             Loc::Reg(r)
                         };
-                        for sidx in 0..4 {
-                            occupancy[r.index()][sidx].insert(segs, v as u32);
+                        for slice_occ in &mut occupancy[r.index()] {
+                            slice_occ.insert(segs, v as u32);
                         }
                         return Some(loc);
                     }
@@ -489,7 +490,11 @@ fn build_ranges(mir: &MirFunction, order: &[MBlockId], with_handler_edges: bool)
         let bi = b.index();
         let bstart = pos;
         let mut touched: Vec<usize> = Vec::new();
-        let touch = |v: VReg, p: u32, first_ev: &mut Vec<u32>, last_ev: &mut Vec<u32>, touched: &mut Vec<usize>| {
+        let touch = |v: VReg,
+                     p: u32,
+                     first_ev: &mut Vec<u32>,
+                     last_ev: &mut Vec<u32>,
+                     touched: &mut Vec<usize>| {
             let i = v.index();
             if first_ev[i] == u32::MAX {
                 touched.push(i);
@@ -622,7 +627,8 @@ mod tests {
         let order = a.order.clone();
         let lv = super::build_ranges(&a.mir, &order, true);
         let overlap = |x: &Segments, y: &Segments| {
-            x.iter().any(|&(s1, e1)| y.iter().any(|&(s2, e2)| s1 < e2 && s2 < e1))
+            x.iter()
+                .any(|&(s1, e1)| y.iter().any(|&(s2, e2)| s1 < e2 && s2 < e1))
         };
         let n = a.mir.classes.len();
         for x in 0..n {

@@ -1,12 +1,14 @@
-//! Criterion benchmarks: one target per paper table/figure.
+//! Experiment-pipeline benchmarks: one target per paper table/figure.
 //!
-//! Each benchmark exercises the code path that regenerates the
-//! corresponding artifact on a representative workload (the full-suite
-//! sweeps live in the `bin/figNN` harnesses; criterion tracks the cost and
-//! stability of each experiment pipeline).
+//! Each target exercises the code path that regenerates the corresponding
+//! artifact on a representative workload (the full-suite sweeps live in the
+//! `bin/figNN` harnesses; this harness tracks the cost of each experiment
+//! pipeline). It is a plain `fn main` harness — no external benchmarking
+//! framework — so the workspace builds and runs fully offline. Pass a
+//! substring argument to run a subset of targets.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use bitspec::{build, simulate, simulate_with, Arch, BitwidthHeuristic, BuildConfig, SimConfig};
 use mibench::{workload, workload_with_train, Input};
@@ -17,48 +19,62 @@ fn run_cfg(name: &str, cfg: &BuildConfig) -> f64 {
     simulate(&c, &w).expect("sim").total_energy()
 }
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiments");
-    g.sample_size(10);
+struct Harness {
+    filter: Option<String>,
+}
+
+impl Harness {
+    fn bench<F: FnMut()>(&self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let start = Instant::now();
+        f();
+        println!("{name:32} {:>10.1} ms", start.elapsed().as_secs_f64() * 1e3);
+    }
+}
+
+fn main() {
+    let h = Harness {
+        filter: std::env::args().nth(1),
+    };
 
     // Figure 1: bitwidth distribution measurement (profiling run).
-    g.bench_function("fig01_distributions", |b| {
-        b.iter(|| {
-            let mut m = lang::compile("crc32", &mibench::source_of("crc32")).unwrap();
-            opt::expand_module(&mut m, &opt::ExpanderConfig::default());
-            opt::simplify::run(&mut m);
-            let mut i = interp::Interpreter::new(&m);
-            i.enable_profiling();
-            for (gname, data) in mibench::inputs_for("crc32", Input::Large) {
-                i.install_global(&gname, &data);
-            }
-            let r = i.run("main", &[]).unwrap();
-            let p = i.take_profile().unwrap();
-            black_box((
-                r.stats.by_required,
-                interp::demanded::distribution_demanded(&m, &p),
-                interp::demanded::distribution_bb_coerced(&m, &p),
-            ))
-        })
+    h.bench("fig01_distributions", || {
+        let mut m = lang::compile("crc32", &mibench::source_of("crc32")).unwrap();
+        opt::expand_module(&mut m, &opt::ExpanderConfig::default());
+        opt::simplify::run(&mut m);
+        let mut i = interp::Interpreter::new(&m);
+        i.enable_profiling();
+        for (gname, data) in mibench::inputs_for("crc32", Input::Large) {
+            i.install_global(&gname, &data);
+        }
+        let r = i.run("main", &[]).unwrap();
+        let p = i.take_profile().unwrap();
+        black_box((
+            r.stats.by_required,
+            interp::demanded::distribution_demanded(&m, &p),
+            interp::demanded::distribution_bb_coerced(&m, &p),
+        ));
     });
 
     // Figure 3: one unrolling point of the expander sweep.
-    g.bench_function("fig03_unroll", |b| {
-        b.iter(|| {
-            let mut m = lang::compile("bitcount", &mibench::source_of("bitcount")).unwrap();
-            opt::expand_module(
-                &mut m,
-                &opt::ExpanderConfig {
-                    unroll_factor: 4,
-                    ..Default::default()
-                },
-            );
-            black_box(m.static_size())
-        })
+    h.bench("fig03_unroll", || {
+        let mut m = lang::compile("bitcount", &mibench::source_of("bitcount")).unwrap();
+        opt::expand_module(
+            &mut m,
+            &opt::ExpanderConfig {
+                unroll_factor: 4,
+                ..Default::default()
+            },
+        );
+        black_box(m.static_size());
     });
 
     // Figure 5: heuristic classification.
-    g.bench_function("fig05_classification", |b| {
+    h.bench("fig05_classification", || {
         let mut m = lang::compile("sha", &mibench::source_of("sha")).unwrap();
         opt::expand_module(&mut m, &opt::ExpanderConfig::default());
         let mut i = interp::Interpreter::new(&m);
@@ -68,181 +84,143 @@ fn bench_experiments(c: &mut Criterion) {
         }
         i.run("main", &[]).unwrap();
         let p = i.take_profile().unwrap();
-        b.iter(|| {
-            black_box((
-                p.classification(&m, interp::Heuristic::Max),
-                p.classification(&m, interp::Heuristic::Avg),
-                p.classification(&m, interp::Heuristic::Min),
-            ))
-        })
+        black_box((
+            p.classification(&m, interp::Heuristic::Max),
+            p.classification(&m, interp::Heuristic::Avg),
+            p.classification(&m, interp::Heuristic::Min),
+        ));
     });
 
     // Figures 8–11 share the RQ0/RQ1 pipeline: baseline + bitspec on one
     // benchmark.
-    g.bench_function("fig08_energy", |b| {
-        b.iter(|| black_box(run_cfg("crc32", &BuildConfig::bitspec())))
+    h.bench("fig08_energy", || {
+        black_box(run_cfg("crc32", &BuildConfig::bitspec()));
     });
-    g.bench_function("fig09_components", |b| {
-        b.iter(|| {
-            let w = workload("rijndael", Input::Large);
-            let c = build(&w, &BuildConfig::bitspec()).unwrap();
-            let r = simulate(&c, &w).unwrap();
-            black_box((r.energy.alu, r.energy.regfile, r.energy.dcache))
-        })
+    h.bench("fig09_components", || {
+        let w = workload("rijndael", Input::Large);
+        let c = build(&w, &BuildConfig::bitspec()).unwrap();
+        let r = simulate(&c, &w).unwrap();
+        black_box((r.energy.alu, r.energy.regfile, r.energy.dcache));
     });
-    g.bench_function("fig10_spills", |b| {
-        b.iter(|| {
-            let w = workload("stringsearch", Input::Large);
-            let c = build(&w, &BuildConfig::bitspec()).unwrap();
-            let r = simulate(&c, &w).unwrap();
-            black_box((r.counts.spill_loads, r.counts.spill_stores, r.counts.copies))
-        })
+    h.bench("fig10_spills", || {
+        let w = workload("stringsearch", Input::Large);
+        let c = build(&w, &BuildConfig::bitspec()).unwrap();
+        let r = simulate(&c, &w).unwrap();
+        black_box((r.counts.spill_loads, r.counts.spill_stores, r.counts.copies));
     });
-    g.bench_function("fig11_reg_accesses", |b| {
-        b.iter(|| {
-            let w = workload("susan-corners", Input::Large);
-            let c = build(&w, &BuildConfig::bitspec()).unwrap();
-            let r = simulate(&c, &w).unwrap();
-            black_box((r.activity.reg_accesses_8, r.activity.reg_accesses_32))
-        })
+    h.bench("fig11_reg_accesses", || {
+        let w = workload("susan-corners", Input::Large);
+        let c = build(&w, &BuildConfig::bitspec()).unwrap();
+        let r = simulate(&c, &w).unwrap();
+        black_box((r.activity.reg_accesses_8, r.activity.reg_accesses_32));
     });
 
     // Figure 12: the no-speculation build.
-    g.bench_function("fig12_nospec", |b| {
-        b.iter(|| {
-            black_box(run_cfg(
-                "crc32",
-                &BuildConfig {
-                    arch: Arch::NoSpec,
-                    ..BuildConfig::baseline()
-                },
-            ))
-        })
+    h.bench("fig12_nospec", || {
+        black_box(run_cfg(
+            "crc32",
+            &BuildConfig {
+                arch: Arch::NoSpec,
+                ..BuildConfig::baseline()
+            },
+        ));
     });
 
     // RQ3 ablations.
-    g.bench_function("rq3_ablations", |b| {
-        b.iter(|| {
-            black_box(run_cfg(
-                "dijkstra",
-                &BuildConfig {
-                    compare_elim: false,
-                    ..BuildConfig::bitspec()
-                },
-            ))
-        })
+    h.bench("rq3_ablations", || {
+        black_box(run_cfg(
+            "dijkstra",
+            &BuildConfig {
+                compare_elim: false,
+                ..BuildConfig::bitspec()
+            },
+        ));
     });
 
     // Figure 13: expander-off build.
-    g.bench_function("fig13_noexpander", |b| {
-        b.iter(|| {
-            black_box(run_cfg(
-                "bitcount",
-                &BuildConfig {
-                    expander: opt::ExpanderConfig {
-                        enabled: false,
-                        ..Default::default()
-                    },
-                    ..BuildConfig::bitspec()
+    h.bench("fig13_noexpander", || {
+        black_box(run_cfg(
+            "bitcount",
+            &BuildConfig {
+                expander: opt::ExpanderConfig {
+                    enabled: false,
+                    ..Default::default()
                 },
-            ))
-        })
+                ..BuildConfig::bitspec()
+            },
+        ));
     });
 
     // Figure 14 / Table 2: aggressive heuristics.
-    g.bench_function("fig14_heuristics", |b| {
-        b.iter(|| {
-            black_box(run_cfg(
-                "dijkstra",
-                &BuildConfig::bitspec_with(BitwidthHeuristic::Min),
-            ))
-        })
+    h.bench("fig14_heuristics", || {
+        black_box(run_cfg(
+            "dijkstra",
+            &BuildConfig::bitspec_with(BitwidthHeuristic::Min),
+        ));
     });
-    g.bench_function("table2_misspecs", |b| {
-        b.iter(|| {
-            let w = workload("crc32", Input::Large);
-            let c = build(&w, &BuildConfig::bitspec_with(BitwidthHeuristic::Min)).unwrap();
-            let r = simulate(&c, &w).unwrap();
-            black_box(r.counts.misspecs)
-        })
+    h.bench("table2_misspecs", || {
+        let w = workload("crc32", Input::Large);
+        let c = build(&w, &BuildConfig::bitspec_with(BitwidthHeuristic::Min)).unwrap();
+        let r = simulate(&c, &w).unwrap();
+        black_box(r.counts.misspecs);
     });
 
     // Figures 15/16: alternate-input profiling.
-    g.bench_function("fig15_alt_profile", |b| {
-        b.iter(|| {
-            let w = workload_with_train("qsort", Input::Large, Input::Alternate);
-            let c = build(&w, &BuildConfig::bitspec()).unwrap();
-            black_box(simulate(&c, &w).unwrap().total_energy())
-        })
+    h.bench("fig15_alt_profile", || {
+        let w = workload_with_train("qsort", Input::Large, Input::Alternate);
+        let c = build(&w, &BuildConfig::bitspec()).unwrap();
+        black_box(simulate(&c, &w).unwrap().total_energy());
     });
-    g.bench_function("fig16_cross_input", |b| {
-        b.iter(|| {
-            let mut w = workload("susan-edges", Input::Large);
-            w.train_inputs = vec![(
-                "image".into(),
-                mibench::susan_image(Input::Seeded(3)),
-            )];
-            let c = build(&w, &BuildConfig::bitspec()).unwrap();
-            black_box(simulate(&c, &w).unwrap().counts.dyn_insts)
-        })
+    h.bench("fig16_cross_input", || {
+        let mut w = workload("susan-edges", Input::Large);
+        w.train_inputs = vec![("image".into(), mibench::susan_image(Input::Seeded(3)))];
+        let c = build(&w, &BuildConfig::bitspec()).unwrap();
+        black_box(simulate(&c, &w).unwrap().counts.dyn_insts);
     });
 
     // RQ7 wide variants.
-    g.bench_function("rq7_wide", |b| {
-        b.iter(|| {
-            let mut w = workload("stringsearch", Input::Large);
-            w.source = mibench::rq7_wide_variant("stringsearch").unwrap();
-            let c = build(&w, &BuildConfig::bitspec()).unwrap();
-            black_box(simulate(&c, &w).unwrap().total_energy())
-        })
+    h.bench("rq7_wide", || {
+        let mut w = workload("stringsearch", Input::Large);
+        w.source = mibench::rq7_wide_variant("stringsearch").unwrap();
+        let c = build(&w, &BuildConfig::bitspec()).unwrap();
+        black_box(simulate(&c, &w).unwrap().total_energy());
     });
 
     // Figure 17: DTS composition.
-    g.bench_function("fig17_dts", |b| {
-        b.iter(|| {
-            let w = workload("crc32", Input::Large);
-            let c = build(&w, &BuildConfig::bitspec()).unwrap();
-            let r = simulate_with(
-                &c,
-                &w,
-                &SimConfig {
-                    dts: true,
-                    ..Default::default()
-                },
-            )
-            .unwrap();
-            black_box(r.total_energy())
-        })
+    h.bench("fig17_dts", || {
+        let w = workload("crc32", Input::Large);
+        let c = build(&w, &BuildConfig::bitspec()).unwrap();
+        let r = simulate_with(
+            &c,
+            &w,
+            &SimConfig {
+                dts: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        black_box(r.total_energy());
     });
 
     // Figure 18: compact ISA.
-    g.bench_function("fig18_compact", |b| {
-        b.iter(|| {
-            black_box(run_cfg(
-                "basicmath",
-                &BuildConfig {
-                    arch: Arch::Compact,
-                    ..BuildConfig::baseline()
-                },
-            ))
-        })
+    h.bench("fig18_compact", || {
+        black_box(run_cfg(
+            "basicmath",
+            &BuildConfig {
+                arch: Arch::Compact,
+                ..BuildConfig::baseline()
+            },
+        ));
     });
 
     // Microbenchmarks of the substrates themselves.
-    g.bench_function("substrate_simulator_throughput", |b| {
+    h.bench("substrate_simulator_throughput", || {
         let w = workload("sha", Input::Large);
         let c = build(&w, &BuildConfig::baseline()).unwrap();
-        b.iter(|| black_box(simulate(&c, &w).unwrap().counts.dyn_insts))
+        black_box(simulate(&c, &w).unwrap().counts.dyn_insts);
     });
-    g.bench_function("substrate_compile_pipeline", |b| {
-        b.iter(|| {
-            let w = workload("rijndael", Input::Large);
-            black_box(build(&w, &BuildConfig::bitspec()).unwrap().squeeze)
-        })
+    h.bench("substrate_compile_pipeline", || {
+        let w = workload("rijndael", Input::Large);
+        black_box(build(&w, &BuildConfig::bitspec()).unwrap().squeeze);
     });
-
-    g.finish();
 }
-
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);

@@ -23,9 +23,27 @@ fn main() {
         let r = i.run("main", &[]).expect("profiling run");
         let profile = i.take_profile().unwrap();
         println!("{name}");
-        println!("  {}", bench::dist_row("(a) required", distribution_from_counts(r.stats.by_required)));
-        println!("  {}", bench::dist_row("(b) declared", distribution_from_counts(r.stats.by_declared)));
-        println!("  {}", bench::dist_row("(c) demanded", distribution_demanded(&m, &profile)));
-        println!("  {}", bench::dist_row("(d) bb-coerced", distribution_bb_coerced(&m, &profile)));
+        println!(
+            "  {}",
+            bench::dist_row(
+                "(a) required",
+                distribution_from_counts(r.stats.by_required)
+            )
+        );
+        println!(
+            "  {}",
+            bench::dist_row(
+                "(b) declared",
+                distribution_from_counts(r.stats.by_declared)
+            )
+        );
+        println!(
+            "  {}",
+            bench::dist_row("(c) demanded", distribution_demanded(&m, &profile))
+        );
+        println!(
+            "  {}",
+            bench::dist_row("(d) bb-coerced", distribution_bb_coerced(&m, &profile))
+        );
     }
 }

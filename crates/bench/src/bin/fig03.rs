@@ -5,7 +5,10 @@
 use bitspec::{Arch, BuildConfig, Workload};
 
 fn main() {
-    bench::header("fig03", "unrolling factor vs dynamic IR / assembly instructions");
+    bench::header(
+        "fig03",
+        "unrolling factor vs dynamic IR / assembly instructions",
+    );
     // A pressure-prone kernel: enough independent accumulators that deep
     // unrolling overwhelms the 11 allocatable registers.
     let src = "global u32 data[512];
@@ -29,7 +32,10 @@ fn main() {
     for i in 0..512u32 {
         data.extend_from_slice(&(i.wrapping_mul(2654435761)).to_le_bytes());
     }
-    println!("{:>7} {:>14} {:>14}", "factor", "dyn IR insts", "dyn asm insts");
+    println!(
+        "{:>7} {:>14} {:>14}",
+        "factor", "dyn IR insts", "dyn asm insts"
+    );
     for factor in [1u32, 2, 4, 8, 16] {
         let w = Workload::from_source("unroll-kernel", src).with_input("data", data.clone());
         let cfg = BuildConfig {

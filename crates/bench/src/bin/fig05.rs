@@ -5,7 +5,10 @@ use interp::{Heuristic, Interpreter};
 use mibench::{names, Input};
 
 fn main() {
-    bench::header("fig05", "profiler target-bitwidth classification per heuristic");
+    bench::header(
+        "fig05",
+        "profiler target-bitwidth classification per heuristic",
+    );
     for name in names() {
         let mut m = lang::compile(name, &mibench::source_of(name)).unwrap();
         opt::expand_module(&mut m, &opt::ExpanderConfig::default());

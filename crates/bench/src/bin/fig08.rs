@@ -6,7 +6,10 @@ use bitspec::BuildConfig;
 use mibench::{names, workload, Input};
 
 fn main() {
-    bench::header("fig08", "BITSPEC vs BASELINE: energy / dynamic instructions / EPI");
+    bench::header(
+        "fig08",
+        "BITSPEC vs BASELINE: energy / dynamic instructions / EPI",
+    );
     println!(
         "{:<16} {:>9} {:>9} {:>9} {:>10}",
         "benchmark", "energyΔ%", "dynΔ%", "EPIΔ%", "misspecs"

@@ -6,7 +6,10 @@ use bitspec::BuildConfig;
 use mibench::{names, workload, Input};
 
 fn main() {
-    bench::header("fig10", "register-allocator traffic (normalized to BASELINE sum)");
+    bench::header(
+        "fig10",
+        "register-allocator traffic (normalized to BASELINE sum)",
+    );
     println!(
         "{:<16} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
         "benchmark", "b.loads", "b.stores", "b.copies", "s.loads", "s.stores", "s.copies"

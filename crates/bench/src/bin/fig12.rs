@@ -6,7 +6,10 @@ use bitspec::{Arch, BuildConfig};
 use mibench::{names, workload, Input};
 
 fn main() {
-    bench::header("fig12", "no-speculation packing vs BITSPEC (energy vs BASELINE)");
+    bench::header(
+        "fig12",
+        "no-speculation packing vs BITSPEC (energy vs BASELINE)",
+    );
     println!(
         "{:<16} {:>12} {:>12}",
         "benchmark", "no-spec Δ%", "bitspec Δ%"

@@ -6,7 +6,10 @@ use bitspec::BuildConfig;
 use mibench::{names, workload, Input};
 
 fn main() {
-    bench::header("fig13", "expander disabled (energy & EPI vs expander-on BASELINE)");
+    bench::header(
+        "fig13",
+        "expander disabled (energy & EPI vs expander-on BASELINE)",
+    );
     println!(
         "{:<16} {:>11} {:>11} {:>11} {:>11}",
         "benchmark", "base-noexpΔ", "bs-noexpΔ", "bs EPIΔ", "bs-noexp EPIΔ"

@@ -18,7 +18,13 @@ fn main() {
         let e0 = base.total_energy();
         let mut row = format!("{name:<16}");
         for (i, h) in BitwidthHeuristic::ALL.iter().enumerate() {
-            let (_, r) = run(&w, &BuildConfig { empirical_gate: false, ..BuildConfig::bitspec_with(*h) });
+            let (_, r) = run(
+                &w,
+                &BuildConfig {
+                    empirical_gate: false,
+                    ..BuildConfig::bitspec_with(*h)
+                },
+            );
             let d = pct(r.total_energy(), e0);
             row.push_str(&format!(" {d:>8.1}%"));
             cols[i].push(d);

@@ -17,13 +17,23 @@ fn workload_for(profile_img: u64, run_img: u64) -> Workload {
 }
 
 fn main() {
-    bench::header("fig16", "susan-edges cross-input dynamic-instruction ratios");
+    bench::header(
+        "fig16",
+        "susan-edges cross-input dynamic-instruction ratios",
+    );
     for h in BitwidthHeuristic::ALL {
         // Self-profiled reference per run image.
         let mut self_insts = Vec::new();
         for j in 0..IMAGES {
             let w = workload_for(j, j);
-            let c = build(&w, &BuildConfig { empirical_gate: false, ..BuildConfig::bitspec_with(h) }).expect("build");
+            let c = build(
+                &w,
+                &BuildConfig {
+                    empirical_gate: false,
+                    ..BuildConfig::bitspec_with(h)
+                },
+            )
+            .expect("build");
             let r = simulate(&c, &w).expect("sim");
             self_insts.push(r.counts.dyn_insts as f64);
         }
@@ -31,12 +41,26 @@ fn main() {
         for i in 0..IMAGES {
             let c = {
                 let w = workload_for(i, i);
-                build(&w, &BuildConfig { empirical_gate: false, ..BuildConfig::bitspec_with(h) }).expect("build")
+                build(
+                    &w,
+                    &BuildConfig {
+                        empirical_gate: false,
+                        ..BuildConfig::bitspec_with(h)
+                    },
+                )
+                .expect("build")
             };
             let _ = c;
             for j in 0..IMAGES {
                 let w = workload_for(i, j);
-                let c = build(&w, &BuildConfig { empirical_gate: false, ..BuildConfig::bitspec_with(h) }).expect("build");
+                let c = build(
+                    &w,
+                    &BuildConfig {
+                        empirical_gate: false,
+                        ..BuildConfig::bitspec_with(h)
+                    },
+                )
+                .expect("build");
                 let r = simulate(&c, &w).expect("sim");
                 ratios.push(r.counts.dyn_insts as f64 / self_insts[j as usize]);
             }

@@ -20,7 +20,10 @@ fn main() {
                 ..BuildConfig::baseline()
             },
         );
-        let d = pct(compact.counts.dyn_insts as f64, base.counts.dyn_insts as f64);
+        let d = pct(
+            compact.counts.dyn_insts as f64,
+            base.counts.dyn_insts as f64,
+        );
         println!("{name:<16} {d:>11.1}%");
         ds.push(d);
     }

@@ -8,7 +8,10 @@ use bitspec::BuildConfig;
 use mibench::{rq7_wide_variant, workload, Input};
 
 fn main() {
-    bench::header("rq7", "all-64-bit source variants (energy vs unmodified BASELINE)");
+    bench::header(
+        "rq7",
+        "all-64-bit source variants (energy vs unmodified BASELINE)",
+    );
     println!(
         "{:<16} {:>14} {:>14} {:>14}",
         "benchmark", "base(orig)Δ%", "base(wide)Δ%", "bitspec(wide)Δ%"

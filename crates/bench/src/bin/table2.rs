@@ -15,7 +15,13 @@ fn main() {
         let w = workload(name, Input::Large);
         let mut row = format!("{name:<16}");
         for h in BitwidthHeuristic::ALL {
-            let (_, r) = run(&w, &BuildConfig { empirical_gate: false, ..BuildConfig::bitspec_with(h) });
+            let (_, r) = run(
+                &w,
+                &BuildConfig {
+                    empirical_gate: false,
+                    ..BuildConfig::bitspec_with(h)
+                },
+            );
             row.push_str(&format!(" {:>10}", r.counts.misspecs));
         }
         println!("{row}");

@@ -8,7 +8,10 @@ use bitspec::BuildConfig;
 use mibench::{names, workload, Input};
 
 fn main() {
-    bench::header("tuner", "expander auto-tuning on BASELINE dynamic instructions");
+    bench::header(
+        "tuner",
+        "expander auto-tuning on BASELINE dynamic instructions",
+    );
     let mut best: Option<(u64, opt::ExpanderConfig)> = None;
     for unroll in [1u32, 2, 4, 8] {
         for max_loop in [200usize, 400, 800] {

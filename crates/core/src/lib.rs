@@ -64,6 +64,13 @@ pub struct BuildConfig {
     /// keep the winner (on by default; the RQ5 heuristic studies disable
     /// it to expose the raw cost of aggressive selections).
     pub empirical_gate: bool,
+    /// Verify-each pipeline mode (on by default): run the SIR verifier
+    /// after every middle-end stage, the `bitlint` speculation-soundness
+    /// checks after the squeezer, the SMIR verifier after instruction
+    /// selection and register allocation, and the Δ-skeleton layout checks
+    /// on the linked image. Violations surface as [`BuildError::Verify`]
+    /// with stable rule IDs instead of miscompiled programs.
+    pub verify_each: bool,
 }
 
 impl BuildConfig {
@@ -78,6 +85,7 @@ impl BuildConfig {
             spill_prefer_orig: true,
             dts: false,
             empirical_gate: true,
+            verify_each: true,
         }
     }
 
@@ -185,10 +193,19 @@ pub struct Compiled {
 pub fn build(workload: &Workload, cfg: &BuildConfig) -> Result<Compiled, BuildError> {
     let mut module =
         lang::compile(&workload.name, &workload.source).map_err(BuildError::Compile)?;
+    if cfg.verify_each {
+        sir::verify::verify_module(&module).map_err(BuildError::Verify)?;
+    }
     // Expander (§3.2.1) + cleanup.
     opt::expand_module(&mut module, &cfg.expander);
+    if cfg.verify_each {
+        sir::verify::verify_module(&module).map_err(BuildError::Verify)?;
+    }
     opt::simplify::run(&mut module);
     opt::dce::run(&mut module);
+    if cfg.verify_each {
+        sir::verify::verify_module(&module).map_err(BuildError::Verify)?;
+    }
     // Bitwidth profiler (§3.2.2) on the train input.
     let (profile, profile_dyn_insts) = profile_run(&module, workload.train())?;
     // Squeezer (§3.2.3).
@@ -217,12 +234,18 @@ pub fn build(workload: &Workload, cfg: &BuildConfig) -> Result<Compiled, BuildEr
         Arch::Baseline | Arch::Compact => SqueezeReport::default(),
     };
     sir::verify::verify_module(&module).map_err(BuildError::Verify)?;
+    if cfg.verify_each {
+        // Speculation-soundness lint over the squeezed SIR (eq 4–6, eq 8,
+        // Theorem 3.1 coverage).
+        sir::bitlint::lint_module(&module).map_err(BuildError::Verify)?;
+    }
     let opts = backend::CodegenOpts {
         bitspec: matches!(cfg.arch, Arch::BitSpec | Arch::NoSpec),
         compact: cfg.arch == Arch::Compact,
         spill_prefer_orig: cfg.spill_prefer_orig,
     };
-    let program = backend::compile_module(&module, &opts);
+    let program = backend::compile_module_checked(&module, &opts, cfg.verify_each)
+        .map_err(BuildError::Verify)?;
     // Empirical gate (BITSPEC only): simulate both codegens on the training
     // input and keep whichever consumes less energy. Profile-guided
     // speculation sometimes loses (the paper's qsort); measuring on the
@@ -232,7 +255,8 @@ pub fn build(workload: &Workload, cfg: &BuildConfig) -> Result<Compiled, BuildEr
         && squeeze.narrowed > 0
         && cfg.empirical_gate;
     let (module, program) = if used_squeezed {
-        let base_program = backend::compile_module(&unsqueezed, &opts);
+        let base_program = backend::compile_module_checked(&unsqueezed, &opts, cfg.verify_each)
+            .map_err(BuildError::Verify)?;
         let train = workload.train().to_vec();
         let energy_of = |m: &sir::Module, p: &Program| -> Option<f64> {
             let layout = Layout::new(m);
@@ -249,7 +273,10 @@ pub fn build(workload: &Workload, cfg: &BuildConfig) -> Result<Compiled, BuildEr
                 .ok()
                 .map(|r| r.total_energy())
         };
-        match (energy_of(&module, &program), energy_of(&unsqueezed, &base_program)) {
+        match (
+            energy_of(&module, &program),
+            energy_of(&unsqueezed, &base_program),
+        ) {
             (Some(es), Some(eb)) if es <= eb => (module, program),
             _ => {
                 used_squeezed = false;
@@ -281,7 +308,10 @@ fn profile_run(
         i.install_global(g, data);
     }
     let r = i.run("main", &[]).map_err(BuildError::Profile)?;
-    Ok((i.take_profile().expect("profiling enabled"), r.stats.dyn_insts))
+    Ok((
+        i.take_profile().expect("profiling enabled"),
+        r.stats.dyn_insts,
+    ))
 }
 
 /// Runs `compiled` on the simulator with the workload's evaluation inputs.
@@ -400,10 +430,7 @@ mod tests {
             } else {
                 format!("a{}", k - 1)
             };
-            body.push_str(&format!(
-                "a{k} = (a{k} + ({prev} ^ {})) & 0xFF;\n",
-                k + 1
-            ));
+            body.push_str(&format!("a{k} = (a{k} + ({prev} ^ {})) & 0xFF;\n", k + 1));
         }
         let decls: String = (0..n).map(|k| format!("u32 a{k} = {k};\n")).collect();
         let outs: String = (0..n).map(|k| format!("out(a{k});\n")).collect();

@@ -53,7 +53,11 @@ pub fn demanded_bits(f: &Function) -> HashMap<ValueId, u32> {
                 let d = demanded[v.index()];
                 match inst {
                     Inst::Bin {
-                        op, width, lhs, rhs, ..
+                        op,
+                        width,
+                        lhs,
+                        rhs,
+                        ..
                     } => {
                         let wm = width.mask();
                         match op {
@@ -104,7 +108,9 @@ pub fn demanded_bits(f: &Function) -> HashMap<ValueId, u32> {
                             }
                         }
                     }
-                    Inst::Icmp { width, lhs, rhs, .. } => {
+                    Inst::Icmp {
+                        width, lhs, rhs, ..
+                    } => {
                         bump(&mut demanded, *lhs, width.mask(), &mut changed);
                         bump(&mut demanded, *rhs, width.mask(), &mut changed);
                     }
@@ -210,7 +216,10 @@ pub fn distribution_demanded(m: &Module, profile: &Profile) -> [f64; 4] {
                 continue;
             }
             let bits = db.get(&v).copied().unwrap_or(w.bits()).min(w.bits());
-            let sel = Width::for_bits(bits.max(1)).unwrap_or(w).min(w).max(Width::W8);
+            let sel = Width::for_bits(bits.max(1))
+                .unwrap_or(w)
+                .min(w)
+                .max(Width::W8);
             counts[bucket_of(sel)] += s.count;
             total += s.count;
         }
@@ -282,16 +291,16 @@ mod tests {
         let f = m.func(m.func_by_name("f").unwrap());
         let db = demanded_bits(f);
         let x = f.param_value(0);
-        assert!(db[&x] <= 4, "x should demand at most 4 bits, got {}", db[&x]);
+        assert!(
+            db[&x] <= 4,
+            "x should demand at most 4 bits, got {}",
+            db[&x]
+        );
     }
 
     #[test]
     fn store_demands_store_width() {
-        let m = lang::compile(
-            "t",
-            "global u8 g[1]; void f(u32 x) { g[0] = (u8)x; }",
-        )
-        .unwrap();
+        let m = lang::compile("t", "global u8 g[1]; void f(u32 x) { g[0] = (u8)x; }").unwrap();
         let f = m.func(m.func_by_name("f").unwrap());
         let db = demanded_bits(f);
         let x = f.param_value(0);

@@ -166,7 +166,8 @@ impl<'m> Interpreter<'m> {
             data.len() <= g.size as usize,
             "data larger than global `{name}`"
         );
-        self.mem.write_bytes(self.layout.addr(sir::GlobalId(gid as u32)), data);
+        self.mem
+            .write_bytes(self.layout.addr(sir::GlobalId(gid as u32)), data);
     }
 
     /// Reads back the contents of global `name` (host-side inspection).
@@ -242,7 +243,11 @@ impl<'m> Interpreter<'m> {
                 }
             }
             // Straight-line body.
-            let insts_start = if cur == f.entry { f.params.len() } else { nphis };
+            let insts_start = if cur == f.entry {
+                f.params.len()
+            } else {
+                nphis
+            };
             for idx in insts_start..blk.insts.len() {
                 let v = blk.insts[idx];
                 let inst = f.inst(v);
@@ -257,9 +262,7 @@ impl<'m> Interpreter<'m> {
                     StepOutcome::Normal => {}
                     StepOutcome::Misspec => {
                         self.stats.misspecs += 1;
-                        let region = blk
-                            .region
-                            .expect("speculative instruction outside region");
+                        let region = blk.region.expect("speculative instruction outside region");
                         let handler = f.regions[region.index()].handler;
                         prev = Some(cur);
                         cur = handler;
@@ -405,13 +408,10 @@ impl<'m> Interpreter<'m> {
             } => {
                 self.stats.loads += 1;
                 let a = get!(*addr) as u32;
-                let x = self
-                    .mem
-                    .load(a, *width)
-                    .map_err(|err| ExecError::Memory {
-                        func: f.name.clone(),
-                        err,
-                    })?;
+                let x = self.mem.load(a, *width).map_err(|err| ExecError::Memory {
+                    func: f.name.clone(),
+                    err,
+                })?;
                 if *speculative {
                     if x > 0xFF {
                         return Ok(StepOutcome::Misspec);
@@ -424,10 +424,7 @@ impl<'m> Interpreter<'m> {
                 }
             }
             Inst::Store {
-                width,
-                addr,
-                value,
-                ..
+                width, addr, value, ..
             } => {
                 self.stats.stores += 1;
                 let a = get!(*addr) as u32;
@@ -618,9 +615,8 @@ mod tests {
 
     #[test]
     fn loops_accumulate() {
-        let r = run_src(
-            "void main() { u32 s = 0; for (u32 i = 1; i <= 10; i++) { s += i; } out(s); }",
-        );
+        let r =
+            run_src("void main() { u32 s = 0; for (u32 i = 1; i <= 10; i++) { s += i; } out(s); }");
         assert_eq!(r.outputs, vec![55]);
     }
 
@@ -708,7 +704,8 @@ mod tests {
 
     #[test]
     fn stats_count_instructions() {
-        let r = run_src("void main() { u32 s = 0; for (u32 i = 0; i < 8; i++) { s += i; } out(s); }");
+        let r =
+            run_src("void main() { u32 s = 0; for (u32 i = 0; i < 8; i++) { s += i; } out(s); }");
         assert!(r.stats.dyn_insts > 20);
         assert!(r.stats.branches > 8);
         // All arithmetic is 32-bit declared.

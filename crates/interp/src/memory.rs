@@ -49,10 +49,7 @@ impl Memory {
     fn check(&self, addr: u32, n: u32, write: bool) -> Result<usize, AccessError> {
         let lo = addr as usize;
         let hi = lo.checked_add(n as usize);
-        if addr < crate::layout::GLOBAL_BASE
-            || hi.is_none()
-            || hi.unwrap() > self.bytes.len()
-        {
+        if addr < crate::layout::GLOBAL_BASE || hi.is_none() || hi.unwrap() > self.bytes.len() {
             return Err(AccessError {
                 addr,
                 bytes: n,

@@ -130,7 +130,11 @@ impl Profile {
     /// # Panics
     /// Panics if the shapes differ.
     pub fn merge(&mut self, other: &Profile) {
-        assert_eq!(self.funcs.len(), other.funcs.len(), "profile shape mismatch");
+        assert_eq!(
+            self.funcs.len(),
+            other.funcs.len(),
+            "profile shape mismatch"
+        );
         for (a, b) in self.funcs.iter_mut().zip(&other.funcs) {
             assert_eq!(a.len(), b.len(), "profile shape mismatch");
             for (x, y) in a.iter_mut().zip(b) {

@@ -18,5 +18,5 @@
 pub mod inst;
 pub mod regs;
 
-pub use inst::{AluOp, Cond, MemWidth, MInst, Operand, SliceOperand};
+pub use inst::{AluOp, Cond, MInst, MemWidth, Operand, SliceOperand};
 pub use regs::{Reg, Slice, FP, LR, PC, SP};

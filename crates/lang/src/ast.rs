@@ -167,7 +167,12 @@ pub enum Stmt {
     While(Expr, Vec<Stmt>),
     DoWhile(Vec<Stmt>, Expr),
     /// `for (init; cond; step) body` — all parts already desugared to parts.
-    For(Box<Option<Stmt>>, Option<Expr>, Box<Option<Stmt>>, Vec<Stmt>),
+    For(
+        Box<Option<Stmt>>,
+        Option<Expr>,
+        Box<Option<Stmt>>,
+        Vec<Stmt>,
+    ),
     Break,
     Continue,
     Return(Option<Expr>),

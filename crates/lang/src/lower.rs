@@ -13,7 +13,9 @@
 
 use crate::ast::{self, BinOp as ABinOp, Expr, ExprKind, LValue, ScalarType, Stmt, Type, UnOp};
 use crate::CompileError;
-use sir::{BinOp, BlockId, Cc, FuncId, Function, GlobalId, Inst, Module, Terminator, ValueId, Width};
+use sir::{
+    BinOp, BlockId, Cc, FuncId, Function, GlobalId, Inst, Module, Terminator, ValueId, Width,
+};
 use std::collections::HashMap;
 
 /// Lowers a parsed unit into a SIR module.
@@ -243,13 +245,9 @@ impl<'a> FnLower<'a> {
         } else if self.preds[block.index()].is_empty() {
             // Unreachable block or use of an uninitialized variable: any
             // value is fine; materialize a zero.
-            let z = self.f.append_inst(
-                block,
-                Inst::Const {
-                    width: w,
-                    value: 0,
-                },
-            );
+            let z = self
+                .f
+                .append_inst(block, Inst::Const { width: w, value: 0 });
             // Constants must not precede φs; move to after φ group.
             self.move_after_phis(block, z);
             self.write_var(var, block, z);
@@ -334,9 +332,7 @@ impl<'a> FnLower<'a> {
         let phi_users: Vec<ValueId> = (0..self.f.insts.len() as u32)
             .map(ValueId)
             .filter(|v| {
-                *v != phi
-                    && self.f.inst(*v).is_phi()
-                    && self.f.inst(*v).operands().contains(&phi)
+                *v != phi && self.f.inst(*v).is_phi() && self.f.inst(*v).operands().contains(&phi)
             })
             .collect();
         self.f.replace_all_uses(phi, same);
@@ -478,6 +474,7 @@ impl<'a> FnLower<'a> {
     }
 
     /// Converts a value to `bool` (`!= 0` for integers).
+    #[allow(clippy::wrong_self_convention)]
     fn to_bool(&mut self, v: ValueId, ty: Type) -> ValueId {
         if ty == Type::Bool {
             return v;
@@ -523,14 +520,7 @@ impl<'a> FnLower<'a> {
                 let addr = self.push(Inst::Alloca {
                     size: n * elem.bytes(),
                 });
-                self.declare(
-                    name,
-                    Binding::LocalArray {
-                        addr,
-                        elem: *elem,
-                    },
-                    0,
-                )?;
+                self.declare(name, Binding::LocalArray { addr, elem: *elem }, 0)?;
             }
             Stmt::Assign(lv, e) => self.assign(lv, e)?,
             Stmt::If(cond, then, els) => self.if_stmt(cond, then, els)?,
@@ -679,12 +669,7 @@ impl<'a> FnLower<'a> {
         }
     }
 
-    fn if_stmt(
-        &mut self,
-        cond: &Expr,
-        then: &[Stmt],
-        els: &[Stmt],
-    ) -> Result<(), CompileError> {
+    fn if_stmt(&mut self, cond: &Expr, then: &[Stmt], els: &[Stmt]) -> Result<(), CompileError> {
         let (cv, ct) = self.expr(cond)?;
         let c = self.to_bool(cv, ct);
         let tb = self.new_block_unsealed();
@@ -863,7 +848,11 @@ impl<'a> FnLower<'a> {
 
     /// Like [`Self::expr`], but lets an array name decay to a pointer when
     /// the expected type is a pointer.
-    fn expr_maybe_array(&mut self, e: &Expr, expected: Type) -> Result<(ValueId, Type), CompileError> {
+    fn expr_maybe_array(
+        &mut self,
+        e: &Expr,
+        expected: Type,
+    ) -> Result<(ValueId, Type), CompileError> {
         if let (ExprKind::Ident(name), Type::Ptr(_)) = (&e.kind, expected) {
             if let Some(binding) = self.lookup(name) {
                 match binding {
@@ -1037,9 +1026,7 @@ impl<'a> FnLower<'a> {
                 let (av, at) = self.expr(addr)?;
                 let (addr32, elem) = match at {
                     Type::Ptr(elem) => (av, elem),
-                    t if t.scalar().is_some() => {
-                        (self.convert(av, t, Type::U32), ScalarType::U8)
-                    }
+                    t if t.scalar().is_some() => (self.convert(av, t, Type::U32), ScalarType::U8),
                     _ => {
                         return Err(CompileError::new(
                             "volatile_load needs a pointer or integer address",
@@ -1106,12 +1093,7 @@ impl<'a> FnLower<'a> {
                 });
                 Ok((v, t))
             }
-            ABinOp::Lt
-            | ABinOp::Le
-            | ABinOp::Gt
-            | ABinOp::Ge
-            | ABinOp::Eq
-            | ABinOp::Ne => {
+            ABinOp::Lt | ABinOp::Le | ABinOp::Gt | ABinOp::Ge | ABinOp::Eq | ABinOp::Ne => {
                 let t = common_type(lt, rt);
                 let lvp = self.convert_for_assign(lv, lt, t, at)?;
                 let rvp = self.convert_for_assign(rv, rt, t, at)?;
@@ -1383,9 +1365,7 @@ mod tests {
     #[test]
     fn trivial_phi_removed() {
         // if/else writing the same variable the same way in one branch only…
-        let m = compile(
-            "u32 f(u32 a) { u32 x = a; if (a > 1) { u32 y = 0; } return x; }",
-        );
+        let m = compile("u32 f(u32 a) { u32 x = a; if (a > 1) { u32 y = 0; } return x; }");
         let f = m.func(m.func_by_name("f").unwrap());
         // x is never redefined, so no φ should survive for it.
         assert_eq!(placed_phis(f), 0);
@@ -1393,7 +1373,8 @@ mod tests {
 
     #[test]
     fn if_else_merges_with_phi() {
-        let m = compile("u32 f(u32 a) { u32 x = 0; if (a > 1) { x = 1; } else { x = 2; } return x; }");
+        let m =
+            compile("u32 f(u32 a) { u32 x = 0; if (a > 1) { x = 1; } else { x = 2; } return x; }");
         let f = m.func(m.func_by_name("f").unwrap());
         assert_eq!(placed_phis(f), 1);
     }
@@ -1455,24 +1436,33 @@ mod tests {
     fn signed_ops_selected() {
         let m = compile("i32 f(i32 a, i32 b) { return a / b + (a % b) + (a >> 2); }");
         let f = m.func(m.func_by_name("f").unwrap());
-        assert!(f
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Bin { op: BinOp::Sdiv, .. })));
-        assert!(f
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Bin { op: BinOp::Ashr, .. })));
+        assert!(f.insts.iter().any(|i| matches!(
+            i,
+            Inst::Bin {
+                op: BinOp::Sdiv,
+                ..
+            }
+        )));
+        assert!(f.insts.iter().any(|i| matches!(
+            i,
+            Inst::Bin {
+                op: BinOp::Ashr,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn u64_widening() {
         let m = compile("u64 f(u32 a, u64 b) { return a + b; }");
         let f = m.func(m.func_by_name("f").unwrap());
-        assert!(f
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Bin { width: Width::W64, .. })));
+        assert!(f.insts.iter().any(|i| matches!(
+            i,
+            Inst::Bin {
+                width: Width::W64,
+                ..
+            }
+        )));
         assert!(f.insts.iter().any(|i| matches!(i, Inst::Zext { .. })));
     }
 
@@ -1506,8 +1496,8 @@ mod tests {
 
     #[test]
     fn errors_on_arity_mismatch() {
-        let err = crate::compile("t", "u32 g(u32 a) { return a; } u32 f() { return g(); }")
-            .unwrap_err();
+        let err =
+            crate::compile("t", "u32 g(u32 a) { return a; } u32 f() { return g(); }").unwrap_err();
         assert!(err.message.contains("arguments"));
     }
 

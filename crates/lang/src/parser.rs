@@ -195,9 +195,7 @@ impl<'a> Parser<'a> {
                                 }
                             }
                             other => {
-                                return Err(
-                                    self.err(format!("expected integer, found {other:?}"))
-                                )
+                                return Err(self.err(format!("expected integer, found {other:?}")))
                             }
                         }
                         if !self.eat(Tok::Comma) {
@@ -422,10 +420,12 @@ impl<'a> Parser<'a> {
                 )),
             }
         };
-        let compound = |op: BinOp| move |lhs: Expr, rhs: Expr| Expr {
-            line: lhs.line,
-            col: lhs.col,
-            kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+        let compound = |op: BinOp| {
+            move |lhs: Expr, rhs: Expr| Expr {
+                line: lhs.line,
+                col: lhs.col,
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            }
         };
         match self.peek().clone() {
             Tok::Assign => {

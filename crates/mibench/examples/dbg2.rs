@@ -7,10 +7,30 @@ fn main() {
         let bs = build(&w, &BuildConfig::bitspec()).unwrap();
         let rb = simulate(&base, &w).unwrap();
         let rs = simulate(&bs, &w).unwrap();
-        println!("{name}: narrowed={} truncs={} elided={} cmpelim={} regions={}",
-            bs.squeeze.narrowed, bs.squeeze.spec_truncs, bs.squeeze.bitmasks_elided,
-            bs.squeeze.compares_eliminated, bs.squeeze.regions);
-        println!("  base: dyn={} spl={} sps={} cp={} E={:.0}", rb.counts.dyn_insts, rb.counts.spill_loads, rb.counts.spill_stores, rb.counts.copies, rb.total_energy());
-        println!("  bspc: dyn={} spl={} sps={} cp={} E={:.0} ms={}", rs.counts.dyn_insts, rs.counts.spill_loads, rs.counts.spill_stores, rs.counts.copies, rs.total_energy(), rs.counts.misspecs);
+        println!(
+            "{name}: narrowed={} truncs={} elided={} cmpelim={} regions={}",
+            bs.squeeze.narrowed,
+            bs.squeeze.spec_truncs,
+            bs.squeeze.bitmasks_elided,
+            bs.squeeze.compares_eliminated,
+            bs.squeeze.regions
+        );
+        println!(
+            "  base: dyn={} spl={} sps={} cp={} E={:.0}",
+            rb.counts.dyn_insts,
+            rb.counts.spill_loads,
+            rb.counts.spill_stores,
+            rb.counts.copies,
+            rb.total_energy()
+        );
+        println!(
+            "  bspc: dyn={} spl={} sps={} cp={} E={:.0} ms={}",
+            rs.counts.dyn_insts,
+            rs.counts.spill_loads,
+            rs.counts.spill_stores,
+            rs.counts.copies,
+            rs.total_energy(),
+            rs.counts.misspecs
+        );
     }
 }

@@ -1,23 +1,36 @@
+use backend::regalloc::Loc;
 use bitspec::*;
 use mibench::{workload, Input};
-use backend::regalloc::Loc;
 fn main() {
     for name in ["sha", "blowfish"] {
         let w = workload(name, Input::Large);
-        for (label, cfg) in [("base", BuildConfig::baseline()), ("bspc", BuildConfig::bitspec())] {
+        for (label, cfg) in [
+            ("base", BuildConfig::baseline()),
+            ("bspc", BuildConfig::bitspec()),
+        ] {
             let c = build(&w, &cfg).unwrap();
             let layout = interp::Layout::new(&c.module);
-            let opts = backend::CodegenOpts { bitspec: label=="bspc", compact: false, spill_prefer_orig: true };
+            let opts = backend::CodegenOpts {
+                bitspec: label == "bspc",
+                compact: false,
+                spill_prefer_orig: true,
+            };
             for fid in c.module.func_ids() {
                 let f = c.module.func(fid);
-                if f.name != "main" && !f.name.contains("process") { continue; }
+                if f.name != "main" && !f.name.contains("process") {
+                    continue;
+                }
                 let mir = backend::isel::select_function(&c.module, fid, &layout, &opts);
                 let nb = mir.blocks.len();
                 let nv = mir.classes.len();
                 let a = backend::regalloc::allocate(mir, &opts);
                 let spilled: Vec<usize> = a.locs.iter().enumerate().filter(|(_, l)| matches!(l, Loc::Spill(s) if **l != Loc::Spill(u32::MAX) && *s != u32::MAX)).map(|(i, _)| i).collect();
-                println!("{name}/{label} fn {}: blocks={nb} vregs={nv} spill_slots={} regions={}",
-                    a.mir.name, a.spill_slots, a.mir.regions.len());
+                println!(
+                    "{name}/{label} fn {}: blocks={nb} vregs={nv} spill_slots={} regions={}",
+                    a.mir.name,
+                    a.spill_slots,
+                    a.mir.regions.len()
+                );
                 let _ = spilled;
             }
         }

@@ -1,20 +1,28 @@
+use backend::mir::RegClass;
+use backend::regalloc::Loc;
 use bitspec::*;
 use mibench::{workload, Input};
-use backend::regalloc::Loc;
-use backend::mir::RegClass;
 fn main() {
     let w = workload("sha", Input::Large);
     let c = build(&w, &BuildConfig::bitspec()).unwrap();
     let layout = interp::Layout::new(&c.module);
-    let opts = backend::CodegenOpts { bitspec: true, compact: false, spill_prefer_orig: true };
+    let opts = backend::CodegenOpts {
+        bitspec: true,
+        compact: false,
+        spill_prefer_orig: true,
+    };
     let fid = c.module.func_by_name("main").unwrap();
     let mir = backend::isel::select_function(&c.module, fid, &layout, &opts);
     // count vregs used in spec-side blocks that are spilled
     let a = backend::regalloc::allocate(mir, &opts);
-    let mut spec_spilled = 0; let mut orig_spilled = 0; let mut byte_spilled = 0;
+    let mut spec_spilled = 0;
+    let mut orig_spilled = 0;
+    let mut byte_spilled = 0;
     let mut spec_use_count = std::collections::HashMap::new();
     for b in a.mir.block_ids() {
-        if !a.mir.block(b).spec_side { continue; }
+        if !a.mir.block(b).spec_side {
+            continue;
+        }
         for i in &a.mir.block(b).insts {
             for v in i.uses().into_iter().chain(i.defs()) {
                 *spec_use_count.entry(v).or_insert(0u32) += 1;
@@ -23,13 +31,24 @@ fn main() {
     }
     for (vi, loc) in a.locs.iter().enumerate() {
         if let Loc::Spill(s) = loc {
-            if *s == u32::MAX { continue; }
+            if *s == u32::MAX {
+                continue;
+            }
             let v = backend::mir::VReg(vi as u32);
-            if spec_use_count.contains_key(&v) { spec_spilled += 1; } else { orig_spilled += 1; }
-            if matches!(a.mir.classes[vi], RegClass::Byte) { byte_spilled += 1; }
+            if spec_use_count.contains_key(&v) {
+                spec_spilled += 1;
+            } else {
+                orig_spilled += 1;
+            }
+            if matches!(a.mir.classes[vi], RegClass::Byte) {
+                byte_spilled += 1;
+            }
         }
     }
     println!("spilled: spec-used={spec_spilled} orig-only={orig_spilled} byte={byte_spilled} total_slots={}", a.spill_slots);
     // Max simultaneous live in spec blocks: approximate via conflicts at callee pool
-    println!("callee used: {:?} has_calls={}", a.used_callee_saved, a.has_calls);
+    println!(
+        "callee used: {:?} has_calls={}",
+        a.used_callee_saved, a.has_calls
+    );
 }

@@ -9,5 +9,8 @@ fn main() {
     let sim = simulate(&c, &w).unwrap();
     println!("ref  = {:?}", refr);
     println!("ir   = {:?} (misspecs={})", ir.outputs, ir.stats.misspecs);
-    println!("sim  = {:?} (misspecs={})", sim.outputs, sim.counts.misspecs);
+    println!(
+        "sim  = {:?} (misspecs={})",
+        sim.outputs, sim.counts.misspecs
+    );
 }

@@ -3,7 +3,10 @@
 use bitspec::*;
 use mibench::{workload, Input};
 fn main() {
-    println!("{:<16} {:>14} {:>14}", "benchmark", "MIN dynΔ%", "MIN-inv dynΔ%");
+    println!(
+        "{:<16} {:>14} {:>14}",
+        "benchmark", "MIN dynΔ%", "MIN-inv dynΔ%"
+    );
     for name in ["crc32", "dijkstra", "sha", "stringsearch"] {
         let w = workload(name, Input::Large);
         let base = build(&w, &BuildConfig::baseline()).unwrap();
@@ -18,6 +21,10 @@ fn main() {
             let r = simulate(&c, &w).unwrap();
             100.0 * (r.counts.dyn_insts as f64 / rb.counts.dyn_insts as f64 - 1.0)
         };
-        println!("{name:<16} {:>13.1}% {:>13.1}%", run_pref(true), run_pref(false));
+        println!(
+            "{name:<16} {:>13.1}% {:>13.1}%",
+            run_pref(true),
+            run_pref(false)
+        );
     }
 }

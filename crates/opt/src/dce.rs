@@ -12,10 +12,10 @@ pub fn run_function(f: &mut Function) -> usize {
     for b in f.block_ids() {
         for &v in &f.block(b).insts {
             let inst = f.inst(v);
-            if inst.has_side_effects() || matches!(inst, sir::Inst::Param { .. }) {
-                if live.insert(v) {
-                    work.push(v);
-                }
+            if (inst.has_side_effects() || matches!(inst, sir::Inst::Param { .. }))
+                && live.insert(v)
+            {
+                work.push(v);
             }
         }
         for op in f.block(b).term.operands() {
@@ -61,11 +61,7 @@ mod tests {
 
     #[test]
     fn removes_unused_arithmetic() {
-        let mut m = lang::compile(
-            "t",
-            "u32 f(u32 a) { u32 dead = a * 3; return a + 1; }",
-        )
-        .unwrap();
+        let mut m = lang::compile("t", "u32 f(u32 a) { u32 dead = a * 3; return a + 1; }").unwrap();
         let before = m.static_size();
         let removed = run(&mut m);
         assert!(removed >= 1);
@@ -75,11 +71,7 @@ mod tests {
 
     #[test]
     fn keeps_stores_and_outputs() {
-        let mut m = lang::compile(
-            "t",
-            "global u8 g[1]; void f() { g[0] = 1; out(5); }",
-        )
-        .unwrap();
+        let mut m = lang::compile("t", "global u8 g[1]; void f() { g[0] = 1; out(5); }").unwrap();
         run(&mut m);
         let f = m.func(m.func_by_name("f").unwrap());
         assert!(f.insts.iter().enumerate().any(|(i, inst)| {
@@ -92,8 +84,11 @@ mod tests {
 
     #[test]
     fn keeps_transitive_dependencies() {
-        let mut m = lang::compile("t", "u32 f(u32 a) { u32 x = a + 1; u32 y = x * 2; return y; }")
-            .unwrap();
+        let mut m = lang::compile(
+            "t",
+            "u32 f(u32 a) { u32 x = a + 1; u32 y = x * 2; return y; }",
+        )
+        .unwrap();
         let removed = run(&mut m);
         assert_eq!(removed, 0);
     }

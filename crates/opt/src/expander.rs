@@ -61,10 +61,7 @@ fn inline_pass(m: &mut Module, cfg: &ExpanderConfig) {
     for _round in 0..8 {
         let mut any = false;
         for caller in m.func_ids().collect::<Vec<_>>() {
-            loop {
-                let Some((block, idx, callee)) = find_inline_site(m, caller, cfg) else {
-                    break;
-                };
+            while let Some((block, idx, callee)) = find_inline_site(m, caller, cfg) {
                 let callee_clone = m.func(callee).clone();
                 inline_at(m.func_mut(caller), block, idx, &callee_clone);
                 any = true;
@@ -186,12 +183,12 @@ fn inline_at(f: &mut Function, block: BlockId, idx: usize, callee: &Function) {
     // Enter the clone.
     f.block_mut(block).term = Terminator::Br(bmap[&callee.entry]);
     // Merge return values at the continuation.
-    if ret.is_some() {
+    if let Some(ret_width) = ret {
         let merged = match rets.len() {
             0 => {
                 // Callee never returns; continuation is dead.
                 let c = f.add_inst(Inst::Const {
-                    width: ret.unwrap(),
+                    width: ret_width,
                     value: 0,
                 });
                 f.block_mut(cont).insts.insert(0, c);
@@ -200,7 +197,7 @@ fn inline_at(f: &mut Function, block: BlockId, idx: usize, callee: &Function) {
             1 => rets[0].1.expect("non-void return"),
             _ => {
                 let phi = f.add_inst(Inst::Phi {
-                    width: ret.unwrap(),
+                    width: ret_width,
                     incomings: rets
                         .iter()
                         .map(|(b, v)| (*b, v.expect("non-void return")))
@@ -262,10 +259,7 @@ fn single_backedge(f: &Function, l: &NaturalLoop) -> bool {
 }
 
 fn loop_size(f: &Function, l: &NaturalLoop) -> usize {
-    l.blocks
-        .iter()
-        .map(|b| f.block(*b).insts.len() + 1)
-        .sum()
+    l.blocks.iter().map(|b| f.block(*b).insts.len() + 1).sum()
 }
 
 fn unroll_loop(f: &mut Function, l: &NaturalLoop, factor: u32) {
@@ -316,7 +310,10 @@ fn unroll_loop(f: &mut Function, l: &NaturalLoop, factor: u32) {
         // Clone instructions block by block (two-pass for forward refs).
         let block_order: Vec<BlockId> = {
             // RPO restricted to loop blocks for better def-before-use odds.
-            f.rpo().into_iter().filter(|b| in_loop.contains(b)).collect()
+            f.rpo()
+                .into_iter()
+                .filter(|b| in_loop.contains(b))
+                .collect()
         };
         for &b in &block_order {
             let nb = bmap[&b];
@@ -516,7 +513,11 @@ fn rewrite_outside_uses(
         let insts = f.block(b).insts.clone();
         for v in insts {
             let inst = f.inst(v).clone();
-            if let Inst::Phi { mut incomings, width } = inst {
+            if let Inst::Phi {
+                mut incomings,
+                width,
+            } = inst
+            {
                 let mut changed = false;
                 for (pb, pv) in &mut incomings {
                     if let Some(&var) = vars.get(pv) {

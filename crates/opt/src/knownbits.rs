@@ -5,117 +5,175 @@
 //! Used by the *no-speculation* register-packing mode (RQ2): a value may be
 //! statically narrowed to 8 bits only when this analysis proves its maximum
 //! possible value fits — no hardware check exists to catch a miss.
+//!
+//! The fixpoint iteration runs on the reusable [`sir::dataflow`] framework:
+//! the fact attached to each block is the whole per-value bound vector,
+//! joined by elementwise max, with the framework's widening hook jumping
+//! still-growing bounds to their width's top after 8 visits so loop-carried
+//! counters terminate.
 
+use sir::dataflow::{self, Analysis, Direction};
 use sir::{BinOp, Function, Inst, ValueId, Width};
+
+/// Max-value bound vectors over all SSA values of a function.
+struct MaxValues;
+
+/// Per-instruction transfer: a sound upper bound on the result of `v` given
+/// operand bounds in `get`.
+fn inst_max(f: &Function, v: ValueId, get: &dyn Fn(ValueId) -> u64) -> Option<u64> {
+    let inst = f.inst(v);
+    let w = inst.result_width()?;
+    let top_for = |w: Width| w.mask();
+    Some(match inst {
+        Inst::Const { value, .. } => *value,
+        Inst::Param { width, .. } => width.mask(),
+        Inst::GlobalAddr { .. } | Inst::Alloca { .. } => Width::W32.mask(),
+        Inst::Icmp { .. } => 1,
+        Inst::Zext { arg, .. } => get(*arg),
+        Inst::Sext { arg, to } => {
+            let aw = f.value_width(*arg).unwrap();
+            let a = get(*arg);
+            // Non-negative proven iff sign bit can't be set.
+            if a < (1 << (aw.bits() - 1)) {
+                a
+            } else {
+                to.mask()
+            }
+        }
+        Inst::Trunc { to, arg, .. } => get(*arg).min(to.mask()),
+        Inst::Load {
+            width, speculative, ..
+        } => {
+            if *speculative {
+                0xFF
+            } else {
+                width.mask()
+            }
+        }
+        Inst::Select { tval, fval, .. } => get(*tval).max(get(*fval)),
+        Inst::Call { ret, .. } => ret.map_or(0, Width::mask),
+        Inst::Phi { incomings, .. } => incomings.iter().map(|(_, x)| get(*x)).max().unwrap_or(0),
+        Inst::Bin {
+            op,
+            width,
+            lhs,
+            rhs,
+            ..
+        } => {
+            let (a, c) = (get(*lhs), get(*rhs));
+            let m = width.mask();
+            match op {
+                BinOp::Add => a.saturating_add(c).min(m),
+                // a - b ≤ a only when b is provably 0; any
+                // possible underflow wraps to the full mask.
+                BinOp::Sub => {
+                    if c == 0 {
+                        a.min(m)
+                    } else {
+                        m
+                    }
+                }
+                BinOp::Mul => a.saturating_mul(c).min(m),
+                BinOp::And => a.min(c).min(m),
+                BinOp::Or | BinOp::Xor => {
+                    // bounded by the next power of two covering both
+                    let hb = 64 - a.max(c).leading_zeros();
+                    if hb >= 64 {
+                        m
+                    } else {
+                        ((1u64 << hb) - 1).min(m)
+                    }
+                }
+                BinOp::Udiv => a.min(m),
+                BinOp::Urem => {
+                    if c == 0 {
+                        m
+                    } else {
+                        a.min(c - 1).min(m)
+                    }
+                }
+                BinOp::Shl => {
+                    // conservative unless shift is constant
+                    if let Inst::Const { value, .. } = f.inst(*rhs) {
+                        a.checked_shl(*value as u32).unwrap_or(u64::MAX).min(m)
+                    } else {
+                        m
+                    }
+                }
+                BinOp::Lshr => a.min(m),
+                BinOp::Ashr | BinOp::Sdiv | BinOp::Srem => m,
+            }
+        }
+        _ => top_for(w),
+    })
+}
+
+impl Analysis<Function> for MaxValues {
+    type Fact = Vec<u64>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self, g: &Function) -> Vec<u64> {
+        vec![0; g.insts.len()]
+    }
+
+    fn init(&self, g: &Function, _n: usize) -> Vec<u64> {
+        vec![0; g.insts.len()]
+    }
+
+    fn join(&self, into: &mut Vec<u64>, from: &Vec<u64>) -> bool {
+        let mut changed = false;
+        for (i, f) in into.iter_mut().zip(from) {
+            if *f > *i {
+                *i = *f;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer(&self, f: &Function, n: usize, input: &Vec<u64>) -> Vec<u64> {
+        let mut max = input.clone();
+        for &v in &f.blocks[n].insts {
+            let get = |x: ValueId| max[x.index()];
+            if let Some(new) = inst_max(f, v, &get) {
+                if new > max[v.index()] {
+                    max[v.index()] = new;
+                }
+            }
+        }
+        max
+    }
+
+    fn widen(&self, f: &Function, _n: usize, old: &Vec<u64>, new: &mut Vec<u64>, visits: u32) {
+        // After 8 visits, jump still-growing bounds straight to their
+        // width's top so loop-carried increments terminate.
+        if visits <= 8 {
+            return;
+        }
+        for (i, (o, n)) in old.iter().zip(new.iter_mut()).enumerate() {
+            if n != o {
+                if let Some(w) = f.value_width(ValueId(i as u32)) {
+                    *n = w.mask();
+                }
+            }
+        }
+    }
+}
 
 /// Computes, per SSA value, a sound upper bound on its (zero-extended)
 /// runtime value. `u64::MAX` means "unknown".
 pub fn max_values(f: &Function) -> Vec<u64> {
-    let n = f.insts.len();
-    // Optimistic initialization (0) + ascending fixpoint.
-    let mut max: Vec<u64> = vec![0; n];
-    let top_for = |w: Width| w.mask();
-    let mut changed = true;
-    let mut iters = 0;
-    while changed {
-        changed = false;
-        iters += 1;
-        // Widening: after a few rounds, jump straight to top to terminate.
-        let widen = iters > 8;
-        for b in f.block_ids() {
-            for &v in &f.block(b).insts {
-                let inst = f.inst(v);
-                let Some(w) = inst.result_width() else {
-                    continue;
-                };
-                let old = max[v.index()];
-                let get = |x: ValueId| max[x.index()];
-                let new = match inst {
-                    Inst::Const { value, .. } => *value,
-                    Inst::Param { width, .. } => width.mask(),
-                    Inst::GlobalAddr { .. } | Inst::Alloca { .. } => Width::W32.mask(),
-                    Inst::Icmp { .. } => 1,
-                    Inst::Zext { arg, .. } => get(*arg),
-                    Inst::Sext { arg, to } => {
-                        let aw = f.value_width(*arg).unwrap();
-                        let a = get(*arg);
-                        // Non-negative proven iff sign bit can't be set.
-                        if a < (1 << (aw.bits() - 1)) {
-                            a
-                        } else {
-                            to.mask()
-                        }
-                    }
-                    Inst::Trunc { to, arg, .. } => get(*arg).min(to.mask()),
-                    Inst::Load { width, speculative, .. } => {
-                        if *speculative {
-                            0xFF
-                        } else {
-                            width.mask()
-                        }
-                    }
-                    Inst::Select { tval, fval, .. } => get(*tval).max(get(*fval)),
-                    Inst::Call { ret, .. } => ret.map_or(0, Width::mask),
-                    Inst::Phi { incomings, .. } => incomings
-                        .iter()
-                        .map(|(_, x)| get(*x))
-                        .max()
-                        .unwrap_or(0),
-                    Inst::Bin {
-                        op, width, lhs, rhs, ..
-                    } => {
-                        let (a, c) = (get(*lhs), get(*rhs));
-                        let m = width.mask();
-                        match op {
-                            BinOp::Add => a.checked_add(c).unwrap_or(u64::MAX).min(m),
-                            // a - b ≤ a only when b is provably 0; any
-                            // possible underflow wraps to the full mask.
-                            BinOp::Sub => {
-                                if c == 0 {
-                                    a.min(m)
-                                } else {
-                                    m
-                                }
-                            }
-                            BinOp::Mul => a.checked_mul(c).unwrap_or(u64::MAX).min(m),
-                            BinOp::And => a.min(c).min(m),
-                            BinOp::Or | BinOp::Xor => {
-                                // bounded by the next power of two covering both
-                                let hb = 64 - a.max(c).leading_zeros();
-                                if hb >= 64 {
-                                    m
-                                } else {
-                                    ((1u64 << hb) - 1).min(m)
-                                }
-                            }
-                            BinOp::Udiv => a.min(m),
-                            BinOp::Urem => {
-                                if c == 0 {
-                                    m
-                                } else {
-                                    a.min(c - 1).min(m)
-                                }
-                            }
-                            BinOp::Shl => {
-                                // conservative unless shift is constant
-                                if let Inst::Const { value, .. } = f.inst(*rhs) {
-                                    a.checked_shl(*value as u32).unwrap_or(u64::MAX).min(m)
-                                } else {
-                                    m
-                                }
-                            }
-                            BinOp::Lshr => a.min(m),
-                            BinOp::Ashr | BinOp::Sdiv | BinOp::Srem => m,
-                        }
-                    }
-                    _ => top_for(w),
-                };
-                let new = if widen && new != old { top_for(w) } else { new };
-                if new > old {
-                    max[v.index()] = new;
-                    changed = true;
-                }
-            }
+    let sol = dataflow::solve(f, &MaxValues);
+    // A value's bound lives in its defining block's output; the elementwise
+    // max over all block outputs collapses the solution to one global
+    // vector (facts only grow along edges, so this is exact).
+    let mut max = vec![0; f.insts.len()];
+    for out in &sol.output {
+        for (m, o) in max.iter_mut().zip(out) {
+            *m = (*m).max(*o);
         }
     }
     max
@@ -130,6 +188,7 @@ pub fn provably_narrow(f: &Function) -> Vec<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sir::Terminator;
 
     fn analyse(src: &str, func: &str) -> (sir::Module, Vec<u64>) {
         let m = lang::compile("t", src).unwrap();
@@ -194,5 +253,117 @@ mod tests {
             .find(|v| f.inst(*v).is_phi())
             .unwrap();
         assert!(mv[phi.index()] > 0xFF);
+    }
+
+    #[test]
+    fn sext_of_nonnegative_slice_value_keeps_bound() {
+        // sext(0x7F: u8 → u32): the sign bit is provably clear, so the
+        // bound survives the extension.
+        let mut f = Function::new("sx", vec![], Some(Width::W32));
+        let c = f.append_inst(
+            f.entry,
+            Inst::Const {
+                width: Width::W8,
+                value: 0x7F,
+            },
+        );
+        let s = f.append_inst(
+            f.entry,
+            Inst::Sext {
+                to: Width::W32,
+                arg: c,
+            },
+        );
+        f.block_mut(f.entry).term = Terminator::Ret(Some(s));
+        let mv = max_values(&f);
+        assert_eq!(mv[s.index()], 0x7F);
+        assert!(provably_narrow(&f)[s.index()]);
+    }
+
+    #[test]
+    fn sext_of_possibly_negative_slice_value_is_wide() {
+        // sext(0x80: u8 → u32) may set all high bits: the bound must jump
+        // to the destination width's top.
+        let mut f = Function::new("sx", vec![], Some(Width::W32));
+        let c = f.append_inst(
+            f.entry,
+            Inst::Const {
+                width: Width::W8,
+                value: 0x80,
+            },
+        );
+        let s = f.append_inst(
+            f.entry,
+            Inst::Sext {
+                to: Width::W32,
+                arg: c,
+            },
+        );
+        f.block_mut(f.entry).term = Terminator::Ret(Some(s));
+        let mv = max_values(&f);
+        assert_eq!(mv[s.index()], Width::W32.mask());
+        assert!(!provably_narrow(&f)[s.index()]);
+    }
+
+    #[test]
+    fn icmp_is_bounded_by_one() {
+        let mut f = Function::new("ic", vec![Width::W32, Width::W32], Some(Width::W32));
+        let a = f.param_value(0);
+        let b = f.param_value(1);
+        let c = f.append_inst(
+            f.entry,
+            Inst::Icmp {
+                cc: sir::Cc::Ult,
+                width: Width::W32,
+                lhs: a,
+                rhs: b,
+            },
+        );
+        let z = f.append_inst(
+            f.entry,
+            Inst::Zext {
+                to: Width::W32,
+                arg: c,
+            },
+        );
+        f.block_mut(f.entry).term = Terminator::Ret(Some(z));
+        let mv = max_values(&f);
+        assert_eq!(mv[c.index()], 1);
+        assert_eq!(mv[z.index()], 1);
+        assert!(provably_narrow(&f)[z.index()]);
+    }
+
+    #[test]
+    fn converging_loop_bound_is_exact_not_widened() {
+        // i = (i + 1) & 0x3 climbs to its exact fixpoint (3) in fewer than
+        // 8 visits of the loop header — the bound must be the precise
+        // fixpoint, not the widened top.
+        let (m, mv) = analyse(
+            "u32 f(u32 n) { u32 i = 0; while (i < n) { i = (i + 1) & 0x3; } return i; }",
+            "f",
+        );
+        let f = m.func(m.func_by_name("f").unwrap());
+        let phi = (0..f.insts.len() as u32)
+            .map(ValueId)
+            .find(|v| f.inst(*v).is_phi())
+            .unwrap();
+        assert_eq!(mv[phi.index()], 0x3);
+    }
+
+    #[test]
+    fn widening_cutoff_fires_after_eight_visits() {
+        // A bare increment climbs by 1 per visit: without the cutoff the
+        // fixpoint would take 2^32 rounds. The widened bound must be top,
+        // and must be reached (analysis terminates).
+        let (m, mv) = analyse(
+            "u32 f(u32 n) { u32 i = 0; while (i < n) { i = i + 1; } return i; }",
+            "f",
+        );
+        let f = m.func(m.func_by_name("f").unwrap());
+        let add = (0..f.insts.len() as u32)
+            .map(ValueId)
+            .find(|v| matches!(f.inst(*v), Inst::Bin { op: BinOp::Add, .. }))
+            .unwrap();
+        assert_eq!(mv[add.index()], Width::W32.mask());
     }
 }

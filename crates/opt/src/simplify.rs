@@ -131,8 +131,13 @@ fn pass(f: &mut Function) -> usize {
                     // Identities.
                     if let Some((_, c)) = rc {
                         let id = match op {
-                            BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor
-                            | BinOp::Shl | BinOp::Lshr | BinOp::Ashr => c == 0,
+                            BinOp::Add
+                            | BinOp::Sub
+                            | BinOp::Or
+                            | BinOp::Xor
+                            | BinOp::Shl
+                            | BinOp::Lshr
+                            | BinOp::Ashr => c == 0,
                             BinOp::Mul | BinOp::Udiv | BinOp::Sdiv => c == 1,
                             BinOp::And => c == width.mask(),
                             _ => false,
@@ -158,8 +163,10 @@ fn pass(f: &mut Function) -> usize {
                     }
                     // Reassociation: (x op c1) op c2 → x op (c1 op c2) for
                     // associative ops — collapses unrolled induction chains.
-                    if matches!(op, BinOp::Add | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Mul)
-                    {
+                    if matches!(
+                        op,
+                        BinOp::Add | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Mul
+                    ) {
                         if let Some((_, c2)) = rc {
                             if let Inst::Bin {
                                 op: iop,
@@ -175,8 +182,10 @@ fn pass(f: &mut Function) -> usize {
                                             .expect("assoc ops cannot trap");
                                         // Reuse v as the new op; materialize
                                         // the folded constant in place.
-                                        let cval =
-                                            f.add_inst(Inst::Const { width, value: folded });
+                                        let cval = f.add_inst(Inst::Const {
+                                            width,
+                                            value: folded,
+                                        });
                                         let pos = f.block(b).insts[..=i]
                                             .iter()
                                             .position(|x| *x == v)

@@ -253,7 +253,9 @@ fn select_candidates(
         }
         for &v in &f.block(b).insts {
             let inst = f.inst(v);
-            let Some(w) = inst.result_width() else { continue };
+            let Some(w) = inst.result_width() else {
+                continue;
+            };
             if !is_wide(w) {
                 continue;
             }
@@ -273,8 +275,7 @@ fn select_candidates(
                         elided.insert(v);
                         continue;
                     }
-                    if narrowable_bin_op(*op) && fits8(v) && operand_ok(*lhs) && operand_ok(*rhs)
-                    {
+                    if narrowable_bin_op(*op) && fits8(v) && operand_ok(*lhs) && operand_ok(*rhs) {
                         narrow.insert(v);
                     }
                 }
@@ -283,20 +284,16 @@ fn select_candidates(
                     volatile: false,
                     speculative: false,
                     ..
-                } => {
-                    if fits8(v) {
-                        narrow.insert(v);
-                    }
+                } if fits8(v) => {
+                    narrow.insert(v);
                 }
-                Inst::Zext { arg, .. } => {
-                    if f.value_width(*arg) == Some(Width::W8) || (fits8(v) && fits8(*arg)) {
-                        narrow.insert(v);
-                    }
+                Inst::Zext { arg, .. }
+                    if (f.value_width(*arg) == Some(Width::W8) || (fits8(v) && fits8(*arg))) =>
+                {
+                    narrow.insert(v);
                 }
-                Inst::Phi { .. } => {
-                    if fits8(v) {
-                        narrow.insert(v); // refined by the fixpoint below
-                    }
+                Inst::Phi { .. } if fits8(v) => {
+                    narrow.insert(v); // refined by the fixpoint below
                 }
                 _ => {}
             }
@@ -342,10 +339,17 @@ fn select_candidates(
         .max()
         .unwrap_or(0);
     let pressure_high = max_narrow_live >= 8;
-    prune_unprofitable(f, fid, profile, cfg, &mut narrow, &mut elided, pressure_high);
+    prune_unprofitable(
+        f,
+        fid,
+        profile,
+        cfg,
+        &mut narrow,
+        &mut elided,
+        pressure_high,
+    );
     Candidates { narrow, elided }
 }
-
 
 /// Whether `user` consumes its narrow operand as a (possibly scaled) load
 /// index: the back-end lowers `base + scaled(zext(slice))` to the Table 1
@@ -357,9 +361,9 @@ fn index_chain_use(f: &Function, users: &HashMap<ValueId, Vec<ValueId>>, user: V
     let feeds_only_load_addrs = |x: ValueId| -> bool {
         let us = users_of(x);
         !us.is_empty()
-            && us.iter().all(|&u| {
-                matches!(f.inst(u), Inst::Load { addr, .. } if *addr == x)
-            })
+            && us
+                .iter()
+                .all(|&u| matches!(f.inst(u), Inst::Load { addr, .. } if *addr == x))
     };
     match f.inst(user) {
         Inst::Bin {
@@ -374,7 +378,14 @@ fn index_chain_use(f: &Function, users: &HashMap<ValueId, Vec<ValueId>>, user: V
             rhs,
             speculative: false,
             ..
-        } if matches!(f.inst(*rhs), Inst::Const { value: 1 | 2 | 4 | 8, .. }) => {
+        } if matches!(
+            f.inst(*rhs),
+            Inst::Const {
+                value: 1 | 2 | 4 | 8,
+                ..
+            }
+        ) =>
+        {
             let us = users_of(user);
             !us.is_empty()
                 && us.iter().all(|&a| {
@@ -463,7 +474,11 @@ fn prune_unprofitable(
                 let narrow_context = if narrow.contains(&u) {
                     true
                 } else if let Inst::Icmp {
-                    cc, width, lhs, rhs, ..
+                    cc,
+                    width,
+                    lhs,
+                    rhs,
+                    ..
                 } = inst
                 {
                     if is_wide(*width) && !cc.is_signed() {
@@ -473,11 +488,8 @@ fn prune_unprofitable(
                                 || f.value_width(x) == Some(Width::W8)
                                 || fits8(x)
                         };
-                        let big = |x: ValueId| {
-                            matches!(f.inst(x), Inst::Const { value, .. } if *value > 0xFF)
-                        };
-                        (side(*lhs) && side(*rhs))
-                            || (cfg.compare_elim && (big(*lhs) || big(*rhs)))
+                        let big = |x: ValueId| matches!(f.inst(x), Inst::Const { value, .. } if *value > 0xFF);
+                        (side(*lhs) && side(*rhs)) || (cfg.compare_elim && (big(*lhs) || big(*rhs)))
                     } else {
                         false
                     }
@@ -616,13 +628,7 @@ fn worth_squeezing(
                 // Slice-indexed addressing: free consumption.
             } else {
                 // Wide consumer: each narrow operand costs a zext.
-                let uc = count(u).max(
-                    inst.operands()
-                        .iter()
-                        .map(|o| count(*o))
-                        .max()
-                        .unwrap_or(0),
-                );
+                let uc = count(u).max(inst.operands().iter().map(|o| count(*o)).max().unwrap_or(0));
                 for op in inst.operands() {
                     if cand.narrow.contains(&op) {
                         cost += uc;
@@ -813,11 +819,7 @@ fn squeeze_function(
         }
         // Rewrite uses in orig blocks (spec blocks use the clone maps; the
         // handlers' own extensions are already correct).
-        let handler_set: HashSet<BlockId> = f
-            .regions
-            .iter()
-            .map(|r| r.handler)
-            .collect();
+        let handler_set: HashSet<BlockId> = f.regions.iter().map(|r| r.handler).collect();
         for b in orig_blocks.clone() {
             if handler_set.contains(&b) {
                 continue;
@@ -1092,9 +1094,7 @@ impl<'a> Transform<'a> {
                             Cc::Ugt | Cc::Uge | Cc::Eq => false,
                             _ => unreachable!("signed filtered"),
                         })
-                    } else if self.cand.narrow.contains(rhs)
-                        && big_const(self.f, *lhs).is_some()
-                    {
+                    } else if self.cand.narrow.contains(rhs) && big_const(self.f, *lhs).is_some() {
                         Some(match cc {
                             Cc::Ugt | Cc::Uge | Cc::Ne => true,
                             Cc::Ult | Cc::Ule | Cc::Eq => false,
@@ -1428,7 +1428,15 @@ mod tests {
         let spec_loads = f
             .block_ids()
             .flat_map(|b| f.block(b).insts.clone())
-            .filter(|v| matches!(f.inst(*v), Inst::Load { speculative: true, .. }))
+            .filter(|v| {
+                matches!(
+                    f.inst(*v),
+                    Inst::Load {
+                        speculative: true,
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(spec_loads > 0, "table reads should use speculative loads");
     }

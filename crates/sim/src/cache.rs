@@ -5,7 +5,9 @@
 pub enum Outcome {
     Hit,
     /// Miss; `writeback` is true if a dirty victim was evicted.
-    Miss { writeback: bool },
+    Miss {
+        writeback: bool,
+    },
 }
 
 /// One set-associative, write-back, write-allocate, LRU cache.
@@ -191,7 +193,10 @@ mod tests {
             c.access(i * stride, true); // dirty fills
         }
         // 5th line evicts the LRU (line 0), which is dirty → writeback.
-        assert_eq!(c.access(4 * stride, false), Outcome::Miss { writeback: true });
+        assert_eq!(
+            c.access(4 * stride, false),
+            Outcome::Miss { writeback: true }
+        );
         assert_eq!(c.writebacks, 1);
         // Line 0 is gone — and refetching it evicts the next dirty victim.
         assert_eq!(c.access(0, false), Outcome::Miss { writeback: true });

@@ -102,7 +102,9 @@ pub fn path_utilization(inst: &MInst) -> f64 {
         // Slice ops: an 8-bit carry chain is far shorter.
         MInst::SAlu { .. } => 0.52,
         MInst::SCmp { .. } => 0.50,
-        MInst::SExtend { .. } | MInst::STrunc { .. } | MInst::SMov { .. }
+        MInst::SExtend { .. }
+        | MInst::STrunc { .. }
+        | MInst::SMov { .. }
         | MInst::SMovImm { .. } => 0.45,
         MInst::SetDelta { .. } | MInst::SpecCheck { .. } => 0.50,
         MInst::Out { .. } | MInst::Halt | MInst::Nop => 0.55,

@@ -123,8 +123,7 @@ impl EnergyModel {
         } else {
             l2_from_i as f64 / (l2_from_i + l2_from_d) as f64
         };
-        let icache =
-            a.fetch_slots as f64 * self.l1i_access + (l2_total + dram_total) * share_i;
+        let icache = a.fetch_slots as f64 * self.l1i_access + (l2_total + dram_total) * share_i;
         let dcache =
             a.l1d_accesses as f64 * self.l1d_access + (l2_total + dram_total) * (1.0 - share_i);
         let pipeline = a.cycles as f64 * self.pipeline_cycle;
@@ -145,8 +144,10 @@ mod tests {
     #[test]
     fn slice_access_is_quarter_of_word() {
         let m = EnergyModel::default();
-        let mut a = Activity::default();
-        a.rf_read_units = 4; // one word read
+        let mut a = Activity {
+            rf_read_units: 4, // one word read
+            ..Activity::default()
+        };
         let word = m.breakdown(&a, 0, 0).regfile;
         a.rf_read_units = 1; // one slice read
         let slice = m.breakdown(&a, 0, 0).regfile;
@@ -156,12 +157,16 @@ mod tests {
     #[test]
     fn slice_alu_cheaper_than_word() {
         let m = EnergyModel::default();
-        let mut a = Activity::default();
-        a.alu_word_ops = 1;
+        let a = Activity {
+            alu_word_ops: 1,
+            ..Activity::default()
+        };
         let word = m.breakdown(&a, 0, 0).alu;
-        let mut b = Activity::default();
-        b.alu_slice_ops = 1;
-        b.spec_monitored_ops = 1;
+        let b = Activity {
+            alu_slice_ops: 1,
+            spec_monitored_ops: 1,
+            ..Activity::default()
+        };
         let slice = m.breakdown(&b, 0, 0).alu;
         assert!(slice < word / 2.0);
     }

@@ -49,7 +49,10 @@ impl fmt::Display for SimError {
             }
             SimError::OutOfFuel => write!(f, "simulation fuel exhausted"),
             SimError::BadMisspecTarget { pc, target_addr } => {
-                write!(f, "misspeculation from pc={pc} to unmapped {target_addr:#x}")
+                write!(
+                    f,
+                    "misspeculation from pc={pc} to unmapped {target_addr:#x}"
+                )
             }
         }
     }
@@ -246,14 +249,18 @@ impl<'p> Simulator<'p> {
         let dram_before = self.hier.dram_accesses;
         let stall = self.hier.fetch(addr);
         self.energy.icache += em.l1i_access;
-        self.energy.icache +=
-            (self.hier.l2.accesses() - l2_before) as f64 * em.l2_access;
-        self.energy.icache +=
-            (self.hier.dram_accesses - dram_before) as f64 * em.dram_access;
+        self.energy.icache += (self.hier.l2.accesses() - l2_before) as f64 * em.l2_access;
+        self.energy.icache += (self.hier.dram_accesses - dram_before) as f64 * em.dram_access;
         stall
     }
 
-    fn data_access(&mut self, pc: usize, addr: u32, write: bool, em: &EnergyModel) -> Result<u64, SimError> {
+    fn data_access(
+        &mut self,
+        pc: usize,
+        addr: u32,
+        write: bool,
+        em: &EnergyModel,
+    ) -> Result<u64, SimError> {
         if addr < 0x100 || addr >= self.p.mem_size {
             return Err(SimError::MemFault { pc, addr });
         }
@@ -839,18 +846,14 @@ fn alu_exec(op: AluOp, a: u32, b: u32, flags: Flags) -> (u32, Flags) {
             fl = flags_arith(r, c, signed_add_overflow(a, b, r));
             r
         }
-        AluOp::Adc => a
-            .wrapping_add(b)
-            .wrapping_add(u32::from(flags.c)),
+        AluOp::Adc => a.wrapping_add(b).wrapping_add(u32::from(flags.c)),
         AluOp::Sub => a.wrapping_sub(b),
         AluOp::Subs => {
             let r = a.wrapping_sub(b);
             fl = flags_arith(r, a >= b, signed_sub_overflow(a, b, r));
             r
         }
-        AluOp::Sbc => a
-            .wrapping_sub(b)
-            .wrapping_sub(u32::from(!flags.c)),
+        AluOp::Sbc => a.wrapping_sub(b).wrapping_sub(u32::from(!flags.c)),
         AluOp::Sbcs => {
             let borrow_in = u32::from(!flags.c);
             let r = a.wrapping_sub(b).wrapping_sub(borrow_in);
@@ -877,13 +880,7 @@ fn alu_exec(op: AluOp, a: u32, b: u32, flags: Flags) -> (u32, Flags) {
         }
         AluOp::Asr => ((a as i32) >> b.min(31)) as u32,
         AluOp::Mul => a.wrapping_mul(b),
-        AluOp::Udiv => {
-            if b == 0 {
-                0
-            } else {
-                a / b
-            }
-        }
+        AluOp::Udiv => a.checked_div(b).unwrap_or(0),
         AluOp::Sdiv => {
             if b == 0 {
                 0
@@ -1093,7 +1090,8 @@ mod tests {
 
     #[test]
     fn cycles_and_energy_accumulate() {
-        let r = run_src("void main() { u32 s = 0; for (u32 i = 0; i < 100; i++) { s += i; } out(s); }");
+        let r =
+            run_src("void main() { u32 s = 0; for (u32 i = 0; i < 100; i++) { s += i; } out(s); }");
         assert!(r.cycles >= r.counts.dyn_insts);
         assert!(r.total_energy() > 0.0);
         assert!(r.energy.icache > 0.0);

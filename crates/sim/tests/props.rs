@@ -1,44 +1,80 @@
-//! Property-based tests of the simulator substrates: cache accounting,
-//! memory round-trips, and ALU/flag semantics against a reference model.
+//! Deterministic property tests of the simulator substrates: cache
+//! accounting, memory round-trips, and ALU/flag semantics against a
+//! reference model. Former proptest strategies are replaced by seeded
+//! SplitMix64 streams so the suite runs offline.
 
-use proptest::prelude::*;
 use sim::cache::{Cache, Hierarchy};
 
-proptest! {
-    /// Cache accounting conserves: hits + misses == accesses, and a
-    /// just-accessed line always hits immediately after.
-    #[test]
-    fn cache_conservation(addrs in prop::collection::vec(0u32..1_000_000, 1..200),
-                          writes in prop::collection::vec(any::<bool>(), 200)) {
+/// Minimal SplitMix64 stream for address/value synthesis.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+/// Cache accounting conserves: hits + misses == accesses, and a
+/// just-accessed line always hits immediately after.
+#[test]
+fn cache_conservation() {
+    for seed in 0u64..16 {
+        let mut rng = Rng(seed);
+        let n = rng.range(1, 200) as usize;
+        let addrs: Vec<u32> = (0..n).map(|_| rng.range(0, 1_000_000) as u32).collect();
+        let writes: Vec<bool> = (0..n).map(|_| rng.next_u64() & 1 == 1).collect();
         let mut c = Cache::new(8 << 10, 4, 32);
         for (a, w) in addrs.iter().zip(&writes) {
             c.access(*a, *w);
-            prop_assert_eq!(c.access(*a, false), sim::cache::Outcome::Hit);
+            assert_eq!(c.access(*a, false), sim::cache::Outcome::Hit);
         }
-        prop_assert_eq!(c.accesses(), 2 * addrs.len() as u64);
-        prop_assert!(c.misses <= addrs.len() as u64);
-        prop_assert!(c.writebacks <= c.misses);
+        assert_eq!(c.accesses(), 2 * addrs.len() as u64);
+        assert!(c.misses <= addrs.len() as u64);
+        assert!(c.writebacks <= c.misses);
     }
+}
 
-    /// Hierarchy latencies are bounded and warm accesses are free.
-    #[test]
-    fn hierarchy_latency_bounds(addrs in prop::collection::vec(0u32..1_000_000, 1..100)) {
+/// Hierarchy latencies are bounded and warm accesses are free.
+#[test]
+fn hierarchy_latency_bounds() {
+    for seed in 0u64..8 {
+        let mut rng = Rng(seed);
+        let n = rng.range(1, 100) as usize;
         let mut h = Hierarchy::default();
         let max = h.l2_latency + h.dram_latency;
-        for a in &addrs {
-            let stall = h.data(*a, false);
-            prop_assert!(stall == 0 || stall == h.l2_latency || stall == max);
-            prop_assert_eq!(h.data(*a, false), 0, "warm access must hit");
+        for _ in 0..n {
+            let a = rng.range(0, 1_000_000) as u32;
+            let stall = h.data(a, false);
+            assert!(stall == 0 || stall == h.l2_latency || stall == max);
+            assert_eq!(h.data(a, false), 0, "warm access must hit");
         }
     }
+}
 
-    /// Memory round-trips arbitrary values at every width/alignment.
-    #[test]
-    fn memory_roundtrip(addr in 0x100u32..0xF000, v in any::<u64>()) {
-        let mut m = interp::Memory::new(1 << 16);
-        for w in [sir::Width::W8, sir::Width::W16, sir::Width::W32, sir::Width::W64] {
+/// Memory round-trips arbitrary values at every width/alignment.
+#[test]
+fn memory_roundtrip() {
+    let mut rng = Rng(0xC0FFEE);
+    let mut m = interp::Memory::new(1 << 16);
+    for _ in 0..64 {
+        let addr = rng.range(0x100, 0xF000) as u32;
+        let v = rng.next_u64();
+        for w in [
+            sir::Width::W8,
+            sir::Width::W16,
+            sir::Width::W32,
+            sir::Width::W64,
+        ] {
             m.store(addr, w, v).unwrap();
-            prop_assert_eq!(m.load(addr, w).unwrap(), w.truncate(v));
+            assert_eq!(m.load(addr, w).unwrap(), w.truncate(v));
         }
     }
 }
@@ -67,17 +103,33 @@ fn slice_alu_matches_interpreter_semantics() {
                 let machine: Option<u64> = match op {
                     BinOp::Add => {
                         let r = a + b;
-                        if r > 0xFF { None } else { Some(r) }
+                        if r > 0xFF {
+                            None
+                        } else {
+                            Some(r)
+                        }
                     }
                     BinOp::Sub => {
-                        if a < b { None } else { Some(a - b) }
+                        if a < b {
+                            None
+                        } else {
+                            Some(a - b)
+                        }
                     }
                     BinOp::Shl => {
                         if b >= 8 {
-                            if a == 0 { Some(0) } else { None }
+                            if a == 0 {
+                                Some(0)
+                            } else {
+                                None
+                            }
                         } else {
                             let r = a << b;
-                            if r > 0xFF { None } else { Some(r) }
+                            if r > 0xFF {
+                                None
+                            } else {
+                                Some(r)
+                            }
                         }
                     }
                     BinOp::Lshr => Some(if b >= 8 { 0 } else { a >> b }),

@@ -1,0 +1,70 @@
+//! Structured verification diagnostics.
+//!
+//! Every checker in the pipeline — the SIR verifier, the `bitlint`
+//! speculation-soundness analysis, the SMIR verifier and the emit-layout
+//! checker — reports violations as [`Diag`]s so that a broken invariant is
+//! always attributable to a stable rule ID, the pass that found it, and a
+//! `function:location` coordinate.
+
+use std::fmt;
+
+/// One violated invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// Stable machine-matchable rule identifier, e.g. `SIR-THM31` or
+    /// `EMIT-DELTA`. Rule IDs never change meaning across releases; tests
+    /// and tooling key on them.
+    pub rule: &'static str,
+    /// The pipeline stage that detected the violation, e.g. `sir-verify`,
+    /// `bitlint`, `mir-verify`, `emit-verify`.
+    pub pass: &'static str,
+    /// Name of the offending function (empty for whole-program checks).
+    pub func: String,
+    /// Block/value coordinate within the function, e.g. `b3` or `v17`.
+    pub loc: String,
+    /// Human-readable description of the violation.
+    pub msg: String,
+}
+
+impl Diag {
+    /// Creates a diagnostic.
+    pub fn new(
+        rule: &'static str,
+        pass: &'static str,
+        func: impl Into<String>,
+        loc: impl ToString,
+        msg: impl Into<String>,
+    ) -> Diag {
+        Diag {
+            rule,
+            pass,
+            func: func.into(),
+            loc: loc.to_string(),
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}:{}: {}",
+            self.rule, self.pass, self.func, self.loc, self.msg
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable_shared_format() {
+        let d = Diag::new("SIR-THM31", "sir-verify", "main", "b4", "handler uses v7");
+        assert_eq!(
+            d.to_string(),
+            "SIR-THM31 [sir-verify] main:b4: handler uses v7"
+        );
+    }
+}

@@ -190,15 +190,9 @@ pub enum Inst {
         rhs: ValueId,
     },
     /// Zero extension.
-    Zext {
-        to: Width,
-        arg: ValueId,
-    },
+    Zext { to: Width, arg: ValueId },
     /// Sign extension.
-    Sext {
-        to: Width,
-        arg: ValueId,
-    },
+    Sext { to: Width, arg: ValueId },
     /// Truncation. A *speculative* truncate (Table 1) misspeculates at run
     /// time if the dropped bits are non-zero.
     Trunc {

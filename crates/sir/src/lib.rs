@@ -30,7 +30,10 @@
 //! assert!(sir::verify::verify_module(&m).is_ok());
 //! ```
 
+pub mod bitlint;
 pub mod builder;
+pub mod dataflow;
+pub mod diag;
 pub mod dom;
 pub mod func;
 pub mod inst;
@@ -41,6 +44,7 @@ pub mod print;
 pub mod types;
 pub mod verify;
 
+pub use diag::Diag;
 pub use func::{Block, Function, Region};
 pub use inst::{BinOp, Cc, Inst, Terminator};
 pub use module::{Global, Module};

@@ -8,7 +8,11 @@
 //! * a block belongs to at most one region and a handler handles exactly one,
 //! * speculative instructions only appear inside speculative regions,
 //! * Theorem 3.1: no value defined within a region is used by its handler.
+//!
+//! Violations are reported as structured [`Diag`]s with stable rule IDs
+//! (`SIR-*`), shared with the `bitlint` / SMIR / emit-layout checkers.
 
+use crate::diag::Diag;
 use crate::dom::{def_blocks, DomTree};
 use crate::func::Function;
 use crate::inst::{Inst, Terminator};
@@ -18,13 +22,37 @@ use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 
+/// Pass name stamped on diagnostics produced by this verifier.
+pub const PASS: &str = "sir-verify";
+
 /// Verification failure: one or more broken invariants in a function.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyError {
-    /// Name of the offending function.
+    /// Name of the offending function (first offender for multi-function
+    /// checks; each diagnostic carries its own function name too).
     pub func: String,
-    /// Human-readable descriptions of each violated invariant.
-    pub problems: Vec<String>,
+    /// The violated invariants.
+    pub problems: Vec<Diag>,
+}
+
+impl VerifyError {
+    /// Wraps a non-empty diagnostic list into an error.
+    ///
+    /// Returns `Ok(())` when `problems` is empty.
+    pub fn check(problems: Vec<Diag>) -> Result<(), VerifyError> {
+        match problems.first() {
+            None => Ok(()),
+            Some(first) => {
+                let func = first.func.clone();
+                Err(VerifyError { func, problems })
+            }
+        }
+    }
+
+    /// True when any diagnostic carries `rule`.
+    pub fn has_rule(&self, rule: &str) -> bool {
+        self.problems.iter().any(|d| d.rule == rule)
+    }
 }
 
 impl fmt::Display for VerifyError {
@@ -59,39 +87,54 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
 }
 
 fn verify_function_in(f: &Function, m: Option<&Module>) -> Result<(), VerifyError> {
-    let mut problems = Vec::new();
-    check_params(f, &mut problems);
-    check_blocks(f, &mut problems);
-    check_widths(f, m, &mut problems);
-    check_ssa(f, &mut problems);
-    check_regions(f, &mut problems);
-    if problems.is_empty() {
-        Ok(())
-    } else {
-        Err(VerifyError {
-            func: f.name.clone(),
-            problems,
-        })
+    let mut d = Diags {
+        func: &f.name,
+        problems: Vec::new(),
+    };
+    check_params(f, &mut d);
+    check_blocks(f, &mut d);
+    check_widths(f, m, &mut d);
+    check_ssa(f, &mut d);
+    check_regions(f, &mut d);
+    VerifyError::check(d.problems)
+}
+
+/// Accumulator stamping the pass and function onto each diagnostic.
+struct Diags<'a> {
+    func: &'a str,
+    problems: Vec<Diag>,
+}
+
+impl Diags<'_> {
+    fn push(&mut self, rule: &'static str, loc: impl ToString, msg: impl Into<String>) {
+        self.problems
+            .push(Diag::new(rule, PASS, self.func, loc, msg));
     }
 }
 
-fn check_params(f: &Function, problems: &mut Vec<String>) {
+fn check_params(f: &Function, d: &mut Diags) {
     let entry = f.block(f.entry);
     if entry.insts.len() < f.params.len() {
-        problems.push("entry block shorter than parameter list".to_string());
+        d.push(
+            "SIR-PARAM",
+            f.entry,
+            "entry block shorter than parameter list",
+        );
         return;
     }
     for (i, w) in f.params.iter().enumerate() {
         match f.inst(entry.insts[i]) {
             Inst::Param { index, width } if *index == i as u32 && width == w => {}
-            other => problems.push(format!(
-                "entry slot {i} should be param {i} of {w}, found {other:?}"
-            )),
+            other => d.push(
+                "SIR-PARAM",
+                f.entry,
+                format!("entry slot {i} should be param {i} of {w}, found {other:?}"),
+            ),
         }
     }
 }
 
-fn check_blocks(f: &Function, problems: &mut Vec<String>) {
+fn check_blocks(f: &Function, d: &mut Diags) {
     let preds = f.branch_preds();
     for b in f.block_ids() {
         let blk = f.block(b);
@@ -101,7 +144,7 @@ fn check_blocks(f: &Function, problems: &mut Vec<String>) {
             let inst = f.inst(v);
             if inst.is_phi() {
                 if seen_non_phi {
-                    problems.push(format!("{b}: φ {v} after non-φ instruction"));
+                    d.push("SIR-PHI-ORDER", b, format!("φ {v} after non-φ instruction"));
                 }
             } else if !matches!(inst, Inst::Param { .. }) {
                 seen_non_phi = true;
@@ -113,25 +156,35 @@ fn check_blocks(f: &Function, problems: &mut Vec<String>) {
             if let Inst::Phi { incomings, .. } = f.inst(v) {
                 let inc: HashSet<BlockId> = incomings.iter().map(|(p, _)| *p).collect();
                 if inc != pred_set {
-                    problems.push(format!(
-                        "{b}: φ {v} incoming blocks {inc:?} != predecessors {pred_set:?}"
-                    ));
+                    d.push(
+                        "SIR-PHI-EDGES",
+                        b,
+                        format!("φ {v} incoming blocks {inc:?} != predecessors {pred_set:?}"),
+                    );
                 }
                 if inc.len() != incomings.len() {
-                    problems.push(format!("{b}: φ {v} has duplicate incoming blocks"));
+                    d.push(
+                        "SIR-PHI-EDGES",
+                        b,
+                        format!("φ {v} has duplicate incoming blocks"),
+                    );
                 }
             }
         }
         // Branch targets in range.
         for s in blk.term.successors() {
             if s.index() >= f.blocks.len() {
-                problems.push(format!("{b}: branch to out-of-range block {s}"));
+                d.push(
+                    "SIR-BR-RANGE",
+                    b,
+                    format!("branch to out-of-range block {s}"),
+                );
             }
         }
     }
 }
 
-fn check_widths(f: &Function, m: Option<&Module>, problems: &mut Vec<String>) {
+fn check_widths(f: &Function, m: Option<&Module>, d: &mut Diags) {
     let w_of = |v: ValueId| f.value_width(v);
     for (vi, inst) in f.insts.iter().enumerate() {
         let v = ValueId(vi as u32);
@@ -141,7 +194,11 @@ fn check_widths(f: &Function, m: Option<&Module>, problems: &mut Vec<String>) {
             } => {
                 for op in [lhs, rhs] {
                     if w_of(*op) != Some(*width) {
-                        problems.push(format!("{v}: bin operand {op} width mismatch ({width})"));
+                        d.push(
+                            "SIR-WIDTH",
+                            v,
+                            format!("bin operand {op} width mismatch ({width})"),
+                        );
                     }
                 }
             }
@@ -150,17 +207,17 @@ fn check_widths(f: &Function, m: Option<&Module>, problems: &mut Vec<String>) {
             } => {
                 for op in [lhs, rhs] {
                     if w_of(*op) != Some(*width) {
-                        problems.push(format!("{v}: icmp operand {op} width mismatch"));
+                        d.push("SIR-WIDTH", v, format!("icmp operand {op} width mismatch"));
                     }
                 }
             }
             Inst::Zext { to, arg } | Inst::Sext { to, arg } => match w_of(*arg) {
                 Some(fw) if fw < *to => {}
-                _ => problems.push(format!("{v}: extension must widen")),
+                _ => d.push("SIR-EXT", v, "extension must widen"),
             },
             Inst::Trunc { to, arg, .. } => match w_of(*arg) {
                 Some(fw) if fw > *to => {}
-                _ => problems.push(format!("{v}: truncation must narrow")),
+                _ => d.push("SIR-EXT", v, "truncation must narrow"),
             },
             Inst::Load {
                 addr,
@@ -169,20 +226,20 @@ fn check_widths(f: &Function, m: Option<&Module>, problems: &mut Vec<String>) {
                 ..
             } => {
                 if w_of(*addr) != Some(Width::W32) {
-                    problems.push(format!("{v}: load address must be i32"));
+                    d.push("SIR-WIDTH", v, "load address must be i32");
                 }
                 if *speculative && *width != Width::W32 {
-                    problems.push(format!("{v}: speculative load must access i32"));
+                    d.push("SIR-WIDTH", v, "speculative load must access i32");
                 }
             }
             Inst::Store {
                 width, addr, value, ..
             } => {
                 if w_of(*addr) != Some(Width::W32) {
-                    problems.push(format!("{v}: store address must be i32"));
+                    d.push("SIR-WIDTH", v, "store address must be i32");
                 }
                 if w_of(*value) != Some(*width) {
-                    problems.push(format!("{v}: store value width mismatch"));
+                    d.push("SIR-WIDTH", v, "store value width mismatch");
                 }
             }
             Inst::Select {
@@ -192,33 +249,36 @@ fn check_widths(f: &Function, m: Option<&Module>, problems: &mut Vec<String>) {
                 fval,
             } => {
                 if w_of(*cond) != Some(Width::W1) {
-                    problems.push(format!("{v}: select condition must be i1"));
+                    d.push("SIR-WIDTH", v, "select condition must be i1");
                 }
                 for op in [tval, fval] {
                     if w_of(*op) != Some(*width) {
-                        problems.push(format!("{v}: select operand width mismatch"));
+                        d.push("SIR-WIDTH", v, "select operand width mismatch");
                     }
                 }
             }
             Inst::Call { callee, args, ret } => {
                 if let Some(m) = m {
                     if callee.index() >= m.funcs.len() {
-                        problems.push(format!("{v}: call to unknown function {callee}"));
+                        d.push("SIR-CALL", v, format!("call to unknown function {callee}"));
                         continue;
                     }
                     let cf = m.func(*callee);
                     if cf.params.len() != args.len() {
-                        problems.push(format!("{v}: call arity mismatch for `{}`", cf.name));
+                        d.push(
+                            "SIR-CALL",
+                            v,
+                            format!("call arity mismatch for `{}`", cf.name),
+                        );
                     } else {
                         for (a, pw) in args.iter().zip(&cf.params) {
                             if w_of(*a) != Some(*pw) {
-                                problems
-                                    .push(format!("{v}: call arg {a} width != param {pw}"));
+                                d.push("SIR-CALL", v, format!("call arg {a} width != param {pw}"));
                             }
                         }
                     }
                     if *ret != cf.ret {
-                        problems.push(format!("{v}: call return width mismatch"));
+                        d.push("SIR-CALL", v, "call return width mismatch");
                     }
                 }
             }
@@ -227,7 +287,7 @@ fn check_widths(f: &Function, m: Option<&Module>, problems: &mut Vec<String>) {
             } => {
                 for (_, val) in incomings {
                     if w_of(*val) != Some(*width) {
-                        problems.push(format!("{v}: φ incoming {val} width mismatch"));
+                        d.push("SIR-WIDTH", v, format!("φ incoming {val} width mismatch"));
                     }
                 }
             }
@@ -237,18 +297,18 @@ fn check_widths(f: &Function, m: Option<&Module>, problems: &mut Vec<String>) {
     for b in f.block_ids() {
         if let Terminator::CondBr { cond, .. } = &f.block(b).term {
             if w_of(*cond) != Some(Width::W1) {
-                problems.push(format!("{b}: condbr condition must be i1"));
+                d.push("SIR-WIDTH", b, "condbr condition must be i1");
             }
         }
         if let Terminator::Ret(Some(v)) = &f.block(b).term {
             if w_of(*v) != f.ret {
-                problems.push(format!("{b}: return width mismatch"));
+                d.push("SIR-WIDTH", b, "return width mismatch");
             }
         }
     }
 }
 
-fn check_ssa(f: &Function, problems: &mut Vec<String>) {
+fn check_ssa(f: &Function, d: &mut Diags) {
     let defs = def_blocks(f);
     let dt = DomTree::compute(f);
     // Each value placed at most once.
@@ -256,7 +316,7 @@ fn check_ssa(f: &Function, problems: &mut Vec<String>) {
     for b in f.block_ids() {
         for &v in &f.block(b).insts {
             if !placed.insert(v) {
-                problems.push(format!("{v}: placed in more than one block"));
+                d.push("SIR-SSA-PLACE", v, "placed in more than one block");
             }
         }
     }
@@ -275,112 +335,129 @@ fn check_ssa(f: &Function, problems: &mut Vec<String>) {
                             continue;
                         }
                         if !dt.dominates(*db, *p) {
-                            problems.push(format!(
-                                "{v}: φ incoming {val} from {p} not dominated by def in {db}"
-                            ));
+                            d.push(
+                                "SIR-SSA-DOM",
+                                v,
+                                format!("φ incoming {val} from {p} not dominated by def in {db}"),
+                            );
                         }
                     } else {
-                        problems.push(format!("{v}: φ incoming {val} is not placed"));
+                        d.push(
+                            "SIR-SSA-PLACE",
+                            v,
+                            format!("φ incoming {val} is not placed"),
+                        );
                     }
                 }
             } else {
                 for op in inst.operands() {
-                    check_use(f, &defs, &dt, b, &seen, v, op, problems);
+                    check_use(f, &defs, &dt, b, &seen, &format!("{v}"), op, d);
                 }
             }
             seen.insert(v);
         }
         let term_ops = f.block(b).term.operands();
         for op in term_ops {
-            check_use_generic(f, &defs, &dt, b, &seen, op, "terminator", problems);
+            check_use(f, &defs, &dt, b, &seen, "terminator", op, d);
         }
     }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn check_use(
-    f: &Function,
-    defs: &std::collections::HashMap<ValueId, BlockId>,
-    dt: &DomTree,
-    b: BlockId,
-    seen: &HashSet<ValueId>,
-    user: ValueId,
-    op: ValueId,
-    problems: &mut Vec<String>,
-) {
-    check_use_generic(f, defs, dt, b, seen, op, &format!("{user}"), problems);
-}
-
-#[allow(clippy::too_many_arguments)]
-fn check_use_generic(
     _f: &Function,
     defs: &std::collections::HashMap<ValueId, BlockId>,
     dt: &DomTree,
     b: BlockId,
     seen: &HashSet<ValueId>,
-    op: ValueId,
     user: &str,
-    problems: &mut Vec<String>,
+    op: ValueId,
+    d: &mut Diags,
 ) {
     match defs.get(&op) {
-        None => problems.push(format!("{user} in {b}: operand {op} is not placed")),
+        None => d.push(
+            "SIR-SSA-PLACE",
+            b,
+            format!("{user}: operand {op} is not placed"),
+        ),
         Some(db) if *db == b => {
             if !seen.contains(&op) {
-                problems.push(format!("{user} in {b}: use of {op} before its definition"));
+                d.push(
+                    "SIR-SSA-DOM",
+                    b,
+                    format!("{user}: use of {op} before its definition"),
+                );
             }
         }
         Some(db) => {
             if dt.is_reachable(*db) && !dt.dominates(*db, b) {
-                problems.push(format!(
-                    "{user} in {b}: def of {op} in {db} does not dominate use"
-                ));
+                d.push(
+                    "SIR-SSA-DOM",
+                    b,
+                    format!("{user}: def of {op} in {db} does not dominate use"),
+                );
             }
         }
     }
 }
 
-fn check_regions(f: &Function, problems: &mut Vec<String>) {
+fn check_regions(f: &Function, d: &mut Diags) {
     let preds = f.branch_preds();
     let defs = def_blocks(f);
     let mut handler_of: Vec<Option<usize>> = vec![None; f.blocks.len()];
     for (ri, r) in f.regions.iter().enumerate() {
         if r.blocks.is_empty() {
-            problems.push(format!("sr{ri}: empty region"));
+            d.push("SIR-REGION", format!("sr{ri}"), "empty region");
             continue;
         }
         // Handler not inside any region.
         if f.block(r.handler).region.is_some() {
-            problems.push(format!("sr{ri}: handler {} inside a region", r.handler));
+            d.push(
+                "SIR-REGION",
+                r.handler,
+                format!("sr{ri}: handler {} inside a region", r.handler),
+            );
         }
         // Handler not targeted by branches.
         if !preds[r.handler.index()].is_empty() {
-            problems.push(format!(
-                "sr{ri}: handler {} is a branch target of {:?}",
+            d.push(
+                "SIR-REGION",
                 r.handler,
-                preds[r.handler.index()]
-            ));
+                format!(
+                    "sr{ri}: handler {} is a branch target of {:?}",
+                    r.handler,
+                    preds[r.handler.index()]
+                ),
+            );
         }
         // Handler handles exactly one region.
         if let Some(prev) = handler_of[r.handler.index()] {
-            problems.push(format!(
-                "sr{ri}: handler {} already handles sr{prev}",
-                r.handler
-            ));
+            d.push(
+                "SIR-REGION",
+                r.handler,
+                format!("sr{ri}: handler {} already handles sr{prev}", r.handler),
+            );
         }
         handler_of[r.handler.index()] = Some(ri);
         // Blocks belong to this region (single membership by construction).
         let members: HashSet<BlockId> = r.blocks.iter().copied().collect();
         for &b in &r.blocks {
             if f.block(b).region != Some(crate::types::RegionId(ri as u32)) {
-                problems.push(format!("sr{ri}: block {b} membership out of sync"));
+                d.push(
+                    "SIR-REGION",
+                    b,
+                    format!("sr{ri}: block {b} membership out of sync"),
+                );
             }
             // Single entry: outside branches may only target the entry.
             if b != r.entry() {
                 for &p in &preds[b.index()] {
                     if !members.contains(&p) {
-                        problems.push(format!(
-                            "sr{ri}: outside branch {p} → {b} enters region past entry"
-                        ));
+                        d.push(
+                            "SIR-REGION",
+                            b,
+                            format!("sr{ri}: outside branch {p} → {b} enters region past entry"),
+                        );
                     }
                 }
             }
@@ -388,7 +465,11 @@ fn check_regions(f: &Function, problems: &mut Vec<String>) {
         // No φ in handler (handlers begin with extensions, per §3.2.3 ③).
         for &v in &f.block(r.handler).insts {
             if f.inst(v).is_phi() {
-                problems.push(format!("sr{ri}: handler {} contains φ {v}", r.handler));
+                d.push(
+                    "SIR-HANDLER-PHI",
+                    r.handler,
+                    format!("sr{ri}: handler {} contains φ {v}", r.handler),
+                );
             }
         }
         // Theorem 3.1: handler must not use values defined in the region.
@@ -396,9 +477,13 @@ fn check_regions(f: &Function, problems: &mut Vec<String>) {
             for op in f.inst(v).operands() {
                 if let Some(db) = defs.get(&op) {
                     if members.contains(db) {
-                        problems.push(format!(
-                            "sr{ri}: handler uses {op} defined inside the region (Thm 3.1)"
-                        ));
+                        d.push(
+                            "SIR-THM31",
+                            r.handler,
+                            format!(
+                                "sr{ri}: handler uses {op} defined inside the region (Thm 3.1)"
+                            ),
+                        );
                     }
                 }
             }
@@ -406,9 +491,11 @@ fn check_regions(f: &Function, problems: &mut Vec<String>) {
         for op in f.block(r.handler).term.operands() {
             if let Some(db) = defs.get(&op) {
                 if members.contains(db) {
-                    problems.push(format!(
-                        "sr{ri}: handler terminator uses {op} defined inside the region"
-                    ));
+                    d.push(
+                        "SIR-THM31",
+                        r.handler,
+                        format!("sr{ri}: handler terminator uses {op} defined inside the region"),
+                    );
                 }
             }
         }
@@ -418,7 +505,11 @@ fn check_regions(f: &Function, problems: &mut Vec<String>) {
         let in_region = f.block(b).region.is_some();
         for &v in &f.block(b).insts {
             if f.inst(v).is_speculative() && !in_region {
-                problems.push(format!("{v}: speculative instruction outside any region"));
+                d.push(
+                    "SIR-SPEC-REGION",
+                    v,
+                    "speculative instruction outside any region",
+                );
             }
         }
     }
@@ -449,8 +540,14 @@ mod tests {
         let y = b.bin(BinOp::Add, Width::W32, x, narrow);
         b.ret(Some(y));
         let err = verify_function(&b.finish()).unwrap_err();
-        assert!(err.problems.iter().any(|p| p.contains("width mismatch")));
+        assert!(err.has_rule("SIR-WIDTH"));
+        assert!(err
+            .problems
+            .iter()
+            .any(|p| p.msg.contains("width mismatch")));
         assert!(err.to_string().contains("bad"));
+        // Shared diagnostic format: rule [pass] func:loc: msg.
+        assert!(err.to_string().contains("SIR-WIDTH [sir-verify] bad:"));
     }
 
     #[test]
@@ -473,10 +570,11 @@ mod tests {
         f.block_mut(e).insts.push(c);
         f.block_mut(e).term = Terminator::Ret(Some(a));
         let err = verify_function(&f).unwrap_err();
+        assert!(err.has_rule("SIR-SSA-DOM"));
         assert!(err
             .problems
             .iter()
-            .any(|p| p.contains("before its definition")));
+            .any(|p| p.msg.contains("before its definition")));
     }
 
     #[test]
@@ -496,7 +594,7 @@ mod tests {
         );
         f.block_mut(f.entry).term = Terminator::Ret(Some(y));
         let err = verify_function(&f).unwrap_err();
-        assert!(err.problems.iter().any(|p| p.contains("outside any region")));
+        assert!(err.has_rule("SIR-SPEC-REGION"));
     }
 
     #[test]
@@ -509,7 +607,8 @@ mod tests {
         f.block_mut(h).term = Terminator::Ret(None);
         f.add_region(vec![r], h);
         let err = verify_function(&f).unwrap_err();
-        assert!(err.problems.iter().any(|p| p.contains("branch target")));
+        assert!(err.has_rule("SIR-REGION"));
+        assert!(err.problems.iter().any(|p| p.msg.contains("branch target")));
     }
 
     #[test]
@@ -532,10 +631,11 @@ mod tests {
         f.block_mut(x).term = Terminator::Ret(Some(v));
         f.add_region(vec![r], h);
         let err = verify_function(&f).unwrap_err();
+        assert!(err.has_rule("SIR-THM31"));
         assert!(err
             .problems
             .iter()
-            .any(|p| p.contains("defined inside the region")));
+            .any(|p| p.msg.contains("defined inside the region")));
     }
 
     #[test]
@@ -551,6 +651,7 @@ mod tests {
         caller.ret(Some(r));
         m.add_function(caller.finish());
         let err = verify_module(&m).unwrap_err();
-        assert!(err.problems.iter().any(|p| p.contains("call arg")));
+        assert!(err.has_rule("SIR-CALL"));
+        assert!(err.problems.iter().any(|p| p.msg.contains("call arg")));
     }
 }

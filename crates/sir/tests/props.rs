@@ -1,99 +1,154 @@
-//! Property-based tests of the IR's core data structures and analyses.
+//! Deterministic property tests of the IR's core data structures and
+//! analyses: the former proptest strategies are replaced by fixed
+//! adversarial value sets and exhaustive small-pattern enumeration so the
+//! suite runs offline with no external dependencies.
 
-use proptest::prelude::*;
 use sir::builder::FunctionBuilder;
 use sir::dom::DomTree;
 use sir::liveness::Liveness;
 use sir::types::required_bits;
 use sir::{BinOp, Cc, Width};
 
-proptest! {
-    /// `required_bits` is the inverse of a bit-length bound.
-    #[test]
-    fn required_bits_bounds_value(v in any::<u64>()) {
+/// Boundary-heavy 64-bit values: powers of two and their neighbours, plus
+/// mixed bit patterns — the cases where bit-length and sign logic break.
+fn interesting_u64() -> Vec<u64> {
+    let mut vs = vec![0u64, u64::MAX, 0xAAAA_AAAA_AAAA_AAAA, 0x5555_5555_5555_5555];
+    for b in 0..64 {
+        let p = 1u64 << b;
+        vs.push(p);
+        vs.push(p.wrapping_sub(1));
+        vs.push(p.wrapping_add(1));
+        vs.push(p.wrapping_mul(0x9E37_79B9));
+    }
+    vs
+}
+
+/// `required_bits` is the inverse of a bit-length bound.
+#[test]
+fn required_bits_bounds_value() {
+    for v in interesting_u64() {
         let b = required_bits(v);
-        prop_assert!(b >= 1 && b <= 64);
+        assert!((1..=64).contains(&b), "v={v:#x} b={b}");
         if b < 64 {
-            prop_assert!(v < (1u64 << b));
+            assert!(v < (1u64 << b), "v={v:#x} b={b}");
         }
         if v > 0 {
-            prop_assert!(v >= (1u64 << (b - 1)));
+            assert!(v >= (1u64 << (b - 1)), "v={v:#x} b={b}");
         }
     }
+}
 
-    /// Truncation is idempotent and masks exactly.
-    #[test]
-    fn width_truncate_idempotent(v in any::<u64>()) {
+/// Truncation is idempotent and masks exactly.
+#[test]
+fn width_truncate_idempotent() {
+    for v in interesting_u64() {
         for w in Width::ALL {
             let t = w.truncate(v);
-            prop_assert_eq!(w.truncate(t), t);
-            prop_assert_eq!(t, v & w.mask());
+            assert_eq!(w.truncate(t), t);
+            assert_eq!(t, v & w.mask());
         }
     }
+}
 
-    /// Sign extension of a truncated value round-trips.
-    #[test]
-    fn sext_roundtrip(v in any::<u64>()) {
+/// Sign extension of a truncated value round-trips.
+#[test]
+fn sext_roundtrip() {
+    for v in interesting_u64() {
         for w in Width::ALL {
             let t = w.truncate(v);
             let s = w.sext_to_64(t);
-            prop_assert_eq!(w.truncate(s as u64), t, "width {}", w);
+            assert_eq!(w.truncate(s as u64), t, "width {w} v {v:#x}");
         }
     }
+}
 
-    /// Negation, swapping and evaluation of condition codes agree on all
-    /// inputs at all widths.
-    #[test]
-    fn cc_laws(a in any::<u64>(), b in any::<u64>()) {
-        let ccs = [
-            Cc::Eq, Cc::Ne, Cc::Ult, Cc::Ule, Cc::Ugt, Cc::Uge,
-            Cc::Slt, Cc::Sle, Cc::Sgt, Cc::Sge,
-        ];
-        for w in Width::ALL {
-            for cc in ccs {
-                prop_assert_eq!(cc.eval(w, a, b), !cc.negated().eval(w, a, b));
-                prop_assert_eq!(cc.eval(w, a, b), cc.swapped().eval(w, b, a));
+/// Negation, swapping and evaluation of condition codes agree on all
+/// operand pairs drawn from the boundary set, at all widths.
+#[test]
+fn cc_laws() {
+    let ccs = [
+        Cc::Eq,
+        Cc::Ne,
+        Cc::Ult,
+        Cc::Ule,
+        Cc::Ugt,
+        Cc::Uge,
+        Cc::Slt,
+        Cc::Sle,
+        Cc::Sgt,
+        Cc::Sge,
+    ];
+    let vs = [
+        0u64,
+        1,
+        0x7F,
+        0x80,
+        0xFF,
+        0x7FFF,
+        0x8000,
+        0xFFFF,
+        0x7FFF_FFFF,
+        0x8000_0000,
+        0xFFFF_FFFF,
+        0x7FFF_FFFF_FFFF_FFFF,
+        0x8000_0000_0000_0000,
+        u64::MAX,
+        0x1234_5678_9ABC_DEF0,
+    ];
+    for a in vs {
+        for b in vs {
+            for w in Width::ALL {
+                for cc in ccs {
+                    assert_eq!(cc.eval(w, a, b), !cc.negated().eval(w, a, b));
+                    assert_eq!(cc.eval(w, a, b), cc.swapped().eval(w, b, a));
+                }
             }
         }
     }
+}
 
-    /// On randomly shaped branching chains: the entry dominates every
-    /// reachable block, dominance is reflexive, and liveness live-in of the
-    /// entry is empty for a function whose values are all locally defined.
-    #[test]
-    fn dominator_and_liveness_sanity(splits in prop::collection::vec(any::<bool>(), 1..8)) {
-        let mut fb = FunctionBuilder::new("p", vec![Width::W32], Some(Width::W32));
-        let x = fb.param(0);
-        let mut acc = fb.iconst(Width::W32, 1);
-        let mut blocks = vec![fb.current_block()];
-        for (i, two_way) in splits.iter().enumerate() {
-            let nxt = fb.new_block();
-            if *two_way {
-                let alt = fb.new_block();
-                let c = fb.icmp(Cc::Ult, Width::W32, acc, x);
-                fb.cond_br(c, nxt, alt);
-                fb.switch_to(alt);
-                fb.br(nxt);
-                blocks.push(alt);
-            } else {
-                fb.br(nxt);
+/// On every branching-chain shape up to 7 splits (each split either a
+/// straight edge or a two-way diamond): the entry dominates every reachable
+/// block, dominance is reflexive, and liveness live-in of the entry is
+/// empty for a function whose values are all locally defined.
+#[test]
+fn dominator_and_liveness_sanity() {
+    for len in 1usize..8 {
+        for pattern in 0u32..(1 << len) {
+            let splits: Vec<bool> = (0..len).map(|i| pattern & (1 << i) != 0).collect();
+            let mut fb = FunctionBuilder::new("p", vec![Width::W32], Some(Width::W32));
+            let x = fb.param(0);
+            let mut acc = fb.iconst(Width::W32, 1);
+            let mut blocks = vec![fb.current_block()];
+            for (i, two_way) in splits.iter().enumerate() {
+                let nxt = fb.new_block();
+                if *two_way {
+                    let alt = fb.new_block();
+                    let c = fb.icmp(Cc::Ult, Width::W32, acc, x);
+                    fb.cond_br(c, nxt, alt);
+                    fb.switch_to(alt);
+                    fb.br(nxt);
+                    blocks.push(alt);
+                } else {
+                    fb.br(nxt);
+                }
+                fb.switch_to(nxt);
+                blocks.push(nxt);
+                let k = fb.iconst(Width::W32, i as u64 + 1);
+                acc = fb.bin(BinOp::Add, Width::W32, k, k);
             }
-            fb.switch_to(nxt);
-            blocks.push(nxt);
-            let k = fb.iconst(Width::W32, i as u64 + 1);
-            acc = fb.bin(BinOp::Add, Width::W32, k, k);
-        }
-        fb.ret(Some(acc));
-        let f = fb.finish();
-        sir::verify::verify_function(&f).unwrap();
-        let dt = DomTree::compute(&f);
-        for b in f.block_ids() {
-            if dt.is_reachable(b) {
-                prop_assert!(dt.dominates(f.entry, b));
-                prop_assert!(dt.dominates(b, b));
+            fb.ret(Some(acc));
+            let f = fb.finish();
+            sir::verify::verify_function(&f).unwrap();
+            let dt = DomTree::compute(&f);
+            for b in f.block_ids() {
+                if dt.is_reachable(b) {
+                    assert!(dt.dominates(f.entry, b));
+                    assert!(dt.dominates(b, b));
+                }
             }
+            let lv = Liveness::compute(&f);
+            assert!(lv.live_in_of(f.entry).is_empty());
         }
-        let lv = Liveness::compute(&f);
-        prop_assert!(lv.live_in_of(f.entry).is_empty());
     }
 }

@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "squeezer: narrowed={} regions={} spec_truncs={}",
         report.narrowed, report.regions, report.spec_truncs
     );
-    println!("--- squeezed SIR ---\n{}", sir::print::print_module(&squeezed));
+    println!(
+        "--- squeezed SIR ---\n{}",
+        sir::print::print_module(&squeezed)
+    );
 
     // Lower to machine code and run on the simulated BITSPEC processor.
     let program = backend::compile_module(&squeezed, &backend::CodegenOpts::default());
@@ -74,6 +77,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.total_energy() / 1000.0
     );
     assert_eq!(result.outputs, r.outputs);
-    assert!(result.counts.misspecs >= 1, "the §3 example must misspeculate");
+    assert!(
+        result.counts.misspecs >= 1,
+        "the §3 example must misspeculate"
+    );
     Ok(())
 }

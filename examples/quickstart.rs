@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let rb = simulate(&baseline, &workload)?;
     let rs = simulate(&bitspec, &workload)?;
-    assert_eq!(rb.outputs, rs.outputs, "the co-design must preserve results");
+    assert_eq!(
+        rb.outputs, rs.outputs,
+        "the co-design must preserve results"
+    );
 
     println!("output checksum : {:#010x}", rb.outputs[0]);
     println!("narrowed values : {}", bitspec.squeeze.narrowed);

@@ -1,4 +1,4 @@
-//! Property-based differential testing: randomly generated programs must
+//! Seeded differential testing: deterministically generated programs must
 //! produce identical observable output on
 //!
 //! * the interpreter (untransformed IR),
@@ -6,9 +6,29 @@
 //! * the BITSPEC processor under every bitwidth heuristic, with the
 //!   empirical gate disabled so the speculative machinery (slices,
 //!   misspeculation, Δ-skeleton dispatch, handlers) is always exercised.
+//!
+//! Programs are drawn from a fixed SplitMix64 stream (one program per
+//! seed), so the corpus is stable, reproducible, and needs no network or
+//! external fuzzing framework. A failing seed is its own regression test.
 
 use bitspec::{build, simulate, BitwidthHeuristic, BuildConfig, Workload};
-use proptest::prelude::*;
+
+/// Minimal SplitMix64 stream for program synthesis.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+}
 
 /// A tiny random-program model: N variables mutated in a loop by random
 /// binary expressions, then printed. Division is kept safe with `| 1`.
@@ -21,6 +41,33 @@ struct RandomProgram {
 }
 
 impl RandomProgram {
+    fn from_seed(seed: u64) -> RandomProgram {
+        let mut rng = Rng(seed);
+        let n = rng.range(2, 6) as usize;
+        let widths = (0..n)
+            .map(|_| ["u8", "u16", "u32", "u64"][rng.range(0, 4) as usize])
+            .collect();
+        let inits = (0..n).map(|_| rng.range(0, 300) as u32).collect();
+        let trips = rng.range(1, 40) as u32;
+        let steps = (0..rng.range(1, 8))
+            .map(|_| {
+                (
+                    rng.range(0, 8) as usize,
+                    rng.range(0, 8) as usize,
+                    rng.range(0, 8) as usize,
+                    rng.range(0, 8) as u8,
+                    rng.range(0, 255) as u8,
+                )
+            })
+            .collect();
+        RandomProgram {
+            widths,
+            inits,
+            trips,
+            steps,
+        }
+    }
+
     fn to_source(&self) -> String {
         let n = self.widths.len();
         let mut src = String::from("void main() {\n");
@@ -54,59 +101,37 @@ impl RandomProgram {
     }
 }
 
-fn random_program() -> impl Strategy<Value = RandomProgram> {
-    let widths = prop::collection::vec(
-        prop::sample::select(vec!["u8", "u16", "u32", "u64"]),
-        2..6,
-    );
-    (
-        widths,
-        prop::collection::vec(0u32..300, 6),
-        1u32..40,
-        prop::collection::vec(
-            (0usize..8, 0usize..8, 0usize..8, 0u8..8, 0u8..255),
-            1..8,
-        ),
-    )
-        .prop_map(|(widths, inits, trips, steps)| {
-            let n = widths.len();
-            RandomProgram {
-                inits: inits.into_iter().take(n).collect(),
-                widths,
-                trips,
-                steps,
-            }
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_programs_agree_across_architectures(p in random_program()) {
+#[test]
+fn random_programs_agree_across_architectures() {
+    for seed in 0u64..48 {
+        let p = RandomProgram::from_seed(seed);
         let src = p.to_source();
         let w = Workload::from_source("fuzz", &src);
         // Reference: interpreter on the untransformed module.
         let base = build(&w, &BuildConfig::baseline())
-            .unwrap_or_else(|e| panic!("baseline build failed: {e}\n{src}"));
+            .unwrap_or_else(|e| panic!("seed {seed}: baseline build failed: {e}\n{src}"));
         let interp_out = bitspec::interpret(&base, &w)
-            .unwrap_or_else(|e| panic!("interp failed: {e}\n{src}"))
+            .unwrap_or_else(|e| panic!("seed {seed}: interp failed: {e}\n{src}"))
             .outputs;
         let rb = simulate(&base, &w)
-            .unwrap_or_else(|e| panic!("baseline sim failed: {e}\n{src}"));
-        prop_assert_eq!(&rb.outputs, &interp_out, "baseline vs interp\n{}", src);
+            .unwrap_or_else(|e| panic!("seed {seed}: baseline sim failed: {e}\n{src}"));
+        assert_eq!(
+            rb.outputs, interp_out,
+            "seed {seed}: baseline vs interp\n{src}"
+        );
         for h in BitwidthHeuristic::ALL {
             let cfg = BuildConfig {
                 empirical_gate: false, // always run the speculative code
                 ..BuildConfig::bitspec_with(h)
             };
             let c = build(&w, &cfg)
-                .unwrap_or_else(|e| panic!("bitspec({h}) build failed: {e}\n{src}"));
+                .unwrap_or_else(|e| panic!("seed {seed}: bitspec({h}) build failed: {e}\n{src}"));
             let rs = simulate(&c, &w)
-                .unwrap_or_else(|e| panic!("bitspec({h}) sim failed: {e}\n{src}"));
-            prop_assert_eq!(
-                &rs.outputs, &interp_out,
-                "BITSPEC({}) diverges (misspecs={})\n{}", h, rs.counts.misspecs, src
+                .unwrap_or_else(|e| panic!("seed {seed}: bitspec({h}) sim failed: {e}\n{src}"));
+            assert_eq!(
+                rs.outputs, interp_out,
+                "seed {seed}: BITSPEC({h}) diverges (misspecs={})\n{src}",
+                rs.counts.misspecs
             );
         }
     }

@@ -27,6 +27,16 @@ fn reference_outputs(name: &str) -> Vec<u32> {
 }
 
 #[test]
+fn verify_each_is_on_by_default() {
+    // Every build in this suite therefore runs the full verification layer
+    // (sir-verify per stage, bitlint post-squeeze, mir-verify post-isel and
+    // post-regalloc, emit-verify on the linked image) with zero tolerated
+    // violations; a regression in any checker fails the build() calls below.
+    assert!(BuildConfig::baseline().verify_each);
+    assert!(BuildConfig::bitspec().verify_each);
+}
+
+#[test]
 fn baseline_matches_interpreter_everywhere() {
     for name in names() {
         let _ = reference_outputs(name);

@@ -116,7 +116,10 @@ fn end_to_end_misspeculation_statistics() {
     // the machine (the IR-level and µarch-level models agree event-wise).
     let ir = bitspec::interpret(&c, &w).expect("interp");
     assert_eq!(r.outputs, ir.outputs);
-    assert!(r.counts.misspecs > 0, "training at 60 iterations must misspeculate at 400");
+    assert!(
+        r.counts.misspecs > 0,
+        "training at 60 iterations must misspeculate at 400"
+    );
     assert_eq!(
         r.counts.misspecs, ir.stats.misspecs,
         "machine and IR misspeculation counts must agree"
@@ -137,8 +140,7 @@ fn compact_image_density() {
     )
     .unwrap();
     let bpi_base = base.program.code_bytes() as f64 / base.program.static_insts() as f64;
-    let bpi_compact =
-        compact.program.code_bytes() as f64 / compact.program.static_insts() as f64;
+    let bpi_compact = compact.program.code_bytes() as f64 / compact.program.static_insts() as f64;
     assert!(
         bpi_compact < bpi_base,
         "compact encoding should be denser: {bpi_compact:.2} vs {bpi_base:.2} bytes/inst"
@@ -168,8 +170,7 @@ fn image_wellformedness_all_archs() {
             assert!(win[1] > win[0]);
         }
         for inst in &p.insts {
-            if let MInst::B { target } | MInst::Bc { target, .. } | MInst::Bl { target } = inst
-            {
+            if let MInst::B { target } | MInst::Bc { target, .. } | MInst::Bl { target } = inst {
                 assert!(*target < p.insts.len(), "{:?} dangling", cfg.arch);
             }
         }
