@@ -7,3 +7,9 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
+
+# Smoke the perf harnesses: the substrate microbenchmarks (fast + reference
+# simulator engines) and the engine-comparison target (1 rep; also checks
+# BENCH_sim.json generation end to end).
+cargo bench -p bench --bench experiments -- substrate_simulator
+cargo run --release -p bench --bin simperf -- 1

@@ -48,6 +48,45 @@ pub struct Program {
     /// skeleton branch at `+Δ`, and the handler entry that branch targets.
     /// Recorded during skeleton emission and checked by [`verify_layout`].
     pub spec_targets: Vec<(usize, usize, usize)>,
+    /// Predecoded per-instruction side table (parallel to `insts`): the
+    /// static facts the simulator's fast path needs every step, computed
+    /// once at link time so the run loop touches no `MInst` payload for
+    /// fetch/interlock bookkeeping.
+    pub pre: Vec<PreInst>,
+}
+
+/// Predecoded static facts about one linked instruction (see
+/// [`Program::pre`]). Everything here is derivable from the `MInst` and
+/// the encoding mode; the simulator reads this instead of re-deriving it
+/// (and re-allocating) on every dynamic step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreInst {
+    /// Read-register bitmask for the load-use interlock
+    /// ([`MInst::interlock_read_mask`]).
+    pub read_mask: u32,
+    /// Destination mask when this is an interlocking word load
+    /// ([`MInst::load_dest_mask`]).
+    pub load_dest_mask: u32,
+    /// Encoded size in bytes under the program's encoding mode.
+    pub size: u32,
+    /// I-fetch slots this instruction issues (`size.div_ceil(4).max(1)`).
+    pub slots: u8,
+    /// Whether a second fetch (at `addr + 4`) is required (`size > 4`).
+    pub two_slot: bool,
+}
+
+impl PreInst {
+    /// Predecodes `inst` under the given encoding mode.
+    pub fn of(inst: &MInst, compact: bool) -> PreInst {
+        let size = inst.size(compact);
+        PreInst {
+            read_mask: inst.interlock_read_mask(),
+            load_dest_mask: inst.load_dest_mask(),
+            size,
+            slots: size.div_ceil(4).max(1) as u8,
+            two_slot: size > 4,
+        }
+    }
 }
 
 impl Program {
@@ -132,6 +171,7 @@ pub fn link(m: &Module, funcs: Vec<AllocatedFn>, opts: &CodegenOpts, layout: &La
         .filter(|(_, g)| !g.init.is_empty())
         .map(|(i, g)| (layout.addr(sir::GlobalId(i as u32)), g.init.clone()))
         .collect();
+    let pre = insts.iter().map(|i| PreInst::of(i, opts.compact)).collect();
     Program {
         insts,
         addrs,
@@ -144,6 +184,7 @@ pub fn link(m: &Module, funcs: Vec<AllocatedFn>, opts: &CodegenOpts, layout: &La
         compact: opts.compact,
         addr_index,
         spec_targets,
+        pre,
     }
 }
 

@@ -30,7 +30,7 @@ pub mod mir;
 pub mod mir_verify;
 pub mod regalloc;
 
-pub use emit::Program;
+pub use emit::{PreInst, Program};
 pub use isel::CodegenOpts;
 
 /// Compiles a verified SIR module into a linked machine program.

@@ -219,6 +219,22 @@ fn main() {
         let c = build(&w, &BuildConfig::baseline()).unwrap();
         black_box(simulate(&c, &w).unwrap().counts.dyn_insts);
     });
+    h.bench("substrate_simulator_reference", || {
+        // The retained reference engine on the same workload — the gap to
+        // `substrate_simulator_throughput` is the fast path's win.
+        let w = workload("sha", Input::Large);
+        let c = build(&w, &BuildConfig::baseline()).unwrap();
+        let r = simulate_with(
+            &c,
+            &w,
+            &SimConfig {
+                reference: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        black_box(r.counts.dyn_insts);
+    });
     h.bench("substrate_compile_pipeline", || {
         let w = workload("rijndael", Input::Large);
         black_box(build(&w, &BuildConfig::bitspec()).unwrap().squeeze);

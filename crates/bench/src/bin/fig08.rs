@@ -1,11 +1,15 @@
 //! Figure 8 (RQ0): energy consumption, dynamic instructions and EPI of
 //! BITSPEC relative to BASELINE.
+//!
+//! Cells fan out across the worker pool (`-j N` or `BITSPEC_JOBS`);
+//! output order is fixed regardless of worker count.
 
-use bench::{mean, pct, run};
+use bench::{mean, pct, pool, run_matrix};
 use bitspec::BuildConfig;
 use mibench::{names, workload, Input};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     bench::header(
         "fig08",
         "BITSPEC vs BASELINE: energy / dynamic instructions / EPI",
@@ -14,13 +18,14 @@ fn main() {
         "{:<16} {:>9} {:>9} {:>9} {:>10}",
         "benchmark", "energyΔ%", "dynΔ%", "EPIΔ%", "misspecs"
     );
+    let workloads: Vec<_> = names().iter().map(|n| workload(n, Input::Large)).collect();
+    let cfgs = [BuildConfig::baseline(), BuildConfig::bitspec()];
+    let rows = run_matrix(&workloads, &cfgs, pool::jobs_for(&args));
     let mut de = Vec::new();
     let mut dd = Vec::new();
     let mut dp = Vec::new();
-    for name in names() {
-        let w = workload(name, Input::Large);
-        let (_, base) = run(&w, &BuildConfig::baseline());
-        let (_, bs) = run(&w, &BuildConfig::bitspec());
+    for (name, row) in names().iter().zip(&rows) {
+        let (base, bs) = (&row[0].1, &row[1].1);
         assert_eq!(base.outputs, bs.outputs, "{name}: outputs diverge");
         let e = pct(bs.total_energy(), base.total_energy());
         let d = pct(bs.counts.dyn_insts as f64, base.counts.dyn_insts as f64);

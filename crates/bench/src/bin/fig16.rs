@@ -4,8 +4,13 @@
 //! Repeated per heuristic; printed as distribution quantiles (the paper's
 //! CDF). Uses an 8-image sample (64 runs/heuristic) instead of the paper's
 //! 50 BSDS500 images — see DESIGN.md.
+//!
+//! All (i, j) cells of a heuristic fan out across the worker pool
+//! (`-j N` or `BITSPEC_JOBS`); the artifact cache serves the self-profiled
+//! (j, j) reference cells from the same sweep instead of rebuilding them.
 
-use bitspec::{build, simulate, BitwidthHeuristic, BuildConfig, Workload};
+use bench::{pool, run_cached};
+use bitspec::{BitwidthHeuristic, BuildConfig, Workload};
 use mibench::{susan_image, Input};
 
 const IMAGES: u64 = 8;
@@ -17,54 +22,34 @@ fn workload_for(profile_img: u64, run_img: u64) -> Workload {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workers = pool::jobs_for(&args);
     bench::header(
         "fig16",
         "susan-edges cross-input dynamic-instruction ratios",
     );
     for h in BitwidthHeuristic::ALL {
-        // Self-profiled reference per run image.
-        let mut self_insts = Vec::new();
-        for j in 0..IMAGES {
-            let w = workload_for(j, j);
-            let c = build(
-                &w,
-                &BuildConfig {
-                    empirical_gate: false,
-                    ..BuildConfig::bitspec_with(h)
-                },
-            )
-            .expect("build");
-            let r = simulate(&c, &w).expect("sim");
-            self_insts.push(r.counts.dyn_insts as f64);
-        }
-        let mut ratios = Vec::new();
-        for i in 0..IMAGES {
-            let c = {
-                let w = workload_for(i, i);
-                build(
-                    &w,
-                    &BuildConfig {
-                        empirical_gate: false,
-                        ..BuildConfig::bitspec_with(h)
-                    },
-                )
-                .expect("build")
-            };
-            let _ = c;
-            for j in 0..IMAGES {
-                let w = workload_for(i, j);
-                let c = build(
-                    &w,
-                    &BuildConfig {
-                        empirical_gate: false,
-                        ..BuildConfig::bitspec_with(h)
-                    },
-                )
-                .expect("build");
-                let r = simulate(&c, &w).expect("sim");
-                ratios.push(r.counts.dyn_insts as f64 / self_insts[j as usize]);
-            }
-        }
+        let cfg = BuildConfig {
+            empirical_gate: false,
+            ..BuildConfig::bitspec_with(h)
+        };
+        let n = (IMAGES * IMAGES) as usize;
+        let cells = pool::run_ordered(n, workers, |k| {
+            let (i, j) = (k as u64 / IMAGES, k as u64 % IMAGES);
+            run_cached(&workload_for(i, j), &cfg)
+        });
+        // Self-profiled reference per run image: the (j, j) diagonal.
+        let self_insts: Vec<f64> = (0..IMAGES)
+            .map(|j| cells[(j * IMAGES + j) as usize].1.counts.dyn_insts as f64)
+            .collect();
+        let mut ratios: Vec<f64> = cells
+            .iter()
+            .enumerate()
+            .map(|(k, cell)| {
+                let j = (k as u64 % IMAGES) as usize;
+                cell.1.counts.dyn_insts as f64 / self_insts[j]
+            })
+            .collect();
         ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let q = |p: f64| ratios[((ratios.len() - 1) as f64 * p) as usize];
         println!(

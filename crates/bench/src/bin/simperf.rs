@@ -1,0 +1,139 @@
+//! Simulator/harness wall-clock performance target.
+//!
+//! Measures (a) the predecoded fast-path engine against the retained
+//! reference engine on sim-dominated MiBench workloads (build once, time
+//! repeated simulations, keep the minimum), and (b) the fig08-style
+//! matrix harness under 1 worker vs the pool default. Writes the numbers
+//! to `BENCH_sim.json` and prints a summary.
+//!
+//! Usage: `simperf [-j N] [reps]`.
+
+use bench::{clear_cache, pool, run_matrix};
+use bitspec::{build, simulate_with, BuildConfig, Compiled, SimConfig, Workload};
+use mibench::{workload, Input};
+use std::time::Instant;
+
+/// Sim-dominated targets: long dynamic instruction counts, cheap builds.
+const TARGETS: &[&str] = &["sha", "crc32", "dijkstra", "qsort", "susan-edges"];
+
+fn once(c: &Compiled, w: &Workload, cfg: &SimConfig) -> f64 {
+    let t = Instant::now();
+    let r = simulate_with(c, w, cfg).expect("sim");
+    std::hint::black_box(r.cycles);
+    t.elapsed().as_secs_f64()
+}
+
+/// Interleaves reference/fast repetitions (A/B per round) so clock and
+/// thermal drift hit both engines equally; keeps the per-engine minimum.
+fn sim_pair_secs(
+    c: &Compiled,
+    w: &Workload,
+    r: &SimConfig,
+    f: &SimConfig,
+    reps: usize,
+) -> (f64, f64) {
+    let (mut tr, mut tf) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        tr = tr.min(once(c, w, r));
+        tf = tf.min(once(c, w, f));
+    }
+    (tr, tf)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut reps: usize = 5;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "-j" || a == "--jobs" {
+            it.next();
+            continue;
+        }
+        if a.starts_with('-') {
+            continue;
+        }
+        if let Ok(n) = a.parse() {
+            if n >= 1 {
+                reps = n;
+            }
+        }
+    }
+    let jobs = pool::jobs_for(&args);
+    bench::header("simperf", "fast vs reference engine / pool wall-clock");
+
+    let fast_cfg = SimConfig::default();
+    let ref_cfg = SimConfig {
+        reference: true,
+        ..SimConfig::default()
+    };
+    let mut rows = Vec::new();
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>8}",
+        "workload", "dyn_insts", "ref_ms", "fast_ms", "speedup"
+    );
+    for name in TARGETS {
+        let w = workload(name, Input::Large);
+        let c = build(&w, &BuildConfig::baseline()).expect("build");
+        let dyn_insts = simulate_with(&c, &w, &fast_cfg)
+            .expect("sim")
+            .counts
+            .dyn_insts;
+        let (t_ref, t_fast) = sim_pair_secs(&c, &w, &ref_cfg, &fast_cfg, reps);
+        println!(
+            "{name:<16} {dyn_insts:>12} {:>12.2} {:>12.2} {:>7.2}x",
+            t_ref * 1e3,
+            t_fast * 1e3,
+            t_ref / t_fast
+        );
+        rows.push((name.to_string(), dyn_insts, t_ref, t_fast));
+    }
+    let sum_ref: f64 = rows.iter().map(|r| r.2).sum();
+    let sum_fast: f64 = rows.iter().map(|r| r.3).sum();
+    println!(
+        "{:<16} {:>12} {:>12.2} {:>12.2} {:>7.2}x",
+        "TOTAL",
+        "",
+        sum_ref * 1e3,
+        sum_fast * 1e3,
+        sum_ref / sum_fast
+    );
+
+    // Harness wall-clock: the fig08 matrix under 1 worker vs the pool.
+    let workloads: Vec<_> = TARGETS.iter().map(|n| workload(n, Input::Large)).collect();
+    let cfgs = [BuildConfig::baseline(), BuildConfig::bitspec()];
+    clear_cache();
+    let t1 = Instant::now();
+    std::hint::black_box(run_matrix(&workloads, &cfgs, 1));
+    let serial = t1.elapsed().as_secs_f64();
+    clear_cache();
+    let t2 = Instant::now();
+    let first = run_matrix(&workloads, &cfgs, jobs);
+    let pooled = t2.elapsed().as_secs_f64();
+    let t3 = Instant::now();
+    let second = run_matrix(&workloads, &cfgs, jobs);
+    let cached = t3.elapsed().as_secs_f64();
+    assert_eq!(first.len(), second.len());
+    println!(
+        "harness: serial={serial:.2}s pool(j={jobs})={pooled:.2}s cached_resweep={cached:.3}s"
+    );
+
+    let mut json = String::from("{\n  \"engines\": [\n");
+    for (i, (name, dyn_insts, t_ref, t_fast)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{name}\", \"dyn_insts\": {dyn_insts}, \
+             \"reference_s\": {t_ref:.6}, \"fast_s\": {t_fast:.6}, \
+             \"speedup\": {:.3}}}{}\n",
+            t_ref / t_fast,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"total_reference_s\": {sum_ref:.6},\n  \"total_fast_s\": {sum_fast:.6},\n  \
+         \"total_speedup\": {:.3},\n  \"harness\": {{\"jobs\": {jobs}, \
+         \"serial_s\": {serial:.6}, \"pool_s\": {pooled:.6}, \
+         \"cached_s\": {cached:.6}}},\n  \"reps\": {reps}\n}}\n",
+        sum_ref / sum_fast
+    ));
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("wrote BENCH_sim.json");
+}

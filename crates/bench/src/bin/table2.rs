@@ -1,29 +1,34 @@
 //! Table 2 (RQ5): misspeculation counts per heuristic — more aggressive
 //! selections misspeculate more.
+//!
+//! The workload × heuristic matrix fans out across the worker pool
+//! (`-j N` or `BITSPEC_JOBS`); output order is fixed.
 
-use bench::run;
+use bench::{pool, run_matrix};
 use bitspec::{BitwidthHeuristic, BuildConfig};
 use mibench::{names, workload, Input};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     bench::header("table2", "misspeculation counts per heuristic");
     println!(
         "{:<16} {:>10} {:>10} {:>10}",
         "benchmark", "MAX", "AVG", "MIN"
     );
-    for name in names() {
-        let w = workload(name, Input::Large);
-        let mut row = format!("{name:<16}");
-        for h in BitwidthHeuristic::ALL {
-            let (_, r) = run(
-                &w,
-                &BuildConfig {
-                    empirical_gate: false,
-                    ..BuildConfig::bitspec_with(h)
-                },
-            );
-            row.push_str(&format!(" {:>10}", r.counts.misspecs));
+    let workloads: Vec<_> = names().iter().map(|n| workload(n, Input::Large)).collect();
+    let cfgs: Vec<_> = BitwidthHeuristic::ALL
+        .iter()
+        .map(|&h| BuildConfig {
+            empirical_gate: false,
+            ..BuildConfig::bitspec_with(h)
+        })
+        .collect();
+    let rows = run_matrix(&workloads, &cfgs, pool::jobs_for(&args));
+    for (name, row) in names().iter().zip(&rows) {
+        let mut line = format!("{name:<16}");
+        for cell in row {
+            line.push_str(&format!(" {:>10}", cell.1.counts.misspecs));
         }
-        println!("{row}");
+        println!("{line}");
     }
 }

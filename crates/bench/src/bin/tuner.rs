@@ -2,45 +2,51 @@
 //! size budgets, minimizing total BASELINE dynamic instructions across the
 //! suite (the paper ran OpenTuner for 10 days; our grid finishes in
 //! minutes and its optimum is baked into `ExpanderConfig::default`).
+//!
+//! The whole grid × workload matrix fans out across the worker pool
+//! (`-j N` or `BITSPEC_JOBS`); grid points print in sweep order.
 
-use bench::run;
+use bench::{pool, run_matrix};
 use bitspec::BuildConfig;
 use mibench::{names, workload, Input};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     bench::header(
         "tuner",
         "expander auto-tuning on BASELINE dynamic instructions",
     );
-    let mut best: Option<(u64, opt::ExpanderConfig)> = None;
+    let mut grid = Vec::new();
     for unroll in [1u32, 2, 4, 8] {
         for max_loop in [200usize, 400, 800] {
             for max_func in [2000usize, 4000, 8000] {
-                let cfg = opt::ExpanderConfig {
+                grid.push(opt::ExpanderConfig {
                     unroll_factor: unroll,
                     max_loop_size: max_loop,
                     max_func_size: max_func,
                     enabled: true,
-                };
-                let mut total: u64 = 0;
-                for name in names() {
-                    let w = workload(name, Input::Large);
-                    let (_, r) = run(
-                        &w,
-                        &BuildConfig {
-                            expander: cfg,
-                            ..BuildConfig::baseline()
-                        },
-                    );
-                    total += r.counts.dyn_insts;
-                }
-                println!(
-                    "unroll={unroll} max_loop={max_loop:<5} max_func={max_func:<5} total_dyn={total}"
-                );
-                if best.as_ref().map(|(t, _)| total < *t).unwrap_or(true) {
-                    best = Some((total, cfg));
-                }
+                });
             }
+        }
+    }
+    let workloads: Vec<_> = names().iter().map(|n| workload(n, Input::Large)).collect();
+    let cfgs: Vec<_> = grid
+        .iter()
+        .map(|&expander| BuildConfig {
+            expander,
+            ..BuildConfig::baseline()
+        })
+        .collect();
+    let rows = run_matrix(&workloads, &cfgs, pool::jobs_for(&args));
+    let mut best: Option<(u64, opt::ExpanderConfig)> = None;
+    for (gi, cfg) in grid.iter().enumerate() {
+        let total: u64 = rows.iter().map(|row| row[gi].1.counts.dyn_insts).sum();
+        println!(
+            "unroll={} max_loop={:<5} max_func={:<5} total_dyn={total}",
+            cfg.unroll_factor, cfg.max_loop_size, cfg.max_func_size
+        );
+        if best.as_ref().map(|(t, _)| total < *t).unwrap_or(true) {
+            best = Some((total, *cfg));
         }
     }
     let (total, cfg) = best.unwrap();

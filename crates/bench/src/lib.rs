@@ -9,6 +9,10 @@
 //! This library holds the shared run/format helpers.
 
 use bitspec::{build, simulate_with, BuildConfig, Compiled, SimConfig, SimResult, Workload};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+pub mod pool;
 
 /// Builds and simulates one workload under one configuration.
 ///
@@ -20,6 +24,84 @@ pub fn run(w: &Workload, cfg: &BuildConfig) -> (Compiled, SimResult) {
     let r = simulate_with(&c, w, &SimConfig::default())
         .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", w.name));
     (c, r)
+}
+
+/// One build+simulate artifact, shared across harness call sites.
+pub type Cell = Arc<(Compiled, SimResult)>;
+
+fn cache() -> &'static Mutex<HashMap<String, Cell>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Cell>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Cache key for one (workload, config) cell: workload name, an FNV-1a
+/// hash of the source and of every eval/train input, and the config's
+/// `Debug` rendering (every `BuildConfig` field is observable there, so
+/// distinct configs cannot collide).
+pub fn fingerprint(w: &Workload, cfg: &BuildConfig) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(w.source.as_bytes());
+    for (tag, inputs) in [("eval", &w.inputs), ("train", &w.train_inputs)] {
+        for (g, data) in inputs {
+            eat(tag.as_bytes());
+            eat(g.as_bytes());
+            eat(data);
+        }
+    }
+    format!("{}#{h:016x}#{cfg:?}", w.name)
+}
+
+/// Like [`run`], but memoized in a process-wide artifact cache: a repeat
+/// of the same (workload, config) cell — common across harnesses and
+/// within the matrix sweeps — returns the shared artifact instead of
+/// re-running the pipeline.
+///
+/// # Panics
+/// Panics on build or simulation failure.
+pub fn run_cached(w: &Workload, cfg: &BuildConfig) -> Cell {
+    let key = fingerprint(w, cfg);
+    if let Some(hit) = cache().lock().expect("artifact cache").get(&key) {
+        return Arc::clone(hit);
+    }
+    let cell = Arc::new(run(w, cfg));
+    cache()
+        .lock()
+        .expect("artifact cache")
+        .entry(key)
+        .or_insert(cell)
+        .clone()
+}
+
+/// Drops every cached artifact (tests use this to force rebuilds).
+pub fn clear_cache() {
+    cache().lock().expect("artifact cache").clear();
+}
+
+/// Runs every workload under one configuration across `workers` pool
+/// threads; results are in workload order regardless of worker count.
+pub fn run_suite(workloads: &[Workload], cfg: &BuildConfig, workers: usize) -> Vec<Cell> {
+    pool::run_ordered(workloads.len(), workers, |i| run_cached(&workloads[i], cfg))
+}
+
+/// Runs the full workload × configuration matrix across `workers` pool
+/// threads. `out[wi][ci]` is workload `wi` under config `ci`; the cells
+/// are fanned out flat so a slow workload doesn't serialize a column.
+pub fn run_matrix(workloads: &[Workload], cfgs: &[BuildConfig], workers: usize) -> Vec<Vec<Cell>> {
+    let n = workloads.len() * cfgs.len();
+    let flat = pool::run_ordered(n, workers, |k| {
+        run_cached(&workloads[k / cfgs.len()], &cfgs[k % cfgs.len()])
+    });
+    let mut rows = Vec::with_capacity(workloads.len());
+    let mut it = flat.into_iter();
+    for _ in 0..workloads.len() {
+        rows.push(it.by_ref().take(cfgs.len()).collect());
+    }
+    rows
 }
 
 /// Percent change of `new` vs `old` (negative = reduction).

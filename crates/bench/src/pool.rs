@@ -1,0 +1,122 @@
+//! A std-only scoped-thread worker pool for the experiment harnesses.
+//!
+//! The workspace builds fully offline, so this is deliberately not rayon:
+//! [`run_ordered`] fans a work-list across `std::thread::scope` workers
+//! pulling indices from a shared atomic counter, and collects results
+//! **by input index** — output order is the input order and identical for
+//! any worker count, so harness output stays byte-stable under `-j`.
+//!
+//! Worker count resolution, in priority order: an explicit `-j N` /
+//! `-jN` / `--jobs N` argument ([`jobs_from_args`]), the `BITSPEC_JOBS`
+//! environment variable, then `std::thread::available_parallelism()`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default worker count: `BITSPEC_JOBS` if set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub fn jobs() -> usize {
+    if let Ok(v) = std::env::var("BITSPEC_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parses a `-j N`, `-jN` or `--jobs N` override out of `args` (the
+/// harness argv, program name excluded). Returns `None` when absent.
+pub fn jobs_from_args<S: AsRef<str>>(args: &[S]) -> Option<usize> {
+    let mut it = args.iter().map(AsRef::as_ref);
+    while let Some(a) = it.next() {
+        if a == "-j" || a == "--jobs" {
+            return it.next()?.parse().ok().filter(|&n| n >= 1);
+        }
+        if let Some(n) = a.strip_prefix("-j") {
+            if let Ok(n) = n.parse() {
+                if n >= 1 {
+                    return Some(n);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Worker count for a harness: argv override, else [`jobs`].
+pub fn jobs_for<S: AsRef<str>>(args: &[S]) -> usize {
+    jobs_from_args(args).unwrap_or_else(jobs)
+}
+
+/// Runs `f(0..count)` across `workers` scoped threads and returns the
+/// results in input order (`out[i] == f(i)`), deterministically for any
+/// worker count. `workers <= 1` degenerates to a plain sequential map —
+/// same results, no threads.
+pub fn run_ordered<T, F>(count: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, count.max(1));
+    if workers <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_input_ordered_for_any_worker_count() {
+        let expect: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = run_ordered(37, workers, |i| i * i);
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_lists() {
+        assert_eq!(run_ordered(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_ordered(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn jobs_arg_parsing() {
+        assert_eq!(jobs_from_args(&["-j", "4"]), Some(4));
+        assert_eq!(jobs_from_args(&["-j8"]), Some(8));
+        assert_eq!(jobs_from_args(&["--jobs", "2"]), Some(2));
+        assert_eq!(jobs_from_args(&["fig08", "-j", "3"]), Some(3));
+        assert_eq!(jobs_from_args(&["-j", "0"]), None);
+        assert_eq!(jobs_from_args(&["-j"]), None);
+        assert_eq!(jobs_from_args(&[] as &[&str]), None);
+        assert_eq!(jobs_from_args(&["-jx"]), None);
+    }
+}

@@ -63,27 +63,37 @@ impl Memory {
     ///
     /// # Errors
     /// Fails on out-of-bounds or sub-base accesses.
+    #[inline]
     pub fn load(&self, addr: u32, w: Width) -> Result<u64, AccessError> {
-        let n = w.bytes();
-        let lo = self.check(addr, n, false)?;
-        let mut v: u64 = 0;
-        for i in (0..n as usize).rev() {
-            v = (v << 8) | u64::from(self.bytes[lo + i]);
-        }
-        Ok(w.truncate(v))
+        let lo = self.check(addr, w.bytes(), false)?;
+        let b = &self.bytes;
+        Ok(match w {
+            Width::W1 => u64::from(b[lo]) & 1,
+            Width::W8 => u64::from(b[lo]),
+            Width::W16 => u64::from(u16::from_le_bytes([b[lo], b[lo + 1]])),
+            Width::W32 => u64::from(u32::from_le_bytes([b[lo], b[lo + 1], b[lo + 2], b[lo + 3]])),
+            Width::W64 => {
+                let mut buf = [0u8; 8];
+                buf.copy_from_slice(&b[lo..lo + 8]);
+                u64::from_le_bytes(buf)
+            }
+        })
     }
 
     /// Stores the low `w` bits of `value` little-endian.
     ///
     /// # Errors
     /// Fails on out-of-bounds or sub-base accesses.
+    #[inline]
     pub fn store(&mut self, addr: u32, w: Width, value: u64) -> Result<(), AccessError> {
-        let n = w.bytes();
-        let lo = self.check(addr, n, true)?;
-        let mut v = w.truncate(value);
-        for i in 0..n as usize {
-            self.bytes[lo + i] = (v & 0xFF) as u8;
-            v >>= 8;
+        let lo = self.check(addr, w.bytes(), true)?;
+        let b = &mut self.bytes;
+        match w {
+            Width::W1 => b[lo] = (value & 1) as u8,
+            Width::W8 => b[lo] = value as u8,
+            Width::W16 => b[lo..lo + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            Width::W32 => b[lo..lo + 4].copy_from_slice(&(value as u32).to_le_bytes()),
+            Width::W64 => b[lo..lo + 8].copy_from_slice(&value.to_le_bytes()),
         }
         Ok(())
     }

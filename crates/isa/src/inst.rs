@@ -279,6 +279,60 @@ impl MInst {
         }
     }
 
+    /// Bitmask (bit `i` = `r_i`) of the word registers this instruction
+    /// reads *for load-use interlock purposes*. Slice operands contribute
+    /// their containing word register. `Push`/`Pop`, branches and
+    /// immediates contribute nothing — the interlock models the operand
+    /// read port of the execute stage, and those consume no forwarded
+    /// operand (stack ops sequence through the memory stage).
+    pub fn interlock_read_mask(&self) -> u32 {
+        fn bit(r: Reg) -> u32 {
+            1 << r.index()
+        }
+        fn op(o: &Operand) -> u32 {
+            match o {
+                Operand::Reg(r) => bit(*r),
+                Operand::Imm(_) => 0,
+            }
+        }
+        fn sop(o: &SliceOperand) -> u32 {
+            match o {
+                SliceOperand::Slice(s) => bit(s.reg),
+                SliceOperand::Imm(_) => 0,
+            }
+        }
+        match self {
+            MInst::Alu { rn, src2, .. } | MInst::Cmp { rn, src2 } => bit(*rn) | op(src2),
+            MInst::Mov { rm, .. } | MInst::MovCc { rm, .. } => bit(*rm),
+            MInst::Extend { rm, .. } => bit(*rm),
+            MInst::Umull { rn, rm, .. } => bit(*rn) | bit(*rm),
+            MInst::Load { rn, .. } => bit(*rn),
+            MInst::Store { rs, rn, .. } => bit(*rs) | bit(*rn),
+            MInst::Out { rn } | MInst::SpecCheck { rn } => bit(*rn),
+            MInst::SAlu { bn, src2, .. } => bit(bn.reg) | sop(src2),
+            MInst::SCmp { bn, src2 } => bit(bn.reg) | sop(src2),
+            MInst::SLoadSpec { rn, .. } | MInst::SLoad { rn, .. } => bit(*rn),
+            MInst::LoadIdx { rn, bidx, .. } | MInst::SLoadIdx { rn, bidx, .. } => {
+                bit(*rn) | bit(bidx.reg)
+            }
+            MInst::SStore { bs, rn, .. } => bit(bs.reg) | bit(*rn),
+            MInst::SExtend { bn, .. } => bit(bn.reg),
+            MInst::STrunc { rn, .. } => bit(*rn),
+            MInst::SMov { bs, .. } => bit(bs.reg),
+            _ => 0,
+        }
+    }
+
+    /// Destination-register bitmask when the instruction is a word load
+    /// whose result triggers the one-cycle load-use interlock on the next
+    /// instruction (`Load`/`LoadIdx`); zero otherwise.
+    pub fn load_dest_mask(&self) -> u32 {
+        match self {
+            MInst::Load { rd, .. } | MInst::LoadIdx { rd, .. } => 1 << rd.index(),
+            _ => 0,
+        }
+    }
+
     /// Encoded size in bytes. `compact` selects the Thumb-like mode (RQ9).
     pub fn size(&self, compact: bool) -> u32 {
         let unit = if compact { 2 } else { 4 };
@@ -347,6 +401,44 @@ mod tests {
         assert_eq!(m.size(true), 4);
         assert_eq!(MInst::Ret.size(false), 4);
         assert_eq!(MInst::Ret.size(true), 2);
+    }
+
+    #[test]
+    fn interlock_masks() {
+        let ld = MInst::Load {
+            rd: Reg(3),
+            rn: Reg(7),
+            offset: 4,
+            width: MemWidth::W,
+            spill: false,
+        };
+        assert_eq!(ld.interlock_read_mask(), 1 << 7);
+        assert_eq!(ld.load_dest_mask(), 1 << 3);
+        let alu = MInst::Alu {
+            op: AluOp::Add,
+            rd: Reg(0),
+            rn: Reg(3),
+            src2: Operand::Reg(Reg(5)),
+        };
+        assert_eq!(alu.interlock_read_mask(), (1 << 3) | (1 << 5));
+        assert_eq!(alu.load_dest_mask(), 0);
+        // Stack ops don't participate in the interlock.
+        assert_eq!(
+            MInst::Push {
+                regs: vec![Reg(0), Reg(1)]
+            }
+            .interlock_read_mask(),
+            0
+        );
+        // Slice operands contribute their containing word register.
+        let salu = MInst::SAlu {
+            op: SAluOp::Add,
+            bd: Slice::new(Reg(2), 0),
+            bn: Slice::new(Reg(4), 1),
+            src2: SliceOperand::Slice(Slice::new(Reg(6), 2)),
+            speculative: false,
+        };
+        assert_eq!(salu.interlock_read_mask(), (1 << 4) | (1 << 6));
     }
 
     #[test]

@@ -88,6 +88,38 @@ impl Cache {
         Outcome::Miss { writeback: wb }
     }
 
+    /// Probes for `addr` without touching any state or counters; returns
+    /// the flat `tags`/`lru` slot index when the line is resident.
+    pub fn slot_of(&self, addr: u32) -> Option<usize> {
+        let base = self.set_of(addr) * self.ways;
+        let tag = self.tag_of(addr);
+        (0..self.ways)
+            .map(|w| base + w)
+            .find(|&s| self.tags[s] == Some(tag))
+    }
+
+    /// Records a hit on a known-resident `slot` (from [`Self::slot_of`])
+    /// without re-running the tag comparison. State evolution is identical
+    /// to `access(addr, write)` taking the hit path — the simulator's
+    /// line buffers use this so buffered accesses stay bit-exact with
+    /// unbuffered simulation (same hit counts, same LRU ordering, same
+    /// dirty bits).
+    #[inline]
+    pub fn touch_hit(&mut self, slot: usize, write: bool) {
+        self.tick += 1;
+        self.lru[slot] = self.tick;
+        if write {
+            self.dirty[slot] = true;
+        }
+        self.hits += 1;
+    }
+
+    /// [`Self::touch_hit`] for a read.
+    #[inline]
+    pub fn touch_read_hit(&mut self, slot: usize) {
+        self.touch_hit(slot, false);
+    }
+
     /// Total accesses.
     pub fn accesses(&self) -> u64 {
         self.hits + self.misses
@@ -211,6 +243,37 @@ mod tests {
         }
         assert_eq!(c.accesses(), 1024);
         assert!(c.misses >= (4096 / 32), "each line missed at least once");
+    }
+
+    #[test]
+    fn touch_hit_matches_access_hit() {
+        // Two caches, same access stream (reads and writes); one routes
+        // repeat hits through slot_of + touch_hit. All observable state
+        // must match, including dirty bits.
+        let mut a = Cache::new(1 << 10, 2, 32);
+        let mut b = Cache::new(1 << 10, 2, 32);
+        let stream = [
+            (0x100u32, false),
+            (0x104, true),
+            (0x108, false),
+            (0x200, true),
+            (0x104, false),
+            (0x100, true),
+            (0x300, false),
+        ];
+        for &(addr, write) in &stream {
+            a.access(addr, write);
+            match b.slot_of(addr) {
+                Some(slot) => b.touch_hit(slot, write),
+                None => {
+                    b.access(addr, write);
+                }
+            }
+        }
+        assert_eq!((a.hits, a.misses, a.tick), (b.hits, b.misses, b.tick));
+        assert_eq!(a.tags, b.tags);
+        assert_eq!(a.lru, b.lru);
+        assert_eq!(a.dirty, b.dirty);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! DTS+BITSPEC composes (Figure 17).
 
 use isa::MInst;
+use std::sync::OnceLock;
 
 /// Alpha-power-law parameters (45 nm-ish).
 const V_NOM: f64 = 1.2;
@@ -25,18 +26,31 @@ pub const RAZOR_CYCLE_OVERHEAD: f64 = 0.02;
 /// The DTS model: converts instruction classes to core-energy scales.
 #[derive(Debug, Clone)]
 pub struct DtsModel {
-    /// Cached energy scale per permille of path utilization.
-    scale_table: Vec<f64>,
+    /// Cached energy scale per permille of path utilization. The table
+    /// is pure math (alpha-power-law inversion), so it is computed once
+    /// per process and shared — a simulator is constructed per run, and
+    /// 1001 binary searches over `powf` per construction dominated short
+    /// simulations.
+    scale_table: &'static [f64],
+}
+
+fn shared_scale_table() -> &'static [f64] {
+    static TABLE: OnceLock<Vec<f64>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = Vec::with_capacity(1001);
+        for i in 0..=1000 {
+            let f = (i as f64 / 1000.0).max(0.05);
+            t.push(energy_scale_for(f));
+        }
+        t
+    })
 }
 
 impl Default for DtsModel {
     fn default() -> Self {
-        let mut scale_table = Vec::with_capacity(1001);
-        for i in 0..=1000 {
-            let f = (i as f64 / 1000.0).max(0.05);
-            scale_table.push(energy_scale_for(f));
+        DtsModel {
+            scale_table: shared_scale_table(),
         }
-        DtsModel { scale_table }
     }
 }
 
@@ -70,6 +84,33 @@ impl DtsModel {
     pub fn scale(&self, inst: &MInst) -> f64 {
         let f = path_utilization(inst);
         self.scale_table[(f * 1000.0) as usize]
+    }
+
+    /// Predecodes a program image into (per-instruction class index,
+    /// per-class energy scale). Instructions sharing a path-utilization
+    /// value share a class, so the simulator's fast path can accumulate
+    /// per-class activity with one table lookup per step instead of
+    /// re-classifying the instruction.
+    pub fn precompute(&self, insts: &[MInst]) -> (Vec<u8>, Vec<f64>) {
+        let mut permilles: Vec<u16> = Vec::new();
+        let mut classes = Vec::with_capacity(insts.len());
+        for inst in insts {
+            let pm = (path_utilization(inst) * 1000.0) as u16;
+            let class = match permilles.iter().position(|&p| p == pm) {
+                Some(c) => c,
+                None => {
+                    permilles.push(pm);
+                    permilles.len() - 1
+                }
+            };
+            assert!(class < 256, "more distinct DTS classes than expected");
+            classes.push(class as u8);
+        }
+        let scales = permilles
+            .iter()
+            .map(|&pm| self.scale_table[pm as usize])
+            .collect();
+        (classes, scales)
     }
 }
 

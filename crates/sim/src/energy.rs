@@ -67,8 +67,16 @@ pub struct Activity {
     pub alu_slice_ops: u64,
     /// Speculative ops carrying misspeculation detection.
     pub spec_monitored_ops: u64,
+    /// `SpecCheck` executions — monitored but carrying no detector energy
+    /// (the check rides the existing zero-flag network).
+    pub speccheck_ops: u64,
     pub mul_ops: u64,
+    /// 64-bit `Umull`s (also counted in `mul_ops`; they cost 1.5× a mul).
+    pub umull_ops: u64,
     pub div_ops: u64,
+    /// Narrow `Extend` ops (also counted in `alu_word_ops`; they switch
+    /// only half the slices).
+    pub extend_ops: u64,
     /// Register-file accesses in 8-bit slice units (a word access = 4).
     pub rf_read_units: u64,
     pub rf_write_units: u64,
@@ -80,6 +88,10 @@ pub struct Activity {
     pub l1d_accesses: u64,
     pub l2_accesses: u64,
     pub dram_accesses: u64,
+    /// L2 / DRAM transactions caused by instruction fetch (the remainder
+    /// of `l2_accesses` / `dram_accesses` is data-side).
+    pub l2_from_i: u64,
+    pub dram_from_i: u64,
     pub cycles: u64,
     /// DTS-scaled core energy (already weighted), when DTS is on.
     pub dts_core_scaled: f64,
@@ -135,6 +147,39 @@ impl EnergyModel {
             pipeline,
         }
     }
+
+    /// Folds end-of-run activity counters into the exact per-component
+    /// breakdown the simulator's per-step accumulation produces (modulo
+    /// float summation order): `Extend` switches 2 slices not 4, `Umull`
+    /// costs 1.5× a mul, `SpecCheck` is monitored but free, and L2/DRAM
+    /// energy is charged to the requesting cache via the `l2_from_i` /
+    /// `dram_from_i` split. This is the counter-first energy path: the hot
+    /// loop increments integers and this fold runs once per simulation.
+    pub fn fold(&self, a: &Activity) -> EnergyBreakdown {
+        let alu = (a.alu_word_ops - a.extend_ops) as f64 * 4.0 * self.alu_slice
+            + a.extend_ops as f64 * 2.0 * self.alu_slice
+            + a.alu_slice_ops as f64 * self.alu_slice
+            + (a.spec_monitored_ops - a.speccheck_ops) as f64 * self.misspec_detect
+            + a.mul_ops as f64 * self.mul
+            + a.umull_ops as f64 * 0.5 * self.mul
+            + a.div_ops as f64 * self.div;
+        let regfile = a.rf_read_units as f64 * self.rf_slice_read
+            + a.rf_write_units as f64 * self.rf_slice_write;
+        let icache = a.fetch_slots as f64 * self.l1i_access
+            + a.l2_from_i as f64 * self.l2_access
+            + a.dram_from_i as f64 * self.dram_access;
+        let dcache = a.l1d_accesses as f64 * self.l1d_access
+            + (a.l2_accesses - a.l2_from_i) as f64 * self.l2_access
+            + (a.dram_accesses - a.dram_from_i) as f64 * self.dram_access;
+        let pipeline = a.cycles as f64 * self.pipeline_cycle;
+        EnergyBreakdown {
+            alu,
+            regfile,
+            icache,
+            dcache,
+            pipeline,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +214,31 @@ mod tests {
         };
         let slice = m.breakdown(&b, 0, 0).alu;
         assert!(slice < word / 2.0);
+    }
+
+    #[test]
+    fn fold_applies_exact_event_costs() {
+        let m = EnergyModel::default();
+        // One Extend (half-width), one Umull (1.5× mul), one SpecCheck
+        // (monitored, free) and one fetch whose miss went to L2.
+        let a = Activity {
+            alu_word_ops: 1,
+            extend_ops: 1,
+            mul_ops: 1,
+            umull_ops: 1,
+            spec_monitored_ops: 1,
+            speccheck_ops: 1,
+            fetch_slots: 1,
+            l2_accesses: 3,
+            l2_from_i: 1,
+            cycles: 2,
+            ..Activity::default()
+        };
+        let b = m.fold(&a);
+        assert!((b.alu - (2.0 * m.alu_slice + 1.5 * m.mul)).abs() < 1e-12);
+        assert!((b.icache - (m.l1i_access + m.l2_access)).abs() < 1e-12);
+        assert!((b.dcache - 2.0 * m.l2_access).abs() < 1e-12);
+        assert!((b.pipeline - 2.0 * m.pipeline_cycle).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,645 @@
+//! The predecoded fast-path simulation engine.
+//!
+//! [`Simulator::run`] lands here by default. Versus the retained reference
+//! engine (`machine.rs`), the hot loop:
+//!
+//! * reads the [`backend::PreInst`] side table instead of cloning each
+//!   `MInst` and re-deriving its size, fetch-slot count and read set —
+//!   the load-use interlock is one `u32` mask AND instead of a per-step
+//!   `Vec<Reg>` allocation;
+//! * keeps an I-fetch **line buffer**: a fetch to the same cache line as
+//!   the previous fetch is a guaranteed L1I hit (nothing else touches the
+//!   I$ between fetches), recorded via [`crate::cache::Cache::touch_read_hit`]
+//!   without a tag lookup — hit counts and LRU state evolve identically;
+//! * accumulates **integer activity counters only** and folds them into
+//!   the energy breakdown once at end of run
+//!   ([`crate::energy::EnergyModel::fold`]); the DTS mode accumulates
+//!   per-scale-class counters (classes predecoded by
+//!   [`crate::dts::DtsModel::precompute`]) so per-instruction-class
+//!   clock/voltage scaling is preserved.
+//!
+//! `outputs`, `cycles`, `counts` and `activity` are bit-identical to the
+//! reference engine; energy agrees within float-summation tolerance
+//! (`tests/equivalence.rs` enforces both).
+
+use crate::dts::RAZOR_CYCLE_OVERHEAD;
+use crate::energy::{Activity, EnergyModel};
+use crate::machine::{alu_exec, eval_cond, flags_sub8, mem_width, SimError, SimResult, Simulator};
+use isa::{AluOp, MInst, Operand, Reg, Slice, SliceOperand, LR, SP};
+
+/// Per-DTS-class activity: enough to reconstruct the class's core energy
+/// (ALU + register file + misspeculation detectors) and scaled pipeline
+/// energy at end of run.
+#[derive(Debug, Clone, Copy, Default)]
+struct ClassAcc {
+    cyc: u64,
+    rf_read_units: u64,
+    rf_write_units: u64,
+    alu_word_ops: u64,
+    extend_ops: u64,
+    alu_slice_ops: u64,
+    spec_monitored_ops: u64,
+    speccheck_ops: u64,
+    mul_ops: u64,
+    umull_ops: u64,
+    div_ops: u64,
+}
+
+impl ClassAcc {
+    #[inline]
+    fn add(&mut self, a0: &Activity, a1: &Activity, cyc: u64) {
+        self.cyc += cyc;
+        self.rf_read_units += a1.rf_read_units - a0.rf_read_units;
+        self.rf_write_units += a1.rf_write_units - a0.rf_write_units;
+        self.alu_word_ops += a1.alu_word_ops - a0.alu_word_ops;
+        self.extend_ops += a1.extend_ops - a0.extend_ops;
+        self.alu_slice_ops += a1.alu_slice_ops - a0.alu_slice_ops;
+        self.spec_monitored_ops += a1.spec_monitored_ops - a0.spec_monitored_ops;
+        self.speccheck_ops += a1.speccheck_ops - a0.speccheck_ops;
+        self.mul_ops += a1.mul_ops - a0.mul_ops;
+        self.umull_ops += a1.umull_ops - a0.umull_ops;
+        self.div_ops += a1.div_ops - a0.div_ops;
+    }
+
+    /// Core (ALU + regfile + detector) energy of this class — the same
+    /// per-event costs the reference engine charges inline.
+    fn core_energy(&self, em: &EnergyModel) -> f64 {
+        self.rf_read_units as f64 * em.rf_slice_read
+            + self.rf_write_units as f64 * em.rf_slice_write
+            + (self.alu_word_ops - self.extend_ops) as f64 * 4.0 * em.alu_slice
+            + self.extend_ops as f64 * 2.0 * em.alu_slice
+            + self.alu_slice_ops as f64 * em.alu_slice
+            + (self.spec_monitored_ops - self.speccheck_ops) as f64 * em.misspec_detect
+            + self.mul_ops as f64 * em.mul
+            + self.umull_ops as f64 * 0.5 * em.mul
+            + self.div_ops as f64 * em.div
+    }
+}
+
+impl<'p> Simulator<'p> {
+    /// The allocation-free run loop. See the module docs for the contract
+    /// with the reference engine.
+    pub(crate) fn run_fast(mut self) -> Result<SimResult, SimError> {
+        let p = self.p;
+        debug_assert_eq!(p.pre.len(), p.insts.len(), "stale predecode table");
+        let em = self.cfg.energy;
+        let dts_on = self.cfg.dts;
+        let line_bytes = self.hier.l1i.line();
+        assert!(line_bytes.is_power_of_two(), "line size must be 2^k");
+        let line_shift = line_bytes.trailing_zeros();
+        let (classes, scales) = if dts_on {
+            self.dts.precompute(&p.insts)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let mut accs = vec![ClassAcc::default(); scales.len()];
+        let fuel = self.cfg.fuel;
+        loop {
+            if self.counts.dyn_insts >= fuel {
+                return Err(SimError::OutOfFuel);
+            }
+            let pc = self.pc;
+            let inst = &p.insts[pc];
+            if matches!(inst, MInst::Halt) {
+                break;
+            }
+            self.counts.dyn_insts += 1;
+            // --- fetch ------------------------------------------------------
+            let pre = p.pre[pc];
+            let addr = p.addrs[pc];
+            let mut stall = self.fetch_fast(addr, line_shift);
+            if pre.two_slot {
+                stall += self.fetch_fast(addr + 4, line_shift);
+            }
+            self.act.fetch_slots += u64::from(pre.slots);
+            // --- execute ----------------------------------------------------
+            let mut cyc: u64 = 1 + stall;
+            // Load-use interlock: previous word load feeding this read set.
+            if self.last_load_mask & pre.read_mask != 0 {
+                cyc += 1;
+            }
+            let snap = if dts_on { Some(self.act) } else { None };
+            let next_pc = self.exec_fast(pc, inst, &mut cyc)?;
+            if let Some(a0) = snap {
+                accs[classes[pc] as usize].add(&a0, &self.act, cyc);
+            }
+            self.last_load_mask = pre.load_dest_mask;
+            self.act.cycles += cyc;
+            self.pc = next_pc;
+        }
+        self.act.l2_accesses = self.hier.l2.accesses();
+        self.act.dram_accesses = self.hier.dram_accesses;
+        let mut energy = em.fold(&self.act);
+        if dts_on {
+            // Per-class clock/voltage scaling: pipeline energy is scaled
+            // per class (with the RazorII recovery overhead), and the
+            // reclaimed core energy is deducted from ALU/regfile in
+            // proportion to their totals — the same aggregate discount the
+            // reference engine applies instruction by instruction.
+            let mut pipe = 0.0;
+            let mut discount = 0.0;
+            for (acc, &scale) in accs.iter().zip(&scales) {
+                pipe += acc.cyc as f64 * em.pipeline_cycle * (1.0 + RAZOR_CYCLE_OVERHEAD) * scale;
+                discount += acc.core_energy(&em) * (1.0 - scale);
+            }
+            energy.pipeline = pipe;
+            let total = energy.alu + energy.regfile;
+            if total > 0.0 && discount > 0.0 {
+                let alu_share = energy.alu / total;
+                energy.alu -= discount * alu_share;
+                energy.regfile -= discount * (1.0 - alu_share);
+            }
+        }
+        Ok(SimResult {
+            outputs: self.outputs,
+            cycles: self.act.cycles,
+            counts: self.counts,
+            activity: self.act,
+            energy,
+        })
+    }
+
+    /// One I-fetch slot at `addr`; returns stall cycles. Same-line
+    /// sequential fetches short-circuit through the line buffer.
+    #[inline]
+    fn fetch_fast(&mut self, addr: u32, line_shift: u32) -> u64 {
+        let line = addr >> line_shift;
+        if line == self.ibuf_line {
+            self.hier.l1i.touch_read_hit(self.ibuf_slot);
+            return 0;
+        }
+        let l2_before = self.hier.l2.accesses();
+        let dram_before = self.hier.dram_accesses;
+        let stall = self.hier.fetch(addr);
+        self.act.l2_from_i += self.hier.l2.accesses() - l2_before;
+        self.act.dram_from_i += self.hier.dram_accesses - dram_before;
+        self.ibuf_line = line;
+        self.ibuf_slot = self
+            .hier
+            .l1i
+            .slot_of(addr)
+            .expect("line resident after fetch");
+        stall
+    }
+
+    /// One data access; returns stall cycles. Same-line consecutive data
+    /// accesses short-circuit through the D-side line buffer — sound by
+    /// the same argument as the I-fetch buffer, since every L1D access
+    /// flows through here and re-arms the buffer.
+    #[inline]
+    fn data_fast(&mut self, pc: usize, addr: u32, write: bool) -> Result<u64, SimError> {
+        if addr < 0x100 || addr >= self.p.mem_size {
+            return Err(SimError::MemFault { pc, addr });
+        }
+        self.act.l1d_accesses += 1;
+        let line = addr >> self.dline_shift;
+        if line == self.dbuf_line {
+            self.hier.l1d.touch_hit(self.dbuf_slot, write);
+            return Ok(0);
+        }
+        let stall = self.hier.data(addr, write);
+        self.dbuf_line = line;
+        self.dbuf_slot = self
+            .hier
+            .l1d
+            .slot_of(addr)
+            .expect("line resident after data access");
+        Ok(stall)
+    }
+
+    // --- register-file accounting (counter-only) ----------------------------
+
+    #[inline]
+    fn rreg(&mut self, r: Reg) -> u32 {
+        debug_assert!(r.index() < 16, "register {r:?} out of file bounds");
+        self.act.rf_read_units += 4;
+        self.act.reg_accesses_32 += 1;
+        self.regs[r.index()]
+    }
+
+    #[inline]
+    fn wreg(&mut self, r: Reg, v: u32) {
+        debug_assert!(r.index() < 16, "register {r:?} out of file bounds");
+        self.act.rf_write_units += 4;
+        self.act.reg_accesses_32 += 1;
+        self.regs[r.index()] = v;
+    }
+
+    #[inline]
+    fn rslice(&mut self, s: Slice) -> u32 {
+        self.act.rf_read_units += 1;
+        self.act.reg_accesses_8 += 1;
+        (self.regs[s.reg.index()] >> s.shift()) & 0xFF
+    }
+
+    #[inline]
+    fn wslice(&mut self, s: Slice, v: u32) {
+        self.act.rf_write_units += 1;
+        self.act.reg_accesses_8 += 1;
+        let mask = 0xFFu32 << s.shift();
+        let r = &mut self.regs[s.reg.index()];
+        *r = (*r & !mask) | ((v & 0xFF) << s.shift());
+    }
+
+    #[inline]
+    fn operand_fast(&mut self, o: &Operand) -> u32 {
+        match o {
+            Operand::Imm(i) => *i,
+            Operand::Reg(r) => self.rreg(*r),
+        }
+    }
+
+    #[inline]
+    fn slice_operand_fast(&mut self, o: &SliceOperand) -> u32 {
+        match o {
+            SliceOperand::Imm(i) => u32::from(*i),
+            SliceOperand::Slice(s) => self.rslice(*s),
+        }
+    }
+
+    // --- main dispatch (counter-only mirror of the reference `exec`) --------
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_fast(&mut self, pc: usize, inst: &MInst, cyc: &mut u64) -> Result<usize, SimError> {
+        let next = pc + 1;
+        match inst {
+            MInst::Alu { op, rd, rn, src2 } => {
+                let a = self.rreg(*rn);
+                let b = self.operand_fast(src2);
+                match op {
+                    AluOp::Mul => {
+                        self.act.mul_ops += 1;
+                        *cyc += 2;
+                    }
+                    AluOp::Udiv | AluOp::Sdiv => {
+                        self.act.div_ops += 1;
+                        *cyc += 11;
+                    }
+                    _ => {
+                        self.act.alu_word_ops += 1;
+                    }
+                }
+                let (r, fl) = alu_exec(*op, a, b, self.flags);
+                if op.sets_flags() {
+                    self.flags = fl;
+                }
+                self.wreg(*rd, r);
+            }
+            MInst::MovImm { rd, imm } => {
+                self.wreg(*rd, *imm);
+            }
+            MInst::Mov { rd, rm } => {
+                self.counts.copies += 1;
+                let v = self.rreg(*rm);
+                self.wreg(*rd, v);
+            }
+            MInst::MovCc { rd, rm, cond } => {
+                self.counts.copies += 1;
+                let v = self.rreg(*rm);
+                if eval_cond(*cond, self.flags) {
+                    self.wreg(*rd, v);
+                }
+            }
+            MInst::Cmp { rn, src2 } => {
+                let a = self.rreg(*rn);
+                let b = self.operand_fast(src2);
+                self.act.alu_word_ops += 1;
+                let (_, fl) = alu_exec(AluOp::Subs, a, b, self.flags);
+                self.flags = fl;
+            }
+            MInst::CSet { rd, cond } => {
+                let v = u32::from(eval_cond(*cond, self.flags));
+                self.wreg(*rd, v);
+            }
+            MInst::Umull { rdlo, rdhi, rn, rm } => {
+                let a = self.rreg(*rn) as u64;
+                let b = self.rreg(*rm) as u64;
+                self.act.mul_ops += 1;
+                self.act.umull_ops += 1;
+                *cyc += 3;
+                let r = a * b;
+                self.wreg(*rdlo, r as u32);
+                self.wreg(*rdhi, (r >> 32) as u32);
+            }
+            MInst::Extend {
+                rd,
+                rm,
+                from,
+                signed,
+            } => {
+                let v = self.rreg(*rm);
+                self.act.alu_word_ops += 1;
+                self.act.extend_ops += 1;
+                let r = match (from, signed) {
+                    (isa::MemWidth::B, false) => v & 0xFF,
+                    (isa::MemWidth::B, true) => v as u8 as i8 as i32 as u32,
+                    (isa::MemWidth::H, false) => v & 0xFFFF,
+                    (isa::MemWidth::H, true) => v as u16 as i16 as i32 as u32,
+                    (isa::MemWidth::W, _) => v,
+                };
+                self.wreg(*rd, r);
+            }
+            MInst::LoadIdx {
+                rd,
+                rn,
+                bidx,
+                shift,
+                width,
+            } => {
+                self.counts.loads += 1;
+                let base = self.rreg(*rn);
+                let idx = self.rslice(*bidx);
+                let addr = base.wrapping_add(idx << shift);
+                *cyc += self.data_fast(pc, addr, false)?;
+                let v = self
+                    .mem
+                    .load(addr, mem_width(*width))
+                    .map_err(|_| SimError::MemFault { pc, addr })? as u32;
+                self.wreg(*rd, v);
+            }
+            MInst::SLoadIdx {
+                bd,
+                rn,
+                bidx,
+                shift,
+                speculative,
+            } => {
+                self.counts.loads += 1;
+                let base = self.rreg(*rn);
+                let idx = self.rslice(*bidx);
+                let addr = base.wrapping_add(idx << shift);
+                *cyc += self.data_fast(pc, addr, false)?;
+                let (w, check) = if *speculative {
+                    (sir::Width::W32, true)
+                } else {
+                    (sir::Width::W8, false)
+                };
+                let v = self
+                    .mem
+                    .load(addr, w)
+                    .map_err(|_| SimError::MemFault { pc, addr })? as u32;
+                if check {
+                    self.act.spec_monitored_ops += 1;
+                    if v > 0xFF {
+                        *cyc += 3;
+                        return self.misspec_target(pc);
+                    }
+                }
+                self.wslice(*bd, v);
+            }
+            MInst::Load {
+                rd,
+                rn,
+                offset,
+                width,
+                spill,
+            } => {
+                self.counts.loads += 1;
+                if *spill {
+                    self.counts.spill_loads += 1;
+                }
+                let base = self.rreg(*rn);
+                let addr = base.wrapping_add(*offset as u32);
+                *cyc += self.data_fast(pc, addr, false)?;
+                let v = self
+                    .mem
+                    .load(addr, mem_width(*width))
+                    .map_err(|_| SimError::MemFault { pc, addr })? as u32;
+                self.wreg(*rd, v);
+            }
+            MInst::Store {
+                rs,
+                rn,
+                offset,
+                width,
+                spill,
+            } => {
+                self.counts.stores += 1;
+                if *spill {
+                    self.counts.spill_stores += 1;
+                }
+                let v = self.rreg(*rs);
+                let base = self.rreg(*rn);
+                let addr = base.wrapping_add(*offset as u32);
+                *cyc += self.data_fast(pc, addr, true)?;
+                self.mem
+                    .store(addr, mem_width(*width), u64::from(v))
+                    .map_err(|_| SimError::MemFault { pc, addr })?;
+            }
+            MInst::Push { regs } => {
+                let mut sp = self.regs[SP.index()];
+                for r in regs.iter().rev() {
+                    sp = sp.wrapping_sub(4);
+                    let v = self.rreg(*r);
+                    *cyc += self.data_fast(pc, sp, true)?;
+                    self.mem
+                        .store(sp, sir::Width::W32, u64::from(v))
+                        .map_err(|_| SimError::MemFault { pc, addr: sp })?;
+                    *cyc += 1;
+                    self.counts.stores += 1;
+                }
+                self.regs[SP.index()] = sp;
+            }
+            MInst::Pop { regs } => {
+                let mut sp = self.regs[SP.index()];
+                for r in regs.iter() {
+                    *cyc += self.data_fast(pc, sp, false)?;
+                    let v = self
+                        .mem
+                        .load(sp, sir::Width::W32)
+                        .map_err(|_| SimError::MemFault { pc, addr: sp })?;
+                    self.wreg(*r, v as u32);
+                    sp = sp.wrapping_add(4);
+                    *cyc += 1;
+                    self.counts.loads += 1;
+                }
+                self.regs[SP.index()] = sp;
+            }
+            MInst::B { target } => {
+                self.counts.branches += 1;
+                self.counts.taken_branches += 1;
+                *cyc += 2;
+                return Ok(*target);
+            }
+            MInst::Bc { cond, target } => {
+                self.counts.branches += 1;
+                if eval_cond(*cond, self.flags) {
+                    self.counts.taken_branches += 1;
+                    *cyc += 2;
+                    return Ok(*target);
+                }
+            }
+            MInst::Bl { target } => {
+                self.counts.branches += 1;
+                self.counts.taken_branches += 1;
+                *cyc += 2;
+                self.wreg(LR, next as u32);
+                return Ok(*target);
+            }
+            MInst::Ret => {
+                self.counts.branches += 1;
+                self.counts.taken_branches += 1;
+                *cyc += 2;
+                let lr = self.rreg(LR);
+                return Ok(lr as usize);
+            }
+            MInst::Out { rn } => {
+                let v = self.rreg(*rn);
+                self.outputs.push(v);
+            }
+            MInst::Halt => unreachable!("handled in run loop"),
+            MInst::Nop => {}
+            MInst::SAlu {
+                op,
+                bd,
+                bn,
+                src2,
+                speculative,
+            } => {
+                let a = self.rslice(*bn);
+                let b = self.slice_operand_fast(src2);
+                self.act.alu_slice_ops += 1;
+                if *speculative {
+                    self.act.spec_monitored_ops += 1;
+                }
+                use isa::inst::SAluOp::*;
+                let (r, misspec) = match op {
+                    Add => {
+                        let r = a + b;
+                        (r & 0xFF, *speculative && r > 0xFF)
+                    }
+                    Sub => {
+                        let r = a.wrapping_sub(b) & 0xFF;
+                        (r, *speculative && a < b)
+                    }
+                    Lsl => {
+                        if b >= 8 {
+                            (0, *speculative && a != 0)
+                        } else {
+                            let r = a << b;
+                            (r & 0xFF, *speculative && r > 0xFF)
+                        }
+                    }
+                    Lsr => (if b >= 8 { 0 } else { a >> b }, false),
+                    Asr => {
+                        let sa = (a as u8 as i8) >> b.min(7);
+                        ((sa as u8) as u32, false)
+                    }
+                    And => (a & b, false),
+                    Orr => (a | b, false),
+                    Eor => (a ^ b, false),
+                };
+                if misspec {
+                    *cyc += 3;
+                    return self.misspec_target(pc);
+                }
+                self.wslice(*bd, r);
+            }
+            MInst::SCmp { bn, src2 } => {
+                let a = self.rslice(*bn);
+                let b = self.slice_operand_fast(src2);
+                self.act.alu_slice_ops += 1;
+                self.flags = flags_sub8(a, b);
+            }
+            MInst::SLoadSpec { bd, rn, offset } => {
+                self.counts.loads += 1;
+                let base = self.rreg(*rn);
+                let addr = base.wrapping_add(*offset as u32);
+                *cyc += self.data_fast(pc, addr, false)?;
+                self.act.spec_monitored_ops += 1;
+                let v = self
+                    .mem
+                    .load(addr, sir::Width::W32)
+                    .map_err(|_| SimError::MemFault { pc, addr })? as u32;
+                if v > 0xFF {
+                    *cyc += 3;
+                    return self.misspec_target(pc);
+                }
+                self.wslice(*bd, v);
+            }
+            MInst::SLoad {
+                bd,
+                rn,
+                offset,
+                spill,
+            } => {
+                self.counts.loads += 1;
+                if *spill {
+                    self.counts.spill_loads += 1;
+                }
+                let base = self.rreg(*rn);
+                let addr = base.wrapping_add(*offset as u32);
+                *cyc += self.data_fast(pc, addr, false)?;
+                let v = self
+                    .mem
+                    .load(addr, sir::Width::W8)
+                    .map_err(|_| SimError::MemFault { pc, addr })? as u32;
+                self.wslice(*bd, v);
+            }
+            MInst::SStore {
+                bs,
+                rn,
+                offset,
+                spill,
+            } => {
+                self.counts.stores += 1;
+                if *spill {
+                    self.counts.spill_stores += 1;
+                }
+                let v = self.rslice(*bs);
+                let base = self.rreg(*rn);
+                let addr = base.wrapping_add(*offset as u32);
+                *cyc += self.data_fast(pc, addr, true)?;
+                self.mem
+                    .store(addr, sir::Width::W8, u64::from(v))
+                    .map_err(|_| SimError::MemFault { pc, addr })?;
+            }
+            MInst::SExtend { rd, bn, signed } => {
+                let v = self.rslice(*bn);
+                self.act.alu_slice_ops += 1;
+                let r = if *signed {
+                    v as u8 as i8 as i32 as u32
+                } else {
+                    v
+                };
+                self.wreg(*rd, r);
+            }
+            MInst::STrunc {
+                bd,
+                rn,
+                speculative,
+            } => {
+                let v = self.rreg(*rn);
+                if *speculative {
+                    self.act.spec_monitored_ops += 1;
+                    if v > 0xFF {
+                        *cyc += 3;
+                        return self.misspec_target(pc);
+                    }
+                }
+                self.wslice(*bd, v & 0xFF);
+            }
+            MInst::SMov { bd, bs } => {
+                self.counts.copies += 1;
+                let v = self.rslice(*bs);
+                self.wslice(*bd, v);
+            }
+            MInst::SMovImm { bd, imm } => {
+                self.wslice(*bd, u32::from(*imm));
+            }
+            MInst::SetDelta { bytes } => {
+                self.delta = *bytes;
+            }
+            MInst::SpecCheck { rn } => {
+                let v = self.rreg(*rn);
+                self.act.spec_monitored_ops += 1;
+                self.act.speccheck_ops += 1;
+                if v != 0 {
+                    *cyc += 3;
+                    return self.misspec_target(pc);
+                }
+            }
+        }
+        Ok(next)
+    }
+}

@@ -22,6 +22,7 @@
 pub mod cache;
 pub mod dts;
 pub mod energy;
+mod fast;
 pub mod machine;
 
 pub use energy::{EnergyBreakdown, EnergyModel};

@@ -18,6 +18,12 @@ pub struct SimConfig {
     pub fuel: u64,
     /// Energy model constants.
     pub energy: EnergyModel,
+    /// Run the retained reference (slow-path) engine instead of the
+    /// predecoded fast path. The two are equivalent — `outputs`, `cycles`,
+    /// `counts` and `activity` are bit-identical, energy matches within
+    /// float-summation tolerance — and the regression suite holds them to
+    /// that; the reference engine exists as the obviously-correct oracle.
+    pub reference: bool,
 }
 
 impl Default for SimConfig {
@@ -26,6 +32,7 @@ impl Default for SimConfig {
             dts: false,
             fuel: 2_000_000_000,
             energy: EnergyModel::default(),
+            reference: false,
         }
     }
 }
@@ -101,7 +108,7 @@ impl SimResult {
 }
 
 #[derive(Debug, Clone, Copy, Default)]
-struct Flags {
+pub(crate) struct Flags {
     n: bool,
     z: bool,
     c: bool,
@@ -110,22 +117,38 @@ struct Flags {
 
 /// The machine simulator.
 pub struct Simulator<'p> {
-    p: &'p Program,
-    cfg: SimConfig,
-    regs: [u32; 16],
-    flags: Flags,
-    delta: u32,
-    pc: usize,
-    mem: Memory,
-    hier: Hierarchy,
-    outputs: Vec<u32>,
-    counts: Counts,
-    act: Activity,
-    energy: EnergyBreakdown,
-    dts: DtsModel,
+    pub(crate) p: &'p Program,
+    pub(crate) cfg: SimConfig,
+    pub(crate) regs: [u32; 16],
+    pub(crate) flags: Flags,
+    pub(crate) delta: u32,
+    pub(crate) pc: usize,
+    pub(crate) mem: Memory,
+    pub(crate) hier: Hierarchy,
+    pub(crate) outputs: Vec<u32>,
+    pub(crate) counts: Counts,
+    pub(crate) act: Activity,
+    pub(crate) energy: EnergyBreakdown,
+    pub(crate) dts: DtsModel,
     /// Destination of the previous instruction if it was a load (load-use
-    /// interlock modelling).
+    /// interlock modelling; reference engine).
     last_load_dest: Option<Reg>,
+    /// Fast-path interlock state: destination mask of the previous
+    /// instruction if it was a word load.
+    pub(crate) last_load_mask: u32,
+    /// I-fetch line buffer: the line index (`addr / line_bytes`) of the
+    /// most recent fetch and its resident L1I slot. A same-line fetch is a
+    /// guaranteed hit (nothing else touches the I$ between fetches), so
+    /// the fast path records the hit directly without a tag lookup.
+    pub(crate) ibuf_line: u32,
+    pub(crate) ibuf_slot: usize,
+    /// Data-side line buffer, same argument: every L1D access flows
+    /// through the fast path, so between two consecutive data accesses
+    /// nothing can evict the previously touched (MRU) line.
+    pub(crate) dbuf_line: u32,
+    pub(crate) dbuf_slot: usize,
+    /// `log2` of the L1D line size, for the data line-buffer index.
+    pub(crate) dline_shift: u32,
 }
 
 impl<'p> Simulator<'p> {
@@ -138,6 +161,9 @@ impl<'p> Simulator<'p> {
         let mut regs = [0u32; 16];
         regs[SP.index()] = p.mem_size - 16;
         regs[LR.index()] = p.halt as u32;
+        let hier = Hierarchy::default();
+        let dline = hier.l1d.line();
+        assert!(dline.is_power_of_two(), "L1D line size must be 2^k");
         Simulator {
             p,
             cfg: cfg.clone(),
@@ -146,13 +172,19 @@ impl<'p> Simulator<'p> {
             delta: 0,
             pc: p.entry,
             mem,
-            hier: Hierarchy::default(),
+            hier,
             outputs: Vec::new(),
             counts: Counts::default(),
             act: Activity::default(),
             energy: EnergyBreakdown::default(),
             dts: DtsModel::default(),
             last_load_dest: None,
+            last_load_mask: 0,
+            ibuf_line: u32::MAX,
+            ibuf_slot: 0,
+            dbuf_line: u32::MAX,
+            dbuf_slot: 0,
+            dline_shift: dline.trailing_zeros(),
         }
     }
 
@@ -170,7 +202,19 @@ impl<'p> Simulator<'p> {
     ///
     /// # Errors
     /// Returns a [`SimError`] on faults or fuel exhaustion.
-    pub fn run(mut self) -> Result<SimResult, SimError> {
+    pub fn run(self) -> Result<SimResult, SimError> {
+        if self.cfg.reference {
+            self.run_reference()
+        } else {
+            self.run_fast()
+        }
+    }
+
+    /// The retained reference engine: per-step `MInst` clone, `Vec`-based
+    /// interlock detection, full cache lookup on every fetch and per-step
+    /// floating-point energy accumulation. Kept as the oracle the fast
+    /// path is regression-tested against (`tests/equivalence.rs`).
+    pub(crate) fn run_reference(mut self) -> Result<SimResult, SimError> {
         let em = self.cfg.energy;
         loop {
             if self.counts.dyn_insts >= self.cfg.fuel {
@@ -248,6 +292,8 @@ impl<'p> Simulator<'p> {
         let l2_before = self.hier.l2.accesses();
         let dram_before = self.hier.dram_accesses;
         let stall = self.hier.fetch(addr);
+        self.act.l2_from_i += self.hier.l2.accesses() - l2_before;
+        self.act.dram_from_i += self.hier.dram_accesses - dram_before;
         self.energy.icache += em.l1i_access;
         self.energy.icache += (self.hier.l2.accesses() - l2_before) as f64 * em.l2_access;
         self.energy.icache += (self.hier.dram_accesses - dram_before) as f64 * em.dram_access;
@@ -276,7 +322,13 @@ impl<'p> Simulator<'p> {
 
     // --- register-file accounting -------------------------------------------
 
+    // Invariant: every `Reg` reaching the simulator indexes the 16-entry
+    // architectural file (`r0`–`r15`) — the back-end never emits anything
+    // wider, and `Reg`'s constructors keep it that way. Both accessors
+    // debug-assert the invariant symmetrically; release builds index
+    // directly (a violation is a compiler bug, not a program input).
     fn read_reg(&mut self, r: Reg, em: &EnergyModel, core_e: &mut f64) -> u32 {
+        debug_assert!(r.index() < 16, "register {r:?} out of file bounds");
         self.act.rf_read_units += 4;
         self.act.reg_accesses_32 += 1;
         let e = 4.0 * em.rf_slice_read;
@@ -286,14 +338,13 @@ impl<'p> Simulator<'p> {
     }
 
     fn write_reg(&mut self, r: Reg, v: u32, em: &EnergyModel, core_e: &mut f64) {
+        debug_assert!(r.index() < 16, "register {r:?} out of file bounds");
         self.act.rf_write_units += 4;
         self.act.reg_accesses_32 += 1;
         let e = 4.0 * em.rf_slice_write;
         self.energy.regfile += e;
         *core_e += e;
-        if r.index() < 16 {
-            self.regs[r.index()] = v;
-        }
+        self.regs[r.index()] = v;
     }
 
     fn read_slice(&mut self, s: Slice, em: &EnergyModel, core_e: &mut f64) -> u32 {
@@ -324,7 +375,7 @@ impl<'p> Simulator<'p> {
 
     // --- misspeculation -------------------------------------------------------
 
-    fn misspec_target(&mut self, pc: usize) -> Result<usize, SimError> {
+    pub(crate) fn misspec_target(&mut self, pc: usize) -> Result<usize, SimError> {
         self.counts.misspecs += 1;
         let target_addr = self.p.addrs[pc].wrapping_add(self.delta);
         self.p
@@ -407,6 +458,7 @@ impl<'p> Simulator<'p> {
                 let a = self.read_reg(*rn, em, core_e) as u64;
                 let b = self.read_reg(*rm, em, core_e) as u64;
                 self.act.mul_ops += 1;
+                self.act.umull_ops += 1;
                 let e = em.mul * 1.5;
                 self.energy.alu += e;
                 *core_e += e;
@@ -423,6 +475,7 @@ impl<'p> Simulator<'p> {
             } => {
                 let v = self.read_reg(*rm, em, core_e);
                 self.act.alu_word_ops += 1;
+                self.act.extend_ops += 1;
                 self.alu_energy(2.0, em, core_e);
                 let r = match (from, signed) {
                     (MemWidth::B, false) => v & 0xFF,
@@ -747,6 +800,7 @@ impl<'p> Simulator<'p> {
             MInst::SpecCheck { rn } => {
                 let v = self.read_reg(*rn, em, core_e);
                 self.act.spec_monitored_ops += 1;
+                self.act.speccheck_ops += 1;
                 if v != 0 {
                     *cyc += 3;
                     return self.misspec_target(pc);
@@ -771,7 +825,7 @@ impl<'p> Simulator<'p> {
     }
 }
 
-fn mem_width(w: MemWidth) -> sir::Width {
+pub(crate) fn mem_width(w: MemWidth) -> sir::Width {
     match w {
         MemWidth::B => sir::Width::W8,
         MemWidth::H => sir::Width::W16,
@@ -837,7 +891,7 @@ fn reg_reads(inst: &MInst) -> Vec<Reg> {
     out
 }
 
-fn alu_exec(op: AluOp, a: u32, b: u32, flags: Flags) -> (u32, Flags) {
+pub(crate) fn alu_exec(op: AluOp, a: u32, b: u32, flags: Flags) -> (u32, Flags) {
     let mut fl = flags;
     let r = match op {
         AluOp::Add => a.wrapping_add(b),
@@ -909,7 +963,7 @@ fn signed_sub_overflow(a: u32, b: u32, r: u32) -> bool {
     ((a ^ b) & (a ^ r) & 0x8000_0000) != 0
 }
 
-fn flags_sub8(a: u32, b: u32) -> Flags {
+pub(crate) fn flags_sub8(a: u32, b: u32) -> Flags {
     let r = a.wrapping_sub(b) & 0xFF;
     Flags {
         n: r & 0x80 != 0,
@@ -919,7 +973,7 @@ fn flags_sub8(a: u32, b: u32) -> Flags {
     }
 }
 
-fn eval_cond(c: Cond, f: Flags) -> bool {
+pub(crate) fn eval_cond(c: Cond, f: Flags) -> bool {
     match c {
         Cond::Eq => f.z,
         Cond::Ne => !f.z,

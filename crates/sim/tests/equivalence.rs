@@ -1,0 +1,128 @@
+//! Fast-path vs reference-engine equivalence (the tentpole regression).
+//!
+//! The simulator keeps two engines: the predecoded, allocation-free fast
+//! path (`fast.rs`, the default) and the retained reference engine
+//! (`machine.rs`, `SimConfig::reference = true`). Their contract:
+//!
+//! * `outputs`, `cycles`, `counts` and `activity` are **bit-identical**,
+//! * every energy component agrees within float-summation tolerance
+//!   (the fast path folds integer counters once at end of run; the
+//!   reference accumulates f64 per step — same events, different
+//!   summation order).
+//!
+//! This suite holds both engines to that contract on every MiBench
+//! workload under the BASELINE and BITSPEC builds, plus the DTS mode.
+
+use bitspec::{build, simulate_with, BuildConfig, SimConfig, Workload};
+use mibench::{names, workload, Input};
+use sim::SimResult;
+
+const REL_TOL: f64 = 1e-6;
+
+fn rel_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= REL_TOL * a.abs().max(b.abs()).max(1.0)
+}
+
+fn run_both(w: &Workload, cfg: &BuildConfig, dts: bool) -> (SimResult, SimResult) {
+    let c = build(w, cfg).unwrap_or_else(|e| panic!("{}: build: {e}", w.name));
+    let fast_cfg = SimConfig {
+        dts,
+        ..SimConfig::default()
+    };
+    let ref_cfg = SimConfig {
+        dts,
+        reference: true,
+        ..SimConfig::default()
+    };
+    let fast = simulate_with(&c, w, &fast_cfg).unwrap_or_else(|e| panic!("{}: fast: {e}", w.name));
+    let refr = simulate_with(&c, w, &ref_cfg).unwrap_or_else(|e| panic!("{}: ref: {e}", w.name));
+    (fast, refr)
+}
+
+fn assert_equivalent(name: &str, tag: &str, fast: &SimResult, refr: &SimResult) {
+    assert_eq!(fast.outputs, refr.outputs, "{name}/{tag}: outputs");
+    assert_eq!(fast.cycles, refr.cycles, "{name}/{tag}: cycles");
+    assert_eq!(fast.counts, refr.counts, "{name}/{tag}: counts");
+    assert_eq!(fast.activity, refr.activity, "{name}/{tag}: activity");
+    for (comp, f, r) in [
+        ("alu", fast.energy.alu, refr.energy.alu),
+        ("regfile", fast.energy.regfile, refr.energy.regfile),
+        ("icache", fast.energy.icache, refr.energy.icache),
+        ("dcache", fast.energy.dcache, refr.energy.dcache),
+        ("pipeline", fast.energy.pipeline, refr.energy.pipeline),
+    ] {
+        assert!(
+            rel_close(f, r),
+            "{name}/{tag}: energy.{comp} diverges: fast={f} ref={r}"
+        );
+    }
+}
+
+/// BITSPEC build with the empirical gate off: the gate runs two extra
+/// full simulations per build, which doubles suite time without touching
+/// what this test checks (engine equivalence on whatever code runs).
+fn bitspec_ungated() -> BuildConfig {
+    BuildConfig {
+        empirical_gate: false,
+        ..BuildConfig::bitspec()
+    }
+}
+
+#[test]
+fn fast_matches_reference_on_baseline_suite() {
+    for name in names() {
+        let w = workload(name, Input::Large);
+        let (fast, refr) = run_both(&w, &BuildConfig::baseline(), false);
+        assert_equivalent(name, "baseline", &fast, &refr);
+    }
+}
+
+#[test]
+fn fast_matches_reference_on_bitspec_suite() {
+    for name in names() {
+        let w = workload(name, Input::Large);
+        let (fast, refr) = run_both(&w, &bitspec_ungated(), false);
+        assert!(
+            fast.counts.misspecs == refr.counts.misspecs,
+            "{name}: misspec counts"
+        );
+        assert_equivalent(name, "bitspec", &fast, &refr);
+    }
+}
+
+#[test]
+fn fast_matches_reference_under_dts() {
+    // DTS is path-dependent per step in the reference engine and
+    // class-accumulated in the fast path: the per-component split of the
+    // discount can differ in summation order, but totals and all integer
+    // state must still agree.
+    for name in ["crc32", "sha", "dijkstra"] {
+        let w = workload(name, Input::Large);
+        let (fast, refr) = run_both(&w, &bitspec_ungated(), true);
+        assert_eq!(fast.outputs, refr.outputs, "{name}/dts: outputs");
+        assert_eq!(fast.cycles, refr.cycles, "{name}/dts: cycles");
+        assert_eq!(fast.counts, refr.counts, "{name}/dts: counts");
+        assert_eq!(fast.activity, refr.activity, "{name}/dts: activity");
+        assert!(
+            rel_close(fast.total_energy(), refr.total_energy()),
+            "{name}/dts: total energy diverges: fast={} ref={}",
+            fast.total_energy(),
+            refr.total_energy()
+        );
+        // Caches are a separate voltage domain — DTS must not touch them,
+        // so those components stay point-comparable.
+        assert!(rel_close(fast.energy.icache, refr.energy.icache));
+        assert!(rel_close(fast.energy.dcache, refr.energy.dcache));
+    }
+}
+
+#[test]
+fn alternate_inputs_agree_too() {
+    // A second input set exercises different control paths (misspeculation
+    // rates change with data).
+    for name in ["bitcount", "qsort", "stringsearch"] {
+        let w = workload(name, Input::Alternate);
+        let (fast, refr) = run_both(&w, &bitspec_ungated(), false);
+        assert_equivalent(name, "alternate", &fast, &refr);
+    }
+}
