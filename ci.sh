@@ -13,3 +13,9 @@ cargo test -q
 # BENCH_sim.json generation end to end).
 cargo bench -p bench --bench experiments -- substrate_simulator
 cargo run --release -p bench --bin simperf -- 1
+
+# Compiler side: the profiler engine contract, then the staged-pipeline
+# target (2 reps → min-of-2 sweeps; also checks BENCH_build.json
+# generation and asserts fast/reference profiler equivalence end to end).
+cargo test --release -q -p bitspec --test profiler_equivalence
+cargo run --release -p bench --bin buildperf -- 2

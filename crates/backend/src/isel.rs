@@ -78,6 +78,22 @@ pub fn select_function(
     );
     let mut f = m.func(fid).clone();
     split_critical_edges(&mut f);
+    let mut use_counts = vec![0u32; f.insts.len()];
+    let mut count = |v: ValueId| {
+        if (v.index()) < use_counts.len() {
+            use_counts[v.index()] += 1;
+        }
+    };
+    for i in &f.insts {
+        for o in i.operands() {
+            count(o);
+        }
+    }
+    for b in &f.blocks {
+        for o in b.term.operands() {
+            count(o);
+        }
+    }
     let sel = Selector {
         m,
         f: &f,
@@ -89,6 +105,7 @@ pub fn select_function(
         alloca_sizes: Vec::new(),
         alloca_ids: HashMap::new(),
         cur: Vec::new(),
+        use_counts,
     };
     sel.run()
 }
@@ -163,6 +180,9 @@ struct Selector<'a> {
     alloca_sizes: Vec<u32>,
     alloca_ids: HashMap<ValueId, u32>,
     cur: Vec<MirInst>,
+    /// Operand occurrences per SIR value across the whole function
+    /// (instruction operands + terminator operands), indexed by `ValueId`.
+    use_counts: Vec<u32>,
 }
 
 impl<'a> Selector<'a> {
@@ -344,15 +364,7 @@ impl<'a> Selector<'a> {
         if !f.block(b).insts.contains(&cond) {
             return None;
         }
-        // Count uses across the function.
-        let mut uses = 0;
-        for i in &f.insts {
-            uses += i.operands().iter().filter(|o| **o == cond).count();
-        }
-        for blk in &f.blocks {
-            uses += blk.term.operands().iter().filter(|o| **o == cond).count();
-        }
-        if uses > 1 {
+        if self.use_counts[cond.index()] > 1 {
             return None;
         }
         Some((*cc, *width, *lhs, *rhs))

@@ -59,43 +59,45 @@ pub fn can_misspeculate(i: &MirInst) -> bool {
 }
 
 /// Definitely-defined vregs, as a forward intersection dataflow: a vreg is
-/// defined at a point iff it is defined on *every* path reaching it.
+/// defined at a point iff it is defined on *every* path reaching it. Facts
+/// are word-packed bitsets over vreg indices (bit set = defined).
 struct Defined {
-    nvregs: usize,
+    nwords: usize,
 }
 
 impl Analysis<MirFunction> for Defined {
-    type Fact = Vec<bool>;
+    type Fact = Vec<u64>;
 
     fn direction(&self) -> Direction {
         Direction::Forward
     }
 
-    fn boundary(&self, _g: &MirFunction) -> Vec<bool> {
-        vec![false; self.nvregs]
+    fn boundary(&self, _g: &MirFunction) -> Vec<u64> {
+        vec![0; self.nwords]
     }
 
-    fn init(&self, _g: &MirFunction, _n: usize) -> Vec<bool> {
+    fn init(&self, _g: &MirFunction, _n: usize) -> Vec<u64> {
         // Optimistic top for an intersection join: everything defined.
-        vec![true; self.nvregs]
+        vec![!0; self.nwords]
     }
 
-    fn join(&self, into: &mut Vec<bool>, from: &Vec<bool>) -> bool {
+    fn join(&self, into: &mut Vec<u64>, from: &Vec<u64>) -> bool {
         let mut changed = false;
         for (a, b) in into.iter_mut().zip(from) {
-            if *a && !*b {
-                *a = false;
+            let next = *a & *b;
+            if next != *a {
+                *a = next;
                 changed = true;
             }
         }
         changed
     }
 
-    fn transfer(&self, g: &MirFunction, n: usize, input: &Vec<bool>) -> Vec<bool> {
+    fn transfer(&self, g: &MirFunction, n: usize, input: &Vec<u64>) -> Vec<u64> {
         let mut out = input.clone();
         for i in &g.blocks[n].insts {
             for d in i.defs() {
-                out[d.index()] = true;
+                out[d.index() >> 6] |= 1u64 << (d.index() & 63);
             }
         }
         out
@@ -378,31 +380,42 @@ fn check_regions(f: &MirFunction, problems: &mut Vec<Diag>) {
 
 fn check_defined(f: &MirFunction, problems: &mut Vec<Diag>) {
     let nvregs = f.classes.len();
-    let sol = dataflow::solve(f, &Defined { nvregs });
+    let sol = dataflow::solve(
+        f,
+        &Defined {
+            nwords: nvregs.div_ceil(64),
+        },
+    );
     for b in f.block_ids() {
         let mut defined = sol.input[b.index()].clone();
-        let mut check = |uses: Vec<VReg>, defined: &[bool], loc: String| {
+        // Locations are formatted lazily: this loop runs per instruction on
+        // every (usually clean) function.
+        let mut check = |uses: Vec<VReg>, defined: &[u64], ii: Option<usize>| {
             for u in uses {
-                if u.index() >= nvregs || !defined[u.index()] {
+                if u.index() >= nvregs || defined[u.index() >> 6] >> (u.index() & 63) & 1 == 0 {
+                    let loc = match ii {
+                        Some(i) => format!("{b:?}[{i}]"),
+                        None => format!("{b:?}"),
+                    };
                     problems.push(Diag::new(
                         "MIR-UNDEF",
                         PASS,
                         f.name.clone(),
-                        loc.clone(),
+                        loc,
                         format!("{u:?} used before definition"),
                     ));
                 }
             }
         };
         for (ii, inst) in f.block(b).insts.iter().enumerate() {
-            check(inst.uses(), &defined, format!("{b:?}[{ii}]"));
+            check(inst.uses(), &defined, Some(ii));
             for d in inst.defs() {
                 if d.index() < nvregs {
-                    defined[d.index()] = true;
+                    defined[d.index() >> 6] |= 1u64 << (d.index() & 63);
                 }
             }
         }
-        check(f.block(b).term.uses(), &defined, format!("{b:?}"));
+        check(f.block(b).term.uses(), &defined, None);
     }
 }
 

@@ -22,7 +22,7 @@
 use crate::isel::CodegenOpts;
 use crate::mir::{MBlockId, MirFunction, MirInst, RegClass, VReg};
 use isa::Reg;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::HashSet;
 
 /// Where a virtual register ended up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,20 +67,22 @@ const CALLEE_SAVED_COMPACT: [Reg; 4] = [Reg(4), Reg(5), Reg(6), Reg(7)];
 /// Disjoint, sorted position intervals.
 type Segments = Vec<(u32, u32)>;
 
-/// An interval map per register slice: start → (end, owning vreg).
+/// An interval map per register slice: `(start, end, owning vreg)` kept
+/// sorted by start. Intervals within one slice are disjoint (a slice only
+/// ever hosts non-conflicting vregs), so overlap tests are one binary
+/// search + one predecessor check per query segment.
 #[derive(Debug, Clone, Default)]
 struct SliceOccupancy {
-    map: BTreeMap<u32, (u32, u32)>,
+    ivals: Vec<(u32, u32, u32)>,
 }
 
 impl SliceOccupancy {
     fn conflicts(&self, segs: &Segments) -> bool {
         for &(s, e) in segs {
             // Any existing interval with start < e whose end > s overlaps.
-            if let Some((_, &(pe, _))) = self.map.range(..e).next_back() {
-                if pe > s {
-                    return true;
-                }
+            let i = self.ivals.partition_point(|&(st, _, _)| st < e);
+            if i > 0 && self.ivals[i - 1].1 > s {
+                return true;
             }
         }
         false
@@ -88,7 +90,8 @@ impl SliceOccupancy {
 
     fn insert(&mut self, segs: &Segments, owner: u32) {
         for &(s, e) in segs {
-            self.map.insert(s, (e, owner));
+            let i = self.ivals.partition_point(|&(st, _, _)| st < s);
+            self.ivals.insert(i, (s, e, owner));
         }
     }
 }
@@ -261,8 +264,12 @@ pub fn layout_order(mir: &MirFunction) -> Vec<MBlockId> {
             order.push(b);
         }
     }
+    let mut placed = vec![false; mir.blocks.len()];
+    for &b in &order {
+        placed[b.index()] = true;
+    }
     for b in mir.block_ids() {
-        if !order.contains(&b) {
+        if !placed[b.index()] {
             order.push(b);
         }
     }
@@ -428,53 +435,100 @@ fn succs_of(mir: &MirFunction, b: MBlockId, with_handler_edges: bool) -> Vec<MBl
 fn build_ranges(mir: &MirFunction, order: &[MBlockId], with_handler_edges: bool) -> LiveRanges {
     let n = mir.classes.len();
     let nb = mir.blocks.len();
-    // Block-level liveness over branch + misspeculation edges.
-    let mut uevar: Vec<HashSet<VReg>> = vec![HashSet::new(); nb];
-    let mut defs: Vec<HashSet<VReg>> = vec![HashSet::new(); nb];
+    // Block-level liveness over branch + misspeculation edges, as word-packed
+    // bitsets over vreg indices (`nw` words per block-level set).
+    let nw = n.div_ceil(64);
+    let set = |s: &mut [u64], i: usize| s[i >> 6] |= 1u64 << (i & 63);
+    let get = |s: &[u64], i: usize| s[i >> 6] >> (i & 63) & 1 != 0;
+    let mut uevar: Vec<u64> = vec![0; nb * nw];
+    let mut defs: Vec<u64> = vec![0; nb * nw];
     let mut def_side = vec![true; n];
     for b in mir.block_ids() {
-        let bi = b.index();
+        let row = b.index() * nw;
         for i in &mir.block(b).insts {
             for u in i.uses() {
-                if !defs[bi].contains(&u) {
-                    uevar[bi].insert(u);
+                if !get(&defs[row..row + nw], u.index()) {
+                    set(&mut uevar[row..row + nw], u.index());
                 }
             }
             for d in i.defs() {
-                defs[bi].insert(d);
+                set(&mut defs[row..row + nw], d.index());
                 def_side[d.index()] = mir.block(b).spec_side;
             }
         }
         for u in mir.block(b).term.uses() {
-            if !defs[bi].contains(&u) {
-                uevar[bi].insert(u);
+            if !get(&defs[row..row + nw], u.index()) {
+                set(&mut uevar[row..row + nw], u.index());
             }
         }
     }
-    let mut live_in: Vec<HashSet<VReg>> = vec![HashSet::new(); nb];
-    let mut live_out: Vec<HashSet<VReg>> = vec![HashSet::new(); nb];
+    // Successor index lists once, instead of a Vec allocation per visit.
+    let succs: Vec<Vec<usize>> = (0..nb)
+        .map(|bi| {
+            succs_of(mir, MBlockId(bi as u32), with_handler_edges)
+                .into_iter()
+                .map(|s| s.index())
+                .collect()
+        })
+        .collect();
+    // Sweep order for the backward fixpoint: CFG postorder (successors
+    // before predecessors), so each pass propagates liveness across whole
+    // forward chains. Squeezed functions append `CFG_orig` and handler
+    // blocks after the spec side, so raw descending block index needs many
+    // more passes. Unreachable blocks settle in any order; keep index order.
+    // Components not reachable from the entry (e.g. `CFG_orig` when handler
+    // edges are excluded) get their own DFS, so they too sweep in postorder.
+    let mut sweep: Vec<usize> = Vec::with_capacity(nb);
+    {
+        let mut state = vec![0u8; nb]; // 0 unvisited, 1 visited
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        let entry = mir.entry.index();
+        for root in std::iter::once(entry).chain(0..nb) {
+            if state[root] != 0 {
+                continue;
+            }
+            state[root] = 1;
+            stack.push((root, 0));
+            while let Some(top) = stack.last_mut() {
+                let u = top.0;
+                if top.1 < succs[u].len() {
+                    let s = succs[u][top.1];
+                    top.1 += 1;
+                    if state[s] == 0 {
+                        state[s] = 1;
+                        stack.push((s, 0));
+                    }
+                } else {
+                    stack.pop();
+                    sweep.push(u);
+                }
+            }
+        }
+    }
+    let mut live_in: Vec<u64> = vec![0; nb * nw];
+    let mut live_out: Vec<u64> = vec![0; nb * nw];
+    let mut out: Vec<u64> = vec![0; nw];
     let mut changed = true;
     while changed {
         changed = false;
-        for bi in (0..nb).rev() {
-            let b = MBlockId(bi as u32);
-            let mut out: HashSet<VReg> = HashSet::new();
-            for s in succs_of(mir, b, with_handler_edges) {
-                out.extend(live_in[s.index()].iter().copied());
-            }
-            let mut inn = uevar[bi].clone();
-            for &v in &out {
-                if !defs[bi].contains(&v) {
-                    inn.insert(v);
+        for &bi in &sweep {
+            let row = bi * nw;
+            out.fill(0);
+            for &s in &succs[bi] {
+                for (o, w) in out.iter_mut().zip(&live_in[s * nw..s * nw + nw]) {
+                    *o |= w;
                 }
             }
-            if out != live_out[bi] {
-                live_out[bi] = out;
-                changed = true;
-            }
-            if inn != live_in[bi] {
-                live_in[bi] = inn;
-                changed = true;
+            for wi in 0..nw {
+                let inn = uevar[row + wi] | (out[wi] & !defs[row + wi]);
+                if out[wi] != live_out[row + wi] {
+                    live_out[row + wi] = out[wi];
+                    changed = true;
+                }
+                if inn != live_in[row + wi] {
+                    live_in[row + wi] = inn;
+                    changed = true;
+                }
             }
         }
     }
@@ -519,15 +573,15 @@ fn build_ranges(mir: &MirFunction, order: &[MBlockId], with_handler_edges: bool)
             touch(u, pos, &mut first_ev, &mut last_ev, &mut touched);
         }
         let bend = pos + 1;
+        let row = bi * nw;
         // Emit a segment for every vreg live in this block.
         for &vi in &touched {
-            let v = VReg(vi as u32);
-            let s = if live_in[bi].contains(&v) {
+            let s = if get(&live_in[row..row + nw], vi) {
                 bstart
             } else {
                 first_ev[vi]
             };
-            let e = if live_out[bi].contains(&v) {
+            let e = if get(&live_out[row..row + nw], vi) {
                 bend
             } else {
                 last_ev[vi]
@@ -537,16 +591,18 @@ fn build_ranges(mir: &MirFunction, order: &[MBlockId], with_handler_edges: bool)
             last_ev[vi] = 0;
         }
         // Live-through values with no local event.
-        for &v in live_in[bi].iter() {
-            if live_out[bi].contains(&v) && first_ev[v.index()] == u32::MAX {
+        for wi in 0..nw {
+            let mut word = live_in[row + wi] & live_out[row + wi];
+            while word != 0 {
+                let vi = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
                 // (events were reset above; untouched live-through values
                 // still have MAX)
-                let already = segs[v.index()]
-                    .last()
-                    .map(|&(_, e)| e >= bend)
-                    .unwrap_or(false);
-                if !already {
-                    segs[v.index()].push((bstart, bend));
+                if first_ev[vi] == u32::MAX {
+                    let already = segs[vi].last().map(|&(_, e)| e >= bend).unwrap_or(false);
+                    if !already {
+                        segs[vi].push((bstart, bend));
+                    }
                 }
             }
         }

@@ -1,0 +1,244 @@
+//! Build-pipeline wall-clock performance target.
+//!
+//! The sim side has `simperf`; this is the compiler side. Measures:
+//!
+//! 1. **Cold builds**: one full BITSPEC build per workload with every
+//!    stage cache cleared first.
+//! 2. **Matrix sweeps** over the fig09 + table2 + ablation config sets
+//!    (8 configs per workload differing only downstream of the profiler):
+//!    the uncached serial pipeline vs the stage-cached serial sweep (the
+//!    acceptance ratio; per-variant minimum over `min(reps, 3)` sweeps),
+//!    plus the cached sweep under the worker pool and an immediate
+//!    fully-warm resweep.
+//! 3. **Profiler engines**: the predecoded fast-path profiling
+//!    interpreter vs the tree-walking reference engine on every MiBench
+//!    workload's expanded module (A/B interleaved, per-engine minimum),
+//!    asserting bit-identical outputs, statistics and profiles.
+//!
+//! Writes the numbers to `BENCH_build.json` and prints a summary.
+//!
+//! Usage: `buildperf [-j N] [reps]`.
+
+use bench::{clear_cache, pool, run};
+use bitspec::{build, stages, BitwidthHeuristic, BuildConfig, Workload};
+use interp::{Interpreter, Profile, RunResult};
+use mibench::{names, workload, Input};
+use std::time::Instant;
+
+/// The evaluation matrix: the fig09 pair, the table2 heuristic study
+/// (gate off, per its protocol), the rq3 ablations and fig12's
+/// no-speculation architecture. All eight differ only downstream of the
+/// profiling stage — exactly the sharing a full experiment-suite run
+/// exhibits.
+fn config_set() -> Vec<BuildConfig> {
+    let mut cfgs = vec![BuildConfig::baseline(), BuildConfig::bitspec()];
+    for h in [
+        BitwidthHeuristic::Max,
+        BitwidthHeuristic::Avg,
+        BitwidthHeuristic::Min,
+    ] {
+        cfgs.push(BuildConfig {
+            empirical_gate: false,
+            ..BuildConfig::bitspec_with(h)
+        });
+    }
+    cfgs.push(BuildConfig {
+        compare_elim: false,
+        ..BuildConfig::bitspec()
+    });
+    cfgs.push(BuildConfig {
+        bitmask_elision: false,
+        ..BuildConfig::bitspec()
+    });
+    cfgs.push(BuildConfig {
+        arch: bitspec::Arch::NoSpec,
+        ..BuildConfig::bitspec()
+    });
+    cfgs
+}
+
+/// Clears both the bench artifact cache and the stage caches.
+fn clear_all() {
+    clear_cache();
+    stages::clear();
+}
+
+/// Times one serial sweep of the full workload × config matrix through
+/// the ordinary build+simulate pipeline.
+fn sweep_serial(workloads: &[Workload], cfgs: &[BuildConfig]) -> f64 {
+    let t = Instant::now();
+    for w in workloads {
+        for cfg in cfgs {
+            std::hint::black_box(run(w, cfg));
+        }
+    }
+    t.elapsed().as_secs_f64()
+}
+
+/// One profiling run of `module` on the chosen engine; returns elapsed
+/// seconds plus the results for the equivalence check.
+fn profile_once(
+    module: &sir::Module,
+    inputs: &[(String, Vec<u8>)],
+    reference: bool,
+) -> (f64, RunResult, Profile) {
+    let t = Instant::now();
+    let mut i = Interpreter::new(module);
+    i.set_reference(reference);
+    i.enable_profiling();
+    for (g, data) in inputs {
+        i.install_global(g, data);
+    }
+    let r = i.run("main", &[]).expect("profiling run");
+    let p = i.take_profile().expect("profiling enabled");
+    (t.elapsed().as_secs_f64(), r, p)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut reps: usize = 5;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "-j" || a == "--jobs" {
+            it.next();
+            continue;
+        }
+        if a.starts_with('-') {
+            continue;
+        }
+        if let Ok(n) = a.parse() {
+            if n >= 1 {
+                reps = n;
+            }
+        }
+    }
+    let jobs = pool::jobs_for(&args);
+    bench::header("buildperf", "staged build pipeline / profiler wall-clock");
+
+    let workloads: Vec<_> = names().iter().map(|n| workload(n, Input::Large)).collect();
+    let cfgs = config_set();
+
+    // 1. Cold full builds (every cache cleared per build).
+    let mut cold_rows = Vec::new();
+    for w in &workloads {
+        clear_all();
+        let t = Instant::now();
+        std::hint::black_box(build(w, &BuildConfig::bitspec()).expect("build"));
+        cold_rows.push((w.name.clone(), t.elapsed().as_secs_f64()));
+    }
+    let cold_total: f64 = cold_rows.iter().map(|r| r.1).sum();
+    println!(
+        "cold bitspec builds: {:.3}s total over {} workloads",
+        cold_total,
+        cold_rows.len()
+    );
+
+    // 2. Matrix sweeps: uncached serial vs stage-cached serial vs pool.
+    // Whole-sweep wall clock is noisy (scheduler, page cache), so take the
+    // per-variant minimum over a few sweeps — evenly for both sides.
+    let sweep_reps = reps.min(3);
+    let cells = workloads.len() * cfgs.len();
+    stages::set_enabled(false);
+    let mut uncached_serial = f64::INFINITY;
+    for _ in 0..sweep_reps {
+        clear_all();
+        uncached_serial = uncached_serial.min(sweep_serial(&workloads, &cfgs));
+    }
+    stages::set_enabled(true);
+    let (mut warm_serial, mut resweep) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..sweep_reps {
+        clear_all();
+        warm_serial = warm_serial.min(sweep_serial(&workloads, &cfgs));
+        // Artifact + stage caches hot.
+        resweep = resweep.min(sweep_serial(&workloads, &cfgs));
+    }
+    clear_all();
+    let t = Instant::now();
+    std::hint::black_box(bench::run_matrix(&workloads, &cfgs, jobs));
+    let warm_pool = t.elapsed().as_secs_f64();
+    let warm_speedup = uncached_serial / warm_serial;
+    println!(
+        "matrix sweep ({cells} cells): uncached_serial={uncached_serial:.3}s \
+         staged_serial={warm_serial:.3}s ({warm_speedup:.2}x) \
+         staged_pool(j={jobs})={warm_pool:.3}s resweep={resweep:.3}s"
+    );
+
+    // 3. Profiler engines on every workload's expanded module.
+    let mut prof_rows = Vec::new();
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>8}",
+        "workload", "dyn_insts", "ref_ms", "fast_ms", "speedup"
+    );
+    for w in &workloads {
+        let (module, _) =
+            stages::expand(w, &BuildConfig::bitspec().expander, true).expect("expand");
+        let train = if w.train_inputs.is_empty() {
+            &w.inputs
+        } else {
+            &w.train_inputs
+        };
+        let (mut t_ref, mut t_fast) = (f64::INFINITY, f64::INFINITY);
+        let mut identical = true;
+        let mut dyn_insts = 0;
+        for _ in 0..reps {
+            let (tr, rr, pr) = profile_once(&module, train, true);
+            let (tf, rf, pf) = profile_once(&module, train, false);
+            t_ref = t_ref.min(tr);
+            t_fast = t_fast.min(tf);
+            identical &= rr == rf && pr == pf;
+            dyn_insts = rr.stats.dyn_insts;
+        }
+        assert!(identical, "{}: fast/reference profiler divergence", w.name);
+        println!(
+            "{:<16} {dyn_insts:>12} {:>12.2} {:>12.2} {:>7.2}x",
+            w.name,
+            t_ref * 1e3,
+            t_fast * 1e3,
+            t_ref / t_fast
+        );
+        prof_rows.push((w.name.clone(), dyn_insts, t_ref, t_fast, identical));
+    }
+    let sum_ref: f64 = prof_rows.iter().map(|r| r.2).sum();
+    let sum_fast: f64 = prof_rows.iter().map(|r| r.3).sum();
+    println!(
+        "{:<16} {:>12} {:>12.2} {:>12.2} {:>7.2}x",
+        "TOTAL",
+        "",
+        sum_ref * 1e3,
+        sum_fast * 1e3,
+        sum_ref / sum_fast
+    );
+
+    let mut json = String::from("{\n  \"cold_builds\": [\n");
+    for (i, (name, secs)) in cold_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{name}\", \"bitspec_s\": {secs:.6}}}{}\n",
+            if i + 1 < cold_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"cold_total_s\": {cold_total:.6},\n  \"sweep\": {{\"cells\": {cells}, \
+         \"configs\": {}, \"uncached_serial_s\": {uncached_serial:.6}, \
+         \"staged_serial_s\": {warm_serial:.6}, \"warm_speedup\": {warm_speedup:.3}, \
+         \"staged_pool_jobs\": {jobs}, \"staged_pool_s\": {warm_pool:.6}, \
+         \"resweep_s\": {resweep:.6}}},\n  \"profiler\": [\n",
+        cfgs.len()
+    ));
+    for (i, (name, dyn_insts, t_ref, t_fast, identical)) in prof_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{name}\", \"dyn_insts\": {dyn_insts}, \
+             \"reference_s\": {t_ref:.6}, \"fast_s\": {t_fast:.6}, \
+             \"speedup\": {:.3}, \"identical\": {identical}}}{}\n",
+            t_ref / t_fast,
+            if i + 1 < prof_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"profiler_total_reference_s\": {sum_ref:.6},\n  \
+         \"profiler_total_fast_s\": {sum_fast:.6},\n  \
+         \"profiler_total_speedup\": {:.3},\n  \"reps\": {reps}\n}}\n",
+        sum_ref / sum_fast
+    ));
+    std::fs::write("BENCH_build.json", &json).expect("write BENCH_build.json");
+    println!("wrote BENCH_build.json");
+}

@@ -12,7 +12,7 @@ use bitspec::{build, simulate_with, BuildConfig, Compiled, SimConfig, SimResult,
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-pub mod pool;
+pub use bitspec::pool;
 
 /// Builds and simulates one workload under one configuration.
 ///
@@ -34,26 +34,14 @@ fn cache() -> &'static Mutex<HashMap<String, Cell>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-/// Cache key for one (workload, config) cell: workload name, an FNV-1a
-/// hash of the source and of every eval/train input, and the config's
-/// `Debug` rendering (every `BuildConfig` field is observable there, so
-/// distinct configs cannot collide).
+/// Cache key for one (workload, config) cell: the workload name (for
+/// debuggability of cache dumps) plus a structural FNV-1a fingerprint of
+/// the workload contents and every `BuildConfig` field
+/// ([`bitspec::fingerprint::cell_key`]). Keyed on explicit fields, not
+/// `Debug` output, so formatting changes can neither alias nor split
+/// cache cells.
 pub fn fingerprint(w: &Workload, cfg: &BuildConfig) -> String {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    eat(w.source.as_bytes());
-    for (tag, inputs) in [("eval", &w.inputs), ("train", &w.train_inputs)] {
-        for (g, data) in inputs {
-            eat(tag.as_bytes());
-            eat(g.as_bytes());
-            eat(data);
-        }
-    }
-    format!("{}#{h:016x}#{cfg:?}", w.name)
+    format!("{}#{:016x}", w.name, bitspec::fingerprint::cell_key(w, cfg))
 }
 
 /// Like [`run`], but memoized in a process-wide artifact cache: a repeat
@@ -162,6 +150,89 @@ mod tests {
         assert!((ratio(50.0, 100.0) - 0.5).abs() < 1e-9);
         assert!((geomean(&[0.5, 2.0]) - 1.0).abs() < 1e-9);
         assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_configs_never_share_a_fingerprint() {
+        use bitspec::{Arch, BitwidthHeuristic, ExpanderConfig};
+        let w = bitspec::Workload::from_source("t", "void main() { }");
+        let base = BuildConfig::bitspec();
+        // One variant per BuildConfig field, each differing from `base` in
+        // exactly that field.
+        let variants = vec![
+            BuildConfig {
+                arch: Arch::NoSpec,
+                ..base.clone()
+            },
+            BuildConfig {
+                heuristic: BitwidthHeuristic::Min,
+                ..base.clone()
+            },
+            BuildConfig {
+                expander: ExpanderConfig {
+                    unroll_factor: base.expander.unroll_factor + 1,
+                    ..base.expander
+                },
+                ..base.clone()
+            },
+            BuildConfig {
+                expander: ExpanderConfig {
+                    max_func_size: base.expander.max_func_size + 1,
+                    ..base.expander
+                },
+                ..base.clone()
+            },
+            BuildConfig {
+                expander: ExpanderConfig {
+                    max_loop_size: base.expander.max_loop_size + 1,
+                    ..base.expander
+                },
+                ..base.clone()
+            },
+            BuildConfig {
+                expander: ExpanderConfig {
+                    enabled: false,
+                    ..base.expander
+                },
+                ..base.clone()
+            },
+            BuildConfig {
+                compare_elim: false,
+                ..base.clone()
+            },
+            BuildConfig {
+                bitmask_elision: false,
+                ..base.clone()
+            },
+            BuildConfig {
+                spill_prefer_orig: false,
+                ..base.clone()
+            },
+            BuildConfig {
+                dts: true,
+                ..base.clone()
+            },
+            BuildConfig {
+                empirical_gate: false,
+                ..base.clone()
+            },
+            BuildConfig {
+                verify_each: false,
+                ..base.clone()
+            },
+            BuildConfig {
+                reference_profiler: true,
+                ..base.clone()
+            },
+        ];
+        let mut keys = vec![fingerprint(&w, &base)];
+        for v in &variants {
+            keys.push(fingerprint(&w, v));
+        }
+        let mut sorted = keys.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), keys.len(), "fingerprint collision: {keys:?}");
     }
 
     #[test]

@@ -24,13 +24,19 @@
 //! ```
 
 use interp::{Heuristic, Interpreter, Layout, Profile};
-use opt::{ExpanderConfig, SqueezeConfig, SqueezeReport};
+use opt::{SqueezeConfig, SqueezeReport};
 use std::error::Error;
 use std::fmt;
 
+pub mod fingerprint;
+pub mod pool;
+pub mod stages;
+
 pub use backend::Program;
 pub use interp::Heuristic as BitwidthHeuristic;
+pub use opt::ExpanderConfig;
 pub use sim::{SimConfig, SimResult};
+pub use stages::StageHits;
 
 /// Which processor/compiler pair to build for (§4.1's configurations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +77,12 @@ pub struct BuildConfig {
     /// on the linked image. Violations surface as [`BuildError::Verify`]
     /// with stable rule IDs instead of miscompiled programs.
     pub verify_each: bool,
+    /// Profile with the tree-walking reference interpreter instead of the
+    /// predecoded fast path (off by default). Both engines are
+    /// bit-identical in outputs, statistics and profiles — this flag
+    /// exists for the differential equivalence suite and for bisecting
+    /// suspected fast-path bugs.
+    pub reference_profiler: bool,
 }
 
 impl BuildConfig {
@@ -86,6 +98,7 @@ impl BuildConfig {
             dts: false,
             empirical_gate: true,
             verify_each: true,
+            reference_profiler: false,
         }
     }
 
@@ -183,6 +196,9 @@ pub struct Compiled {
     /// codegens on the training input and keep the winner — the same
     /// measurement-driven stance as the paper's offline auto-tuner).
     pub used_squeezed: bool,
+    /// Which pipeline stages this build served from the process-wide
+    /// stage cache (see [`stages`]).
+    pub stage_hits: StageHits,
 }
 
 /// Compiles `workload` under `cfg` through the full Figure 4 pipeline.
@@ -191,25 +207,20 @@ pub struct Compiled {
 /// Returns a [`BuildError`] on frontend errors, profiling faults, or (a
 /// pipeline bug) post-transformation verification failures.
 pub fn build(workload: &Workload, cfg: &BuildConfig) -> Result<Compiled, BuildError> {
-    let mut module =
-        lang::compile(&workload.name, &workload.source).map_err(BuildError::Compile)?;
-    if cfg.verify_each {
-        sir::verify::verify_module(&module).map_err(BuildError::Verify)?;
-    }
-    // Expander (§3.2.1) + cleanup.
-    opt::expand_module(&mut module, &cfg.expander);
-    if cfg.verify_each {
-        sir::verify::verify_module(&module).map_err(BuildError::Verify)?;
-    }
-    opt::simplify::run(&mut module);
-    opt::dce::run(&mut module);
-    if cfg.verify_each {
-        sir::verify::verify_module(&module).map_err(BuildError::Verify)?;
-    }
-    // Bitwidth profiler (§3.2.2) on the train input.
-    let (profile, profile_dyn_insts) = profile_run(&module, workload.train())?;
+    // Stages 1–3 (frontend, expander, profiler) are memoized process-wide;
+    // sweeps differing only in downstream knobs share them (see `stages`).
+    let (expanded, pdata, stage_hits) = stages::profile(
+        workload,
+        &cfg.expander,
+        cfg.verify_each,
+        cfg.reference_profiler,
+    )?;
+    let mut module = (*expanded).clone();
+    let profile = pdata.profile.clone();
+    let profile_dyn_insts = pdata.dyn_insts;
     // Squeezer (§3.2.3).
-    let unsqueezed = module.clone();
+    let maybe_gate = matches!(cfg.arch, Arch::BitSpec | Arch::NoSpec) && cfg.empirical_gate;
+    let unsqueezed = maybe_gate.then(|| module.clone());
     let squeeze = match cfg.arch {
         Arch::BitSpec => opt::squeeze_module(
             &mut module,
@@ -244,47 +255,67 @@ pub fn build(workload: &Workload, cfg: &BuildConfig) -> Result<Compiled, BuildEr
         compact: cfg.arch == Arch::Compact,
         spill_prefer_orig: cfg.spill_prefer_orig,
     };
-    let program = backend::compile_module_checked(&module, &opts, cfg.verify_each)
-        .map_err(BuildError::Verify)?;
     // Empirical gate (BITSPEC only): simulate both codegens on the training
     // input and keep whichever consumes less energy. Profile-guided
     // speculation sometimes loses (the paper's qsort); measuring on the
     // train set is the honest way to decide, mirroring the paper's
-    // measurement-driven auto-tuning.
-    let mut used_squeezed = matches!(cfg.arch, Arch::BitSpec | Arch::NoSpec)
-        && squeeze.narrowed > 0
-        && cfg.empirical_gate;
-    let (module, program) = if used_squeezed {
-        let base_program = backend::compile_module_checked(&unsqueezed, &opts, cfg.verify_each)
-            .map_err(BuildError::Verify)?;
-        let train = workload.train().to_vec();
-        let energy_of = |m: &sir::Module, p: &Program| -> Option<f64> {
-            let layout = Layout::new(m);
-            let inputs: Vec<(u32, Vec<u8>)> = train
-                .iter()
-                .filter_map(|(g, data)| {
-                    m.globals
-                        .iter()
-                        .position(|x| x.name == *g)
-                        .map(|gi| (layout.addr(sir::GlobalId(gi as u32)), data.clone()))
-                })
-                .collect();
-            sim::run_program(p, &SimConfig::default(), &inputs)
-                .ok()
-                .map(|r| r.total_energy())
-        };
-        match (
-            energy_of(&module, &program),
-            energy_of(&unsqueezed, &base_program),
-        ) {
-            (Some(es), Some(eb)) if es <= eb => (module, program),
-            _ => {
-                used_squeezed = false;
-                (unsqueezed, base_program)
+    // measurement-driven auto-tuning. Both codegen+train-sim legs run as
+    // pool jobs; the unsqueezed reference leg depends only on the expanded
+    // module, backend options and training inputs, so it is additionally
+    // memoized process-wide (`stages::gate_ref`) and shared across every
+    // gated config in a sweep.
+    let (module, program, used_squeezed) = match unsqueezed {
+        Some(unsqueezed) if squeeze.narrowed > 0 => {
+            let train = workload.train();
+            let energy_of = |m: &sir::Module, p: &Program| -> Option<f64> {
+                let layout = Layout::new(m);
+                let inputs: Vec<(u32, Vec<u8>)> = train
+                    .iter()
+                    .filter_map(|(g, data)| {
+                        m.globals
+                            .iter()
+                            .position(|x| x.name == *g)
+                            .map(|gi| (layout.addr(sir::GlobalId(gi as u32)), data.clone()))
+                    })
+                    .collect();
+                sim::run_program(p, &SimConfig::default(), &inputs)
+                    .ok()
+                    .map(|r| r.total_energy())
+            };
+            let compile_and_measure = |m: &sir::Module| {
+                backend::compile_module_checked(m, &opts, cfg.verify_each)
+                    .map(|p| {
+                        let e = energy_of(m, &p);
+                        (p, e)
+                    })
+                    .map_err(BuildError::Verify)
+            };
+            let mods = [module, unsqueezed];
+            let mut legs = pool::run_ordered(2, 2, |i| {
+                if i == 0 {
+                    compile_and_measure(&mods[0])
+                } else {
+                    let (r, _hit) =
+                        stages::gate_ref(workload, &cfg.expander, cfg.verify_each, &opts, || {
+                            compile_and_measure(&mods[1])
+                                .map(|(program, energy)| stages::GateRef { program, energy })
+                        })?;
+                    Ok((r.program.clone(), r.energy))
+                }
+            });
+            let (base_program, eb) = legs.pop().expect("gate ran two legs")?;
+            let (program, es) = legs.pop().expect("gate ran two legs")?;
+            let [module, unsqueezed] = mods;
+            match (es, eb) {
+                (Some(es), Some(eb)) if es <= eb => (module, program, true),
+                _ => (unsqueezed, base_program, false),
             }
         }
-    } else {
-        (module, program)
+        _ => {
+            let program = backend::compile_module_checked(&module, &opts, cfg.verify_each)
+                .map_err(BuildError::Verify)?;
+            (module, program, false)
+        }
     };
     Ok(Compiled {
         module,
@@ -294,24 +325,8 @@ pub fn build(workload: &Workload, cfg: &BuildConfig) -> Result<Compiled, BuildEr
         config: cfg.clone(),
         profile_dyn_insts,
         used_squeezed,
+        stage_hits,
     })
-}
-
-/// Runs the profiler over the training inputs.
-fn profile_run(
-    module: &sir::Module,
-    inputs: &[(String, Vec<u8>)],
-) -> Result<(Profile, u64), BuildError> {
-    let mut i = Interpreter::new(module);
-    i.enable_profiling();
-    for (g, data) in inputs {
-        i.install_global(g, data);
-    }
-    let r = i.run("main", &[]).map_err(BuildError::Profile)?;
-    Ok((
-        i.take_profile().expect("profiling enabled"),
-        r.stats.dyn_insts,
-    ))
 }
 
 /// Runs `compiled` on the simulator with the workload's evaluation inputs.

@@ -1,10 +1,14 @@
-//! A std-only scoped-thread worker pool for the experiment harnesses.
+//! A std-only scoped-thread worker pool.
 //!
 //! The workspace builds fully offline, so this is deliberately not rayon:
 //! [`run_ordered`] fans a work-list across `std::thread::scope` workers
 //! pulling indices from a shared atomic counter, and collects results
 //! **by input index** — output order is the input order and identical for
 //! any worker count, so harness output stays byte-stable under `-j`.
+//!
+//! Lives in the core crate (re-exported by `bench`) because the build
+//! pipeline itself uses it: the empirical gate's two codegen+train-sim
+//! legs run as pool jobs instead of serially.
 //!
 //! Worker count resolution, in priority order: an explicit `-j N` /
 //! `-jN` / `--jobs N` argument ([`jobs_from_args`]), the `BITSPEC_JOBS`

@@ -4,7 +4,13 @@
 //! misspeculation semantics of Table 1: a speculative instruction whose
 //! result exceeds its 8-bit slice squashes the result and transfers control
 //! to the enclosing speculative region's handler.
+//!
+//! Two engines share this state: the predecoded fast path in
+//! [`crate::fast`] (the default) and the tree-walking reference engine in
+//! this module (selected with [`Interpreter::set_reference`]). Both produce
+//! bit-identical results, outputs, statistics and profiles.
 
+use crate::fast::{FastEngine, FastModule};
 use crate::layout::Layout;
 use crate::memory::{AccessError, Memory};
 use crate::profile::Profile;
@@ -81,16 +87,20 @@ pub struct RunResult {
 
 /// The interpreter: owns the memory image and accumulates statistics.
 pub struct Interpreter<'m> {
-    module: &'m Module,
-    layout: Layout,
+    pub(crate) module: &'m Module,
+    pub(crate) layout: Layout,
     /// The flat memory image (public so harnesses can install inputs).
     pub mem: Memory,
-    sp: u32,
-    stack_limit: u32,
-    outputs: Vec<u32>,
-    stats: Stats,
-    fuel: u64,
-    profile: Option<Profile>,
+    pub(crate) sp: u32,
+    pub(crate) stack_limit: u32,
+    pub(crate) outputs: Vec<u32>,
+    pub(crate) stats: Stats,
+    pub(crate) fuel: u64,
+    pub(crate) profile: Option<Profile>,
+    /// Use the tree-walking reference engine instead of the fast path.
+    reference: bool,
+    /// Lazily built predecoded module for the fast path.
+    fast: Option<FastModule>,
 }
 
 impl<'m> Interpreter<'m> {
@@ -126,7 +136,16 @@ impl<'m> Interpreter<'m> {
             stats: Stats::default(),
             fuel: DEFAULT_FUEL,
             profile: None,
+            reference: false,
+            fast: None,
         }
+    }
+
+    /// Selects the execution engine: `true` runs the tree-walking reference
+    /// interpreter, `false` (the default) the predecoded fast path. Both
+    /// are bit-identical in outputs, statistics and profiles.
+    pub fn set_reference(&mut self, reference: bool) {
+        self.reference = reference;
     }
 
     /// Sets the dynamic instruction budget.
@@ -171,10 +190,11 @@ impl<'m> Interpreter<'m> {
     }
 
     /// Reads back the contents of global `name` (host-side inspection).
+    /// Returns a slice borrowing the memory image directly.
     ///
     /// # Panics
     /// Panics if the global does not exist.
-    pub fn read_global(&self, name: &str) -> Vec<u8> {
+    pub fn read_global(&self, name: &str) -> &[u8] {
         let gid = self
             .module
             .globals
@@ -184,7 +204,6 @@ impl<'m> Interpreter<'m> {
         let g = &self.module.globals[gid];
         self.mem
             .read_bytes(self.layout.addr(sir::GlobalId(gid as u32)), g.size)
-            .to_vec()
     }
 
     /// Runs function `name` with `args`, consuming accumulated outputs and
@@ -199,12 +218,36 @@ impl<'m> Interpreter<'m> {
             .ok_or_else(|| ExecError::NoSuchFunction {
                 name: name.to_string(),
             })?;
-        let ret = self.call(fid, args)?;
+        let ret = if self.reference {
+            self.call(fid, args)?
+        } else {
+            self.run_fast(fid, args)?
+        };
         Ok(RunResult {
             ret,
             outputs: std::mem::take(&mut self.outputs),
             stats: std::mem::take(&mut self.stats),
         })
+    }
+
+    fn run_fast(&mut self, fid: FuncId, args: &[u64]) -> Result<Option<u64>, ExecError> {
+        if self.fast.is_none() {
+            self.fast = Some(FastModule::build(self.module, &self.layout));
+        }
+        let mut eng = FastEngine {
+            fm: self.fast.as_ref().expect("fast module just built"),
+            module: self.module,
+            mem: &mut self.mem,
+            sp: &mut self.sp,
+            stack_limit: self.stack_limit,
+            outputs: &mut self.outputs,
+            stats: &mut self.stats,
+            fuel: self.fuel,
+            profile: self.profile.as_mut(),
+            arena: Vec::new(),
+            scratch: Vec::new(),
+        };
+        eng.run(fid, args)
     }
 
     fn call(&mut self, fid: FuncId, args: &[u64]) -> Result<Option<u64>, ExecError> {
@@ -470,13 +513,20 @@ impl<'m> Interpreter<'m> {
     }
 
     fn bucket_assignment(&mut self, declared: Width, value: u64) {
-        if declared == Width::W1 {
-            return;
-        }
-        self.stats.by_declared[crate::profile::bucket_of(declared)] += 1;
-        let req = Width::for_bits(sir::types::required_bits(value)).unwrap_or(Width::W64);
-        self.stats.by_required[crate::profile::bucket_of(req.max(Width::W8))] += 1;
+        bucket_assignment(&mut self.stats, declared, value);
     }
+}
+
+/// Buckets one dynamic assignment by declared and required width (shared
+/// by the reference and fast engines so their statistics are identical).
+#[inline]
+pub(crate) fn bucket_assignment(stats: &mut Stats, declared: Width, value: u64) {
+    if declared == Width::W1 {
+        return;
+    }
+    stats.by_declared[crate::profile::bucket_of(declared)] += 1;
+    let req = Width::for_bits(sir::types::required_bits(value)).unwrap_or(Width::W64);
+    stats.by_required[crate::profile::bucket_of(req.max(Width::W8))] += 1;
 }
 
 enum StepOutcome {

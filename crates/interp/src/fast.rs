@@ -1,0 +1,702 @@
+//! The predecoded fast-path SIR engine.
+//!
+//! [`crate::Interpreter::run`] lands here by default; the tree-walking
+//! engine in `exec.rs` is retained as the reference oracle behind
+//! [`crate::Interpreter::set_reference`]. Versus the reference, the hot
+//! loop:
+//!
+//! * executes per-function **flattened op tables** ([`FastOp`]) resolved
+//!   once at predecode time — no `f.inst(v)` enum re-matching, no
+//!   `Vec<u64>` argument staging and no φ `incomings.find(..)` per
+//!   dynamic instruction (global addresses and sign-extension source
+//!   widths are also pre-resolved);
+//! * routes φ-nodes through **per-edge move tables**: every branch,
+//!   conditional-branch arm and misspeculation edge carries the
+//!   `(dst, src, width)` triples it must apply, staged through a reusable
+//!   scratch buffer to preserve the simultaneous-assignment semantics;
+//! * keeps call frames in a single reusable **frame arena** with stack
+//!   discipline instead of allocating a fresh `Vec<u64>` per call;
+//! * accounts fuel **per block**: the budget comparison is hoisted out of
+//!   the per-instruction path whenever the block provably fits in the
+//!   remaining budget (the slow, per-instruction check is only taken on
+//!   the final blocks before exhaustion, so `OutOfFuel` surfaces on
+//!   exactly the same dynamic instruction as the reference);
+//! * folds bitwidth profiling into the dense [`Profile::record`] path,
+//!   monomorphized via a `const PROF` parameter so non-profiling runs pay
+//!   nothing.
+//!
+//! `outputs`, `ret`, `stats` and the collected `Profile` are bit-identical
+//! to the reference engine; `tests/profiler_equivalence.rs` (in the
+//! `bitspec` crate) enforces this across the MiBench suite.
+
+use crate::exec::{bucket_assignment, eval_bin, spec_bin, ExecError, Stats};
+use crate::layout::Layout;
+use crate::memory::Memory;
+use crate::profile::Profile;
+use sir::{BinOp, Cc, FuncId, Inst, Module, Terminator, ValueId, Width};
+
+/// One φ move along a CFG edge: `vals[dst] = width.truncate(vals[src])`.
+struct PhiMove {
+    dst: u32,
+    src: u32,
+    width: Width,
+}
+
+/// A predecoded CFG edge: the target block plus the φ moves the edge must
+/// apply. `moves` is `None` when some φ in the target lacks an incoming
+/// entry for this edge — taking such an edge panics exactly like the
+/// reference engine's `incomings.find(..).expect(..)`.
+struct Edge {
+    target: u32,
+    moves: Option<Box<[PhiMove]>>,
+}
+
+/// A predecoded terminator.
+enum FastTerm {
+    Br(Edge),
+    CondBr { cond: u32, t: Edge, f: Edge },
+    Ret(Option<u32>),
+    Unreachable,
+}
+
+/// A predecoded instruction: operands are frame slots, enum payloads are
+/// fully resolved (global addresses, alloca alignment, sext source width).
+enum FastOp {
+    Const {
+        dst: u32,
+        value: u64,
+    },
+    GlobalAddr {
+        dst: u32,
+        addr: u64,
+    },
+    Alloca {
+        dst: u32,
+        aligned: u32,
+    },
+    Bin {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        op: BinOp,
+        width: Width,
+    },
+    SpecBin {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        op: BinOp,
+        width: Width,
+    },
+    Icmp {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        cc: Cc,
+        width: Width,
+    },
+    Zext {
+        dst: u32,
+        arg: u32,
+        to: Width,
+    },
+    Sext {
+        dst: u32,
+        arg: u32,
+        from: Width,
+        to: Width,
+    },
+    Trunc {
+        dst: u32,
+        arg: u32,
+        to: Width,
+        speculative: bool,
+    },
+    Load {
+        dst: u32,
+        addr: u32,
+        width: Width,
+        speculative: bool,
+    },
+    Store {
+        addr: u32,
+        value: u32,
+        width: Width,
+    },
+    Select {
+        dst: u32,
+        cond: u32,
+        tval: u32,
+        fval: u32,
+        width: Width,
+    },
+    Call {
+        callee: u32,
+        args: Box<[u32]>,
+        dst_ret: Option<(u32, Width)>,
+    },
+    Output {
+        value: u32,
+    },
+}
+
+/// A predecoded basic block: the non-φ body ops (parameters filtered out),
+/// the terminator, and the misspeculation edge to the enclosing region's
+/// handler (if the block is inside a region).
+struct FastBlock {
+    ops: Box<[FastOp]>,
+    term: FastTerm,
+    handler: Option<Edge>,
+    /// Whether `ops` contains a call. Calls burn arbitrary fuel in the
+    /// callee, so the block-entry budget comparison cannot cover the ops
+    /// after one — such blocks always run the per-instruction check.
+    has_call: bool,
+}
+
+/// A predecoded function.
+struct FastFunc {
+    /// Frame size: one `u64` slot per SSA value (slot index == `ValueId`).
+    nvals: usize,
+    entry: usize,
+    param_slots: Box<[u32]>,
+    param_widths: Box<[Width]>,
+    blocks: Box<[FastBlock]>,
+}
+
+/// The predecoded module: built once per [`crate::Interpreter`], shared by
+/// every subsequent call.
+pub(crate) struct FastModule {
+    funcs: Vec<FastFunc>,
+}
+
+impl FastModule {
+    pub(crate) fn build(m: &Module, layout: &Layout) -> FastModule {
+        FastModule {
+            funcs: m.funcs.iter().map(|f| build_func(f, layout)).collect(),
+        }
+    }
+}
+
+fn build_func(f: &sir::Function, layout: &Layout) -> FastFunc {
+    let param_slots: Box<[u32]> = (0..f.params.len()).map(|i| f.param_value(i).0).collect();
+    let blocks: Box<[FastBlock]> = f
+        .block_ids()
+        .map(|b| {
+            let blk = f.block(b);
+            let nphis = f.phi_count(b);
+            assert!(nphis == 0 || b != f.entry, "φ in entry block");
+            let start = if b == f.entry { f.params.len() } else { nphis };
+            let ops: Box<[FastOp]> = blk
+                .insts
+                .iter()
+                .skip(start)
+                .filter_map(|&v| decode(f, layout, v))
+                .collect();
+            let term = match &blk.term {
+                Terminator::Br(t) => FastTerm::Br(edge(f, b, *t)),
+                Terminator::CondBr {
+                    cond,
+                    if_true,
+                    if_false,
+                } => FastTerm::CondBr {
+                    cond: cond.0,
+                    t: edge(f, b, *if_true),
+                    f: edge(f, b, *if_false),
+                },
+                Terminator::Ret(v) => FastTerm::Ret(v.map(|v| v.0)),
+                Terminator::Unreachable => FastTerm::Unreachable,
+            };
+            let handler = blk.region.map(|r| edge(f, b, f.regions[r.index()].handler));
+            let has_call = ops.iter().any(|op| matches!(op, FastOp::Call { .. }));
+            FastBlock {
+                ops,
+                term,
+                handler,
+                has_call,
+            }
+        })
+        .collect();
+    FastFunc {
+        nvals: f.insts.len(),
+        entry: f.entry.index(),
+        param_slots,
+        param_widths: f.params.clone().into_boxed_slice(),
+        blocks,
+    }
+}
+
+/// Builds the φ move table for the edge `from → to`.
+fn edge(f: &sir::Function, from: sir::BlockId, to: sir::BlockId) -> Edge {
+    let nphis = f.phi_count(to);
+    let mut moves = Vec::with_capacity(nphis);
+    for &v in f.block(to).insts.iter().take(nphis) {
+        let Inst::Phi { incomings, width } = f.inst(v) else {
+            unreachable!("phi_count returned a non-φ");
+        };
+        match incomings.iter().find(|(b, _)| *b == from) {
+            Some((_, inc)) => moves.push(PhiMove {
+                dst: v.0,
+                src: inc.0,
+                width: *width,
+            }),
+            // Malformed edge: defer the reference engine's panic to the
+            // moment the edge is actually taken.
+            None => {
+                return Edge {
+                    target: to.0,
+                    moves: None,
+                }
+            }
+        }
+    }
+    Edge {
+        target: to.0,
+        moves: Some(moves.into_boxed_slice()),
+    }
+}
+
+/// Decodes one body instruction; `None` for parameter pseudo-instructions
+/// (skipped without counting, like the reference).
+fn decode(f: &sir::Function, layout: &Layout, v: ValueId) -> Option<FastOp> {
+    let dst = v.0;
+    Some(match f.inst(v) {
+        Inst::Param { .. } => return None,
+        Inst::Phi { .. } => unreachable!("φ handled at block entry"),
+        Inst::Const { width, value } => FastOp::Const {
+            dst,
+            value: width.truncate(*value),
+        },
+        Inst::GlobalAddr { global } => FastOp::GlobalAddr {
+            dst,
+            addr: u64::from(layout.addr(*global)),
+        },
+        Inst::Alloca { size } => FastOp::Alloca {
+            dst,
+            aligned: ((*size).max(1) + 3) & !3,
+        },
+        Inst::Bin {
+            op,
+            width,
+            lhs,
+            rhs,
+            speculative,
+        } => {
+            if *speculative {
+                debug_assert_eq!(*width, Width::W8, "speculation uses 8-bit slices");
+                FastOp::SpecBin {
+                    dst,
+                    lhs: lhs.0,
+                    rhs: rhs.0,
+                    op: *op,
+                    width: *width,
+                }
+            } else {
+                FastOp::Bin {
+                    dst,
+                    lhs: lhs.0,
+                    rhs: rhs.0,
+                    op: *op,
+                    width: *width,
+                }
+            }
+        }
+        Inst::Icmp {
+            cc,
+            width,
+            lhs,
+            rhs,
+        } => FastOp::Icmp {
+            dst,
+            lhs: lhs.0,
+            rhs: rhs.0,
+            cc: *cc,
+            width: *width,
+        },
+        Inst::Zext { to, arg } => FastOp::Zext {
+            dst,
+            arg: arg.0,
+            to: *to,
+        },
+        Inst::Sext { to, arg } => FastOp::Sext {
+            dst,
+            arg: arg.0,
+            from: f.value_width(*arg).expect("sext of non-value"),
+            to: *to,
+        },
+        Inst::Trunc {
+            to,
+            arg,
+            speculative,
+        } => FastOp::Trunc {
+            dst,
+            arg: arg.0,
+            to: *to,
+            speculative: *speculative,
+        },
+        Inst::Load {
+            width,
+            addr,
+            speculative,
+            ..
+        } => FastOp::Load {
+            dst,
+            addr: addr.0,
+            width: *width,
+            speculative: *speculative,
+        },
+        Inst::Store {
+            width, addr, value, ..
+        } => FastOp::Store {
+            addr: addr.0,
+            value: value.0,
+            width: *width,
+        },
+        Inst::Select {
+            width,
+            cond,
+            tval,
+            fval,
+        } => FastOp::Select {
+            dst,
+            cond: cond.0,
+            tval: tval.0,
+            fval: fval.0,
+            width: *width,
+        },
+        Inst::Call { callee, args, ret } => FastOp::Call {
+            callee: callee.0,
+            args: args.iter().map(|a| a.0).collect(),
+            dst_ret: ret.map(|w| (dst, w)),
+        },
+        Inst::Output { value } => FastOp::Output { value: value.0 },
+    })
+}
+
+/// How a block body finished.
+enum Flow {
+    /// Fell through to the terminator.
+    Fall,
+    /// A speculative instruction misspeculated.
+    Misspec,
+}
+
+/// The fast execution engine: borrows the interpreter's state for one run.
+pub(crate) struct FastEngine<'a, 'm> {
+    pub fm: &'a FastModule,
+    pub module: &'m Module,
+    pub mem: &'a mut Memory,
+    pub sp: &'a mut u32,
+    pub stack_limit: u32,
+    pub outputs: &'a mut Vec<u32>,
+    pub stats: &'a mut Stats,
+    pub fuel: u64,
+    pub profile: Option<&'a mut Profile>,
+    /// Frame arena: all live frames, stack-disciplined. Slot `base + v`
+    /// holds SSA value `v` of the frame at `base`.
+    pub arena: Vec<u64>,
+    /// Staging buffer for simultaneous φ assignment.
+    pub scratch: Vec<u64>,
+}
+
+impl<'a, 'm> FastEngine<'a, 'm> {
+    /// Runs function `fid` with `args`, mirroring the reference
+    /// `Interpreter::call`.
+    pub(crate) fn run(&mut self, fid: FuncId, args: &[u64]) -> Result<Option<u64>, ExecError> {
+        let ff = &self.fm.funcs[fid.index()];
+        debug_assert_eq!(args.len(), ff.param_slots.len(), "call arity mismatch");
+        let base = self.arena.len();
+        self.arena.resize(base + ff.nvals, 0);
+        for (i, a) in args.iter().enumerate() {
+            self.arena[base + ff.param_slots[i] as usize] = ff.param_widths[i].truncate(*a);
+        }
+        if self.profile.is_some() {
+            self.call_inner::<true>(fid.0, base)
+        } else {
+            self.call_inner::<false>(fid.0, base)
+        }
+    }
+
+    fn func_name(&self, fid: u32) -> String {
+        self.module.funcs[fid as usize].name.clone()
+    }
+
+    fn call_inner<const PROF: bool>(
+        &mut self,
+        fid: u32,
+        base: usize,
+    ) -> Result<Option<u64>, ExecError> {
+        let fm = self.fm;
+        let ff = &fm.funcs[fid as usize];
+        let saved_sp = *self.sp;
+        let mut cur = ff.entry;
+        loop {
+            let blk = &ff.blocks[cur];
+            // Block-level fuel accounting: hoist the budget comparison out
+            // of the per-op path when the block provably fits (a call can
+            // burn arbitrary fuel mid-block, so call blocks always check).
+            let flow = if blk.has_call || self.stats.dyn_insts + blk.ops.len() as u64 > self.fuel {
+                self.exec_ops::<PROF, true>(fid, blk, base)?
+            } else {
+                self.exec_ops::<PROF, false>(fid, blk, base)?
+            };
+            match flow {
+                Flow::Fall => {
+                    // Terminator (counted, never fuel-checked — same as the
+                    // reference engine).
+                    self.stats.dyn_insts += 1;
+                    match &blk.term {
+                        FastTerm::Br(e) => {
+                            self.stats.branches += 1;
+                            cur = self.take_edge::<PROF>(fid, e, base);
+                        }
+                        FastTerm::CondBr { cond, t, f } => {
+                            self.stats.branches += 1;
+                            let e = if self.arena[base + *cond as usize] & 1 == 1 {
+                                t
+                            } else {
+                                f
+                            };
+                            cur = self.take_edge::<PROF>(fid, e, base);
+                        }
+                        FastTerm::Ret(v) => {
+                            *self.sp = saved_sp;
+                            return Ok(v.map(|s| self.arena[base + s as usize]));
+                        }
+                        FastTerm::Unreachable => {
+                            return Err(ExecError::Unreachable {
+                                func: self.func_name(fid),
+                            })
+                        }
+                    }
+                }
+                Flow::Misspec => {
+                    self.stats.misspecs += 1;
+                    let e = blk
+                        .handler
+                        .as_ref()
+                        .expect("speculative instruction outside region");
+                    cur = self.take_edge::<PROF>(fid, e, base);
+                }
+            }
+        }
+    }
+
+    /// Applies the edge's φ moves (staged reads first, then writes, so
+    /// same-block φ dependencies observe the pre-edge state) and returns
+    /// the target block.
+    #[inline]
+    fn take_edge<const PROF: bool>(&mut self, fid: u32, e: &Edge, base: usize) -> usize {
+        let moves = e.moves.as_ref().expect("φ missing incoming edge");
+        if !moves.is_empty() {
+            let mut scratch = std::mem::take(&mut self.scratch);
+            scratch.clear();
+            for m in moves.iter() {
+                scratch.push(m.width.truncate(self.arena[base + m.src as usize]));
+            }
+            for (m, &x) in moves.iter().zip(scratch.iter()) {
+                self.arena[base + m.dst as usize] = x;
+                if PROF {
+                    if let Some(p) = self.profile.as_deref_mut() {
+                        p.record(FuncId(fid), ValueId(m.dst), x);
+                    }
+                }
+            }
+            self.scratch = scratch;
+        }
+        e.target as usize
+    }
+
+    /// Executes the straight-line body of `blk`. `CHECK` enables the
+    /// per-instruction fuel comparison (taken only when the block may
+    /// exhaust the budget).
+    #[allow(clippy::too_many_lines)]
+    fn exec_ops<const PROF: bool, const CHECK: bool>(
+        &mut self,
+        fid: u32,
+        blk: &FastBlock,
+        base: usize,
+    ) -> Result<Flow, ExecError> {
+        let fm = self.fm;
+        macro_rules! get {
+            ($s:expr) => {
+                self.arena[base + $s as usize]
+            };
+        }
+        macro_rules! set {
+            ($d:expr, $x:expr) => {{
+                let x = $x;
+                self.arena[base + $d as usize] = x;
+                if PROF {
+                    if let Some(p) = self.profile.as_deref_mut() {
+                        p.record(FuncId(fid), ValueId($d), x);
+                    }
+                }
+                x
+            }};
+        }
+        for op in blk.ops.iter() {
+            self.stats.dyn_insts += 1;
+            if CHECK && self.stats.dyn_insts > self.fuel {
+                return Err(ExecError::OutOfFuel);
+            }
+            match op {
+                FastOp::Const { dst, value } => {
+                    set!(*dst, *value);
+                }
+                FastOp::GlobalAddr { dst, addr } => {
+                    set!(*dst, *addr);
+                }
+                FastOp::Alloca { dst, aligned } => {
+                    if *self.sp < self.stack_limit + *aligned {
+                        return Err(ExecError::StackOverflow {
+                            func: self.func_name(fid),
+                        });
+                    }
+                    *self.sp -= *aligned;
+                    set!(*dst, u64::from(*self.sp));
+                }
+                FastOp::Bin {
+                    dst,
+                    lhs,
+                    rhs,
+                    op,
+                    width,
+                } => {
+                    let (a, b) = (get!(*lhs), get!(*rhs));
+                    let r = eval_bin(*op, *width, a, b).ok_or_else(|| ExecError::DivByZero {
+                        func: self.func_name(fid),
+                    })?;
+                    set!(*dst, r);
+                    bucket_assignment(self.stats, *width, r);
+                }
+                FastOp::SpecBin {
+                    dst,
+                    lhs,
+                    rhs,
+                    op,
+                    width,
+                } => {
+                    let (a, b) = (get!(*lhs), get!(*rhs));
+                    match spec_bin(*op, a, b) {
+                        Some(r) => {
+                            set!(*dst, r);
+                            bucket_assignment(self.stats, *width, r);
+                        }
+                        None => return Ok(Flow::Misspec),
+                    }
+                }
+                FastOp::Icmp {
+                    dst,
+                    lhs,
+                    rhs,
+                    cc,
+                    width,
+                } => {
+                    set!(*dst, u64::from(cc.eval(*width, get!(*lhs), get!(*rhs))));
+                }
+                FastOp::Zext { dst, arg, to } => {
+                    let r = to.truncate(get!(*arg));
+                    set!(*dst, r);
+                    bucket_assignment(self.stats, *to, r);
+                }
+                FastOp::Sext { dst, arg, from, to } => {
+                    let r = to.truncate(from.sext_to_64(get!(*arg)) as u64);
+                    set!(*dst, r);
+                    bucket_assignment(self.stats, *to, r);
+                }
+                FastOp::Trunc {
+                    dst,
+                    arg,
+                    to,
+                    speculative,
+                } => {
+                    let a = get!(*arg);
+                    if *speculative && a > to.mask() {
+                        return Ok(Flow::Misspec);
+                    }
+                    let r = to.truncate(a);
+                    set!(*dst, r);
+                    bucket_assignment(self.stats, *to, r);
+                }
+                FastOp::Load {
+                    dst,
+                    addr,
+                    width,
+                    speculative,
+                } => {
+                    self.stats.loads += 1;
+                    let a = get!(*addr) as u32;
+                    let x = self.mem.load(a, *width).map_err(|err| ExecError::Memory {
+                        func: self.func_name(fid),
+                        err,
+                    })?;
+                    if *speculative {
+                        if x > 0xFF {
+                            return Ok(Flow::Misspec);
+                        }
+                        set!(*dst, x);
+                        bucket_assignment(self.stats, Width::W8, x);
+                    } else {
+                        set!(*dst, x);
+                        bucket_assignment(self.stats, *width, x);
+                    }
+                }
+                FastOp::Store { addr, value, width } => {
+                    self.stats.stores += 1;
+                    let a = get!(*addr) as u32;
+                    let v = get!(*value);
+                    self.mem
+                        .store(a, *width, v)
+                        .map_err(|err| ExecError::Memory {
+                            func: self.func_name(fid),
+                            err,
+                        })?;
+                }
+                FastOp::Select {
+                    dst,
+                    cond,
+                    tval,
+                    fval,
+                    width,
+                } => {
+                    let r = if get!(*cond) & 1 == 1 {
+                        get!(*tval)
+                    } else {
+                        get!(*fval)
+                    };
+                    let r = width.truncate(r);
+                    set!(*dst, r);
+                    bucket_assignment(self.stats, *width, r);
+                }
+                FastOp::Call {
+                    callee,
+                    args,
+                    dst_ret,
+                } => {
+                    self.stats.calls += 1;
+                    let cff = &fm.funcs[*callee as usize];
+                    debug_assert_eq!(args.len(), cff.param_slots.len(), "call arity mismatch");
+                    let cbase = self.arena.len();
+                    self.arena.resize(cbase + cff.nvals, 0);
+                    for (i, &aslot) in args.iter().enumerate() {
+                        let v = self.arena[base + aslot as usize];
+                        self.arena[cbase + cff.param_slots[i] as usize] =
+                            cff.param_widths[i].truncate(v);
+                    }
+                    let r = self.call_inner::<PROF>(*callee, cbase)?;
+                    self.arena.truncate(cbase);
+                    if let (Some(r), Some((dslot, w))) = (r, dst_ret) {
+                        let t = w.truncate(r);
+                        set!(*dslot, t);
+                        bucket_assignment(self.stats, *w, t);
+                    }
+                }
+                FastOp::Output { value } => {
+                    let x = get!(*value) as u32;
+                    self.outputs.push(x);
+                }
+            }
+        }
+        Ok(Flow::Fall)
+    }
+}

@@ -17,6 +17,7 @@
 
 pub mod demanded;
 pub mod exec;
+mod fast;
 pub mod layout;
 pub mod memory;
 pub mod profile;

@@ -58,7 +58,9 @@ impl VarStats {
 }
 
 /// A bitwidth profile for a whole module, indexed by function and value.
-#[derive(Debug, Clone)]
+/// Equality is exact per-value equality — the fast/reference profiler
+/// equivalence suite compares whole profiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Profile {
     funcs: Vec<Vec<VarStats>>,
 }
@@ -266,6 +268,45 @@ mod tests {
         assert_eq!(s.count, 2);
         assert_eq!(s.max_bits, 17);
         assert_eq!(s.min_bits, 4);
+    }
+
+    #[test]
+    fn merge_accumulates_counts_and_sums() {
+        let m = tiny_module();
+        let mut a = Profile::new(&m);
+        let mut b = Profile::new(&m);
+        for x in [1u64, 3, 7] {
+            a.record(FuncId(0), ValueId(2), x); // 1, 2, 3 bits
+        }
+        b.record(FuncId(0), ValueId(2), 15); // 4 bits
+        a.merge(&b);
+        let s = a.stats(FuncId(0), ValueId(2));
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum_bits, 1 + 2 + 3 + 4);
+        assert_eq!(s.avg_bits(), 3); // ceil(10/4)
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let m = tiny_module();
+        let mut a = Profile::new(&m);
+        a.record(FuncId(0), ValueId(2), 42);
+        let before = a.clone();
+        a.merge(&Profile::new(&m));
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "profile shape mismatch")]
+    fn merge_rejects_shape_mismatch() {
+        let m = tiny_module();
+        let mut other = Module::new("u");
+        let mut fb = FunctionBuilder::new("g", vec![], None);
+        fb.ret(None);
+        other.add_function(fb.finish());
+        let mut a = Profile::new(&m);
+        let extra = Profile::new(&other);
+        a.merge(&extra);
     }
 
     #[test]

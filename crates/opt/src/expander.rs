@@ -24,6 +24,27 @@ pub struct ExpanderConfig {
     pub enabled: bool,
 }
 
+impl ExpanderConfig {
+    /// The configuration's identity as explicit fields, for structural
+    /// cache-key hashing (stage fingerprints must not depend on `Debug`
+    /// formatting). Any new knob must be added here, or distinct configs
+    /// would silently alias in the build caches.
+    pub fn key_fields(&self) -> (u32, u64, u64, bool) {
+        let ExpanderConfig {
+            unroll_factor,
+            max_func_size,
+            max_loop_size,
+            enabled,
+        } = *self;
+        (
+            unroll_factor,
+            max_func_size as u64,
+            max_loop_size as u64,
+            enabled,
+        )
+    }
+}
+
 impl Default for ExpanderConfig {
     fn default() -> Self {
         // Auto-tuned configuration: `bench/src/bin/tuner.rs` grid-searched

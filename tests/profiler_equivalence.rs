@@ -1,0 +1,152 @@
+//! Fast-vs-reference profiler equivalence across the MiBench suite.
+//!
+//! The predecoded fast-path interpreter (`interp::fast`) and the
+//! tree-walking reference engine must be **bit-identical**: same return
+//! value, same output stream, same dynamic statistics (including the
+//! declared/required width buckets and misspeculation counts), and the
+//! same bitwidth profile for every SSA value. This suite is the contract
+//! that lets the staged build pipeline cache one profiling run and reuse
+//! it regardless of which engine produced it.
+
+use bitspec::{build, stages, BuildConfig, Workload};
+use interp::{Interpreter, Profile, RunResult};
+use mibench::{names, workload, Input};
+
+/// The training inputs `build()` profiles with (train falls back to eval).
+fn train(w: &Workload) -> &[(String, Vec<u8>)] {
+    if w.train_inputs.is_empty() {
+        &w.inputs
+    } else {
+        &w.train_inputs
+    }
+}
+
+/// Runs `module` with `inputs` installed on the chosen engine, profiling
+/// enabled. Returns the run result and the collected profile.
+fn profiled_run(
+    module: &sir::Module,
+    inputs: &[(String, Vec<u8>)],
+    reference: bool,
+) -> (RunResult, Profile) {
+    let mut i = Interpreter::new(module);
+    i.set_reference(reference);
+    i.enable_profiling();
+    for (g, data) in inputs {
+        i.install_global(g, data);
+    }
+    let r = i.run("main", &[]).expect("profiling run");
+    (r, i.take_profile().expect("profiling enabled"))
+}
+
+#[test]
+fn engines_are_bit_identical_on_every_mibench_workload() {
+    for name in names() {
+        let w = workload(name, Input::Large);
+        // The profiler's actual subject: the expanded module.
+        let (module, _) =
+            stages::expand(&w, &BuildConfig::bitspec().expander, true).expect("expand");
+        let (fast, fast_profile) = profiled_run(&module, train(&w), false);
+        let (reference, ref_profile) = profiled_run(&module, train(&w), true);
+        assert_eq!(fast.ret, reference.ret, "{name}: return value");
+        assert_eq!(fast.outputs, reference.outputs, "{name}: output stream");
+        assert_eq!(fast.stats, reference.stats, "{name}: dynamic statistics");
+        assert_eq!(fast_profile, ref_profile, "{name}: bitwidth profile");
+    }
+}
+
+#[test]
+fn engines_agree_on_squeezed_speculative_modules() {
+    // The squeezed BITSPEC module exercises the speculative fast-path ops
+    // (spec add/sub/shl, spec trunc, spec load) and the misspeculation
+    // handler edges, which the pre-squeeze expanded module never contains.
+    for name in names() {
+        let w = workload(name, Input::Large);
+        let c = build(&w, &BuildConfig::bitspec()).expect("bitspec build");
+        let run = |reference: bool| {
+            let mut i = Interpreter::new(&c.module);
+            i.set_reference(reference);
+            for (g, data) in &w.inputs {
+                i.install_global(g, data);
+            }
+            i.run("main", &[]).expect("eval run")
+        };
+        let (fast, reference) = (run(false), run(true));
+        assert_eq!(fast.outputs, reference.outputs, "{name}: output stream");
+        assert_eq!(fast.stats, reference.stats, "{name}: dynamic statistics");
+    }
+}
+
+#[test]
+fn misspeculation_paths_are_identical() {
+    // Train on small values, evaluate past the 8-bit boundary: the
+    // squeezed loop must misspeculate, taking the handler φ-edges on both
+    // engines with identical counts.
+    let src = "global u32 n[1];
+        void main() {
+            u32 s = 0;
+            for (u32 i = 0; i < n[0]; i++) { s = s + 1; }
+            out(s);
+        }";
+    let w = Workload::from_source("misspec", src)
+        .with_input("n", 600u32.to_le_bytes().to_vec())
+        .with_train_input("n", 40u32.to_le_bytes().to_vec());
+    let c = build(&w, &BuildConfig::bitspec()).expect("build");
+    assert!(c.squeeze.regions > 0, "squeezer must form regions");
+    let run = |reference: bool| {
+        let mut i = Interpreter::new(&c.module);
+        i.set_reference(reference);
+        for (g, data) in &w.inputs {
+            i.install_global(g, data);
+        }
+        i.run("main", &[]).expect("eval run")
+    };
+    let (fast, reference) = (run(false), run(true));
+    assert_eq!(fast.outputs, vec![600]);
+    assert!(reference.stats.misspecs >= 1, "must misspeculate past 255");
+    assert_eq!(fast.stats, reference.stats);
+}
+
+#[test]
+fn out_of_fuel_fires_on_the_same_instruction() {
+    let m = lang::compile("t", "void main() { while (true) { } }").expect("compile");
+    // Find the exact budget at which the reference engine first survives
+    // longer, then check the fast engine errors/succeeds identically at
+    // every boundary (block-level fuel accounting must not round up).
+    for fuel in 90..110u64 {
+        let run = |reference: bool| {
+            let mut i = Interpreter::new(&m);
+            i.set_reference(reference);
+            i.set_fuel(fuel);
+            i.run("main", &[])
+        };
+        assert_eq!(run(false), run(true), "fuel={fuel}");
+    }
+}
+
+#[test]
+fn fuel_is_exact_across_calls() {
+    let src = "u32 work(u32 n) { u32 s = 0; for (u32 i = 0; i < n; i++) { s += i; } return s; }
+        void main() { u32 t = 0; for (u32 k = 0; k < 50; k++) { t += work(k); } out(t); }";
+    let m = lang::compile("t", src).expect("compile");
+    let full = {
+        let mut i = Interpreter::new(&m);
+        i.run("main", &[]).expect("full run").stats.dyn_insts
+    };
+    let run = |reference: bool, fuel: u64| {
+        let mut i = Interpreter::new(&m);
+        i.set_reference(reference);
+        i.set_fuel(fuel);
+        i.run("main", &[])
+    };
+    // The full budget must suffice, half must not, and every boundary
+    // around the exact total must behave identically on both engines
+    // (only *body* instructions are fuel-checked — terminators consume
+    // budget but never fault, on either engine — so success at full-1 is
+    // legal, but any fast/reference disagreement is not).
+    assert!(run(true, full).is_ok());
+    assert!(run(true, full / 2).is_err());
+    for fuel in (full.saturating_sub(40))..=(full + 2) {
+        assert_eq!(run(false, fuel), run(true, fuel), "fuel={fuel}");
+    }
+    assert_eq!(run(false, full / 2), run(true, full / 2));
+}

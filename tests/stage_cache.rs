@@ -1,0 +1,284 @@
+//! Stage-cache correctness: which pipeline stages are shared, and which
+//! config/input changes invalidate them.
+//!
+//! The staged pipeline memoizes frontend, expansion and the profiling run
+//! process-wide. Downstream knobs (squeezer heuristic, §3.2.4 ablations,
+//! backend options, the empirical gate) must *reuse* the cached profile;
+//! expander knobs and training inputs are upstream of it and must
+//! *invalidate* it. Assertions use the per-build [`bitspec::StageHits`]
+//! plus the global hit/miss counters.
+//!
+//! Each test seeds the cache with one build and then varies exactly one
+//! knob, checking the second build's hit pattern. Every test uses its own
+//! unique source (no shared cells) and takes a file-wide lock: the caches,
+//! their counters and the enable flag are process-global, so concurrent
+//! tests would otherwise race the counter deltas and the
+//! [`stages::set_enabled`] toggle.
+
+use bitspec::{build, stages, Arch, BitwidthHeuristic, BuildConfig, ExpanderConfig, Workload};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A workload with a `tag`-unique source (so tests cannot share cells) and
+/// a training input distinct from the eval input.
+fn unique_workload(tag: &str) -> Workload {
+    let src = format!(
+        "global u8 seed[1]; // {tag}
+         void main() {{
+            u32 s = 0;
+            for (u32 i = 0; i < 60; i++) {{ s += (i ^ seed[0]) & 31; }}
+            out(s);
+         }}"
+    );
+    Workload::from_source(format!("cache_{tag}"), src)
+        .with_input("seed", vec![5])
+        .with_train_input("seed", vec![3])
+}
+
+#[test]
+fn cold_build_misses_every_stage() {
+    let _g = serial();
+    let w = unique_workload("cold");
+    let c = build(&w, &BuildConfig::bitspec()).unwrap();
+    assert!(!c.stage_hits.front);
+    assert!(!c.stage_hits.expand);
+    assert!(!c.stage_hits.profile);
+}
+
+#[test]
+fn identical_build_hits_every_stage() {
+    let _g = serial();
+    let w = unique_workload("warm");
+    build(&w, &BuildConfig::bitspec()).unwrap();
+    let c = build(&w, &BuildConfig::bitspec()).unwrap();
+    assert!(c.stage_hits.front);
+    assert!(c.stage_hits.expand);
+    assert!(c.stage_hits.profile);
+}
+
+#[test]
+fn squeeze_config_change_reuses_cached_profile() {
+    let _g = serial();
+    let w = unique_workload("squeeze");
+    build(&w, &BuildConfig::bitspec()).unwrap();
+    // Heuristic, §3.2.4 ablations, arch, backend spill policy and the gate
+    // are all downstream of the profiler: full stage reuse.
+    for cfg in [
+        BuildConfig::bitspec_with(BitwidthHeuristic::Min),
+        BuildConfig::bitspec_with(BitwidthHeuristic::Avg),
+        BuildConfig {
+            compare_elim: false,
+            ..BuildConfig::bitspec()
+        },
+        BuildConfig {
+            bitmask_elision: false,
+            ..BuildConfig::bitspec()
+        },
+        BuildConfig {
+            spill_prefer_orig: false,
+            ..BuildConfig::bitspec()
+        },
+        BuildConfig {
+            empirical_gate: false,
+            ..BuildConfig::bitspec()
+        },
+        BuildConfig {
+            arch: Arch::NoSpec,
+            ..BuildConfig::bitspec()
+        },
+        BuildConfig::baseline(),
+    ] {
+        let c = build(&w, &cfg).unwrap();
+        assert!(c.stage_hits.front, "front miss under {cfg:?}");
+        assert!(c.stage_hits.expand, "expand miss under {cfg:?}");
+        assert!(c.stage_hits.profile, "profile miss under {cfg:?}");
+    }
+}
+
+#[test]
+fn expander_change_invalidates_expand_and_profile_but_not_front() {
+    let _g = serial();
+    let w = unique_workload("expander");
+    build(&w, &BuildConfig::bitspec()).unwrap();
+    let cfg = BuildConfig {
+        expander: ExpanderConfig {
+            unroll_factor: 2,
+            ..ExpanderConfig::default()
+        },
+        ..BuildConfig::bitspec()
+    };
+    let c = build(&w, &cfg).unwrap();
+    assert!(c.stage_hits.front, "frontend is upstream of the expander");
+    assert!(!c.stage_hits.expand, "expander knob must invalidate expand");
+    assert!(
+        !c.stage_hits.profile,
+        "expander knob must invalidate profile"
+    );
+}
+
+#[test]
+fn train_input_change_invalidates_profile_but_not_expand() {
+    let _g = serial();
+    let w = unique_workload("train");
+    build(&w, &BuildConfig::bitspec()).unwrap();
+    let mut w2 = w.clone();
+    w2.train_inputs = vec![("seed".to_string(), vec![9])];
+    let c = build(&w2, &BuildConfig::bitspec()).unwrap();
+    assert!(c.stage_hits.front, "train inputs don't touch the frontend");
+    assert!(c.stage_hits.expand, "train inputs don't touch the expander");
+    assert!(!c.stage_hits.profile, "train inputs feed the profiler");
+}
+
+#[test]
+fn eval_input_change_preserves_all_stages() {
+    let _g = serial();
+    // Eval inputs are downstream of the whole build (simulation only), but
+    // careful: train falls back to eval when empty — here train is set, so
+    // the profile stage must survive an eval change.
+    let w = unique_workload("eval");
+    build(&w, &BuildConfig::bitspec()).unwrap();
+    let mut w2 = w.clone();
+    w2.inputs = vec![("seed".to_string(), vec![8])];
+    let c = build(&w2, &BuildConfig::bitspec()).unwrap();
+    assert!(c.stage_hits.front && c.stage_hits.expand && c.stage_hits.profile);
+}
+
+#[test]
+fn eval_input_change_invalidates_profile_when_train_falls_back() {
+    let _g = serial();
+    let mut w = unique_workload("fallback");
+    w.train_inputs.clear(); // profiler now trains on the eval inputs
+    build(&w, &BuildConfig::bitspec()).unwrap();
+    let mut w2 = w.clone();
+    w2.inputs = vec![("seed".to_string(), vec![8])];
+    let c = build(&w2, &BuildConfig::bitspec()).unwrap();
+    assert!(c.stage_hits.front && c.stage_hits.expand);
+    assert!(!c.stage_hits.profile, "resolved train inputs changed");
+}
+
+#[test]
+fn source_change_invalidates_everything() {
+    let _g = serial();
+    let w = unique_workload("source_a");
+    build(&w, &BuildConfig::bitspec()).unwrap();
+    let mut w2 = w.clone();
+    w2.source = w.source.replace("& 31", "& 15");
+    let c = build(&w2, &BuildConfig::bitspec()).unwrap();
+    assert!(!c.stage_hits.front);
+    assert!(!c.stage_hits.expand);
+    assert!(!c.stage_hits.profile);
+}
+
+#[test]
+fn reference_profiler_flag_shares_the_profile_cell() {
+    let _g = serial();
+    // Both engines are bit-identical by contract, so the engine choice is
+    // deliberately not part of the profile stage key.
+    let w = unique_workload("engine");
+    let a = build(&w, &BuildConfig::bitspec()).unwrap();
+    let cfg = BuildConfig {
+        reference_profiler: true,
+        ..BuildConfig::bitspec()
+    };
+    let b = build(&w, &cfg).unwrap();
+    assert!(
+        b.stage_hits.profile,
+        "engine choice must not split the cell"
+    );
+    assert_eq!(a.profile, b.profile);
+}
+
+#[test]
+fn gated_sweep_shares_the_unsqueezed_reference_leg() {
+    let _g = serial();
+    let w = unique_workload("gateleg");
+    let before = stages::stats();
+    let a = build(&w, &BuildConfig::bitspec()).unwrap();
+    assert!(a.squeeze.narrowed > 0, "gate must actually run");
+    let mid = stages::stats();
+    assert!(
+        mid.gate_misses > before.gate_misses,
+        "first gate leg is cold"
+    );
+    // Configs differing only in squeezer knobs (ablation, heuristic, even
+    // the NoSpec arch) share the expanded module and backend options, so
+    // the gate's unsqueezed compile + train-sim must be a cache hit.
+    for cfg in [
+        BuildConfig {
+            compare_elim: false,
+            ..BuildConfig::bitspec()
+        },
+        BuildConfig::bitspec_with(BitwidthHeuristic::Min),
+        BuildConfig {
+            arch: Arch::NoSpec,
+            ..BuildConfig::bitspec()
+        },
+    ] {
+        let h = stages::stats().gate_hits;
+        build(&w, &cfg).unwrap();
+        assert!(
+            stages::stats().gate_hits > h,
+            "gate leg recomputed under {cfg:?}"
+        );
+    }
+    // A backend-option change is part of the leg's key and must miss.
+    let m = stages::stats().gate_misses;
+    build(
+        &w,
+        &BuildConfig {
+            spill_prefer_orig: false,
+            ..BuildConfig::bitspec()
+        },
+    )
+    .unwrap();
+    assert!(
+        stages::stats().gate_misses > m,
+        "backend opts must split the cell"
+    );
+}
+
+#[test]
+fn counters_move_and_results_are_unchanged_by_caching() {
+    let _g = serial();
+    let w = unique_workload("counters");
+    let before = stages::stats();
+    let cold = build(&w, &BuildConfig::bitspec()).unwrap();
+    let mid = stages::stats();
+    assert!(mid.front_misses > before.front_misses);
+    assert!(mid.expand_misses > before.expand_misses);
+    assert!(mid.profile_misses > before.profile_misses);
+    let warm = build(&w, &BuildConfig::bitspec()).unwrap();
+    let after = stages::stats();
+    assert!(
+        after.front_hits + after.expand_hits + after.profile_hits
+            > mid.front_hits + mid.expand_hits + mid.profile_hits
+    );
+    // Caching must be semantically invisible.
+    assert_eq!(cold.profile, warm.profile);
+    assert_eq!(cold.profile_dyn_insts, warm.profile_dyn_insts);
+    assert_eq!(cold.squeeze.narrowed, warm.squeeze.narrowed);
+    assert_eq!(cold.used_squeezed, warm.used_squeezed);
+}
+
+#[test]
+fn disabled_caches_recompute_and_stay_correct() {
+    let _g = serial();
+    // `set_enabled(false)` is process-global; this test toggles it, so it
+    // serializes against itself only — other tests may race the flag, which
+    // is why they assert per-build StageHits (unaffected by others' cells)
+    // rather than global state. To stay safe we only assert invariants that
+    // hold whether or not another thread re-enables mid-run.
+    let w = unique_workload("disabled");
+    stages::set_enabled(false);
+    let c = build(&w, &BuildConfig::bitspec()).unwrap();
+    stages::set_enabled(true);
+    assert!(!c.stage_hits.front && !c.stage_hits.expand && !c.stage_hits.profile);
+    let warm = build(&w, &BuildConfig::bitspec()).unwrap();
+    assert_eq!(c.profile, warm.profile);
+}
