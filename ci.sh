@@ -19,3 +19,8 @@ cargo run --release -p bench --bin simperf -- 1
 # generation and asserts fast/reference profiler equivalence end to end).
 cargo test --release -q -p bitspec --test profiler_equivalence
 cargo run --release -p bench --bin buildperf -- 2
+
+# Differential fuzzing: a fixed-seed smoke batch (deterministic, exits
+# nonzero on any divergence) plus replay of every minimized corpus entry.
+cargo run --release -p fuzz --bin fuzzer -- --seed 42 --iters 50 --no-save
+cargo test --release -q -p fuzz --test fuzz_corpus

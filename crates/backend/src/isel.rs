@@ -1229,6 +1229,12 @@ impl<'a> Selector<'a> {
             Val::W(rd) => {
                 if from == MemWidth::W || matches!(self.val_of(arg), Val::B(_)) {
                     self.emit(MirInst::Mov { rd, rm: src_word });
+                    // A byte-slice source was sign-extended to a full
+                    // 32-bit word above; a W16 destination must still be
+                    // stored 16-bit-clean (canonical sub-word storage).
+                    if to == Width::W16 {
+                        self.canonicalize(rd, Some(MemWidth::H));
+                    }
                 } else {
                     self.emit(MirInst::Extend {
                         rd,

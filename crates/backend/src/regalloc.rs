@@ -248,6 +248,125 @@ pub fn allocate(mir: MirFunction, opts: &CodegenOpts) -> AllocatedFn {
     }
 }
 
+/// Checks the invariants the emitter relies on, returning the first
+/// violation:
+///
+/// * every live vreg has a location, of its register class;
+/// * no two vregs with overlapping live ranges occupy the same register
+///   slice (a word location claims all four slices; write-through homing
+///   claims its register only on the handler-edge-free range — handlers
+///   read the frame slot);
+/// * frame slots are pairwise disjoint and within `spill_slots`.
+///
+/// The fuzz subsystem's property tests drive this over generated programs.
+///
+/// # Errors
+/// Returns a description of the violated invariant.
+pub fn validate(a: &AllocatedFn) -> Result<(), String> {
+    let lv = build_ranges(&a.mir, &a.order, true);
+    let lv_plain = if a.mir.regions.is_empty() {
+        None
+    } else {
+        Some(build_ranges(&a.mir, &a.order, false))
+    };
+    let n = a.mir.classes.len();
+
+    // The position range a vreg's *register* is claimed on, and which
+    // slices of which register it occupies (None = frame only).
+    let reg_claim = |v: usize| -> Option<(Reg, [bool; 4], &Segments)> {
+        let full = &lv.segs[v];
+        let plain = lv_plain.as_ref().map(|p| &p.segs[v]).unwrap_or(full);
+        match a.locs[v] {
+            Loc::Reg(r) => Some((r, [true; 4], full)),
+            Loc::WriteThrough { reg, .. } => Some((reg, [true; 4], plain)),
+            Loc::Slice(sl) => {
+                let mut m = [false; 4];
+                m[sl.byte as usize] = true;
+                Some((sl.reg, m, full))
+            }
+            Loc::WriteThroughSlice { slice, .. } => {
+                let mut m = [false; 4];
+                m[slice.byte as usize] = true;
+                Some((slice.reg, m, plain))
+            }
+            Loc::Spill(_) => None,
+        }
+    };
+
+    let mut slots: Vec<(u32, usize)> = Vec::new();
+    for v in 0..n {
+        if lv.segs[v].is_empty() {
+            continue; // never referenced; location is meaningless
+        }
+        match (a.mir.classes[v], a.locs[v]) {
+            (RegClass::Word, Loc::Slice(_) | Loc::WriteThroughSlice { .. }) => {
+                return Err(format!(
+                    "word vreg v{v} assigned byte slice {:?}",
+                    a.locs[v]
+                ));
+            }
+            (RegClass::Byte, Loc::Reg(_) | Loc::WriteThrough { .. }) => {
+                return Err(format!(
+                    "byte vreg v{v} assigned whole register {:?}",
+                    a.locs[v]
+                ));
+            }
+            _ => {}
+        }
+        match a.locs[v] {
+            Loc::Spill(u32::MAX) => return Err(format!("live vreg v{v} left unallocated")),
+            Loc::Spill(s) => slots.push((s, v)),
+            Loc::WriteThrough { slot, .. } | Loc::WriteThroughSlice { slot, .. } => {
+                slots.push((slot, v));
+            }
+            _ => {}
+        }
+    }
+
+    slots.sort_unstable();
+    for w in slots.windows(2) {
+        if w[0].0 == w[1].0 {
+            return Err(format!(
+                "vregs v{} and v{} share frame slot {}",
+                w[0].1, w[1].1, w[0].0
+            ));
+        }
+    }
+    if let Some(&(s, v)) = slots.last() {
+        if s >= a.spill_slots {
+            return Err(format!(
+                "vreg v{v} uses slot {s} but only {} slots reserved",
+                a.spill_slots
+            ));
+        }
+    }
+
+    let overlap = |x: &Segments, y: &Segments| {
+        x.iter()
+            .any(|&(s1, e1)| y.iter().any(|&(s2, e2)| s1 < e2 && s2 < e1))
+    };
+    for x in 0..n {
+        let Some((rx, mx, sx)) = reg_claim(x) else {
+            continue;
+        };
+        for y in (x + 1)..n {
+            let Some((ry, my, sy)) = reg_claim(y) else {
+                continue;
+            };
+            if rx != ry || !(0..4).any(|i| mx[i] && my[i]) {
+                continue;
+            }
+            if overlap(sx, sy) {
+                return Err(format!(
+                    "vregs v{x} ({:?}) and v{y} ({:?}) overlap in {rx:?}",
+                    a.locs[x], a.locs[y]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Block layout order: the spec side (entry first) in RPO, then `CFG_orig`
 /// and handlers. The spec segment must be contiguous for the Δ skeleton
 /// mechanism (§3.3.4).

@@ -97,13 +97,15 @@ pub(crate) fn eat_inputs(h: &mut Fnv, inputs: &[(String, Vec<u8>)]) {
     }
 }
 
-/// Hash of a workload's full identity: name, source, eval and train inputs.
+/// Hash of a workload's full identity: name, source, eval and train
+/// inputs, and the profiling fuel bound (it changes which builds succeed).
 pub fn workload_key(w: &Workload) -> u64 {
     let mut h = Fnv::new();
     h.str(&w.name);
     h.str(&w.source);
     eat_inputs(&mut h, &w.inputs);
     eat_inputs(&mut h, &w.train_inputs);
+    h.u64(w.profile_fuel.unwrap_or(0));
     h.finish()
 }
 

@@ -128,6 +128,11 @@ pub struct Workload {
     pub inputs: Vec<(String, Vec<u8>)>,
     /// Profiling (train) inputs; falls back to `inputs` when empty.
     pub train_inputs: Vec<(String, Vec<u8>)>,
+    /// Dynamic-instruction budget for the profiling run (`None` = the
+    /// interpreter default). Fuzzing sets a tight bound so a degenerate
+    /// candidate (e.g. a shrink mutation that zeroes a loop step) fails
+    /// the profiling run quickly instead of burning the full default fuel.
+    pub profile_fuel: Option<u64>,
 }
 
 impl Workload {
@@ -138,6 +143,7 @@ impl Workload {
             source: source.into(),
             inputs: Vec::new(),
             train_inputs: Vec::new(),
+            profile_fuel: None,
         }
     }
 
@@ -150,6 +156,12 @@ impl Workload {
     /// Adds a training (profile) input.
     pub fn with_train_input(mut self, global: impl Into<String>, data: Vec<u8>) -> Workload {
         self.train_inputs.push((global.into(), data));
+        self
+    }
+
+    /// Bounds the profiling run to `fuel` dynamic IR instructions.
+    pub fn with_profile_fuel(mut self, fuel: u64) -> Workload {
+        self.profile_fuel = Some(fuel);
         self
     }
 
@@ -327,6 +339,37 @@ pub fn build(workload: &Workload, cfg: &BuildConfig) -> Result<Compiled, BuildEr
         used_squeezed,
         stage_hits,
     })
+}
+
+/// Builds one workload under every configuration in `cfgs`, fanning the
+/// per-config squeeze+codegen legs across `workers` pool threads.
+///
+/// The differential fuzzer's oracle matrix builds each generated program
+/// under ~5 configurations; this entry keeps that cheap by design:
+/// stages 1–3 (frontend, expander, profiler) run **once** up front and
+/// every config leg then serves them from the process-wide stage cache
+/// ([`stages`]), so only the config-specific squeezer/backend/gate work
+/// fans out. Results are in `cfgs` order for any worker count.
+///
+/// Configs whose expander knobs or verify flag differ from `cfgs[0]`
+/// still build correctly — they simply warm their own stage-cache cells.
+pub fn build_for_fuzz(
+    workload: &Workload,
+    cfgs: &[BuildConfig],
+    workers: usize,
+) -> Vec<Result<Compiled, BuildError>> {
+    if let Some(first) = cfgs.first() {
+        // Pre-warm the shared stages serially so parallel legs don't race
+        // to compute the same profiling run. An error here simply recurs
+        // (uncached) in each leg, where it is reported per config.
+        let _ = stages::profile(
+            workload,
+            &first.expander,
+            first.verify_each,
+            first.reference_profiler,
+        );
+    }
+    pool::run_ordered(cfgs.len(), workers, |i| build(workload, &cfgs[i]))
 }
 
 /// Runs `compiled` on the simulator with the workload's evaluation inputs.

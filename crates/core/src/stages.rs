@@ -167,6 +167,9 @@ fn profile_key(w: &Workload, ecfg: &ExpanderConfig, verify: bool) -> u64 {
     // The *resolved* training inputs (train_inputs falls back to inputs),
     // so flipping which list feeds the profiler invalidates the stage.
     eat_inputs(&mut h, w.train());
+    // The fuel bound only changes which runs *fail* (never cached), but a
+    // cached unbounded success must not satisfy a bounded query either.
+    h.u64(w.profile_fuel.unwrap_or(0));
     h.finish()
 }
 
@@ -299,7 +302,7 @@ pub fn profile(
     let mut upstream: Option<(Arc<sir::Module>, StageHits)> = None;
     let (data, profile_hit) = memo(&c.profile, &c.profile_hits, &c.profile_misses, key, || {
         let (module, hits) = expand(w, ecfg, verify)?;
-        let data = profile_run(&module, w.train(), reference)?;
+        let data = profile_run(&module, w.train(), reference, w.profile_fuel)?;
         upstream = Some((module, hits));
         Ok(data)
     })?;
@@ -339,9 +342,13 @@ fn profile_run(
     module: &sir::Module,
     inputs: &[(String, Vec<u8>)],
     reference: bool,
+    fuel: Option<u64>,
 ) -> Result<ProfileData, BuildError> {
     let mut i = Interpreter::new(module);
     i.set_reference(reference);
+    if let Some(fuel) = fuel {
+        i.set_fuel(fuel);
+    }
     i.enable_profiling();
     for (g, data) in inputs {
         i.install_global(g, data);

@@ -1,0 +1,14 @@
+//! Prints a generated case and its oracle findings (no shrinking):
+//! `dump <seed>`. Triage aid for fuzzer-reported seeds.
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("usage: dump <seed>");
+    let case = fuzz::gen::generate(seed);
+    println!("{}", case.source());
+    for f in fuzz::oracle::check_protected(&case) {
+        println!("finding: {}: {}", f.kind.name(), f.detail);
+    }
+}

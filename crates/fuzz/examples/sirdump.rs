@@ -1,0 +1,41 @@
+//! Triage helper: builds a corpus entry (or generated seed) under one
+//! oracle config and prints the squeezed SIR next to the interp outputs
+//! of the squeezed vs baseline modules.
+//!
+//! Usage: sirdump <path-to-.minic> [config-index]
+
+use fuzz::corpus::Entry;
+use fuzz::oracle::config_matrix;
+use interp::Interpreter;
+
+fn run(m: &sir::Module, w: &bitspec::Workload) -> Vec<u32> {
+    let mut i = Interpreter::new(m);
+    i.set_fuel(50_000_000);
+    for (g, data) in &w.inputs {
+        i.install_global(g, data);
+    }
+    i.run("main", &[]).map(|r| r.outputs).unwrap_or_default()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args
+        .next()
+        .expect("usage: sirdump <file.minic> [cfg-index]");
+    let idx: usize = args.next().map(|s| s.parse().unwrap()).unwrap_or(3);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let entry = Entry::from_text(&text).unwrap();
+    let w = entry.workload("t");
+    let cfgs = config_matrix();
+    let (name, cfg) = &cfgs[idx];
+    let base = bitspec::build(&w, &bitspec::BuildConfig::baseline()).unwrap();
+    let c = bitspec::build(&w, cfg).unwrap();
+    println!("== config {name}, used_squeezed={} ==", c.used_squeezed);
+    println!("{}", sir::print::print_module(&c.module));
+    println!("baseline outputs: {:?}", run(&base.module, &w));
+    println!("{name} outputs:  {:?}", run(&c.module, &w));
+    for f in fuzz::oracle::check_workload(&w) {
+        println!("finding: {}: {}", f.kind.name(), f.detail);
+    }
+    bitspec::stages::clear();
+}

@@ -1,0 +1,268 @@
+//! Differential fuzzing driver.
+//!
+//! ```text
+//! fuzzer [--seed N] [--iters N] [--jobs N] [--budget N] [--out FILE] [--no-save]
+//! ```
+//!
+//! Runs `iters` generated programs (seeds `seed`, `seed+1`, …) through the
+//! multi-oracle harness, fanning iterations across the worker pool.
+//! Divergences are minimized with the shrinker and persisted to the corpus
+//! directory as `.minic` regression entries, and a deterministic JSON
+//! summary — independent of `--jobs` and wall-clock — is printed to stdout
+//! (and to `--out` when given). Exit status 1 signals at least one
+//! divergence, so CI smoke batches fail loudly.
+//!
+//! Reproduce a single iteration of a batch with
+//! `fuzzer --seed <that iteration's seed> --iters 1`.
+
+use fuzz::oracle::Kind;
+use fuzz::{gen, iter_seed, oracle, shrink};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// Iterations per pool batch: the process-wide stage cache is cleared
+/// between batches so unbounded fuzzing runs in bounded memory.
+const BATCH: usize = 256;
+
+struct Args {
+    seed: u64,
+    iters: u64,
+    jobs: usize,
+    /// Shrinker budget (oracle evaluations per divergence).
+    budget: u64,
+    out: Option<String>,
+    save: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        seed: 1,
+        iters: 100,
+        jobs: bitspec::pool::jobs_for(&argv),
+        budget: 2_000,
+        out: None,
+        save: true,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--iters" => args.iters = take(&mut i)?.parse().map_err(|e| format!("--iters: {e}"))?,
+            "--budget" => {
+                args.budget = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?
+            }
+            "--out" => args.out = Some(take(&mut i)?),
+            "--no-save" => args.save = false,
+            // `--jobs N` / `-j N` / `-jN` are handled by `jobs_for` above;
+            // skip their values here.
+            "--jobs" | "-j" => {
+                i += 1;
+            }
+            s if s.starts_with("-j") && s[2..].chars().all(|c| c.is_ascii_digit()) => {}
+            s => return Err(format!("unknown argument `{s}`")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+/// One divergence, after minimization.
+struct Report {
+    seed: u64,
+    kind: Kind,
+    detail: String,
+    minimized_lines: usize,
+    shrink_evals: u64,
+    saved_as: Option<String>,
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fuzzer: {e}");
+            eprintln!(
+                "usage: fuzzer [--seed N] [--iters N] [--jobs N] [--budget N] [--out FILE] [--no-save]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    // Pipeline panics are caught and classified (`Kind::Panic`), and the
+    // shrinker probes candidates that panic by design (out-of-subset
+    // programs) — keep each to one stderr line instead of a backtrace.
+    std::panic::set_hook(Box::new(|info| {
+        let loc = info
+            .location()
+            .map(|l| format!("{}:{}", l.file(), l.line()))
+            .unwrap_or_else(|| "<unknown>".into());
+        eprintln!("fuzzer: caught pipeline panic at {loc}");
+    }));
+
+    let mut reports: Vec<Report> = Vec::new();
+    let mut done = 0u64;
+    while done < args.iters {
+        let batch = (args.iters - done).min(BATCH as u64);
+        let base = args.seed.wrapping_add(done);
+        let results = bitspec::pool::run_ordered(batch as usize, args.jobs, |i| {
+            let seed = iter_seed(base, i as u64);
+            let case = gen::generate(seed);
+            (seed, oracle::check_protected(&case))
+        });
+        for (seed, findings) in results {
+            for f in dedup_kinds(findings) {
+                reports.push(minimize(seed, f, &args));
+            }
+        }
+        done += batch;
+        // Every generated program is distinct, so the memoized pipeline
+        // stages never hit across iterations — drop them between batches.
+        bitspec::stages::clear();
+    }
+
+    let summary = render_summary(&args, &mut reports);
+    println!("{summary}");
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, format!("{summary}\n")) {
+            eprintln!("fuzzer: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if reports.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// One finding per kind per seed: the oracle reports a divergence once per
+/// config pair, but they minimize to the same root cause.
+fn dedup_kinds(findings: Vec<oracle::Finding>) -> Vec<oracle::Finding> {
+    let mut seen = Vec::new();
+    let mut out = Vec::new();
+    for f in findings {
+        if !seen.contains(&f.kind) {
+            seen.push(f.kind);
+            out.push(f);
+        }
+    }
+    out
+}
+
+fn minimize(seed: u64, finding: oracle::Finding, args: &Args) -> Report {
+    eprintln!(
+        "fuzzer: seed {seed}: {} divergence — shrinking (budget {})",
+        finding.kind.name(),
+        args.budget
+    );
+    let case = gen::generate(seed);
+    let r = shrink::shrink_to_kind(&case, finding.kind, args.budget);
+    let minimized_lines = r.case.source().lines().count();
+    let saved_as = args.save.then(|| save_entry(seed, finding.kind, &r.case));
+    Report {
+        seed,
+        kind: finding.kind,
+        detail: finding.detail,
+        minimized_lines,
+        shrink_evals: r.evals,
+        saved_as,
+    }
+}
+
+fn save_entry(seed: u64, kind: Kind, case: &gen::Case) -> String {
+    let entry = fuzz::corpus::Entry {
+        kind: Some(kind),
+        seed,
+        source: case.source(),
+        inputs: case.inputs.clone(),
+        train_inputs: case.train_inputs.clone(),
+    };
+    let dir = fuzz::corpus::default_dir();
+    let name = format!("found-{}-{seed}.minic", kind.name());
+    let path = dir.join(&name);
+    let _ = std::fs::create_dir_all(&dir);
+    match std::fs::write(&path, entry.to_text()) {
+        Ok(()) => path.display().to_string(),
+        Err(e) => {
+            eprintln!("fuzzer: cannot save corpus entry {}: {e}", path.display());
+            format!("<unsaved: {e}>")
+        }
+    }
+}
+
+/// Hand-rolled JSON (std-only). Reports are sorted by (seed, kind) so the
+/// summary is identical across `--jobs` settings.
+fn render_summary(args: &Args, reports: &mut [Report]) -> String {
+    reports.sort_by_key(|r| (r.seed, r.kind.name()));
+    let mut by_kind: Vec<(&str, u64)> = Vec::new();
+    for r in reports.iter() {
+        match by_kind.iter_mut().find(|(k, _)| *k == r.kind.name()) {
+            Some((_, n)) => *n += 1,
+            None => by_kind.push((r.kind.name(), 1)),
+        }
+    }
+    by_kind.sort();
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"seed\": {},", args.seed);
+    let _ = writeln!(s, "  \"iters\": {},", args.iters);
+    let _ = writeln!(s, "  \"divergences\": {},", reports.len());
+    let _ = writeln!(
+        s,
+        "  \"by_kind\": {{{}}},",
+        by_kind
+            .iter()
+            .map(|(k, n)| format!("\"{k}\": {n}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    s.push_str("  \"findings\": [");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{\"seed\": {}, \"kind\": \"{}\", \"minimized_lines\": {}, \"shrink_evals\": {}, \"saved_as\": {}, \"detail\": \"{}\"}}",
+            r.seed,
+            r.kind.name(),
+            r.minimized_lines,
+            r.shrink_evals,
+            match &r.saved_as {
+                Some(p) => format!("\"{}\"", json_escape(p)),
+                None => "null".to_string(),
+            },
+            json_escape(&r.detail),
+        );
+    }
+    if !reports.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}");
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}

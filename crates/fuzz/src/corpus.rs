@@ -1,0 +1,224 @@
+//! Corpus persistence: minimized divergences saved as self-contained
+//! regression tests.
+//!
+//! An entry is a plain text file — a few `#!`-prefixed header lines
+//! followed by the mini-C source — so corpus files are readable, diffable
+//! and independent of the generator that produced them:
+//!
+//! ```text
+//! #! kind: arch-outputs
+//! #! seed: 42
+//! #! input: in0 = ff00a1…          (hex bytes)
+//! #! train: in0 = 00010203…
+//! void main() { … }
+//! ```
+//!
+//! `tests/fuzz_corpus.rs` replays every entry under `corpus/` through the
+//! full oracle and asserts agreement (entries are committed *after* the
+//! underlying bug is fixed — or, for the hand-written hazard set, describe
+//! behaviour that was always correct but sits on the paths most likely to
+//! regress).
+
+use crate::oracle::Kind;
+use bitspec::Workload;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One corpus entry: the (minimized) program plus its inputs and the
+/// divergence kind it originally exhibited.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// The oracle kind this entry reproduced when it was found; purely
+    /// documentary after the fix (replays assert *no* finding of any kind).
+    pub kind: Option<Kind>,
+    /// The generator seed it came from (0 for hand-written entries).
+    pub seed: u64,
+    pub source: String,
+    pub inputs: Vec<(String, Vec<u8>)>,
+    pub train_inputs: Vec<(String, Vec<u8>)>,
+}
+
+impl Entry {
+    /// The entry as a runnable workload named after `name`.
+    pub fn workload(&self, name: &str) -> Workload {
+        let mut w = Workload::from_source(name, self.source.clone());
+        for (g, d) in &self.inputs {
+            w = w.with_input(g, d.clone());
+        }
+        for (g, d) in &self.train_inputs {
+            w = w.with_train_input(g, d.clone());
+        }
+        w
+    }
+
+    /// Serializes to the on-disk text format.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        if let Some(kind) = self.kind {
+            let _ = writeln!(s, "#! kind: {}", kind.name());
+        }
+        let _ = writeln!(s, "#! seed: {}", self.seed);
+        for (g, d) in &self.inputs {
+            let _ = writeln!(s, "#! input: {g} = {}", hex(d));
+        }
+        for (g, d) in &self.train_inputs {
+            let _ = writeln!(s, "#! train: {g} = {}", hex(d));
+        }
+        s.push_str(&self.source);
+        if !self.source.ends_with('\n') {
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parses the on-disk text format.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed header line.
+    pub fn from_text(text: &str) -> Result<Entry, String> {
+        let mut entry = Entry {
+            kind: None,
+            seed: 0,
+            source: String::new(),
+            inputs: Vec::new(),
+            train_inputs: Vec::new(),
+        };
+        let mut body = Vec::new();
+        let mut in_header = true;
+        for line in text.lines() {
+            let header = in_header.then(|| line.strip_prefix("#!")).flatten();
+            match header {
+                Some(rest) => {
+                    let rest = rest.trim();
+                    if let Some(v) = rest.strip_prefix("kind:") {
+                        let v = v.trim();
+                        entry.kind =
+                            Some(Kind::parse(v).ok_or_else(|| format!("unknown kind `{v}`"))?);
+                    } else if let Some(v) = rest.strip_prefix("seed:") {
+                        entry.seed = v
+                            .trim()
+                            .parse()
+                            .map_err(|e| format!("bad seed `{}`: {e}", v.trim()))?;
+                    } else if let Some(v) = rest.strip_prefix("input:") {
+                        entry.inputs.push(parse_input(v)?);
+                    } else if let Some(v) = rest.strip_prefix("train:") {
+                        entry.train_inputs.push(parse_input(v)?);
+                    } else {
+                        return Err(format!("unknown header line `#!{rest}`"));
+                    }
+                }
+                None => {
+                    in_header = false;
+                    body.push(line);
+                }
+            }
+        }
+        entry.source = body.join("\n");
+        entry.source.push('\n');
+        if entry.source.trim().is_empty() {
+            return Err("entry has no source body".into());
+        }
+        Ok(entry)
+    }
+}
+
+fn parse_input(v: &str) -> Result<(String, Vec<u8>), String> {
+    let (name, data) = v
+        .split_once('=')
+        .ok_or_else(|| format!("input line `{v}` missing `=`"))?;
+    Ok((name.trim().to_string(), unhex(data.trim())?))
+}
+
+fn hex(data: &[u8]) -> String {
+    let mut s = String::with_capacity(data.len() * 2);
+    for b in data {
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+fn unhex(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err(format!("odd-length hex string `{s}`"));
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|e| format!("bad hex at {i}: {e}")))
+        .collect()
+}
+
+/// Loads every `.minic` entry under `dir`, sorted by file name for
+/// deterministic replay order. Missing directory = empty corpus.
+///
+/// # Errors
+/// Returns `(file name, reason)` for the first unreadable or malformed
+/// entry — a corrupt corpus should fail replay loudly, not silently
+/// shrink coverage.
+pub fn load_dir(dir: &Path) -> Result<Vec<(String, Entry)>, (String, String)> {
+    let mut names = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(Vec::new()),
+    };
+    for e in entries.flatten() {
+        let name = e.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".minic") {
+            names.push(name);
+        }
+    }
+    names.sort();
+    let mut out = Vec::new();
+    for name in names {
+        let text =
+            std::fs::read_to_string(dir.join(&name)).map_err(|e| (name.clone(), e.to_string()))?;
+        let entry = Entry::from_text(&text).map_err(|e| (name.clone(), e))?;
+        out.push((name, entry));
+    }
+    Ok(out)
+}
+
+/// The repo-relative corpus directory (compile-time anchored, so tests and
+/// the fuzzer binary agree regardless of working directory).
+pub fn default_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_roundtrip() {
+        let e = Entry {
+            kind: Some(Kind::ArchOutputs),
+            seed: 99,
+            source: "void main() { out(1); }\n".into(),
+            inputs: vec![("in0".into(), vec![0xff, 0x00, 0x7f])],
+            train_inputs: vec![("in0".into(), vec![1, 2])],
+        };
+        let text = e.to_text();
+        let back = Entry::from_text(&text).unwrap();
+        assert_eq!(back.kind, Some(Kind::ArchOutputs));
+        assert_eq!(back.seed, 99);
+        assert_eq!(back.inputs, e.inputs);
+        assert_eq!(back.train_inputs, e.train_inputs);
+        assert_eq!(back.source, e.source);
+        // Serialization is itself a fixpoint.
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected() {
+        assert!(Entry::from_text("#! kind: nonsense\nvoid main() {}\n").is_err());
+        assert!(Entry::from_text("#! seed: twelve\nvoid main() {}\n").is_err());
+        assert!(Entry::from_text("#! input: in0 ff\nvoid main() {}\n").is_err());
+        assert!(Entry::from_text("#! input: in0 = f\nvoid main() {}\n").is_err());
+        assert!(Entry::from_text("#! seed: 1\n").is_err());
+    }
+
+    #[test]
+    fn headers_after_source_are_body_text() {
+        let e = Entry::from_text("void main() { out(1); }\n// #! not a header\n").unwrap();
+        assert!(e.source.contains("not a header"));
+    }
+}

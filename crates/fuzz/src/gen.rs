@@ -1,0 +1,633 @@
+//! Seeded random mini-C program generator, biased toward bitwidth-
+//! speculation hazards.
+//!
+//! Programs are built as [`lang::ast`] values and rendered through
+//! [`lang::print`], so every emitted program is well-formed by
+//! construction (the oracle treats a frontend rejection as a finding in
+//! its own right). The bias knobs target exactly the places per-variable
+//! bitwidth speculation can go wrong:
+//!
+//! * **Boundary constants** — initializers and literals cluster around
+//!   the 8/16-bit slice limits (254…257, 65535…65537), where a squeezed
+//!   add/sub first overflows its slice.
+//! * **Boundary-crossing loops** — induction variables start near a
+//!   slice limit and step across it, so a MAX/AVG profile trained on the
+//!   early iterations misspeculates mid-loop and exercises the handler
+//!   re-execution path — repeatedly, which also covers handler re-entry.
+//! * **Mixed-width and signed/unsigned casts** — every expression site
+//!   can wrap its operand in a narrowing or sign-flipping cast.
+//! * **Squeezable helper calls** — small helper functions with narrow
+//!   parameter types, called from hot loops with values derived from the
+//!   input array.
+//! * **Adversarial train/eval splits** — the input array's training
+//!   bytes are biased small (producing aggressive narrow profiles) while
+//!   the evaluation bytes mix in wide values, so speculation planted by
+//!   the profile must recover at runtime.
+//!
+//! All indices are masked to power-of-two array bounds and every
+//! division's denominator is `| 1`-guarded, so generated programs cannot
+//! fault; loops are counted with positive constant steps, so they
+//! terminate. Any trap or fuel exhaustion at run time is therefore a
+//! real finding, not generator noise.
+
+use crate::Rng;
+use bitspec::Workload;
+use lang::ast::*;
+
+/// One generated test case: the AST (the shrinker edits this), plus the
+/// adversarial eval/train input split for the program's input array.
+#[derive(Debug, Clone)]
+pub struct Case {
+    pub seed: u64,
+    pub unit: Unit,
+    /// Evaluation inputs: (global name, bytes).
+    pub inputs: Vec<(String, Vec<u8>)>,
+    /// Training (profiling) inputs.
+    pub train_inputs: Vec<(String, Vec<u8>)>,
+}
+
+impl Case {
+    /// Renders the case as a runnable workload.
+    pub fn workload(&self) -> Workload {
+        let mut w = Workload::from_source("fuzz", lang::print::unit(&self.unit));
+        for (g, d) in &self.inputs {
+            w = w.with_input(g, d.clone());
+        }
+        for (g, d) in &self.train_inputs {
+            w = w.with_train_input(g, d.clone());
+        }
+        w
+    }
+
+    /// The rendered source (what a corpus entry stores).
+    pub fn source(&self) -> String {
+        lang::print::unit(&self.unit)
+    }
+}
+
+/// Generates the program for `seed`.
+pub fn generate(seed: u64) -> Case {
+    let mut g = Gen {
+        rng: Rng::new(seed),
+        arrays: Vec::new(),
+        helpers: Vec::new(),
+        next_iv: 0,
+    };
+    g.unit(seed)
+}
+
+/// Scalar types the generator draws from, biased toward narrow widths
+/// (the interesting ones for slice speculation).
+const SCALARS: [ScalarType; 12] = [
+    ScalarType::U8,
+    ScalarType::U8,
+    ScalarType::U8,
+    ScalarType::U16,
+    ScalarType::U16,
+    ScalarType::U32,
+    ScalarType::U32,
+    ScalarType::I8,
+    ScalarType::I8,
+    ScalarType::I16,
+    ScalarType::I32,
+    ScalarType::U64,
+];
+
+/// Constants clustered on the 8/16-bit slice boundaries.
+const BOUNDARY: [u64; 18] = [
+    0, 1, 2, 7, 15, 100, 127, 128, 200, 254, 255, 256, 257, 300, 511, 65535, 65536, 65537,
+];
+
+struct ArrayInfo {
+    name: String,
+    /// Power-of-two element count (indices are masked with `len - 1`).
+    len: u32,
+}
+
+struct HelperInfo {
+    name: String,
+    params: Vec<Type>,
+}
+
+struct Gen {
+    rng: Rng,
+    arrays: Vec<ArrayInfo>,
+    helpers: Vec<HelperInfo>,
+    next_iv: u32,
+}
+
+/// Variables in scope while generating a function body: assignable
+/// scalars plus read-only loop induction variables.
+#[derive(Default)]
+struct Scope {
+    vars: Vec<String>,
+    read_only: Vec<String>,
+}
+
+impl Scope {
+    fn readable(&self) -> Vec<&str> {
+        self.vars
+            .iter()
+            .chain(self.read_only.iter())
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+fn e(kind: ExprKind) -> Expr {
+    Expr {
+        kind,
+        line: 0,
+        col: 0,
+    }
+}
+
+fn int(v: u64) -> Expr {
+    e(ExprKind::Int(v))
+}
+
+fn ident(n: &str) -> Expr {
+    e(ExprKind::Ident(n.to_string()))
+}
+
+fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+    e(ExprKind::Binary(op, Box::new(l), Box::new(r)))
+}
+
+impl Gen {
+    fn unit(&mut self, seed: u64) -> Case {
+        let mut unit = Unit::default();
+
+        // The input array: always present, always a power-of-two length.
+        let in_len = 1u32 << self.rng.range(3, 7); // 8..64 elements
+        unit.globals.push(GlobalDef {
+            name: "in0".into(),
+            elem: ScalarType::U8,
+            len: in_len,
+            init: Vec::new(),
+            line: 0,
+        });
+        self.arrays.push(ArrayInfo {
+            name: "in0".into(),
+            len: in_len,
+        });
+
+        // Optionally a second, initialized global.
+        if self.rng.chance(0.5) {
+            let len = 1u32 << self.rng.range(2, 5); // 4..16
+            let init = (0..len).map(|_| *self.rng.pick(&BOUNDARY)).collect();
+            unit.globals.push(GlobalDef {
+                name: "tab".into(),
+                elem: *self
+                    .rng
+                    .pick(&[ScalarType::U16, ScalarType::U32, ScalarType::I16]),
+                len,
+                init,
+                line: 0,
+            });
+            self.arrays.push(ArrayInfo {
+                name: "tab".into(),
+                len,
+            });
+        }
+
+        // Squeezable helper functions (narrow params, no calls of their
+        // own), generated before `main` so calls resolve.
+        let n_helpers = self.rng.range(0, 3);
+        for h in 0..n_helpers {
+            unit.funcs.push(self.helper(h));
+        }
+
+        unit.funcs.push(self.main_fn());
+
+        // Adversarial train/eval split for the input array: train bytes
+        // biased small (narrow profiles), eval bytes mixing in wide
+        // values (forced misspeculation + handler re-execution).
+        let train: Vec<u8> = (0..in_len).map(|_| self.rng.range(0, 40) as u8).collect();
+        let eval: Vec<u8> = (0..in_len)
+            .map(|_| {
+                if self.rng.chance(0.35) {
+                    self.rng.range(128, 256) as u8
+                } else {
+                    self.rng.range(0, 64) as u8
+                }
+            })
+            .collect();
+        Case {
+            seed,
+            unit,
+            inputs: vec![("in0".into(), eval)],
+            train_inputs: vec![("in0".into(), train)],
+        }
+    }
+
+    fn helper(&mut self, idx: u64) -> FuncDef {
+        let name = format!("f{idx}");
+        let nparams = self.rng.range(1, 4) as usize;
+        let params: Vec<(Type, String)> = (0..nparams)
+            .map(|p| (self.rng.pick(&SCALARS).as_type(), format!("p{p}")))
+            .collect();
+        let ret = self.rng.pick(&SCALARS).as_type();
+        let mut scope = Scope::default();
+        for (_, n) in &params {
+            scope.vars.push(n.clone());
+        }
+        let mut body = Vec::new();
+        // A couple of local temporaries over the parameters.
+        for t in 0..self.rng.range(1, 3) {
+            let vn = format!("t{t}");
+            let init = self.expr(&scope, 2);
+            body.push(Stmt::Decl(
+                self.rng.pick(&SCALARS).as_type(),
+                vn.clone(),
+                init,
+            ));
+            scope.vars.push(vn);
+        }
+        if self.rng.chance(0.4) {
+            let cond = self.cond(&scope);
+            let then = vec![self.assign_stmt(&scope)];
+            let els = if self.rng.chance(0.5) {
+                vec![self.assign_stmt(&scope)]
+            } else {
+                Vec::new()
+            };
+            body.push(Stmt::If(cond, then, els));
+        }
+        body.push(Stmt::Return(Some(self.expr(&scope, 2))));
+        self.helpers.push(HelperInfo {
+            name: name.clone(),
+            params: params.iter().map(|(t, _)| *t).collect(),
+        });
+        FuncDef {
+            name,
+            params,
+            ret,
+            body,
+            line: 0,
+        }
+    }
+
+    fn main_fn(&mut self) -> FuncDef {
+        let mut scope = Scope::default();
+        let mut body = Vec::new();
+
+        // Declarations: widths biased narrow, initializers on boundaries.
+        let nvars = self.rng.range(3, 7);
+        for v in 0..nvars {
+            let name = format!("v{v}");
+            let ty = self.rng.pick(&SCALARS).as_type();
+            let init = if self.rng.chance(0.7) {
+                int(*self.rng.pick(&BOUNDARY))
+            } else {
+                int(self.rng.range(0, 1 << 16))
+            };
+            body.push(Stmt::Decl(ty, name.clone(), init));
+            scope.vars.push(name);
+        }
+        // Occasionally a local scratch array.
+        if self.rng.chance(0.3) {
+            let len = 1u32 << self.rng.range(2, 4); // 4..8
+            body.push(Stmt::ArrayDecl(
+                *self.rng.pick(&[ScalarType::U8, ScalarType::U16]),
+                "buf".into(),
+                len,
+            ));
+            self.arrays.push(ArrayInfo {
+                name: "buf".into(),
+                len,
+            });
+        }
+
+        let nloops = self.rng.range(1, 4);
+        for _ in 0..nloops {
+            body.push(self.loop_stmt(&mut scope, 0));
+        }
+
+        // Observability: print every variable and a couple of array cells.
+        for v in scope.vars.clone() {
+            body.push(Stmt::Out(ident(&v)));
+        }
+        for a in 0..self.arrays.len().min(2) {
+            let arr = &self.arrays[a];
+            let idx = self.rng.range(0, u64::from(arr.len));
+            let name = arr.name.clone();
+            body.push(Stmt::Out(e(ExprKind::Index(
+                Box::new(ident(&name)),
+                Box::new(int(idx)),
+            ))));
+        }
+
+        FuncDef {
+            name: "main".into(),
+            params: Vec::new(),
+            ret: Type::Void,
+            body,
+            line: 0,
+        }
+    }
+
+    /// A loop construct: counted `for`/`while`/`do-while`, trip counts
+    /// biased to cross the 8-bit (and occasionally 16-bit) slice limits.
+    fn loop_stmt(&mut self, scope: &mut Scope, depth: u32) -> Stmt {
+        let iv = format!("i{}", self.next_iv);
+        self.next_iv += 1;
+        // (start, limit, step): spans chosen so the induction variable's
+        // *early* values fit a byte slice while later ones do not, or
+        // cross the 16-bit limit with a strided step.
+        let (start, limit, step) = if depth > 0 {
+            (0, self.rng.range(2, 30), 1)
+        } else {
+            match self.rng.range(0, 5) {
+                0 => (0, self.rng.range(5, 60), 1), // narrow
+                1 => (self.rng.range(200, 256), self.rng.range(260, 320), 1), // cross 255
+                2 => (0, self.rng.range(256, 700), 1), // cross from 0
+                3 => (65500, self.rng.range(65540, 65600), self.rng.range(1, 4)), // cross 65535
+                _ => (
+                    self.rng.range(0, 128),
+                    self.rng.range(300, 900),
+                    self.rng.range(1, 3),
+                ),
+            }
+        };
+        let body = self.loop_body(scope, &iv, depth, /*allow_continue=*/ true);
+        let kind = self.rng.range(0, 4);
+        match kind {
+            0 | 1 => {
+                // for (u32 iv = start; iv < limit; iv += step)
+                let init = Stmt::Decl(Type::U32, iv.clone(), int(start));
+                let cond = bin(BinOp::Lt, ident(&iv), int(limit));
+                let step = Stmt::Assign(
+                    LValue::Var(iv.clone()),
+                    bin(BinOp::Add, ident(&iv), int(step)),
+                );
+                Stmt::For(Box::new(Some(init)), Some(cond), Box::new(Some(step)), body)
+            }
+            kind => {
+                // Counted while/do-while: the increment is the last body
+                // statement, so `continue` is disallowed in these bodies.
+                let mut body = self.loop_body(scope, &iv, depth, false);
+                body.push(Stmt::Assign(
+                    LValue::Var(iv.clone()),
+                    bin(BinOp::Add, ident(&iv), int(step)),
+                ));
+                let cond = bin(BinOp::Lt, ident(&iv), int(limit));
+                let decl = Stmt::Decl(Type::U32, iv.clone(), int(start));
+                let looped = if kind == 2 {
+                    Stmt::While(cond, body)
+                } else {
+                    Stmt::DoWhile(body, cond)
+                };
+                // Wrap in an if(true) so the decl scopes cleanly even when
+                // two loops reuse variable positions.
+                Stmt::If(e(ExprKind::Bool(true)), vec![decl, looped], Vec::new())
+            }
+        }
+    }
+
+    fn loop_body(
+        &mut self,
+        scope: &mut Scope,
+        iv: &str,
+        depth: u32,
+        allow_continue: bool,
+    ) -> Vec<Stmt> {
+        scope.read_only.push(iv.to_string());
+        let mut body = Vec::new();
+        let n = self.rng.range(2, 6);
+        for _ in 0..n {
+            let roll = self.rng.next_u64() % 100;
+            let stmt = match roll {
+                0..=44 => self.assign_stmt(scope),
+                45..=59 => self.array_write(scope),
+                60..=74 => {
+                    let cond = self.cond(scope);
+                    let then = vec![self.assign_stmt(scope)];
+                    let els = if self.rng.chance(0.4) {
+                        vec![self.assign_stmt(scope)]
+                    } else {
+                        Vec::new()
+                    };
+                    Stmt::If(cond, then, els)
+                }
+                75..=82 if !self.helpers.is_empty() => self.call_stmt(scope),
+                83..=88 if depth == 0 => self.loop_stmt(scope, depth + 1),
+                89..=92 => Stmt::Out(self.expr(scope, 1)),
+                93..=95 if allow_continue => {
+                    Stmt::If(self.cond(scope), vec![Stmt::Continue], Vec::new())
+                }
+                96..=97 => Stmt::If(self.cond(scope), vec![Stmt::Break], Vec::new()),
+                _ => self.assign_stmt(scope),
+            };
+            body.push(stmt);
+        }
+        scope.read_only.pop();
+        body
+    }
+
+    /// `v = <hazard expr>;`
+    fn assign_stmt(&mut self, scope: &Scope) -> Stmt {
+        let dst = self.rng.pick(&scope.vars).clone();
+        let value = self.expr(scope, 3);
+        Stmt::Assign(LValue::Var(dst), value)
+    }
+
+    /// `arr[e & mask] = <expr>;`
+    fn array_write(&mut self, scope: &Scope) -> Stmt {
+        let a = self.rng.range(0, self.arrays.len() as u64) as usize;
+        let (name, len) = (self.arrays[a].name.clone(), self.arrays[a].len);
+        let idx = self.masked_index(scope, len);
+        let value = self.expr(scope, 2);
+        Stmt::Assign(LValue::Index(ident(&name), idx), value)
+    }
+
+    /// `v = fK(args);`
+    fn call_stmt(&mut self, scope: &Scope) -> Stmt {
+        let h = self.rng.range(0, self.helpers.len() as u64) as usize;
+        let (name, nargs) = (self.helpers[h].name.clone(), self.helpers[h].params.len());
+        let args = (0..nargs).map(|_| self.expr(scope, 2)).collect();
+        let dst = self.rng.pick(&scope.vars).clone();
+        Stmt::Assign(LValue::Var(dst), e(ExprKind::Call(name, args)))
+    }
+
+    /// An always-in-bounds index expression: `(e) & (len - 1)`.
+    fn masked_index(&mut self, scope: &Scope, len: u32) -> Expr {
+        let base = self.expr(scope, 1);
+        bin(BinOp::And, base, int(u64::from(len - 1)))
+    }
+
+    /// A boolean-ish condition.
+    fn cond(&mut self, scope: &Scope) -> Expr {
+        let l = self.expr(scope, 1);
+        let r = if self.rng.chance(0.7) {
+            int(*self.rng.pick(&BOUNDARY))
+        } else {
+            self.expr(scope, 1)
+        };
+        let op = *self.rng.pick(&[
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::Eq,
+            BinOp::Ne,
+        ]);
+        bin(op, l, r)
+    }
+
+    /// A hazard-biased expression of bounded depth. Divisions are
+    /// `| 1`-guarded; array reads are mask-bounded; everything else is
+    /// fully defined at every width.
+    fn expr(&mut self, scope: &Scope, depth: u32) -> Expr {
+        if depth == 0 || self.rng.chance(0.25) {
+            return self.leaf(scope);
+        }
+        match self.rng.next_u64() % 100 {
+            // Arithmetic near overflow: add/sub/mul with boundary operands.
+            0..=34 => {
+                let op = *self
+                    .rng
+                    .pick(&[BinOp::Add, BinOp::Add, BinOp::Sub, BinOp::Mul]);
+                let l = self.expr(scope, depth - 1);
+                let r = if self.rng.chance(0.4) {
+                    int(*self.rng.pick(&BOUNDARY))
+                } else {
+                    self.expr(scope, depth - 1)
+                };
+                bin(op, l, r)
+            }
+            // Bitwise ops (speculation-friendly: these never misspeculate).
+            35..=49 => {
+                let op = *self.rng.pick(&[BinOp::And, BinOp::Or, BinOp::Xor]);
+                bin(op, self.expr(scope, depth - 1), self.expr(scope, depth - 1))
+            }
+            // Shifts (defined at any amount; biased small).
+            50..=59 => {
+                let op = *self.rng.pick(&[BinOp::Shl, BinOp::Shr]);
+                bin(op, self.expr(scope, depth - 1), int(self.rng.range(0, 9)))
+            }
+            // Guarded division / remainder. Both operands are cast to
+            // ≤32-bit types: 64-bit div/rem is outside the back-end's
+            // supported subset (it panics by design — see DESIGN.md), so
+            // the generator must never produce it. The `| 1` keeps the
+            // denominator odd, hence nonzero at any width.
+            60..=67 => {
+                let op = *self.rng.pick(&[BinOp::Div, BinOp::Rem]);
+                const NARROW: [ScalarType; 6] = [
+                    ScalarType::U8,
+                    ScalarType::U16,
+                    ScalarType::U32,
+                    ScalarType::I8,
+                    ScalarType::I16,
+                    ScalarType::I32,
+                ];
+                let tn = self.rng.pick(&NARROW).as_type();
+                let td = self.rng.pick(&NARROW).as_type();
+                let num = e(ExprKind::Cast(tn, Box::new(self.expr(scope, depth - 1))));
+                let denom = bin(
+                    BinOp::Or,
+                    e(ExprKind::Cast(td, Box::new(self.expr(scope, depth - 1)))),
+                    int(1),
+                );
+                bin(op, num, denom)
+            }
+            // Mixed-width / signed-unsigned casts.
+            68..=84 => {
+                let t = self.rng.pick(&SCALARS).as_type();
+                e(ExprKind::Cast(t, Box::new(self.expr(scope, depth - 1))))
+            }
+            // Comparison folded into arithmetic (bool converts).
+            85..=89 => {
+                let c = self.cond(scope);
+                e(ExprKind::Ternary(
+                    Box::new(c),
+                    Box::new(self.expr(scope, depth - 1)),
+                    Box::new(self.expr(scope, depth - 1)),
+                ))
+            }
+            90..=93 => e(ExprKind::Unary(
+                *self.rng.pick(&[UnOp::Neg, UnOp::Not]),
+                Box::new(self.expr(scope, depth - 1)),
+            )),
+            // Volatile load from an in-bounds global element.
+            94..=95 => {
+                let a = self.rng.range(0, self.arrays.len() as u64) as usize;
+                let (name, len) = (self.arrays[a].name.clone(), self.arrays[a].len);
+                let idx = self.masked_index(scope, len);
+                e(ExprKind::VolatileLoad(Box::new(e(ExprKind::AddrOf(
+                    Box::new(ident(&name)),
+                    Box::new(idx),
+                )))))
+            }
+            _ => self.leaf(scope),
+        }
+    }
+
+    fn leaf(&mut self, scope: &Scope) -> Expr {
+        match self.rng.next_u64() % 100 {
+            0..=44 => {
+                let names = scope.readable();
+                let name = names[self.rng.range(0, names.len() as u64) as usize];
+                ident(name)
+            }
+            45..=69 => int(*self.rng.pick(&BOUNDARY)),
+            70..=79 => int(self.rng.range(0, 1 << 20)),
+            _ => {
+                // Array read (mask-bounded).
+                let a = self.rng.range(0, self.arrays.len() as u64) as usize;
+                let (name, len) = (self.arrays[a].name.clone(), self.arrays[a].len);
+                let idx = self.masked_index(scope, len);
+                e(ExprKind::Index(Box::new(ident(&name)), Box::new(idx)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            assert_eq!(generate(seed).source(), generate(seed).source());
+        }
+    }
+
+    #[test]
+    fn generated_programs_compile() {
+        for seed in 0..60u64 {
+            let case = generate(seed);
+            let src = case.source();
+            lang::compile("gen", &src).unwrap_or_else(|err| {
+                panic!("seed {seed}: generated program rejected: {err}\n{src}")
+            });
+        }
+    }
+
+    #[test]
+    fn generated_programs_roundtrip_through_printer() {
+        for seed in 0..30u64 {
+            let case = generate(seed);
+            let src = case.source();
+            let reparsed = lang::parse_unit(&src).unwrap();
+            assert_eq!(
+                src,
+                lang::print::unit(&reparsed),
+                "seed {seed}: print∘parse not a fixpoint"
+            );
+        }
+    }
+
+    #[test]
+    fn train_and_eval_inputs_differ() {
+        let mut distinct = 0;
+        for seed in 0..20u64 {
+            let case = generate(seed);
+            if case.inputs[0].1 != case.train_inputs[0].1 {
+                distinct += 1;
+            }
+        }
+        assert!(distinct >= 15, "adversarial splits should be common");
+    }
+}

@@ -1,0 +1,506 @@
+//! Automatic test-case minimization.
+//!
+//! [`shrink`] takes a diverging [`Case`] and a reproduction predicate and
+//! greedily applies size-reducing edits, restarting from the smallest
+//! reproducing variant until no single edit helps (or the evaluation
+//! budget runs out). Edits are tried coarse-to-fine:
+//!
+//! 1. **Structure** — delete a whole function or global, delete a
+//!    statement, replace a loop with its body, collapse an `if` to one
+//!    branch.
+//! 2. **Expressions** — replace any subexpression with `0`/`1` or with one
+//!    of its own operands (binary → lhs/rhs, cast/unary → inner,
+//!    ternary/call → arm), shedding the wrapper.
+//! 3. **Constants** — decrement or halve integer literals toward zero.
+//! 4. **Inputs** — zero or halve the evaluation/training input arrays.
+//!
+//! Every candidate is a complete program (the printer is total), so an
+//! edit that breaks compilation simply fails the predicate and is
+//! skipped. The walk is deterministic: candidates are enumerated in a
+//! fixed preorder, and the first reproducing smaller candidate wins each
+//! round.
+
+use crate::gen::Case;
+use crate::oracle::{self, Kind};
+use lang::ast::*;
+
+/// Outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    pub case: Case,
+    /// Predicate evaluations spent.
+    pub evals: u64,
+    /// Successful size reductions applied.
+    pub steps: u64,
+}
+
+/// Minimizes `case` while `repro` holds, spending at most `budget`
+/// predicate evaluations. `case` itself is assumed to reproduce.
+pub fn shrink(case: &Case, budget: u64, repro: &mut dyn FnMut(&Case) -> bool) -> ShrinkResult {
+    let mut best = case.clone();
+    let mut best_size = size(&best);
+    let mut evals = 0u64;
+    let mut steps = 0u64;
+    'fixpoint: loop {
+        for cand in candidates(&best) {
+            if evals >= budget {
+                break 'fixpoint;
+            }
+            if size(&cand) >= best_size {
+                continue;
+            }
+            evals += 1;
+            if repro(&cand) {
+                best_size = size(&cand);
+                best = cand;
+                steps += 1;
+                continue 'fixpoint;
+            }
+        }
+        break;
+    }
+    ShrinkResult {
+        case: best,
+        evals,
+        steps,
+    }
+}
+
+/// Minimizes a case whose oracle run produced a finding of `kind`: the
+/// reproduction predicate is "the multi-oracle check still reports that
+/// kind". The stage cache is cleared periodically — every candidate is a
+/// distinct program, so shrinking would otherwise fill it with dead
+/// entries.
+pub fn shrink_to_kind(case: &Case, kind: Kind, budget: u64) -> ShrinkResult {
+    let mut n = 0u64;
+    shrink(case, budget, &mut |c| {
+        n += 1;
+        if n.is_multiple_of(32) {
+            bitspec::stages::clear();
+        }
+        // The protected check keeps the shrink alive when an edit pushes a
+        // candidate outside the back-end's supported subset (such programs
+        // panic the pipeline by design; they reproduce only a Panic-kind
+        // finding).
+        oracle::check_protected(c).iter().any(|f| f.kind == kind)
+    })
+}
+
+/// The minimization size metric: rendered source length plus input bytes.
+pub fn size(case: &Case) -> usize {
+    case.source().len()
+        + case.inputs.iter().map(|(_, d)| d.len()).sum::<usize>()
+        + case
+            .train_inputs
+            .iter()
+            .map(|(_, d)| d.len())
+            .sum::<usize>()
+}
+
+/// All single-step edits of `case`, coarse first.
+fn candidates(case: &Case) -> Vec<Case> {
+    let mut out = Vec::new();
+    let unit = &case.unit;
+
+    // Delete a non-main function.
+    for i in 0..unit.funcs.len() {
+        if unit.funcs[i].name != "main" {
+            let mut u = unit.clone();
+            u.funcs.remove(i);
+            out.push(with_unit(case, u));
+        }
+    }
+    // Delete a global (and its inputs, which would no longer install).
+    for i in 0..unit.globals.len() {
+        let name = unit.globals[i].name.clone();
+        let mut u = unit.clone();
+        u.globals.remove(i);
+        let mut c = with_unit(case, u);
+        c.inputs.retain(|(g, _)| *g != name);
+        c.train_inputs.retain(|(g, _)| *g != name);
+        out.push(c);
+    }
+
+    // Statement-level edits, one candidate per (site, edit) pair.
+    for edit in [StmtEdit::Delete, StmtEdit::Unwrap, StmtEdit::UnwrapElse] {
+        let mut site = 0;
+        loop {
+            let mut u = unit.clone();
+            let mut cursor = 0;
+            let mut applied = false;
+            for f in &mut u.funcs {
+                edit_stmts(&mut f.body, &mut cursor, site, edit, &mut applied);
+            }
+            if cursor <= site {
+                break; // `site` walked past the last statement
+            }
+            if applied {
+                out.push(with_unit(case, u));
+            }
+            site += 1;
+        }
+    }
+
+    // Expression-level edits.
+    for edit in [
+        ExprEdit::Zero,
+        ExprEdit::One,
+        ExprEdit::Lhs,
+        ExprEdit::Rhs,
+        ExprEdit::Halve,
+        ExprEdit::Decrement,
+    ] {
+        let mut site = 0;
+        loop {
+            let mut u = unit.clone();
+            let mut cursor = 0;
+            let mut applied = false;
+            for f in &mut u.funcs {
+                for s in &mut f.body {
+                    edit_stmt_exprs(s, &mut cursor, site, edit, &mut applied);
+                }
+            }
+            if cursor <= site {
+                break;
+            }
+            if applied {
+                out.push(with_unit(case, u));
+            }
+            site += 1;
+        }
+    }
+
+    // Input reductions: zero an array, then halve its length.
+    for which in [false, true] {
+        let list_len = if which {
+            case.train_inputs.len()
+        } else {
+            case.inputs.len()
+        };
+        for i in 0..list_len {
+            fn pick(c: &mut Case, train: bool) -> &mut Vec<(String, Vec<u8>)> {
+                if train {
+                    &mut c.train_inputs
+                } else {
+                    &mut c.inputs
+                }
+            }
+            let data = if which {
+                &case.train_inputs[i].1
+            } else {
+                &case.inputs[i].1
+            };
+            if data.iter().any(|&b| b != 0) {
+                let mut c = case.clone();
+                let d = &mut pick(&mut c, which)[i].1;
+                d.iter_mut().for_each(|b| *b = 0);
+                out.push(c);
+            }
+            if data.len() > 1 {
+                let mut c = case.clone();
+                let d = &mut pick(&mut c, which)[i].1;
+                let half = d.len() / 2;
+                d.truncate(half);
+                out.push(c);
+            }
+        }
+    }
+
+    out
+}
+
+fn with_unit(case: &Case, unit: Unit) -> Case {
+    Case {
+        seed: case.seed,
+        unit,
+        inputs: case.inputs.clone(),
+        train_inputs: case.train_inputs.clone(),
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum StmtEdit {
+    /// Remove the statement entirely.
+    Delete,
+    /// Loop → its body (for-loops keep the init); `if` → then-branch.
+    Unwrap,
+    /// `if` → else-branch.
+    UnwrapElse,
+}
+
+/// Applies `edit` to the `target`-th statement (preorder) within `stmts`,
+/// advancing `cursor` across the traversal.
+fn edit_stmts(
+    stmts: &mut Vec<Stmt>,
+    cursor: &mut usize,
+    target: usize,
+    edit: StmtEdit,
+    applied: &mut bool,
+) {
+    let mut i = 0;
+    while i < stmts.len() {
+        let here = *cursor == target && !*applied;
+        *cursor += 1;
+        if here {
+            *applied = true;
+            let stmt = stmts.remove(i);
+            match (edit, stmt) {
+                (StmtEdit::Delete, _) => {}
+                (StmtEdit::Unwrap, Stmt::While(_, body))
+                | (StmtEdit::Unwrap, Stmt::DoWhile(body, _)) => {
+                    splice(stmts, i, body);
+                }
+                (StmtEdit::Unwrap, Stmt::For(init, _, _, body)) => {
+                    let mut repl = Vec::new();
+                    if let Some(init) = *init {
+                        repl.push(init);
+                    }
+                    repl.extend(body);
+                    splice(stmts, i, repl);
+                }
+                (StmtEdit::Unwrap, Stmt::If(_, then, _)) => splice(stmts, i, then),
+                (StmtEdit::UnwrapElse, Stmt::If(_, _, els)) => splice(stmts, i, els),
+                (_, stmt) => {
+                    // The edit doesn't apply at this site; restore the
+                    // statement and report no candidate.
+                    stmts.insert(i, stmt);
+                    *applied = false;
+                }
+            }
+            return;
+        }
+        match &mut stmts[i] {
+            Stmt::If(_, t, e) => {
+                edit_stmts(t, cursor, target, edit, applied);
+                edit_stmts(e, cursor, target, edit, applied);
+            }
+            Stmt::While(_, b) | Stmt::DoWhile(b, _) => edit_stmts(b, cursor, target, edit, applied),
+            Stmt::For(_, _, _, b) => edit_stmts(b, cursor, target, edit, applied),
+            _ => {}
+        }
+        if *applied {
+            return;
+        }
+        i += 1;
+    }
+}
+
+fn splice(stmts: &mut Vec<Stmt>, at: usize, body: Vec<Stmt>) {
+    for (k, s) in body.into_iter().enumerate() {
+        stmts.insert(at + k, s);
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum ExprEdit {
+    /// Replace with `0`.
+    Zero,
+    /// Replace with `1`.
+    One,
+    /// Binary → lhs; unary/cast/volatile → inner; ternary → then; call →
+    /// first argument; index → index expression.
+    Lhs,
+    /// Binary → rhs; ternary → else.
+    Rhs,
+    /// Integer literal `v` → `v / 2`.
+    Halve,
+    /// Integer literal `v` → `v - 1`.
+    Decrement,
+}
+
+fn edit_stmt_exprs(
+    s: &mut Stmt,
+    cursor: &mut usize,
+    target: usize,
+    edit: ExprEdit,
+    applied: &mut bool,
+) {
+    if *applied {
+        return;
+    }
+    match s {
+        Stmt::Decl(_, _, e) | Stmt::Return(Some(e)) | Stmt::Expr(e) | Stmt::Out(e) => {
+            edit_expr(e, cursor, target, edit, applied)
+        }
+        Stmt::Assign(lv, e) => {
+            if let LValue::Index(a, i) = lv {
+                edit_expr(a, cursor, target, edit, applied);
+                edit_expr(i, cursor, target, edit, applied);
+            }
+            edit_expr(e, cursor, target, edit, applied);
+        }
+        Stmt::If(c, t, els) => {
+            edit_expr(c, cursor, target, edit, applied);
+            for s in t.iter_mut().chain(els.iter_mut()) {
+                edit_stmt_exprs(s, cursor, target, edit, applied);
+            }
+        }
+        Stmt::While(c, b) => {
+            edit_expr(c, cursor, target, edit, applied);
+            for s in b {
+                edit_stmt_exprs(s, cursor, target, edit, applied);
+            }
+        }
+        Stmt::DoWhile(b, c) => {
+            for s in b.iter_mut() {
+                edit_stmt_exprs(s, cursor, target, edit, applied);
+            }
+            edit_expr(c, cursor, target, edit, applied);
+        }
+        Stmt::For(init, cond, step, b) => {
+            if let Some(s) = init.as_mut() {
+                edit_stmt_exprs(s, cursor, target, edit, applied);
+            }
+            if let Some(c) = cond {
+                edit_expr(c, cursor, target, edit, applied);
+            }
+            if let Some(s) = step.as_mut() {
+                edit_stmt_exprs(s, cursor, target, edit, applied);
+            }
+            for s in b {
+                edit_stmt_exprs(s, cursor, target, edit, applied);
+            }
+        }
+        Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::ArrayDecl(..) => {}
+    }
+}
+
+fn edit_expr(e: &mut Expr, cursor: &mut usize, target: usize, edit: ExprEdit, applied: &mut bool) {
+    if *applied {
+        return;
+    }
+    let here = *cursor == target;
+    *cursor += 1;
+    if here {
+        if let Some(repl) = apply_expr_edit(e, edit) {
+            *e = repl;
+            *applied = true;
+        }
+        // Whether or not the edit applied, this site is consumed: stop
+        // descending so the cursor count stays stable across variants.
+        return;
+    }
+    match &mut e.kind {
+        ExprKind::Index(a, b) | ExprKind::AddrOf(a, b) | ExprKind::Binary(_, a, b) => {
+            edit_expr(a, cursor, target, edit, applied);
+            edit_expr(b, cursor, target, edit, applied);
+        }
+        ExprKind::Unary(_, a) | ExprKind::Cast(_, a) | ExprKind::VolatileLoad(a) => {
+            edit_expr(a, cursor, target, edit, applied)
+        }
+        ExprKind::Ternary(c, t, f) => {
+            edit_expr(c, cursor, target, edit, applied);
+            edit_expr(t, cursor, target, edit, applied);
+            edit_expr(f, cursor, target, edit, applied);
+        }
+        ExprKind::Call(_, args) => {
+            for a in args {
+                edit_expr(a, cursor, target, edit, applied);
+            }
+        }
+        ExprKind::Int(_) | ExprKind::Bool(_) | ExprKind::Ident(_) => {}
+    }
+}
+
+/// The replacement for `e` under `edit`, or `None` when it doesn't apply
+/// (e.g. halving a non-literal, taking the lhs of a leaf).
+fn apply_expr_edit(e: &Expr, edit: ExprEdit) -> Option<Expr> {
+    let lit = |v: u64| Expr {
+        kind: ExprKind::Int(v),
+        line: 0,
+        col: 0,
+    };
+    match edit {
+        ExprEdit::Zero => match e.kind {
+            ExprKind::Int(0) => None,
+            _ => Some(lit(0)),
+        },
+        ExprEdit::One => match e.kind {
+            ExprKind::Int(0) | ExprKind::Int(1) => None,
+            _ => Some(lit(1)),
+        },
+        ExprEdit::Lhs => match &e.kind {
+            ExprKind::Binary(_, a, _)
+            | ExprKind::Unary(_, a)
+            | ExprKind::Cast(_, a)
+            | ExprKind::VolatileLoad(a) => Some((**a).clone()),
+            ExprKind::Ternary(_, t, _) => Some((**t).clone()),
+            ExprKind::Index(_, i) => Some((**i).clone()),
+            ExprKind::Call(_, args) => args.first().cloned(),
+            _ => None,
+        },
+        ExprEdit::Rhs => match &e.kind {
+            ExprKind::Binary(_, _, b) => Some((**b).clone()),
+            ExprKind::Ternary(_, _, f) => Some((**f).clone()),
+            _ => None,
+        },
+        ExprEdit::Halve => match e.kind {
+            ExprKind::Int(v) if v > 1 => Some(lit(v / 2)),
+            _ => None,
+        },
+        ExprEdit::Decrement => match e.kind {
+            ExprKind::Int(v) if v > 0 => Some(lit(v - 1)),
+            _ => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    /// Shrinking against a compile-only predicate must drive the program
+    /// to near-nothing: it exercises every edit path and the fixpoint loop.
+    #[test]
+    fn shrink_reaches_tiny_fixpoint_on_permissive_predicate() {
+        let case = generate(7);
+        let start = size(&case);
+        let r = shrink(&case, 50_000, &mut |c| {
+            lang::compile("s", &c.source()).is_ok()
+        });
+        assert!(r.steps > 0, "no edits applied");
+        assert!(
+            size(&r.case) < start / 4,
+            "expected a large reduction: {} -> {}",
+            start,
+            size(&r.case)
+        );
+        // The minimized program still compiles (the predicate demanded it).
+        lang::compile("s", &r.case.source()).unwrap();
+    }
+
+    /// A predicate keyed on a specific source property is preserved while
+    /// everything else shrinks away.
+    #[test]
+    fn shrink_preserves_the_predicate() {
+        let case = generate(11);
+        let r = shrink(&case, 50_000, &mut |c| {
+            let src = c.source();
+            lang::compile("s", &src).is_ok() && src.contains("in0")
+        });
+        assert!(r.case.source().contains("in0"));
+        // `main` must survive — a unit without it fails to compile.
+        assert!(r.case.unit.funcs.iter().any(|f| f.name == "main"));
+    }
+
+    #[test]
+    fn shrink_respects_budget() {
+        let case = generate(3);
+        let r = shrink(&case, 5, &mut |c| lang::compile("s", &c.source()).is_ok());
+        assert!(r.evals <= 5);
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let case = generate(19);
+        let a = shrink(&case, 2_000, &mut |c| {
+            lang::compile("s", &c.source()).is_ok()
+        });
+        let b = shrink(&case, 2_000, &mut |c| {
+            lang::compile("s", &c.source()).is_ok()
+        });
+        assert_eq!(a.case.source(), b.case.source());
+        assert_eq!(a.evals, b.evals);
+    }
+}

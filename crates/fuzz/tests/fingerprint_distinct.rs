@@ -1,0 +1,132 @@
+//! The build cache's content fingerprint must tell generated programs
+//! apart. The fuzzer runs thousands of near-identical programs through the
+//! memoized stage pipeline in one process — if two programs differing only
+//! in one constant or one operator collided, a cached artifact from one
+//! would silently serve as the build of the other, and every divergence
+//! the oracles reported downstream would be noise.
+
+use bitspec::fingerprint::workload_key;
+use bitspec::Workload;
+use fuzz::gen::generate;
+
+/// One-character source mutations: bump the first decimal digit found
+/// after the header (changing a constant), or flip the first binary
+/// operator. Both yield a program that differs in exactly one token.
+fn bump_first_digit(src: &str) -> Option<String> {
+    // Skip past `main() {` so array lengths in declarations keep their
+    // power-of-two shape; any digit inside a body expression works.
+    let body = src.find("main()")?;
+    let off = src[body..].find(|c: char| c.is_ascii_digit())?;
+    let i = body + off;
+    let mut s = src.to_string();
+    let old = s.as_bytes()[i];
+    let new = if old == b'9' { b'0' } else { old + 1 };
+    s.replace_range(i..=i, std::str::from_utf8(&[new]).unwrap());
+    Some(s)
+}
+
+fn flip_first_operator(src: &str) -> Option<String> {
+    for (from, to) in [(" + ", " - "), (" * ", " + "), (" ^ ", " & ")] {
+        if let Some(i) = src.find(from) {
+            let mut s = src.to_string();
+            s.replace_range(i..i + from.len(), to);
+            return Some(s);
+        }
+    }
+    None
+}
+
+#[test]
+fn constant_mutation_changes_fingerprint() {
+    let mut checked = 0;
+    for seed in 0..30 {
+        let case = generate(seed);
+        let w = case.workload();
+        let Some(mutated) = bump_first_digit(&w.source) else {
+            continue;
+        };
+        assert_ne!(mutated, w.source);
+        let wm = Workload {
+            source: mutated,
+            ..w.clone()
+        };
+        assert_ne!(
+            workload_key(&w),
+            workload_key(&wm),
+            "seed {seed}: constant bump not distinguished"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 25, "only {checked}/30 programs had a constant");
+}
+
+#[test]
+fn operator_mutation_changes_fingerprint() {
+    let mut checked = 0;
+    for seed in 0..30 {
+        let case = generate(seed);
+        let w = case.workload();
+        let Some(mutated) = flip_first_operator(&w.source) else {
+            continue;
+        };
+        let wm = Workload {
+            source: mutated,
+            ..w.clone()
+        };
+        assert_ne!(
+            workload_key(&w),
+            workload_key(&wm),
+            "seed {seed}: operator flip not distinguished"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 20, "only {checked}/30 programs had an operator");
+}
+
+#[test]
+fn identical_programs_share_a_fingerprint() {
+    for seed in [3, 17, 42] {
+        let a = generate(seed).workload();
+        let b = generate(seed).workload();
+        assert_eq!(workload_key(&a), workload_key(&b));
+    }
+}
+
+#[test]
+fn input_bytes_change_the_fingerprint() {
+    let w = generate(7).workload();
+    let mut wm = w.clone();
+    if let Some((_, data)) = wm.inputs.first_mut() {
+        if let Some(b) = data.first_mut() {
+            *b = b.wrapping_add(1);
+        }
+    }
+    assert_ne!(workload_key(&w), workload_key(&wm));
+}
+
+#[test]
+fn profile_fuel_is_part_of_the_identity() {
+    let w = generate(7).workload();
+    let bounded = Workload {
+        profile_fuel: Some(1_000_000),
+        ..w.clone()
+    };
+    assert_ne!(workload_key(&w), workload_key(&bounded));
+}
+
+/// Pairwise distinctness across a seed sweep: no two generated programs
+/// (all structurally similar by construction) may collide.
+#[test]
+fn seed_sweep_is_collision_free() {
+    let mut keys: Vec<(u64, u64)> = (0..200u64)
+        .map(|s| (workload_key(&generate(s).workload()), s))
+        .collect();
+    keys.sort_unstable();
+    for w in keys.windows(2) {
+        assert_ne!(
+            w[0].0, w[1].0,
+            "seeds {} and {} collide on workload_key",
+            w[0].1, w[1].1
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Replays every persisted corpus entry through the full oracle harness.
+//!
+//! Corpus entries are minimized programs that once exposed a divergence
+//! (`#! kind:` records which). Each underlying bug is fixed before its
+//! entry lands, so replay must be clean — a finding here is a regression
+//! of a previously-fixed bug. Replay runs twice to pin determinism: the
+//! whole differential-testing approach assumes engines are deterministic
+//! functions of (program, inputs).
+
+use fuzz::corpus::{default_dir, load_dir};
+
+#[test]
+fn corpus_replays_clean_and_deterministically() {
+    let entries = match load_dir(&default_dir()) {
+        Ok(e) => e,
+        Err((file, err)) => panic!("corpus entry {file} is malformed: {err}"),
+    };
+    assert!(
+        !entries.is_empty(),
+        "corpus directory {} has no entries",
+        default_dir().display()
+    );
+    for (file, entry) in &entries {
+        let w = entry.workload(file);
+        let first = fuzz::oracle::check_workload(&w);
+        assert!(
+            first.is_empty(),
+            "{file} (recorded kind {:?}) regressed: {:?}",
+            entry.kind.map(|k| k.name()),
+            first.iter().map(|f| &f.detail).collect::<Vec<_>>()
+        );
+        let second = fuzz::oracle::check_workload(&w);
+        assert_eq!(
+            first.len(),
+            second.len(),
+            "{file}: replay is not deterministic"
+        );
+    }
+    bitspec::stages::clear();
+}
+
+#[test]
+fn corpus_files_roundtrip_through_the_text_format() {
+    let entries = load_dir(&default_dir()).expect("corpus loads");
+    for (file, entry) in &entries {
+        let text = entry.to_text();
+        let back = fuzz::corpus::Entry::from_text(&text)
+            .unwrap_or_else(|e| panic!("{file}: re-parse failed: {e}"));
+        assert_eq!(
+            back.to_text(),
+            text,
+            "{file}: to_text∘from_text not a fixpoint"
+        );
+    }
+}

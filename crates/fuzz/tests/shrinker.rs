@@ -1,0 +1,83 @@
+//! Planted-divergence shrinking, mirroring the PR-1 `mutations.rs`
+//! pattern: instead of waiting for a real engine bug, emulate one
+//! deterministically and check the minimizer does its job against it.
+//!
+//! The planted bug is the canonical bitwidth-misspeculation failure — an
+//! engine that silently truncates observable values to their profiled
+//! 8-bit slice (no handler, no re-execution). Any program whose output
+//! stream carries a value above 255 "diverges" under it. The shrinker
+//! must take full generated programs (dozens of lines, loops, helpers)
+//! down to a hazard kernel of at most 15 lines while preserving the
+//! divergence.
+
+use fuzz::gen::{generate, Case};
+use fuzz::shrink::{shrink, size};
+use interp::Interpreter;
+
+/// True output stream of the program on its eval inputs, `None` if it no
+/// longer compiles or runs (shrink candidates may break either).
+fn outputs(case: &Case) -> Option<Vec<u32>> {
+    let w = case.workload();
+    let m = lang::compile("t", &w.source).ok()?;
+    let mut i = Interpreter::new(&m);
+    i.set_fuel(50_000_000);
+    for (g, data) in &w.inputs {
+        i.install_global(g, data);
+    }
+    i.run("main", &[]).ok().map(|r| r.outputs)
+}
+
+/// The planted buggy engine: every observable value loses its top 24 bits.
+fn truncating_engine(outputs: &[u32]) -> Vec<u32> {
+    outputs.iter().map(|v| v & 0xFF).collect()
+}
+
+fn diverges_under_planted_bug(case: &Case) -> bool {
+    match outputs(case) {
+        Some(o) => truncating_engine(&o) != o,
+        None => false,
+    }
+}
+
+#[test]
+fn planted_truncation_bug_shrinks_to_a_hazard_kernel() {
+    let mut shrunk_any = false;
+    for seed in 0..20u64 {
+        let case = generate(seed);
+        if !diverges_under_planted_bug(&case) {
+            continue; // this seed's outputs all fit in 8 bits
+        }
+        let r = shrink(&case, 1_500, &mut |c| diverges_under_planted_bug(c));
+        assert!(
+            diverges_under_planted_bug(&r.case),
+            "seed {seed}: shrinking lost the divergence"
+        );
+        let lines = r.case.source().lines().count();
+        assert!(
+            lines <= 15,
+            "seed {seed}: minimized to {lines} lines (> 15):\n{}",
+            r.case.source()
+        );
+        assert!(
+            size(&r.case) < size(&case),
+            "seed {seed}: no reduction at all"
+        );
+        shrunk_any = true;
+    }
+    assert!(shrunk_any, "no seed in 0..20 produced a wide output");
+}
+
+/// Shrinking is deterministic: same case, same predicate, same budget —
+/// byte-identical minimized source. (Corpus entries and the fuzzer's JSON
+/// summary both rely on this.)
+#[test]
+fn shrinking_is_deterministic() {
+    let case = (0..20u64)
+        .map(generate)
+        .find(diverges_under_planted_bug)
+        .expect("some seed in 0..20 produces a wide output");
+    let a = shrink(&case, 600, &mut |c| diverges_under_planted_bug(c));
+    let b = shrink(&case, 600, &mut |c| diverges_under_planted_bug(c));
+    assert_eq!(a.case.source(), b.case.source());
+    assert_eq!(a.evals, b.evals);
+}

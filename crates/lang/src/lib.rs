@@ -31,6 +31,7 @@ pub mod ast;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
+pub mod print;
 
 use std::error::Error;
 use std::fmt;
@@ -60,6 +61,17 @@ impl fmt::Display for CompileError {
 }
 
 impl Error for CompileError {}
+
+/// Parses mini-C source text into its AST without lowering — the hook the
+/// fuzz subsystem uses to round-trip generated and shrunken programs
+/// through [`print`].
+///
+/// # Errors
+/// Returns a [`CompileError`] on lexical or syntactic errors.
+pub fn parse_unit(source: &str) -> Result<ast::Unit, CompileError> {
+    let tokens = lexer::lex(source)?;
+    parser::parse(&tokens)
+}
 
 /// Compiles mini-C source text into a verified SIR module.
 ///

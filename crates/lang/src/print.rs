@@ -1,0 +1,424 @@
+//! Pretty-printer: AST back to parseable mini-C source.
+//!
+//! The inverse of [`crate::parser`]: for any `Unit` the parser produces
+//! (or a harness constructs programmatically), [`unit`] renders source
+//! that lexes, parses and lowers back to the same program. The fuzz
+//! generator builds ASTs and round-trips them through this printer, and
+//! the shrinker persists minimized ASTs as corpus files, so the output
+//! aims to be *readable* — precedence-aware parenthesization rather than
+//! parens around every node.
+//!
+//! The printer emits plain assignments for everything the parser desugars
+//! (compound assignment, `++`/`--`), so `print(parse(s))` is not textually
+//! `s` — the fixpoint contract is `print(parse(print(u))) == print(u)`.
+
+use crate::ast::*;
+
+/// Renders a translation unit as mini-C source.
+pub fn unit(u: &Unit) -> String {
+    let mut out = String::new();
+    for g in &u.globals {
+        global(&mut out, g);
+    }
+    for f in &u.funcs {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        func(&mut out, f);
+    }
+    out
+}
+
+/// Renders one expression (fully usable standalone, e.g. in diagnostics).
+pub fn expr(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e, 0);
+    s
+}
+
+/// Renders a type name.
+pub fn type_name(t: Type) -> String {
+    match t {
+        Type::Bool => "bool".into(),
+        Type::Void => "void".into(),
+        Type::Ptr(st) => format!("{}*", scalar_name(st)),
+        _ => scalar_name(t.scalar().expect("scalar type")).into(),
+    }
+}
+
+fn scalar_name(st: ScalarType) -> &'static str {
+    match st {
+        ScalarType::U8 => "u8",
+        ScalarType::U16 => "u16",
+        ScalarType::U32 => "u32",
+        ScalarType::U64 => "u64",
+        ScalarType::I8 => "i8",
+        ScalarType::I16 => "i16",
+        ScalarType::I32 => "i32",
+        ScalarType::I64 => "i64",
+    }
+}
+
+fn global(out: &mut String, g: &GlobalDef) {
+    out.push_str(&format!(
+        "global {} {}[{}]",
+        scalar_name(g.elem),
+        g.name,
+        g.len
+    ));
+    if !g.init.is_empty() {
+        out.push_str(" = { ");
+        for (i, v) in g.init.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&v.to_string());
+        }
+        out.push_str(" }");
+    }
+    out.push_str(";\n");
+}
+
+fn func(out: &mut String, f: &FuncDef) {
+    out.push_str(&type_name(f.ret));
+    out.push(' ');
+    out.push_str(&f.name);
+    out.push('(');
+    for (i, (t, n)) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{} {n}", type_name(*t)));
+    }
+    out.push_str(") {\n");
+    block(out, &f.body, 1);
+    out.push_str("}\n");
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn block(out: &mut String, stmts: &[Stmt], depth: usize) {
+    for s in stmts {
+        stmt(out, s, depth);
+    }
+}
+
+fn stmt(out: &mut String, s: &Stmt, depth: usize) {
+    indent(out, depth);
+    match s {
+        Stmt::Decl(..) | Stmt::ArrayDecl(..) | Stmt::Assign(..) | Stmt::Expr(_) => {
+            simple_stmt(out, s);
+            out.push_str(";\n");
+        }
+        Stmt::If(c, then, els) => {
+            out.push_str("if (");
+            write_expr(out, c, 0);
+            out.push_str(") {\n");
+            block(out, then, depth + 1);
+            indent(out, depth);
+            if els.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                block(out, els, depth + 1);
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::While(c, body) => {
+            out.push_str("while (");
+            write_expr(out, c, 0);
+            out.push_str(") {\n");
+            block(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::DoWhile(body, c) => {
+            out.push_str("do {\n");
+            block(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("} while (");
+            write_expr(out, c, 0);
+            out.push_str(");\n");
+        }
+        Stmt::For(init, cond, step, body) => {
+            out.push_str("for (");
+            if let Some(i) = init.as_ref() {
+                simple_stmt(out, i);
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                write_expr(out, c, 0);
+            }
+            out.push_str("; ");
+            if let Some(st) = step.as_ref() {
+                simple_stmt(out, st);
+            }
+            out.push_str(") {\n");
+            block(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Break => out.push_str("break;\n"),
+        Stmt::Continue => out.push_str("continue;\n"),
+        Stmt::Return(None) => out.push_str("return;\n"),
+        Stmt::Return(Some(e)) => {
+            out.push_str("return ");
+            write_expr(out, e, 0);
+            out.push_str(";\n");
+        }
+        Stmt::Out(e) => {
+            out.push_str("out(");
+            write_expr(out, e, 0);
+            out.push_str(");\n");
+        }
+    }
+}
+
+/// The statement forms legal in `for (…)` headers — no trailing `;`.
+fn simple_stmt(out: &mut String, s: &Stmt) {
+    match s {
+        Stmt::Decl(t, n, e) => {
+            out.push_str(&format!("{} {n} = ", type_name(*t)));
+            write_expr(out, e, 0);
+        }
+        Stmt::ArrayDecl(st, n, len) => {
+            out.push_str(&format!("{} {n}[{len}]", scalar_name(*st)));
+        }
+        Stmt::Assign(lv, e) => {
+            match lv {
+                LValue::Var(n) => out.push_str(n),
+                LValue::Index(a, i) => {
+                    write_expr(out, a, PREC_PRIMARY);
+                    out.push('[');
+                    write_expr(out, i, 0);
+                    out.push(']');
+                }
+            }
+            out.push_str(" = ");
+            write_expr(out, e, 0);
+        }
+        Stmt::Expr(e) => write_expr(out, e, 0),
+        other => unreachable!("not a simple statement: {other:?}"),
+    }
+}
+
+/// Binary operator precedence — must mirror the parser's `bin_op_prec`.
+fn prec_of(op: BinOp) -> u8 {
+    match op {
+        BinOp::LogicalOr => 1,
+        BinOp::LogicalAnd => 2,
+        BinOp::Or => 3,
+        BinOp::Xor => 4,
+        BinOp::And => 5,
+        BinOp::Eq | BinOp::Ne => 6,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 7,
+        BinOp::Shl | BinOp::Shr => 8,
+        BinOp::Add | BinOp::Sub => 9,
+        BinOp::Mul | BinOp::Div | BinOp::Rem => 10,
+    }
+}
+
+fn op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::LogicalAnd => "&&",
+        BinOp::LogicalOr => "||",
+    }
+}
+
+const PREC_TERNARY: u8 = 0;
+const PREC_UNARY: u8 = 11;
+const PREC_PRIMARY: u8 = 12;
+
+/// Writes `e`, parenthesized iff its own precedence is below `min_prec`.
+fn write_expr(out: &mut String, e: &Expr, min_prec: u8) {
+    match &e.kind {
+        ExprKind::Int(v) => out.push_str(&v.to_string()),
+        ExprKind::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        ExprKind::Ident(n) => out.push_str(n),
+        ExprKind::Index(a, i) => {
+            write_expr(out, a, PREC_PRIMARY);
+            out.push('[');
+            write_expr(out, i, 0);
+            out.push(']');
+        }
+        ExprKind::AddrOf(a, i) => {
+            paren(out, PREC_UNARY, min_prec, |out| {
+                out.push('&');
+                write_expr(out, a, PREC_PRIMARY);
+                out.push('[');
+                write_expr(out, i, 0);
+                out.push(']');
+            });
+        }
+        ExprKind::Unary(op, a) => {
+            paren(out, PREC_UNARY, min_prec, |out| {
+                out.push_str(match op {
+                    UnOp::Neg => "-",
+                    UnOp::Not => "~",
+                    UnOp::LogicalNot => "!",
+                });
+                // Operands at primary precedence: `-(-x)` must not print as
+                // `--x` (which lexes as a decrement token).
+                write_expr(out, a, PREC_PRIMARY);
+            });
+        }
+        ExprKind::Binary(op, l, r) => {
+            let p = prec_of(*op);
+            paren(out, p, min_prec, |out| {
+                // Left-associative: the left child may be at `p`, the right
+                // child must bind tighter.
+                write_expr(out, l, p);
+                out.push(' ');
+                out.push_str(op_str(*op));
+                out.push(' ');
+                write_expr(out, r, p + 1);
+            });
+        }
+        ExprKind::Cast(t, a) => {
+            paren(out, PREC_UNARY, min_prec, |out| {
+                out.push('(');
+                out.push_str(&type_name(*t));
+                out.push(')');
+                write_expr(out, a, PREC_PRIMARY);
+            });
+        }
+        ExprKind::Call(name, args) => {
+            out.push_str(name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a, 0);
+            }
+            out.push(')');
+        }
+        ExprKind::Ternary(c, t, f) => {
+            paren(out, PREC_TERNARY, min_prec, |out| {
+                // The parser parses both arms with `expr()` (full ternary
+                // precedence), and the condition at binary level.
+                write_expr(out, c, 1);
+                out.push_str(" ? ");
+                write_expr(out, t, 0);
+                out.push_str(" : ");
+                write_expr(out, f, 0);
+            });
+        }
+        ExprKind::VolatileLoad(a) => {
+            out.push_str("volatile_load(");
+            write_expr(out, a, 0);
+            out.push(')');
+        }
+    }
+}
+
+fn paren(out: &mut String, prec: u8, min_prec: u8, body: impl FnOnce(&mut String)) {
+    if prec < min_prec {
+        out.push('(');
+        body(out);
+        out.push(')');
+    } else {
+        body(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lexer, parser};
+
+    fn roundtrip(src: &str) -> String {
+        let toks = lexer::lex(src).unwrap();
+        let u = parser::parse(&toks).unwrap();
+        unit(&u)
+    }
+
+    /// `print ∘ parse` must be a projection: printing, reparsing and
+    /// printing again reproduces the first print exactly.
+    fn assert_fixpoint(src: &str) {
+        let once = roundtrip(src);
+        let twice = roundtrip(&once);
+        assert_eq!(once, twice, "printer not a fixpoint for:\n{src}");
+        // And the printed source still compiles end to end.
+        crate::compile("rt", &once)
+            .unwrap_or_else(|e| panic!("reprinted source rejected: {e}\n{once}"));
+    }
+
+    #[test]
+    fn fixpoint_on_representative_programs() {
+        assert_fixpoint("void main() { out(1); }");
+        assert_fixpoint(
+            "global u8 data[8] = { 1, 2, 3 };
+             u32 f(u32 x, i8 y) { return x + (u32)y; }
+             void main() {
+                u32 s = 0;
+                for (u32 i = 0; i < 8; i++) { s += f(data[i], (i8)i); }
+                while (s > 100) { s = s - 3; }
+                do { s++; } while (s < 10);
+                if (s == 7) { out(s); } else { out(0); }
+             }",
+        );
+        assert_fixpoint(
+            "void main() {
+                u16 buf[4];
+                buf[0] = 65535;
+                i32 a = -5;
+                u32 b = a < 0 ? (u32)(-a) : (u32)a;
+                out(b + (buf[0] & 255));
+                out(volatile_load(&buf[1]));
+             }",
+        );
+    }
+
+    #[test]
+    fn precedence_preserved() {
+        // Mixed precedence with explicit grouping that must survive.
+        let src = "void main() { out((1 + 2) * 3); out(1 + 2 * 3); out((1 ^ 2) & 3); }";
+        let printed = roundtrip(src);
+        assert!(printed.contains("(1 + 2) * 3"), "{printed}");
+        assert!(printed.contains("1 + 2 * 3"), "{printed}");
+        assert!(printed.contains("(1 ^ 2) & 3"), "{printed}");
+    }
+
+    #[test]
+    fn nested_unary_does_not_fuse() {
+        let src = "void main() { i32 x = 4; out((u32)(-(-x))); }";
+        let printed = roundtrip(src);
+        assert!(
+            !printed.contains("--"),
+            "emitted a decrement token: {printed}"
+        );
+        crate::compile("t", &printed).unwrap();
+    }
+
+    #[test]
+    fn left_associative_subtraction() {
+        // (a - b) - c prints without parens; a - (b - c) keeps them.
+        let src =
+            "void main() { u32 a = 9; u32 b = 2; u32 c = 1; out(a - b - c); out(a - (b - c)); }";
+        let printed = roundtrip(src);
+        assert!(printed.contains("a - b - c"), "{printed}");
+        assert!(printed.contains("a - (b - c)"), "{printed}");
+    }
+}

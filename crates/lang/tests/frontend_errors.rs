@@ -1,0 +1,140 @@
+//! Frontend error paths: malformed input must produce a positioned
+//! [`lang::CompileError`], never a panic. The differential fuzzer leans on
+//! this contract — its shrinker feeds the frontend many slightly-broken
+//! programs and classifies rejections, so a frontend panic would abort a
+//! whole fuzzing batch.
+
+use lang::{compile, parse_unit};
+
+/// Asserts `source` is rejected with a diagnostic mentioning `needle`.
+fn rejected(source: &str, needle: &str) {
+    let e = compile("t", source).expect_err("source must be rejected");
+    assert!(
+        e.message.contains(needle),
+        "diagnostic {:?} does not mention {needle:?}",
+        e.message
+    );
+    assert!(e.line >= 1, "diagnostics carry a 1-based line");
+}
+
+// ---- lexer ----
+
+#[test]
+fn unterminated_block_comment() {
+    rejected("void main() { } /* trailing", "unterminated block comment");
+}
+
+#[test]
+fn unterminated_string_literal() {
+    rejected("global u8 g[] = \"abc", "unterminated string");
+}
+
+#[test]
+fn unterminated_char_literal() {
+    rejected("void main() { out('", "char literal");
+}
+
+#[test]
+fn char_literal_missing_close_quote() {
+    rejected("void main() { out('ab'); }", "closing quote");
+}
+
+#[test]
+fn unknown_escape_sequence() {
+    rejected("global u8 g[] = \"a\\q\";", "unknown escape");
+}
+
+#[test]
+fn empty_hex_literal() {
+    rejected("void main() { out(0x); }", "empty hex literal");
+}
+
+#[test]
+fn decimal_literal_overflow() {
+    rejected(
+        "void main() { out(99999999999999999999999999); }",
+        "overflows u64",
+    );
+}
+
+#[test]
+fn hex_literal_overflow() {
+    rejected(
+        "void main() { out(0xFFFF_FFFF_FFFF_FFFF_F); }",
+        "overflows u64",
+    );
+}
+
+#[test]
+fn unexpected_character() {
+    let e = compile("t", "void main() {\n  @\n}").expect_err("must reject");
+    assert!(e.message.contains("unexpected character"), "{e}");
+    assert_eq!(e.line, 2, "position points at the bad character");
+}
+
+// ---- parser ----
+
+#[test]
+fn missing_semicolon_after_statement() {
+    compile("t", "void main() { u32 x = 1 out(x); }").expect_err("missing `;` must be rejected");
+}
+
+#[test]
+fn missing_semicolon_after_global() {
+    compile("t", "global u8 g[4]\nvoid main() { }").expect_err("missing `;` must be rejected");
+}
+
+#[test]
+fn unbalanced_open_brace() {
+    compile("t", "void main() { if (true) { out(1); }").expect_err("unclosed `{` must be rejected");
+}
+
+#[test]
+fn unbalanced_close_brace() {
+    compile("t", "void main() { } }").expect_err("stray `}` must be rejected");
+}
+
+#[test]
+fn unbalanced_parens_in_expression() {
+    compile("t", "void main() { out((1 + 2); }").expect_err("unclosed `(` must be rejected");
+}
+
+#[test]
+fn truncated_function_header() {
+    compile("t", "u32 f(u32").expect_err("truncated header must be rejected");
+}
+
+#[test]
+fn error_positions_are_one_based() {
+    for src in ["$", "void main() { ? }", "void main() { out(1) }"] {
+        let e = parse_unit(src).expect_err("must reject");
+        assert!(e.line >= 1 && e.col >= 1, "{src:?} reported {e}");
+    }
+}
+
+// ---- robustness sweep ----
+
+/// Every single-byte corruption of a representative valid program must
+/// produce `Ok` or `Err` — never a panic. (The corrupted byte can also
+/// yield a still-valid program; only absence of panics is asserted.)
+#[test]
+fn single_byte_corruptions_never_panic() {
+    let good = "global u8 tab[4];\n\
+                u32 f(u32 x) { return x % 3; }\n\
+                void main() {\n\
+                  u32 acc = 0;\n\
+                  for (u32 i = 0; i < 4; i += 1) { acc += tab[i & 3]; }\n\
+                  while (acc > 100) { acc -= 7; break; }\n\
+                  out(acc ? f(acc) : 0);\n\
+                }\n";
+    // A panic anywhere in this loop fails the test by aborting it.
+    for pos in 0..good.len() {
+        for replacement in [b'\0', b'(', b'}', b'"', b'\'', b'/', b'*', b'9', b'$'] {
+            let mut bytes = good.as_bytes().to_vec();
+            bytes[pos] = replacement;
+            if let Ok(mutated) = String::from_utf8(bytes) {
+                let _ = compile("t", &mutated);
+            }
+        }
+    }
+}

@@ -158,6 +158,11 @@ fn prepare_blocks(f: &mut Function, setup: BlockId) {
             if pos > 0 {
                 let nb = f.split_block(b, pos);
                 work.push(nb);
+                // The idempotent prefix can still mix loads and stores —
+                // re-enqueue it so rule (4) runs on it. (`pos` was the
+                // first non-idempotent instruction, so the prefix passes
+                // rule (5) and reaches rule (4) on the next visit.)
+                work.push(b);
                 continue;
             }
             if insts.len() > 1 {

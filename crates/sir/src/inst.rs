@@ -267,6 +267,13 @@ impl Inst {
 
     /// Whether this instruction may observe or mutate memory or I/O.
     pub fn has_side_effects(&self) -> bool {
+        // A speculative instruction can trap to its region handler — a
+        // control-flow effect that must survive even when the result is
+        // unused (compare elision replaces the consumer with a constant
+        // and relies on the producer's trap to guard the prediction).
+        if self.is_speculative() {
+            return true;
+        }
         match self {
             Inst::Store { .. } | Inst::Call { .. } | Inst::Output { .. } => true,
             Inst::Load { volatile, .. } => *volatile,
