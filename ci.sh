@@ -20,6 +20,13 @@ cargo run --release -p bench --bin simperf -- 1
 cargo test --release -q -p bitspec --test profiler_equivalence
 cargo run --release -p bench --bin buildperf -- 2
 
+# Pass-manager smoke: a gated BITSPEC build with verify-each produces a
+# JSON pass trace naming every registered pass with nonzero timings, the
+# golden pass order holds per architecture, and BITSPEC_PRINT_AFTER
+# renders every corpus entry's IR without panicking or changing output.
+cargo test --release -q -p bitspec --test pass_trace --test pass_order
+cargo test --release -q -p fuzz --test print_after
+
 # Differential fuzzing: a fixed-seed smoke batch (deterministic, exits
 # nonzero on any divergence) plus replay of every minimized corpus entry.
 cargo run --release -p fuzz --bin fuzzer -- --seed 42 --iters 50 --no-save

@@ -33,6 +33,23 @@ pub mod regalloc;
 pub use emit::{PreInst, Program};
 pub use isel::CodegenOpts;
 
+use sir::pass::{FnvHasher, IrStats, PassTrace, TracePolicy, Tracer};
+use sir::verify::VerifyError;
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+/// The back-end pass names, in execution order, as they appear in a trace
+/// when verification is on. With verification off, only the three
+/// transformation passes (`isel`, `regalloc`, `emit`) run.
+pub const PASS_NAMES: [&str; 6] = [
+    "isel",
+    "mir-verify",
+    "regalloc",
+    "regalloc-verify",
+    "emit",
+    "emit-verify",
+];
+
 /// Compiles a verified SIR module into a linked machine program.
 ///
 /// # Panics
@@ -61,24 +78,170 @@ pub fn compile_module_checked(
     opts: &CodegenOpts,
     verify: bool,
 ) -> Result<Program, sir::verify::VerifyError> {
+    let mut tr = Tracer::new(TracePolicy::verify(verify));
+    compile_module_traced(m, opts, &mut tr)
+}
+
+/// Accumulates one MIR function into the shared [`IrStats`] shape:
+/// `slices` counts byte-class virtual registers (the squeezer's 8-bit
+/// values after lowering), `regions` the mirrored speculative regions.
+fn add_mir_stats(s: &mut IrStats, f: &mir::MirFunction) {
+    s.funcs += 1;
+    s.blocks += f.blocks.len() as u32;
+    s.regions += f.regions.len() as u32;
+    s.slices += f
+        .classes
+        .iter()
+        .filter(|c| **c == mir::RegClass::Byte)
+        .count() as u32;
+    for b in &f.blocks {
+        s.insts += b.insts.len() as u32;
+    }
+}
+
+/// Structural fingerprint of a linked program: the flat instruction image
+/// plus entry points and global initializers. Matches the role
+/// [`sir::pass::ir_fingerprint`] plays for SIR — two programs fingerprint
+/// equal iff the simulator sees identical images.
+pub fn program_fingerprint(p: &Program) -> u64 {
+    let mut h = FnvHasher::default();
+    (p.insts.len() as u64).hash(&mut h);
+    for i in &p.insts {
+        i.hash(&mut h);
+    }
+    p.addrs.hash(&mut h);
+    p.entry.hash(&mut h);
+    p.halt.hash(&mut h);
+    p.func_entries.hash(&mut h);
+    p.global_inits.hash(&mut h);
+    p.mem_size.hash(&mut h);
+    p.compact.hash(&mut h);
+    h.finish()
+}
+
+/// [`compile_module_checked`] with full per-pass instrumentation: the
+/// tracer receives one entry per back-end pass (`isel`, `regalloc`,
+/// `emit`, and — when the policy verifies — `mir-verify`,
+/// `regalloc-verify`, `emit-verify`). Stage wall times are aggregated
+/// across functions; IR deltas use [`IrStats`] with `slices` meaning
+/// byte-class vregs; the `emit` entry carries the program fingerprint.
+/// `BITSPEC_PRINT_AFTER=isel|regalloc` dumps the MIR of every function via
+/// [`mir::print_mir`].
+///
+/// Verification keeps the accumulate-all-diagnostics semantics of
+/// [`compile_module_checked`]; the returned error names the earliest
+/// back-end stage that rejected and carries the (last-good) SIR input as
+/// its failure artifact.
+///
+/// # Errors
+/// Returns every diagnostic collected across all stages when the tracer's
+/// policy verifies and an invariant is violated.
+///
+/// # Panics
+/// Panics on constructs the back-end does not support (64-bit division,
+/// 64-bit variable-amount shifts) — see DESIGN.md for the supported subset.
+pub fn compile_module_traced(
+    m: &sir::Module,
+    opts: &CodegenOpts,
+    tr: &mut Tracer,
+) -> Result<Program, VerifyError> {
     let layout = interp::Layout::new(m);
+    let verify = tr.verify_each();
+    let sir_stats = IrStats::of_module(m);
+    let want_isel_dump = tr.policy.print_after.matches("isel");
+    let want_ra_dump = tr.policy.print_after.matches("regalloc");
+
     let mut funcs = Vec::new();
     let mut problems = Vec::new();
-    for fid in m.func_ids() {
-        let mir = isel::select_function(m, fid, &layout, opts);
-        if verify {
-            problems.extend(mir_verify::verify_mir(&mir));
+    let mut first_bad: Option<&'static str> = None;
+    let bad = |slot: &mut Option<&'static str>, stage, fresh: &[sir::Diag]| {
+        if slot.is_none() && !fresh.is_empty() {
+            *slot = Some(stage);
         }
-        let alloc = regalloc::allocate(mir, opts);
+    };
+    let (mut t_isel, mut t_mirv, mut t_ra, mut t_rav) = (0u64, 0u64, 0u64, 0u64);
+    let mut mid = IrStats::default();
+    let mut allocated = IrStats::default();
+    let mut isel_dump = String::new();
+    let mut ra_dump = String::new();
+    let mut mirv_ok = true;
+    let mut rav_ok = true;
+    for fid in m.func_ids() {
+        let t = Instant::now();
+        let mir = isel::select_function(m, fid, &layout, opts);
+        t_isel += t.elapsed().as_nanos() as u64;
+        add_mir_stats(&mut mid, &mir);
+        if want_isel_dump {
+            isel_dump.push_str(&mir::print_mir(&mir));
+        }
         if verify {
-            problems.extend(mir_verify::verify_allocated(&alloc));
+            let t = Instant::now();
+            let p = mir_verify::verify_mir(&mir);
+            t_mirv += t.elapsed().as_nanos() as u64;
+            bad(&mut first_bad, "mir-verify", &p);
+            mirv_ok &= p.is_empty();
+            problems.extend(p);
+        }
+        let t = Instant::now();
+        let alloc = regalloc::allocate(mir, opts);
+        t_ra += t.elapsed().as_nanos() as u64;
+        add_mir_stats(&mut allocated, &alloc.mir);
+        if want_ra_dump {
+            ra_dump.push_str(&mir::print_mir(&alloc.mir));
+        }
+        if verify {
+            let t = Instant::now();
+            let p = mir_verify::verify_allocated(&alloc);
+            t_rav += t.elapsed().as_nanos() as u64;
+            bad(&mut first_bad, "regalloc-verify", &p);
+            rav_ok &= p.is_empty();
+            problems.extend(p);
         }
         funcs.push(alloc);
     }
-    let program = emit::link(m, funcs, opts, &layout);
-    if verify {
-        problems.extend(emit::verify_layout(&program));
+    let mut isel_entry = PassTrace::new("isel", t_isel).stats(sir_stats, mid);
+    if want_isel_dump {
+        isel_entry.dump = Some(isel_dump);
     }
-    sir::verify::VerifyError::check(problems)?;
+    tr.record(isel_entry);
+    if verify {
+        tr.record(PassTrace::new("mir-verify", t_mirv).verified(mirv_ok));
+    }
+    let mut ra_entry = PassTrace::new("regalloc", t_ra).stats(mid, allocated);
+    if want_ra_dump {
+        ra_entry.dump = Some(ra_dump);
+    }
+    tr.record(ra_entry);
+    if verify {
+        tr.record(PassTrace::new("regalloc-verify", t_rav).verified(rav_ok));
+    }
+
+    let t = Instant::now();
+    let program = emit::link(m, funcs, opts, &layout);
+    let t_emit = t.elapsed().as_nanos() as u64;
+    let prog_stats = IrStats {
+        funcs: program.func_entries.len() as u32,
+        insts: program.insts.len() as u32,
+        regions: program.spec_targets.len() as u32,
+        ..IrStats::default()
+    };
+    tr.record(
+        PassTrace::new("emit", t_emit)
+            .stats(allocated, prog_stats)
+            .fingerprinted(program_fingerprint(&program)),
+    );
+    if verify {
+        let t = Instant::now();
+        let p = emit::verify_layout(&program);
+        let t_ev = t.elapsed().as_nanos() as u64;
+        bad(&mut first_bad, "emit-verify", &p);
+        tr.record(PassTrace::new("emit-verify", t_ev).verified(p.is_empty()));
+        problems.extend(p);
+    }
+
+    if let Err(e) = VerifyError::check(problems) {
+        let stage = first_bad.unwrap_or("backend");
+        return Err(e.in_pass(stage, sir::print::print_module(m)));
+    }
     Ok(program)
 }

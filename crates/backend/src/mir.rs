@@ -435,6 +435,52 @@ impl MirFunction {
     }
 }
 
+/// Renders a MIR function as text — the back-end half of
+/// `BITSPEC_PRINT_AFTER` (the SIR half is `sir::print`). One line per
+/// instruction in the `Debug` form (which is already compact and names
+/// vregs `v<n>`), prefixed with a header summarizing register classes and
+/// regions.
+pub fn print_mir(f: &MirFunction) -> String {
+    use std::fmt::Write;
+    let bytes = f.classes.iter().filter(|c| **c == RegClass::Byte).count();
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "mfunc {} entry {:?} ({} vregs, {} byte-class, {} param slots)",
+        f.name,
+        f.entry,
+        f.classes.len(),
+        bytes,
+        f.param_slots
+    );
+    for (ri, (blocks, handler)) in f.regions.iter().enumerate() {
+        let _ = writeln!(s, "  ; region {ri}: blocks {blocks:?} handler {handler:?}");
+    }
+    for (i, b) in f.blocks.iter().enumerate() {
+        let mut attrs = Vec::new();
+        if let Some(r) = b.region {
+            attrs.push(format!("region {r}"));
+        }
+        if let Some(r) = b.handler_for {
+            attrs.push(format!("handler-for {r}"));
+        }
+        if b.spec_side {
+            attrs.push("spec".to_string());
+        }
+        let suffix = if attrs.is_empty() {
+            String::new()
+        } else {
+            format!("  ; {}", attrs.join(", "))
+        };
+        let _ = writeln!(s, "mb{i}:{suffix}");
+        for inst in &b.insts {
+            let _ = writeln!(s, "  {inst:?}");
+        }
+        let _ = writeln!(s, "  {:?}", b.term);
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

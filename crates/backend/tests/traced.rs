@@ -1,0 +1,64 @@
+//! The traced back-end entry point: pass entries, order, fingerprints and
+//! print-after dumps.
+
+use backend::{compile_module, compile_module_traced, program_fingerprint, CodegenOpts};
+use sir::pass::{PrintAfter, TracePolicy, Tracer};
+
+fn module() -> sir::Module {
+    let src = "u32 twice(u32 x) { return x + x; }
+               void main() { u32 s = 0; for (u32 i = 0; i < 10; i++) { s += twice(i); } out(s); }";
+    let mut m = lang::compile("t", src).unwrap();
+    opt::expand_module(&mut m, &opt::ExpanderConfig::default());
+    m
+}
+
+#[test]
+fn traced_records_every_backend_pass_in_order() {
+    let m = module();
+    let mut tr = Tracer::new(TracePolicy::verify(true));
+    let p = compile_module_traced(&m, &CodegenOpts::default(), &mut tr).unwrap();
+    let names: Vec<&str> = tr.entries().iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(names, backend::PASS_NAMES);
+    for e in tr.entries() {
+        assert!(e.wall_ns > 0, "{} has a wall time", e.name);
+    }
+    let emit = &tr.entries()[4];
+    assert_eq!(emit.fingerprint, Some(program_fingerprint(&p)));
+    assert_eq!(emit.after.insts, p.insts.len() as u32);
+    for check in ["mir-verify", "regalloc-verify", "emit-verify"] {
+        let e = tr.entries().iter().find(|e| e.name == check).unwrap();
+        assert!(e.verified, "{check} passed");
+    }
+    // The isel entry's delta goes SIR → MIR: function count is preserved.
+    let isel = &tr.entries()[0];
+    assert_eq!(isel.before.funcs, m.funcs.len() as u32);
+    assert_eq!(isel.after.funcs, m.funcs.len() as u32);
+}
+
+#[test]
+fn unverified_trace_has_only_transform_passes_and_matches_checked() {
+    let m = module();
+    let mut tr = Tracer::new(TracePolicy::verify(false));
+    let p = compile_module_traced(&m, &CodegenOpts::default(), &mut tr).unwrap();
+    let names: Vec<&str> = tr.entries().iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(names, ["isel", "regalloc", "emit"]);
+    // Instrumentation must not perturb the output image.
+    let q = compile_module(&m, &CodegenOpts::default());
+    assert_eq!(program_fingerprint(&p), program_fingerprint(&q));
+}
+
+#[test]
+fn print_after_captures_mir_dumps() {
+    let m = module();
+    let mut tr = Tracer::new(TracePolicy {
+        verify_each: false,
+        print_after: PrintAfter::Pass("regalloc".to_string()),
+        echo_dumps: false,
+    });
+    compile_module_traced(&m, &CodegenOpts::default(), &mut tr).unwrap();
+    let ra = tr.entries().iter().find(|e| e.name == "regalloc").unwrap();
+    let dump = ra.dump.as_deref().expect("regalloc dump captured");
+    assert!(dump.contains("mfunc main"), "dump lists functions:\n{dump}");
+    let isel = tr.entries().iter().find(|e| e.name == "isel").unwrap();
+    assert!(isel.dump.is_none(), "non-matching passes are not dumped");
+}

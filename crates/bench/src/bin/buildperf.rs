@@ -118,13 +118,26 @@ fn main() {
     let workloads: Vec<_> = names().iter().map(|n| workload(n, Input::Large)).collect();
     let cfgs = config_set();
 
-    // 1. Cold full builds (every cache cleared per build).
+    // 1. Cold full builds (every cache cleared per build), with the
+    // pass-manager's per-pass wall-time breakdown aggregated across
+    // workloads (first-appearance order).
     let mut cold_rows = Vec::new();
+    let mut pass_rows: Vec<(String, u64, u64)> = Vec::new();
     for w in &workloads {
         clear_all();
         let t = Instant::now();
-        std::hint::black_box(build(w, &BuildConfig::bitspec()).expect("build"));
+        let c = build(w, &BuildConfig::bitspec()).expect("build");
         cold_rows.push((w.name.clone(), t.elapsed().as_secs_f64()));
+        for p in &c.trace.passes {
+            match pass_rows.iter_mut().find(|(n, _, _)| *n == p.name) {
+                Some(row) => {
+                    row.1 += 1;
+                    row.2 += p.wall_ns;
+                }
+                None => pass_rows.push((p.name.clone(), 1, p.wall_ns)),
+            }
+        }
+        std::hint::black_box(c);
     }
     let cold_total: f64 = cold_rows.iter().map(|r| r.1).sum();
     println!(
@@ -132,6 +145,10 @@ fn main() {
         cold_total,
         cold_rows.len()
     );
+    println!("{:<20} {:>6} {:>12}", "pass", "runs", "total_ms");
+    for (name, count, wall_ns) in &pass_rows {
+        println!("{name:<20} {count:>6} {:>12.2}", *wall_ns as f64 / 1e6);
+    }
 
     // 2. Matrix sweeps: uncached serial vs stage-cached serial vs pool.
     // Whole-sweep wall clock is noisy (scheduler, page cache), so take the
@@ -170,8 +187,10 @@ fn main() {
         "workload", "dyn_insts", "ref_ms", "fast_ms", "speedup"
     );
     for w in &workloads {
+        let mut tracer =
+            bitspec::pipeline::Tracer::new(bitspec::pipeline::TracePolicy::verify(true));
         let (module, _) =
-            stages::expand(w, &BuildConfig::bitspec().expander, true).expect("expand");
+            stages::expand(w, &BuildConfig::bitspec().expander, &mut tracer).expect("expand");
         let train = if w.train_inputs.is_empty() {
             &w.inputs
         } else {
@@ -214,6 +233,13 @@ fn main() {
         json.push_str(&format!(
             "    {{\"workload\": \"{name}\", \"bitspec_s\": {secs:.6}}}{}\n",
             if i + 1 < cold_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"passes\": [\n");
+    for (i, (name, count, wall_ns)) in pass_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"runs\": {count}, \"total_wall_ns\": {wall_ns}}}{}\n",
+            if i + 1 < pass_rows.len() { "," } else { "" }
         ));
     }
     json.push_str(&format!(

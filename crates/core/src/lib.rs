@@ -27,16 +27,22 @@ use interp::{Heuristic, Interpreter, Layout, Profile};
 use opt::{SqueezeConfig, SqueezeReport};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
 pub mod fingerprint;
+pub mod pipeline;
 pub mod pool;
 pub mod stages;
 
 pub use backend::Program;
 pub use interp::Heuristic as BitwidthHeuristic;
 pub use opt::ExpanderConfig;
+pub use pipeline::BuildTrace;
 pub use sim::{SimConfig, SimResult};
 pub use stages::StageHits;
+
+use pipeline::{PassTrace, Tracer};
 
 /// Which processor/compiler pair to build for (§4.1's configurations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,6 +186,10 @@ pub enum BuildError {
     Compile(lang::CompileError),
     Profile(interp::ExecError),
     Verify(sir::verify::VerifyError),
+    /// The empirical gate's measurement run on the training input faulted.
+    /// A program that cannot run its own training input is a build-time
+    /// defect, not a measurement to be silently discarded.
+    TrainSim(sim::SimError),
 }
 
 impl fmt::Display for BuildError {
@@ -188,18 +198,23 @@ impl fmt::Display for BuildError {
             BuildError::Compile(e) => write!(f, "frontend: {e}"),
             BuildError::Profile(e) => write!(f, "profiling run failed: {e}"),
             BuildError::Verify(e) => write!(f, "post-transform verification failed: {e}"),
+            BuildError::TrainSim(e) => {
+                write!(f, "empirical gate's training-input run faulted: {e}")
+            }
         }
     }
 }
 
 impl Error for BuildError {}
 
-/// A fully compiled workload.
+/// A fully compiled workload. The IR module and profile are shared
+/// (`Arc`) with the process-wide stage cache rather than deep-copied per
+/// build.
 #[derive(Debug, Clone)]
 pub struct Compiled {
-    pub module: sir::Module,
+    pub module: Arc<sir::Module>,
     pub program: Program,
-    pub profile: Profile,
+    pub profile: Arc<Profile>,
     pub squeeze: SqueezeReport,
     pub config: BuildConfig,
     /// Dynamic IR instructions executed during the profiling run.
@@ -211,75 +226,96 @@ pub struct Compiled {
     /// Which pipeline stages this build served from the process-wide
     /// stage cache (see [`stages`]).
     pub stage_hits: StageHits,
+    /// Per-pass instrumentation for this build: every registered pass
+    /// that ran (or was replayed from the stage cache), in order, with
+    /// wall times, IR deltas and fingerprints. See [`pipeline`].
+    pub trace: BuildTrace,
 }
 
 /// Compiles `workload` under `cfg` through the full Figure 4 pipeline.
 ///
+/// Every transformation runs as a registered pass under the unified pass
+/// manager (see [`pipeline`]); the returned [`Compiled::trace`] carries
+/// one record per pass with wall time, IR deltas and fingerprints.
+/// `BITSPEC_PRINT_AFTER=<pass|all>` dumps the IR after matching passes.
+///
 /// # Errors
-/// Returns a [`BuildError`] on frontend errors, profiling faults, or (a
-/// pipeline bug) post-transformation verification failures.
+/// Returns a [`BuildError`] on frontend errors, profiling faults,
+/// training-input simulator faults in the empirical gate, or (a pipeline
+/// bug) post-transformation verification failures — the latter naming
+/// the failing pass and carrying the last-good IR.
 pub fn build(workload: &Workload, cfg: &BuildConfig) -> Result<Compiled, BuildError> {
+    let mut tr = Tracer::new(pipeline::policy(cfg.verify_each));
     // Stages 1–3 (frontend, expander, profiler) are memoized process-wide;
     // sweeps differing only in downstream knobs share them (see `stages`).
-    let (expanded, pdata, stage_hits) = stages::profile(
-        workload,
-        &cfg.expander,
-        cfg.verify_each,
-        cfg.reference_profiler,
-    )?;
-    let mut module = (*expanded).clone();
-    let profile = pdata.profile.clone();
+    let (expanded, pdata, stage_hits) =
+        stages::profile(workload, &cfg.expander, cfg.reference_profiler, &mut tr)?;
+    let profile = Arc::clone(&pdata.profile);
     let profile_dyn_insts = pdata.dyn_insts;
-    // Squeezer (§3.2.3).
-    let maybe_gate = matches!(cfg.arch, Arch::BitSpec | Arch::NoSpec) && cfg.empirical_gate;
-    let unsqueezed = maybe_gate.then(|| module.clone());
-    let squeeze = match cfg.arch {
-        Arch::BitSpec => opt::squeeze_module(
-            &mut module,
-            &profile,
-            &SqueezeConfig {
-                heuristic: cfg.heuristic,
-                compare_elim: cfg.compare_elim,
-                bitmask_elision: cfg.bitmask_elision,
-                speculation: true,
-            },
-        ),
-        Arch::NoSpec => opt::squeeze_module(
-            &mut module,
-            &profile,
-            &SqueezeConfig {
-                heuristic: cfg.heuristic,
-                compare_elim: false,
-                bitmask_elision: cfg.bitmask_elision,
-                speculation: false,
-            },
-        ),
-        Arch::Baseline | Arch::Compact => SqueezeReport::default(),
-    };
-    sir::verify::verify_module(&module).map_err(BuildError::Verify)?;
-    if cfg.verify_each {
-        // Speculation-soundness lint over the squeezed SIR (eq 4–6, eq 8,
-        // Theorem 3.1 coverage).
-        sir::bitlint::lint_module(&module).map_err(BuildError::Verify)?;
-    }
     let opts = backend::CodegenOpts {
         bitspec: matches!(cfg.arch, Arch::BitSpec | Arch::NoSpec),
         compact: cfg.arch == Arch::Compact,
         spill_prefer_orig: cfg.spill_prefer_orig,
     };
+
+    // Squeezer (§3.2.3) — per-config, never cached. Baseline/Compact
+    // builds skip it entirely and codegen the shared expanded module
+    // directly (no per-build clone).
+    let scfg = match cfg.arch {
+        Arch::BitSpec => Some(SqueezeConfig {
+            heuristic: cfg.heuristic,
+            compare_elim: cfg.compare_elim,
+            bitmask_elision: cfg.bitmask_elision,
+            speculation: true,
+        }),
+        Arch::NoSpec => Some(SqueezeConfig {
+            heuristic: cfg.heuristic,
+            compare_elim: false,
+            bitmask_elision: cfg.bitmask_elision,
+            speculation: false,
+        }),
+        Arch::Baseline | Arch::Compact => None,
+    };
+    let (squeezed, squeeze) = match scfg {
+        Some(scfg) => {
+            let mut module = (*expanded).clone();
+            let mut pass = opt::SqueezePass::new(&profile, scfg);
+            tr.run_sir(&mut module, &mut pass)
+                .map_err(BuildError::Verify)?;
+            if !cfg.verify_each {
+                // The squeeze pass verified under verify-each; otherwise
+                // the pipeline still checks the pre-backend module once.
+                tr.run_check("verify", || sir::verify::verify_module(&module))
+                    .map_err(BuildError::Verify)?;
+            }
+            (Some(module), pass.report)
+        }
+        None => {
+            tr.run_check("verify", || sir::verify::verify_module(&expanded))
+                .map_err(BuildError::Verify)?;
+            (None, SqueezeReport::default())
+        }
+    };
+    if cfg.verify_each {
+        // Speculation-soundness lint over the pre-backend SIR (eq 4–6,
+        // eq 8, Theorem 3.1 coverage).
+        let m: &sir::Module = squeezed.as_ref().unwrap_or(&expanded);
+        tr.run_check("bitlint", || sir::bitlint::lint_module(m))
+            .map_err(BuildError::Verify)?;
+    }
+
     // Empirical gate (BITSPEC only): simulate both codegens on the training
     // input and keep whichever consumes less energy. Profile-guided
     // speculation sometimes loses (the paper's qsort); measuring on the
     // train set is the honest way to decide, mirroring the paper's
     // measurement-driven auto-tuning. Both codegen+train-sim legs run as
-    // pool jobs; the unsqueezed reference leg depends only on the expanded
-    // module, backend options and training inputs, so it is additionally
-    // memoized process-wide (`stages::gate_ref`) and shared across every
-    // gated config in a sweep.
-    let (module, program, used_squeezed) = match unsqueezed {
-        Some(unsqueezed) if squeeze.narrowed > 0 => {
+    // pool jobs; the unsqueezed reference leg *is* the expanded module's
+    // codegen, so it is additionally memoized process-wide
+    // (`stages::gate_ref`) and shared across every gated config in a sweep.
+    let (module, program, used_squeezed) = match squeezed {
+        Some(module) if cfg.empirical_gate && squeeze.narrowed > 0 => {
             let train = workload.train();
-            let energy_of = |m: &sir::Module, p: &Program| -> Option<f64> {
+            let energy_of = |m: &sir::Module, p: &Program| -> Result<f64, BuildError> {
                 let layout = Layout::new(m);
                 let inputs: Vec<(u32, Vec<u8>)> = train
                     .iter()
@@ -291,42 +327,69 @@ pub fn build(workload: &Workload, cfg: &BuildConfig) -> Result<Compiled, BuildEr
                     })
                     .collect();
                 sim::run_program(p, &SimConfig::default(), &inputs)
-                    .ok()
                     .map(|r| r.total_energy())
+                    .map_err(BuildError::TrainSim)
             };
-            let compile_and_measure = |m: &sir::Module| {
-                backend::compile_module_checked(m, &opts, cfg.verify_each)
-                    .map(|p| {
-                        let e = energy_of(m, &p);
-                        (p, e)
-                    })
-                    .map_err(BuildError::Verify)
-            };
-            let mods = [module, unsqueezed];
-            let mut legs = pool::run_ordered(2, 2, |i| {
+            let policy = tr.policy.clone();
+            type Leg = (Program, f64, Vec<PassTrace>, bool);
+            let mut legs = pool::run_ordered(2, 2, |i| -> Result<Leg, BuildError> {
                 if i == 0 {
-                    compile_and_measure(&mods[0])
+                    // Candidate leg: the squeezed codegen, traced as the
+                    // build's canonical back-end passes.
+                    let mut leg_tr = Tracer::new(policy.clone());
+                    let p = backend::compile_module_traced(&module, &opts, &mut leg_tr)
+                        .map_err(BuildError::Verify)?;
+                    let t = Instant::now();
+                    let e = energy_of(&module, &p)?;
+                    leg_tr.record(PassTrace::new("gate.sim", t.elapsed().as_nanos() as u64));
+                    Ok((p, e, leg_tr.finish(), false))
                 } else {
-                    let (r, _hit) =
-                        stages::gate_ref(workload, &cfg.expander, cfg.verify_each, &opts, || {
-                            compile_and_measure(&mods[1])
-                                .map(|(program, energy)| stages::GateRef { program, energy })
+                    let (r, hit) =
+                        stages::gate_ref(workload, &cfg.expander, &policy, &opts, || {
+                            let mut leg_tr = Tracer::new(policy.clone());
+                            let p = backend::compile_module_traced(&expanded, &opts, &mut leg_tr)
+                                .map_err(BuildError::Verify)?;
+                            let t = Instant::now();
+                            let e = energy_of(&expanded, &p)?;
+                            let mut traces = leg_tr.finish();
+                            for entry in &mut traces {
+                                entry.name = format!("gate-ref.{}", entry.name);
+                            }
+                            traces.push(PassTrace::new(
+                                "gate-ref.sim",
+                                t.elapsed().as_nanos() as u64,
+                            ));
+                            Ok(stages::GateRef {
+                                program: p,
+                                energy: e,
+                                traces,
+                            })
                         })?;
-                    Ok((r.program.clone(), r.energy))
+                    Ok((r.program.clone(), r.energy, r.traces.clone(), hit))
                 }
             });
-            let (base_program, eb) = legs.pop().expect("gate ran two legs")?;
-            let (program, es) = legs.pop().expect("gate ran two legs")?;
-            let [module, unsqueezed] = mods;
-            match (es, eb) {
-                (Some(es), Some(eb)) if es <= eb => (module, program, true),
-                _ => (unsqueezed, base_program, false),
+            let (base_program, eb, ref_traces, ref_cached) =
+                legs.pop().expect("gate ran two legs")?;
+            let (program, es, cand_traces, _) = legs.pop().expect("gate ran two legs")?;
+            tr.replay(&cand_traces, false);
+            tr.replay(&ref_traces, ref_cached);
+            if es <= eb {
+                (Arc::new(module), program, true)
+            } else {
+                // The unsqueezed winner is exactly the shared expanded
+                // module — no clone needed.
+                (expanded, base_program, false)
             }
         }
-        _ => {
-            let program = backend::compile_module_checked(&module, &opts, cfg.verify_each)
+        Some(module) => {
+            let program = backend::compile_module_traced(&module, &opts, &mut tr)
                 .map_err(BuildError::Verify)?;
-            (module, program, false)
+            (Arc::new(module), program, false)
+        }
+        None => {
+            let program = backend::compile_module_traced(&expanded, &opts, &mut tr)
+                .map_err(BuildError::Verify)?;
+            (expanded, program, false)
         }
     };
     Ok(Compiled {
@@ -338,6 +401,9 @@ pub fn build(workload: &Workload, cfg: &BuildConfig) -> Result<Compiled, BuildEr
         profile_dyn_insts,
         used_squeezed,
         stage_hits,
+        trace: BuildTrace {
+            passes: tr.finish(),
+        },
     })
 }
 
@@ -362,12 +428,8 @@ pub fn build_for_fuzz(
         // Pre-warm the shared stages serially so parallel legs don't race
         // to compute the same profiling run. An error here simply recurs
         // (uncached) in each leg, where it is reported per config.
-        let _ = stages::profile(
-            workload,
-            &first.expander,
-            first.verify_each,
-            first.reference_profiler,
-        );
+        let mut tr = Tracer::new(pipeline::policy(first.verify_each));
+        let _ = stages::profile(workload, &first.expander, first.reference_profiler, &mut tr);
     }
     pool::run_ordered(cfgs.len(), workers, |i| build(workload, &cfgs[i]))
 }

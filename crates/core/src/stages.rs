@@ -21,6 +21,15 @@
 //! reference leg ([`gate_ref`]), which varies with the backend options
 //! but not with the squeezer knobs under test.
 //!
+//! Every stage runs its transformations as registered passes under a
+//! [`Tracer`], and each cached artifact carries the [`PassTrace`] records
+//! of the build that computed it. A cache hit *replays* those records
+//! into the requesting build's tracer (marked `cached`, original wall
+//! times preserved), so warm builds still report the full pass sequence.
+//! When the policy requests `BITSPEC_PRINT_AFTER` dumps, stages bypass
+//! the caches: dump fidelity beats memoization in a debugging session,
+//! and dump-laden artifacts must not be published process-wide.
+//!
 //! Cached artifacts live behind `Arc` in process-wide maps; [`clear`]
 //! drops them and [`set_enabled`] bypasses the caches entirely (the
 //! `buildperf` harness uses both to measure cold vs warm builds).
@@ -29,9 +38,11 @@ use crate::fingerprint::{eat_inputs, Fnv};
 use crate::{BuildError, Workload};
 use interp::{Interpreter, Profile};
 use opt::ExpanderConfig;
+use sir::pass::{ir_fingerprint, IrStats, PassTrace, PrintAfter, TracePolicy, Tracer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Which stages of one build were served from the process-wide cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -41,12 +52,22 @@ pub struct StageHits {
     pub profile: bool,
 }
 
+/// A cached SIR artifact (frontend or expanded module) plus the pass
+/// records of the build that computed it.
+#[derive(Debug, Clone)]
+pub struct SirStage {
+    pub module: Arc<sir::Module>,
+    pub traces: Vec<PassTrace>,
+}
+
 /// The cached result of a profiling run.
 #[derive(Debug, Clone)]
 pub struct ProfileData {
-    pub profile: Profile,
+    pub profile: Arc<Profile>,
     /// Dynamic IR instructions executed during the run.
     pub dyn_insts: u64,
+    /// The `profile` pass record (wall time of the run).
+    pub traces: Vec<PassTrace>,
 }
 
 /// The memoized unsqueezed reference leg of the empirical gate: the
@@ -57,7 +78,9 @@ pub struct ProfileData {
 #[derive(Debug, Clone)]
 pub struct GateRef {
     pub program: backend::Program,
-    pub energy: Option<f64>,
+    pub energy: f64,
+    /// The leg's back-end pass records, names prefixed `gate-ref.`.
+    pub traces: Vec<PassTrace>,
 }
 
 /// Cumulative process-wide cache counters (hits/misses per stage).
@@ -75,8 +98,8 @@ pub struct CacheStats {
 
 struct Caches {
     enabled: AtomicBool,
-    front: Mutex<HashMap<u64, Arc<sir::Module>>>,
-    expand: Mutex<HashMap<u64, Arc<sir::Module>>>,
+    front: Mutex<HashMap<u64, Arc<SirStage>>>,
+    expand: Mutex<HashMap<u64, Arc<SirStage>>>,
     profile: Mutex<HashMap<u64, Arc<ProfileData>>>,
     gate: Mutex<HashMap<u64, Arc<GateRef>>>,
     front_hits: AtomicU64,
@@ -192,17 +215,25 @@ fn gate_ref_key(
     h.finish()
 }
 
-/// Looks up `key` in `map` (when the caches are enabled), else computes
-/// via `make` and publishes the result. Concurrent misses on the same key
-/// compute independently; the first to publish wins and the rest adopt it.
+/// Whether a policy forces the caches aside (print-after dumps must come
+/// from a real run of every pass, and must not be published).
+fn bypass(policy: &TracePolicy) -> bool {
+    policy.print_after != PrintAfter::None
+}
+
+/// Looks up `key` in `map` (when the caches are enabled and the caller
+/// does not bypass them), else computes via `make` and publishes the
+/// result. Concurrent misses on the same key compute independently; the
+/// first to publish wins and the rest adopt it.
 fn memo<T, E>(
     map: &Mutex<HashMap<u64, Arc<T>>>,
     hits: &AtomicU64,
     misses: &AtomicU64,
     key: u64,
+    bypass: bool,
     make: impl FnOnce() -> Result<T, E>,
 ) -> Result<(Arc<T>, bool), E> {
-    if !caches().enabled.load(Ordering::SeqCst) {
+    if bypass || !caches().enabled.load(Ordering::SeqCst) {
         return Ok((Arc::new(make()?), false));
     }
     if let Some(hit) = map.lock().expect("stage cache").get(&key) {
@@ -220,61 +251,81 @@ fn memo<T, E>(
     Ok((shared, false))
 }
 
-/// Stage 1: frontend. Compiles the workload source to SIR (plus the
-/// verify-each check). Returns the shared module and whether it was a
-/// cache hit.
-///
-/// # Errors
-/// Propagates frontend and verifier errors (never cached).
-pub fn front(w: &Workload, verify: bool) -> Result<(Arc<sir::Module>, bool), BuildError> {
+/// Stage 1 worker: compiles the workload source to SIR and records the
+/// `front` pass entry (plus the verify-each check).
+fn front_art(w: &Workload, policy: &TracePolicy) -> Result<(Arc<SirStage>, bool), BuildError> {
     let c = caches();
+    let verify = policy.verify_each;
     memo(
         &c.front,
         &c.front_hits,
         &c.front_misses,
         front_key(w, verify),
+        bypass(policy),
         || {
+            let t = Instant::now();
             let module = lang::compile(&w.name, &w.source).map_err(BuildError::Compile)?;
+            let wall = t.elapsed().as_nanos() as u64;
+            let mut entry = PassTrace::new("front", wall)
+                .stats(IrStats::default(), IrStats::of_module(&module))
+                .fingerprinted(ir_fingerprint(&module));
             if verify {
                 sir::verify::verify_module(&module).map_err(BuildError::Verify)?;
+                entry.verified = true;
             }
-            Ok(module)
+            if policy.print_after.matches("front") {
+                entry.dump = Some(sir::print::print_module(&module));
+            }
+            Ok(SirStage {
+                module: Arc::new(module),
+                traces: vec![entry],
+            })
         },
     )
 }
 
-/// Stage 2: expander (§3.2.1) + cleanup on the frontend module. Returns
-/// the shared expanded module and the per-stage hit flags so far.
-///
-/// # Errors
-/// Propagates frontend and verifier errors.
-pub fn expand(
+/// Stage 2 worker: expander + simplify + DCE as traced passes over the
+/// frontend module. The artifact's trace leads with the frontend entry,
+/// so a warm expand hit still replays the whole prefix.
+fn expand_art(
     w: &Workload,
     ecfg: &ExpanderConfig,
-    verify: bool,
-) -> Result<(Arc<sir::Module>, StageHits), BuildError> {
+    policy: &TracePolicy,
+) -> Result<(Arc<SirStage>, StageHits), BuildError> {
     let c = caches();
-    let key = expand_key(w, ecfg, verify);
+    let key = expand_key(w, ecfg, policy.verify_each);
     let mut front_hit = true;
-    let (module, expand_hit) = memo(&c.expand, &c.expand_hits, &c.expand_misses, key, || {
-        let (front_mod, hit) = front(w, verify)?;
-        front_hit = hit;
-        let mut module = (*front_mod).clone();
-        opt::expand_module(&mut module, ecfg);
-        if verify {
-            sir::verify::verify_module(&module).map_err(BuildError::Verify)?;
-        }
-        opt::simplify::run(&mut module);
-        opt::dce::run(&mut module);
-        if verify {
-            sir::verify::verify_module(&module).map_err(BuildError::Verify)?;
-        }
-        Ok(module)
-    })?;
+    let (art, expand_hit) = memo(
+        &c.expand,
+        &c.expand_hits,
+        &c.expand_misses,
+        key,
+        bypass(policy),
+        || {
+            let (front, hit) = front_art(w, policy)?;
+            front_hit = hit;
+            let mut local = Tracer::new(policy.clone());
+            local.replay(&front.traces, hit);
+            let mut module = (*front.module).clone();
+            local
+                .run_sir(&mut module, &mut opt::ExpandPass(*ecfg))
+                .map_err(BuildError::Verify)?;
+            local
+                .run_sir(&mut module, &mut opt::SimplifyPass)
+                .map_err(BuildError::Verify)?;
+            local
+                .run_sir(&mut module, &mut opt::DcePass)
+                .map_err(BuildError::Verify)?;
+            Ok(SirStage {
+                module: Arc::new(module),
+                traces: local.finish(),
+            })
+        },
+    )?;
     // An expand hit means the frontend wasn't consulted at all; report it
     // as a hit too (the work was saved either way).
     Ok((
-        module,
+        art,
         StageHits {
             front: front_hit,
             expand: expand_hit,
@@ -283,37 +334,84 @@ pub fn expand(
     ))
 }
 
-/// Stage 3: the bitwidth profiler (§3.2.2) over the training inputs.
-/// Returns the shared expanded module, the shared profile data, and the
-/// per-stage hit flags. `reference` selects the tree-walking reference
-/// interpreter instead of the fast path; both are bit-identical, so the
-/// flag is deliberately *not* part of the cache key.
+/// Stage 1: frontend. Compiles the workload source to SIR (plus the
+/// verify-each check), replaying the `front` pass entry into `tr`.
+/// Returns the shared module and whether it was a cache hit.
+///
+/// # Errors
+/// Propagates frontend and verifier errors (never cached).
+pub fn front(w: &Workload, tr: &mut Tracer) -> Result<(Arc<sir::Module>, bool), BuildError> {
+    let (art, hit) = front_art(w, &tr.policy.clone())?;
+    tr.replay(&art.traces, hit);
+    Ok((Arc::clone(&art.module), hit))
+}
+
+/// Stage 2: expander (§3.2.1) + cleanup on the frontend module, replayed
+/// into `tr` as the `front`/`expand`/`simplify`/`dce` passes. Returns
+/// the shared expanded module and the per-stage hit flags so far.
+///
+/// # Errors
+/// Propagates frontend and verifier errors.
+pub fn expand(
+    w: &Workload,
+    ecfg: &ExpanderConfig,
+    tr: &mut Tracer,
+) -> Result<(Arc<sir::Module>, StageHits), BuildError> {
+    let (art, hits) = expand_art(w, ecfg, &tr.policy.clone())?;
+    tr.replay(&art.traces, hits.expand);
+    Ok((Arc::clone(&art.module), hits))
+}
+
+/// Stage 3: the bitwidth profiler (§3.2.2) over the training inputs,
+/// recorded as the `profile` pass. Returns the shared expanded module,
+/// the shared profile data, and the per-stage hit flags. `reference`
+/// selects the tree-walking reference interpreter instead of the fast
+/// path; both are bit-identical, so the flag is deliberately *not* part
+/// of the cache key.
 ///
 /// # Errors
 /// Propagates frontend, verifier and profiling-run errors.
 pub fn profile(
     w: &Workload,
     ecfg: &ExpanderConfig,
-    verify: bool,
     reference: bool,
+    tr: &mut Tracer,
 ) -> Result<(Arc<sir::Module>, Arc<ProfileData>, StageHits), BuildError> {
     let c = caches();
-    let key = profile_key(w, ecfg, verify);
-    let mut upstream: Option<(Arc<sir::Module>, StageHits)> = None;
-    let (data, profile_hit) = memo(&c.profile, &c.profile_hits, &c.profile_misses, key, || {
-        let (module, hits) = expand(w, ecfg, verify)?;
-        let data = profile_run(&module, w.train(), reference, w.profile_fuel)?;
-        upstream = Some((module, hits));
-        Ok(data)
-    })?;
-    let (module, mut hits) = match upstream {
+    let policy = tr.policy.clone();
+    let key = profile_key(w, ecfg, policy.verify_each);
+    let mut upstream: Option<(Arc<SirStage>, StageHits)> = None;
+    let (data, profile_hit) = memo(
+        &c.profile,
+        &c.profile_hits,
+        &c.profile_misses,
+        key,
+        bypass(&policy),
+        || {
+            let (art, hits) = expand_art(w, ecfg, &policy)?;
+            let t = Instant::now();
+            let (prof, dyn_insts) = profile_run(&art.module, w.train(), reference, w.profile_fuel)?;
+            let wall = t.elapsed().as_nanos() as u64;
+            let stats = IrStats::of_module(&art.module);
+            let entry = PassTrace::new("profile", wall).stats(stats, stats);
+            upstream = Some((art, hits));
+            Ok(ProfileData {
+                profile: Arc::new(prof),
+                dyn_insts,
+                traces: vec![entry],
+            })
+        },
+    )?;
+    let (art, mut hits) = match upstream {
         Some(up) => up,
         // Profile cache hit: the expanded module is still needed by the
         // squeezer, but it is (at worst) an expand-cache lookup away.
-        None => expand(w, ecfg, verify)?,
+        None => expand_art(w, ecfg, &policy)?,
     };
     hits.profile = profile_hit;
-    Ok((module, data, hits))
+    tr.replay(&art.traces, hits.expand);
+    tr.replay(&data.traces, profile_hit);
+    Ok((Arc::clone(&art.module), data, hits))
 }
 
 /// Stage 4 (gated builds only): the empirical gate's unsqueezed
@@ -322,19 +420,27 @@ pub fn profile(
 /// expand stage, the resolved training inputs and the backend options;
 /// squeezer knobs are deliberately absent, so a sweep over heuristics or
 /// §3.2.4 ablations compiles and simulates the reference exactly once.
+/// The caller replays the artifact's (`gate-ref.`-prefixed) traces.
 ///
 /// # Errors
 /// Propagates whatever `make` returns (never cached).
 pub fn gate_ref(
     w: &Workload,
     ecfg: &ExpanderConfig,
-    verify: bool,
+    policy: &TracePolicy,
     opts: &backend::CodegenOpts,
     make: impl FnOnce() -> Result<GateRef, BuildError>,
 ) -> Result<(Arc<GateRef>, bool), BuildError> {
     let c = caches();
-    let key = gate_ref_key(w, ecfg, verify, opts);
-    memo(&c.gate, &c.gate_hits, &c.gate_misses, key, make)
+    let key = gate_ref_key(w, ecfg, policy.verify_each, opts);
+    memo(
+        &c.gate,
+        &c.gate_hits,
+        &c.gate_misses,
+        key,
+        bypass(policy),
+        make,
+    )
 }
 
 /// Runs the profiler over the training inputs.
@@ -343,7 +449,7 @@ fn profile_run(
     inputs: &[(String, Vec<u8>)],
     reference: bool,
     fuel: Option<u64>,
-) -> Result<ProfileData, BuildError> {
+) -> Result<(Profile, u64), BuildError> {
     let mut i = Interpreter::new(module);
     i.set_reference(reference);
     if let Some(fuel) = fuel {
@@ -354,8 +460,8 @@ fn profile_run(
         i.install_global(g, data);
     }
     let r = i.run("main", &[]).map_err(BuildError::Profile)?;
-    Ok(ProfileData {
-        profile: i.take_profile().expect("profiling enabled"),
-        dyn_insts: r.stats.dyn_insts,
-    })
+    Ok((
+        i.take_profile().expect("profiling enabled"),
+        r.stats.dyn_insts,
+    ))
 }

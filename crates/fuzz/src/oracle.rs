@@ -240,6 +240,11 @@ pub fn check_workload(w: &Workload) -> Vec<Finding> {
 
     // Oracle: every speculative config agrees with BASELINE on the
     // observable output stream (Theorem 3.1), including trap behaviour.
+    // Failing cases carry the pass-manager's triage probe: the first
+    // registered pass whose IR fingerprint diverges from the baseline
+    // build pins down which pipeline layer introduced the difference
+    // ("squeeze" is expected for speculative configs; anything earlier
+    // means a shared stage or its cache broke).
     let base_sim = simulate_with(baseline, w, &sim_cfg(false));
     for &(name, c) in &compiled[1..] {
         let r = simulate_with(c, w, &sim_cfg(false));
@@ -249,8 +254,10 @@ pub fn check_workload(w: &Workload) -> Vec<Finding> {
                     findings.push(Finding {
                         kind: Kind::ArchOutputs,
                         detail: format!(
-                            "[{name}] outputs {:?} vs baseline {:?}",
-                            r.outputs, b.outputs
+                            "[{name}] outputs {:?} vs baseline {:?}{}",
+                            r.outputs,
+                            b.outputs,
+                            divergence_probe(baseline, c)
                         ),
                     });
                 }
@@ -259,9 +266,10 @@ pub fn check_workload(w: &Workload) -> Vec<Finding> {
             _ => findings.push(Finding {
                 kind: Kind::ArchOutputs,
                 detail: format!(
-                    "[{name}] trap asymmetry vs baseline: {:?} vs {:?}",
+                    "[{name}] trap asymmetry vs baseline: {:?} vs {:?}{}",
                     r.as_ref().err(),
-                    base_sim.as_ref().err()
+                    base_sim.as_ref().err(),
+                    divergence_probe(baseline, c)
                 ),
             }),
         }
@@ -298,6 +306,16 @@ pub fn check_workload(w: &Workload) -> Vec<Finding> {
     }
 
     findings
+}
+
+/// Renders the first pass at which two builds' IR fingerprints diverge
+/// (see [`bitspec::pipeline::first_divergent_pass`]) for a finding's
+/// detail line; empty when the traces agree everywhere comparable.
+fn divergence_probe(a: &Compiled, b: &Compiled) -> String {
+    match bitspec::pipeline::first_divergent_pass(&a.trace.passes, &b.trace.passes) {
+        Some(pass) => format!("; first divergent pass: {pass}"),
+        None => String::new(),
+    }
 }
 
 /// Runs a compiled module on the SIR interpreter with the workload's
@@ -379,6 +397,44 @@ mod tests {
             findings.is_empty(),
             "seed 42 diverged: {:?}",
             findings.iter().map(|f| &f.detail).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn divergence_probe_points_at_the_squeezer() {
+        // Two speculative configs whose only difference is the squeezer
+        // heuristic share every stage up to `profile`; the probe must
+        // name `squeeze` as the first fingerprint divergence. The loop is
+        // data-dependent so the expander cannot fold it away, and the
+        // accumulator exceeds 8 bits so Max and Min select differently.
+        let data: Vec<u8> = (0..64u32).map(|i| (i * 41 + 3) as u8).collect();
+        let w = Workload::from_source(
+            "probe",
+            "global u8 data[64];
+             void main() {
+                u32 s = 0;
+                for (u32 i = 0; i < 2000; i++) { s += data[i & 63]; }
+                out(s);
+             }",
+        )
+        .with_input("data", data);
+        let cfgs = vec![
+            BuildConfig {
+                empirical_gate: false,
+                ..BuildConfig::bitspec_with(Heuristic::Max)
+            },
+            BuildConfig {
+                empirical_gate: false,
+                ..BuildConfig::bitspec_with(Heuristic::Min)
+            },
+        ];
+        let built = build_for_fuzz(&w, &cfgs, 2);
+        let a = built[0].as_ref().expect("max builds");
+        let b = built[1].as_ref().expect("min builds");
+        assert_eq!(divergence_probe(a, a), "");
+        assert_eq!(
+            bitspec::pipeline::first_divergent_pass(&a.trace.passes, &b.trace.passes).as_deref(),
+            Some("squeeze")
         );
     }
 

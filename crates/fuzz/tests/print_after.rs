@@ -1,0 +1,78 @@
+//! `BITSPEC_PRINT_AFTER` round-trips every corpus entry through
+//! `sir::print` without panicking: with dump-after-all forced, every
+//! middle-end pass on every saved regression case must render its module,
+//! and the dumps must be parseable-looking SIR text. Also pins the
+//! bit-identical guarantee: dumping must not change the built program.
+
+use bitspec::pipeline::{self, PrintAfter};
+use bitspec::{build, stages, BuildConfig};
+use fuzz::corpus::{default_dir, load_dir};
+
+#[test]
+fn corpus_dumps_render_for_every_middle_end_pass() {
+    let entries = match load_dir(&default_dir()) {
+        Ok(e) => e,
+        Err((file, e)) => panic!("corpus entry {file} failed to load: {e}"),
+    };
+    assert!(!entries.is_empty(), "corpus directory is empty");
+
+    // Gate off keeps the whole build on this thread's print-after
+    // override; verify-each stays on so a dump of a broken module would
+    // be caught, not silently printed.
+    let cfgs = [
+        BuildConfig {
+            empirical_gate: false,
+            ..BuildConfig::bitspec()
+        },
+        BuildConfig::baseline(),
+    ];
+    for (file, entry) in &entries {
+        let w = entry.workload(file);
+        for cfg in &cfgs {
+            let (plain, dumped) = pipeline::with_print_after(PrintAfter::All, || {
+                let dumped = build(&w, cfg);
+                (
+                    pipeline::with_print_after(PrintAfter::None, || build(&w, cfg)),
+                    dumped,
+                )
+            });
+            // A corpus entry may legitimately fail to build (some are
+            // verifier regressions) — but it must fail identically with
+            // and without dumping, and never panic while printing.
+            match (plain, dumped) {
+                (Ok(p), Ok(d)) => {
+                    assert_eq!(
+                        backend::program_fingerprint(&p.program),
+                        backend::program_fingerprint(&d.program),
+                        "{file}: dumping changed the built program"
+                    );
+                    for t in &d.trace.passes {
+                        if ["expand", "simplify", "dce", "squeeze"].contains(&t.name.as_str()) {
+                            let dump = t.dump.as_deref().unwrap_or_else(|| {
+                                panic!("{file}: pass {} produced no dump", t.name)
+                            });
+                            assert!(
+                                dump.contains("func "),
+                                "{file}: {} dump is not SIR text",
+                                t.name
+                            );
+                        }
+                    }
+                }
+                (Err(pe), Err(de)) => {
+                    assert_eq!(
+                        pe.to_string(),
+                        de.to_string(),
+                        "{file}: dumping changed the failure"
+                    );
+                }
+                (p, d) => panic!(
+                    "{file}: dumping changed build outcome: plain={:?} dumped={:?}",
+                    p.map(|_| ()),
+                    d.map(|_| ())
+                ),
+            }
+        }
+    }
+    stages::clear();
+}

@@ -31,7 +31,7 @@ fn validate_module(m: &sir::Module, opts: &CodegenOpts, what: &str) {
 fn baseline_module(w: &Workload, seed: u64) -> sir::Module {
     let c = bitspec::build(w, &BuildConfig::baseline())
         .unwrap_or_else(|e| panic!("seed {seed} does not build: {e}"));
-    c.module.clone()
+    (*c.module).clone()
 }
 
 #[test]

@@ -128,7 +128,7 @@ pub enum SliceOperand {
 
 /// A machine instruction. Branch targets are *flat instruction indices*
 /// within the linked program image.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum MInst {
     /// Word ALU. `rd := rn op src2`.
     Alu {

@@ -20,6 +20,7 @@
 pub mod dce;
 pub mod expander;
 pub mod knownbits;
+pub mod passes;
 pub mod simplify;
 pub mod squeezer;
 pub mod ssa_repair;
@@ -28,4 +29,5 @@ pub mod ssa_repair;
 mod optim_tests;
 
 pub use expander::{expand_module, ExpanderConfig};
-pub use squeezer::{squeeze_module, SqueezeConfig, SqueezeReport};
+pub use passes::{DcePass, ExpandPass, SimplifyPass, SqueezePass};
+pub use squeezer::{squeeze_module, SqueezeConfig, SqueezePhases, SqueezeReport};

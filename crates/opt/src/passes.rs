@@ -1,0 +1,172 @@
+//! [`SirPass`] adapters for every middle-end transformation.
+//!
+//! The pass manager (`bitspec::pipeline`) runs these through
+//! [`sir::pass::Tracer::run_sir`], which owns the cross-cutting concerns
+//! (timing, IR deltas, fingerprints, post-pass verification, print-after).
+//! The adapters stay thin: each wraps the corresponding free function and,
+//! for the squeezer, records its sub-phase timings as dotted child entries.
+
+use crate::expander::{expand_module, ExpanderConfig};
+use crate::squeezer::{squeeze_module_phased, SqueezeConfig, SqueezePhases, SqueezeReport};
+use interp::Profile;
+use sir::pass::{PassTrace, SirPass, Tracer};
+use sir::Module;
+
+/// The expander (§3.2.1): aggressive inlining + loop unrolling.
+pub struct ExpandPass(pub ExpanderConfig);
+
+impl SirPass for ExpandPass {
+    fn name(&self) -> &'static str {
+        "expand"
+    }
+
+    fn run(&mut self, m: &mut Module, _tr: &mut Tracer) {
+        expand_module(m, &self.0);
+    }
+}
+
+/// Constant folding + reassociation.
+pub struct SimplifyPass;
+
+impl SirPass for SimplifyPass {
+    fn name(&self) -> &'static str {
+        "simplify"
+    }
+
+    fn run(&mut self, m: &mut Module, _tr: &mut Tracer) {
+        crate::simplify::run(m);
+    }
+}
+
+/// Dead-code elimination.
+pub struct DcePass;
+
+impl SirPass for DcePass {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&mut self, m: &mut Module, _tr: &mut Tracer) {
+        crate::dce::run(m);
+    }
+}
+
+/// The squeezer (§3.2.3). After the run, [`SqueezePass::report`] holds the
+/// transformation counters and the tracer carries one `squeeze.<phase>`
+/// child entry per sub-phase (prepare, analyze, clone, handlers,
+/// ssa-repair, cleanup — or pack/cleanup in the no-speculation mode).
+pub struct SqueezePass<'a> {
+    pub profile: &'a Profile,
+    pub cfg: SqueezeConfig,
+    /// Filled in by `run`.
+    pub report: SqueezeReport,
+}
+
+impl<'a> SqueezePass<'a> {
+    pub fn new(profile: &'a Profile, cfg: SqueezeConfig) -> SqueezePass<'a> {
+        SqueezePass {
+            profile,
+            cfg,
+            report: SqueezeReport::default(),
+        }
+    }
+
+    /// The sub-phase names for a given mode, in recording order.
+    pub fn phase_names(speculation: bool) -> &'static [&'static str] {
+        if speculation {
+            &[
+                "squeeze.prepare",
+                "squeeze.analyze",
+                "squeeze.clone",
+                "squeeze.handlers",
+                "squeeze.ssa-repair",
+                "squeeze.cleanup",
+            ]
+        } else {
+            &["squeeze.pack", "squeeze.cleanup"]
+        }
+    }
+}
+
+impl SirPass for SqueezePass<'_> {
+    fn name(&self) -> &'static str {
+        "squeeze"
+    }
+
+    fn run(&mut self, m: &mut Module, tr: &mut Tracer) {
+        let (report, phases) = squeeze_module_phased(m, self.profile, &self.cfg);
+        self.report = report;
+        let SqueezePhases {
+            prepare,
+            analyze,
+            clone,
+            handlers,
+            ssa_repair,
+            pack,
+            cleanup,
+        } = phases;
+        let walls: &[u64] = if self.cfg.speculation {
+            &[prepare, analyze, clone, handlers, ssa_repair, cleanup]
+        } else {
+            &[pack, cleanup]
+        };
+        for (name, wall) in Self::phase_names(self.cfg.speculation).iter().zip(walls) {
+            tr.record(PassTrace::new(*name, *wall));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp::Interpreter;
+    use sir::pass::{TracePolicy, Tracer};
+
+    fn profiled(src: &str) -> (Module, Profile) {
+        let mut m = lang::compile("t", src).unwrap();
+        expand_module(&mut m, &ExpanderConfig::default());
+        crate::simplify::run(&mut m);
+        crate::dce::run(&mut m);
+        let profile = {
+            let mut i = Interpreter::new(&m);
+            i.enable_profiling();
+            i.run("main", &[]).unwrap();
+            i.take_profile().unwrap()
+        };
+        (m, profile)
+    }
+
+    #[test]
+    fn squeeze_pass_records_subphases_and_verifies() {
+        let (mut m, profile) = profiled(
+            "void main() { u32 s = 0; for (u32 i = 0; i < 40; i++) { s += i & 7; } out(s); }",
+        );
+        let mut tr = Tracer::new(TracePolicy::verify(true));
+        let mut pass = SqueezePass::new(&profile, SqueezeConfig::default());
+        tr.run_sir(&mut m, &mut pass).unwrap();
+        assert!(pass.report.narrowed > 0, "squeezer found nothing");
+        let names: Vec<&str> = tr.entries().iter().map(|e| e.name.as_str()).collect();
+        let mut expected = vec!["squeeze"];
+        expected.extend(SqueezePass::phase_names(true));
+        assert_eq!(names, expected, "parent precedes its sub-phases");
+        let parent = &tr.entries()[0];
+        assert!(parent.verified);
+        assert!(parent.after.slices > parent.before.slices);
+    }
+
+    #[test]
+    fn expander_pass_matches_free_function() {
+        let src = "void main() { u32 s = 0; for (u32 i = 0; i < 8; i++) { s += i; } out(s); }";
+        let mut a = lang::compile("t", src).unwrap();
+        let mut b = a.clone();
+        expand_module(&mut a, &ExpanderConfig::default());
+        let mut tr = Tracer::new(TracePolicy::verify(false));
+        tr.run_sir(&mut b, &mut ExpandPass(ExpanderConfig::default()))
+            .unwrap();
+        assert_eq!(
+            sir::pass::ir_fingerprint(&a),
+            sir::pass::ir_fingerprint(&b),
+            "adapter is behavior-preserving"
+        );
+    }
+}

@@ -77,21 +77,57 @@ pub struct SqueezeReport {
     pub bitmasks_elided: usize,
 }
 
+/// Wall-clock time (ns) per squeezer sub-phase, aggregated across
+/// functions. The pass manager surfaces these as dotted sub-entries
+/// (`squeeze.prepare`, …) under the `squeeze` pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SqueezePhases {
+    /// CFG preparation: alloca hoisting, setup split, block segregation
+    /// (equations 4–6).
+    pub prepare: u64,
+    /// Liveness, candidate selection and the profitability estimate.
+    pub analyze: u64,
+    /// 2-CFG cloning with speculative narrowing of `CFG_spec`.
+    pub clone: u64,
+    /// Speculative-region creation and handler insertion.
+    pub handlers: u64,
+    /// SSA reconstruction of `CFG_orig` at the new handler joins (eq 8).
+    pub ssa_repair: u64,
+    /// Static (no-speculation) narrowing of the RQ2 packing mode.
+    pub pack: u64,
+    /// Unreachable-block removal + the post-squeeze DCE sweep.
+    pub cleanup: u64,
+}
+
 /// Runs the squeezer over every function of `m`.
 ///
 /// `profile` must have been collected on `m` *after* expansion (the pipeline
 /// order of Figure 4); value ids are matched positionally.
 pub fn squeeze_module(m: &mut Module, profile: &Profile, cfg: &SqueezeConfig) -> SqueezeReport {
+    squeeze_module_phased(m, profile, cfg).0
+}
+
+/// [`squeeze_module`] with per-sub-phase wall-clock accounting.
+pub fn squeeze_module_phased(
+    m: &mut Module,
+    profile: &Profile,
+    cfg: &SqueezeConfig,
+) -> (SqueezeReport, SqueezePhases) {
     let mut report = SqueezeReport::default();
+    let mut phases = SqueezePhases::default();
     for fid in m.func_ids().collect::<Vec<_>>() {
         if cfg.speculation {
-            squeeze_function(m.func_mut(fid), fid, profile, cfg, &mut report);
+            squeeze_function(m.func_mut(fid), fid, profile, cfg, &mut report, &mut phases);
         } else {
+            let t = std::time::Instant::now();
             pack_function_static(m.func_mut(fid), &mut report);
+            phases.pack += t.elapsed().as_nanos() as u64;
         }
     }
+    let t = std::time::Instant::now();
     crate::dce::run(m);
-    report
+    phases.cleanup += t.elapsed().as_nanos() as u64;
+    (report, phases)
 }
 
 // ---------------------------------------------------------------------------
@@ -658,7 +694,9 @@ fn squeeze_function(
     profile: &Profile,
     cfg: &SqueezeConfig,
     report: &mut SqueezeReport,
+    phases: &mut SqueezePhases,
 ) {
+    use std::time::Instant;
     // Quick reject: nothing profiled-narrow in this function.
     let any_candidate = (0..f.insts.len() as u32).map(ValueId).any(|v| {
         matches!(
@@ -669,11 +707,14 @@ fn squeeze_function(
     if !any_candidate {
         return;
     }
+    let t = Instant::now();
     hoist_allocas(f);
     let first = split_setup(f);
     let setup = f.entry;
     prepare_blocks(f, setup);
+    phases.prepare += t.elapsed().as_nanos() as u64;
 
+    let t = Instant::now();
     let idempotent: Vec<bool> = f
         .block_ids()
         .map(|b| f.block(b).insts.iter().all(|v| f.inst(*v).is_idempotent()))
@@ -683,13 +724,17 @@ fn squeeze_function(
     let live = Liveness::compute(f);
     let cand = select_candidates(f, fid, profile, cfg, &idempotent, &live);
     if cand.narrow.is_empty() {
+        phases.analyze += t.elapsed().as_nanos() as u64;
         return;
     }
     if !worth_squeezing(f, fid, profile, &cand, &live) {
+        phases.analyze += t.elapsed().as_nanos() as u64;
         return;
     }
     let def_block = sir::dom::def_blocks(f);
+    phases.analyze += t.elapsed().as_nanos() as u64;
 
+    let t = Instant::now();
     let orig_blocks: Vec<BlockId> = f.block_ids().filter(|b| *b != setup).collect();
     let orig_set: HashSet<BlockId> = orig_blocks.iter().copied().collect();
     let rpo: Vec<BlockId> = f
@@ -757,8 +802,10 @@ fn squeeze_function(
 
     // Enter the spec CFG from setup.
     f.block_mut(setup).term = Terminator::Br(bmap[&first]);
+    phases.clone += t.elapsed().as_nanos() as u64;
 
     // ---- handler insertion (③) -------------------------------------------
+    let t = std::time::Instant::now();
     let rev_bmap: HashMap<BlockId, BlockId> = bmap.iter().map(|(o, s)| (*s, *o)).collect();
     let mut spec_blocks: Vec<BlockId> = spec_in_block.into_iter().collect();
     spec_blocks.sort();
@@ -801,10 +848,12 @@ fn squeeze_function(
         f.add_region(vec![sb], h);
         report.regions += 1;
     }
+    phases.handlers += t.elapsed().as_nanos() as u64;
 
     // ---- SSA repair of CFG_orig -------------------------------------------
     // Every orig value that some handler re-materializes now has multiple
     // reaching definitions; rebuild SSA for its uses in CFG_orig.
+    let t = std::time::Instant::now();
     if !repair_defs.is_empty() {
         let mut repair = crate::ssa_repair::SsaRepair::new(f);
         let mut vars: HashMap<ValueId, u32> = HashMap::new();
@@ -887,8 +936,11 @@ fn squeeze_function(
             }
         }
     }
+    phases.ssa_repair += t.elapsed().as_nanos() as u64;
+    let t = std::time::Instant::now();
     f.remove_unreachable_blocks();
     crate::dce::run_function(f);
+    phases.cleanup += t.elapsed().as_nanos() as u64;
 }
 
 struct Transform<'a> {

@@ -13,8 +13,12 @@
 //! * CFG analyses (predecessors/successors, [`dom`]inators, [`liveness`],
 //!   natural [`loops`]),
 //! * a structural + semantic [`verify`]er that also checks the speculative
-//!   region well-formedness rules of §3.1.1 (including Theorem 3.1), and
-//! * a human-readable [printer](mod@print) used by tests and debugging.
+//!   region well-formedness rules of §3.1.1 (including Theorem 3.1),
+//! * a human-readable [printer](mod@print) used by tests and debugging, and
+//! * the [`pass`] infrastructure shared by every pipeline layer: the
+//!   [`pass::SirPass`] trait, the instrumenting [`pass::Tracer`]
+//!   (per-pass wall time, IR deltas, fingerprints, print-after dumps,
+//!   post-pass verification policy) and structural IR fingerprints.
 //!
 //! ```
 //! use sir::builder::FunctionBuilder;
@@ -40,6 +44,7 @@ pub mod inst;
 pub mod liveness;
 pub mod loops;
 pub mod module;
+pub mod pass;
 pub mod print;
 pub mod types;
 pub mod verify;

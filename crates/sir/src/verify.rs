@@ -33,6 +33,12 @@ pub struct VerifyError {
     pub func: String,
     /// The violated invariants.
     pub problems: Vec<Diag>,
+    /// Pipeline pass after which verification rejected, when run under a
+    /// [`crate::pass::Tracer`] (the dump-on-failure artifact).
+    pub pass: Option<String>,
+    /// Printed last-good IR — the module *before* the failing pass — when
+    /// the tracer captured one.
+    pub last_good: Option<String>,
 }
 
 impl VerifyError {
@@ -44,7 +50,12 @@ impl VerifyError {
             None => Ok(()),
             Some(first) => {
                 let func = first.func.clone();
-                Err(VerifyError { func, problems })
+                Err(VerifyError {
+                    func,
+                    problems,
+                    pass: None,
+                    last_good: None,
+                })
             }
         }
     }
@@ -53,11 +64,27 @@ impl VerifyError {
     pub fn has_rule(&self, rule: &str) -> bool {
         self.problems.iter().any(|d| d.rule == rule)
     }
+
+    /// Attaches the failing pass name and the last-good IR artifact.
+    pub fn in_pass(mut self, pass: &str, last_good: String) -> VerifyError {
+        self.pass = Some(pass.to_string());
+        self.last_good = Some(last_good);
+        self
+    }
+
+    /// The last-good IR artifact, if verification failed under a tracer.
+    pub fn last_good_ir(&self) -> Option<&str> {
+        self.last_good.as_deref()
+    }
 }
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "verification of `{}` failed:", self.func)?;
+        write!(f, "verification of `{}` failed", self.func)?;
+        if let Some(p) = &self.pass {
+            write!(f, " after pass `{p}`")?;
+        }
+        write!(f, ":")?;
         for p in &self.problems {
             write!(f, "\n  - {p}")?;
         }

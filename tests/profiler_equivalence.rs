@@ -43,8 +43,9 @@ fn engines_are_bit_identical_on_every_mibench_workload() {
     for name in names() {
         let w = workload(name, Input::Large);
         // The profiler's actual subject: the expanded module.
+        let mut tr = bitspec::pipeline::Tracer::new(bitspec::pipeline::TracePolicy::verify(true));
         let (module, _) =
-            stages::expand(&w, &BuildConfig::bitspec().expander, true).expect("expand");
+            stages::expand(&w, &BuildConfig::bitspec().expander, &mut tr).expect("expand");
         let (fast, fast_profile) = profiled_run(&module, train(&w), false);
         let (reference, ref_profile) = profiled_run(&module, train(&w), true);
         assert_eq!(fast.ret, reference.ret, "{name}: return value");
