@@ -9,10 +9,11 @@ cargo build --release
 cargo test -q
 
 # Smoke the perf harnesses: the substrate microbenchmarks (fast + reference
-# simulator engines) and the engine-comparison target (1 rep; also checks
-# BENCH_sim.json generation end to end).
+# simulator engines) and the engine-comparison target (minimum 5 reps; also
+# checks BENCH_sim.json generation end to end, and --check fails the gate
+# if the turbo engine's median total regresses below the fast engine's).
 cargo bench -p bench --bench experiments -- substrate_simulator
-cargo run --release -p bench --bin simperf -- 1
+cargo run --release -p bench --bin simperf -- --check 1
 
 # Compiler side: the profiler engine contract, then the staged-pipeline
 # target (2 reps → min-of-2 sweeps; also checks BENCH_build.json

@@ -10,7 +10,9 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use bitspec::{build, simulate, simulate_with, Arch, BitwidthHeuristic, BuildConfig, SimConfig};
+use bitspec::{
+    build, simulate, simulate_with, Arch, BitwidthHeuristic, BuildConfig, Engine, SimConfig,
+};
 use mibench::{workload, workload_with_train, Input};
 
 fn run_cfg(name: &str, cfg: &BuildConfig) -> f64 {
@@ -213,22 +215,36 @@ fn main() {
         ));
     });
 
-    // Microbenchmarks of the substrates themselves.
+    // Microbenchmarks of the substrates themselves. The default engine
+    // (turbo), the mid-tier fast path, and the retained reference on the
+    // same workload — the gaps between them are each tier's win.
     h.bench("substrate_simulator_throughput", || {
         let w = workload("sha", Input::Large);
         let c = build(&w, &BuildConfig::baseline()).unwrap();
         black_box(simulate(&c, &w).unwrap().counts.dyn_insts);
     });
-    h.bench("substrate_simulator_reference", || {
-        // The retained reference engine on the same workload — the gap to
-        // `substrate_simulator_throughput` is the fast path's win.
+    h.bench("substrate_simulator_fast", || {
         let w = workload("sha", Input::Large);
         let c = build(&w, &BuildConfig::baseline()).unwrap();
         let r = simulate_with(
             &c,
             &w,
             &SimConfig {
-                reference: true,
+                engine: Engine::Fast,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        black_box(r.counts.dyn_insts);
+    });
+    h.bench("substrate_simulator_reference", || {
+        let w = workload("sha", Input::Large);
+        let c = build(&w, &BuildConfig::baseline()).unwrap();
+        let r = simulate_with(
+            &c,
+            &w,
+            &SimConfig {
+                engine: Engine::Reference,
                 ..Default::default()
             },
         )

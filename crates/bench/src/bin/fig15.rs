@@ -1,8 +1,8 @@
 //! Figure 15 (RQ6): input-sensitivity — BITSPEC profiled on an *alternate*
 //! input, then evaluated on the provided input; relative to BASELINE.
 
-use bench::{mean, pct, run};
-use bitspec::BuildConfig;
+use bench::{mean, pct, run_with};
+use bitspec::{BuildConfig, SimConfig};
 use mibench::{names, workload, workload_with_train, Input};
 
 fn main() {
@@ -11,15 +11,20 @@ fn main() {
         "{:<16} {:>13} {:>13}",
         "benchmark", "same-inputΔ%", "alt-inputΔ%"
     );
+    // The three cells per benchmark are distinct programs (baseline,
+    // self-profiled, alt-profiled), so unlike fig16 there is no shared
+    // predecoded image to batch over; the sweep threads an explicit
+    // SimConfig through `run_with` so the engine pin matches simperf.
+    let sim_cfg = SimConfig::default();
     let mut same_d = Vec::new();
     let mut alt_d = Vec::new();
     for name in names() {
         let w = workload(name, Input::Large);
-        let (_, base) = run(&w, &BuildConfig::baseline());
+        let (_, base) = run_with(&w, &BuildConfig::baseline(), &sim_cfg);
         let e0 = base.total_energy();
-        let (_, same) = run(&w, &BuildConfig::bitspec());
+        let (_, same) = run_with(&w, &BuildConfig::bitspec(), &sim_cfg);
         let wa = workload_with_train(name, Input::Large, Input::Alternate);
-        let (_, alt) = run(&wa, &BuildConfig::bitspec());
+        let (_, alt) = run_with(&wa, &BuildConfig::bitspec(), &sim_cfg);
         let s = pct(same.total_energy(), e0);
         let a = pct(alt.total_energy(), e0);
         println!("{name:<16} {s:>12.1}% {a:>12.1}%");

@@ -5,19 +5,25 @@
 //! CDF). Uses an 8-image sample (64 runs/heuristic) instead of the paper's
 //! 50 BSDS500 images — see DESIGN.md.
 //!
-//! All (i, j) cells of a heuristic fan out across the worker pool
-//! (`-j N` or `BITSPEC_JOBS`); the artifact cache serves the self-profiled
-//! (j, j) reference cells from the same sweep instead of rebuilding them.
+//! Every cell in row i shares the build profiled on image i, so the sweep
+//! is one build + one `simulate_batch` call per (heuristic, profile image):
+//! the turbo engine predecodes the program once and reuses the image across
+//! all run inputs. Rows fan out across the worker pool (`-j N` or
+//! `BITSPEC_JOBS`); the (j, j) self-profiled references fall out of the
+//! same rows.
 
-use bench::{pool, run_cached};
-use bitspec::{BitwidthHeuristic, BuildConfig, Workload};
+use bench::pool;
+use bitspec::{build, simulate_batch, BitwidthHeuristic, BuildConfig, SimConfig, Workload};
 use mibench::{susan_image, Input};
 
 const IMAGES: u64 = 8;
 
-fn workload_for(profile_img: u64, run_img: u64) -> Workload {
+/// The row-i workload: profiled on image i. The run input is installed per
+/// input set by `simulate_batch`, so the build only consumes the train
+/// input (fig16 runs with the empirical gate off).
+fn profile_workload(profile_img: u64) -> Workload {
     Workload::from_source("susan-edges", mibench::source_of("susan-edges"))
-        .with_input("image", susan_image(Input::Seeded(run_img)))
+        .with_input("image", susan_image(Input::Seeded(profile_img)))
         .with_train_input("image", susan_image(Input::Seeded(profile_img)))
 }
 
@@ -28,26 +34,30 @@ fn main() {
         "fig16",
         "susan-edges cross-input dynamic-instruction ratios",
     );
+    let sets: Vec<Vec<(String, Vec<u8>)>> = (0..IMAGES)
+        .map(|j| vec![("image".to_string(), susan_image(Input::Seeded(j)))])
+        .collect();
     for h in BitwidthHeuristic::ALL {
         let cfg = BuildConfig {
             empirical_gate: false,
             ..BuildConfig::bitspec_with(h)
         };
-        let n = (IMAGES * IMAGES) as usize;
-        let cells = pool::run_ordered(n, workers, |k| {
-            let (i, j) = (k as u64 / IMAGES, k as u64 % IMAGES);
-            run_cached(&workload_for(i, j), &cfg)
+        // rows[i][j] = dyn_insts of the build profiled on i, run on j.
+        let rows: Vec<Vec<u64>> = pool::run_ordered(IMAGES as usize, workers, |i| {
+            let c = build(&profile_workload(i as u64), &cfg).expect("build");
+            simulate_batch(&c, &SimConfig::default(), &sets)
+                .into_iter()
+                .map(|r| r.expect("sim").counts.dyn_insts)
+                .collect()
         });
         // Self-profiled reference per run image: the (j, j) diagonal.
-        let self_insts: Vec<f64> = (0..IMAGES)
-            .map(|j| cells[(j * IMAGES + j) as usize].1.counts.dyn_insts as f64)
-            .collect();
-        let mut ratios: Vec<f64> = cells
+        let self_insts: Vec<f64> = (0..IMAGES as usize).map(|j| rows[j][j] as f64).collect();
+        let mut ratios: Vec<f64> = rows
             .iter()
-            .enumerate()
-            .map(|(k, cell)| {
-                let j = (k as u64 % IMAGES) as usize;
-                cell.1.counts.dyn_insts as f64 / self_insts[j]
+            .flat_map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(j, &d)| d as f64 / self_insts[j])
             })
             .collect();
         ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());

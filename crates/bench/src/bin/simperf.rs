@@ -1,20 +1,39 @@
 //! Simulator/harness wall-clock performance target.
 //!
-//! Measures (a) the predecoded fast-path engine against the retained
-//! reference engine on sim-dominated MiBench workloads (build once, time
-//! repeated simulations, keep the minimum), and (b) the fig08-style
-//! matrix harness under 1 worker vs the pool default. Writes the numbers
-//! to `BENCH_sim.json` and prints a summary.
+//! Measures (a) the three simulation engines — retained reference, the
+//! predecoded fast path, and the block-fused turbo engine — against each
+//! other on sim-dominated MiBench workloads (build once, interleave timed
+//! repetitions, report median + min per engine), (b) batch-mode predecode
+//! amortization on a fig16-style multi-input sweep (one predecoded image,
+//! N input sets vs N independent runs), and (c) the fig08-style matrix
+//! harness under 1 worker vs the pool default. Writes the numbers to
+//! `BENCH_sim.json` and prints a summary.
 //!
-//! Usage: `simperf [-j N] [reps]`.
+//! Usage: `simperf [-j N] [--check] [reps]`. At least 5 repetitions are
+//! always run so the medians are meaningful; the positional argument can
+//! only raise the count. `--check` exits nonzero if the turbo engine's
+//! median total is slower than the fast engine's — CI uses this to catch
+//! dispatch-path regressions.
 
 use bench::{clear_cache, pool, run_matrix};
-use bitspec::{build, simulate_with, BuildConfig, Compiled, SimConfig, Workload};
-use mibench::{workload, Input};
+use bitspec::{
+    build, simulate_batch, simulate_with, BuildConfig, Compiled, Engine, SimConfig, Workload,
+};
+use mibench::{susan_image, workload, Input};
 use std::time::Instant;
 
 /// Sim-dominated targets: long dynamic instruction counts, cheap builds.
 const TARGETS: &[&str] = &["sha", "crc32", "dijkstra", "qsort", "susan-edges"];
+
+/// Engine matrix, slowest tier first (printed column order).
+const ENGINES: [(&str, Engine); 3] = [
+    ("reference", Engine::Reference),
+    ("fast", Engine::Fast),
+    ("turbo", Engine::Turbo),
+];
+
+/// Input sets in the batch-amortization sweep.
+const BATCH_INPUTS: u64 = 8;
 
 fn once(c: &Compiled, w: &Workload, cfg: &SimConfig) -> f64 {
     let t = Instant::now();
@@ -23,84 +42,162 @@ fn once(c: &Compiled, w: &Workload, cfg: &SimConfig) -> f64 {
     t.elapsed().as_secs_f64()
 }
 
-/// Interleaves reference/fast repetitions (A/B per round) so clock and
-/// thermal drift hit both engines equally; keeps the per-engine minimum.
-fn sim_pair_secs(
-    c: &Compiled,
-    w: &Workload,
-    r: &SimConfig,
-    f: &SimConfig,
-    reps: usize,
-) -> (f64, f64) {
-    let (mut tr, mut tf) = (f64::INFINITY, f64::INFINITY);
-    for _ in 0..reps {
-        tr = tr.min(once(c, w, r));
-        tf = tf.min(once(c, w, f));
+/// Sorts in place and returns the median (mean of the middle two for even
+/// lengths).
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
     }
-    (tr, tf)
+}
+
+struct Row {
+    name: String,
+    dyn_insts: u64,
+    /// Per-engine median seconds, `ENGINES` order.
+    med: [f64; 3],
+    /// Per-engine minimum seconds, `ENGINES` order.
+    min: [f64; 3],
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut reps: usize = 5;
+    let mut check = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "-j" || a == "--jobs" {
             it.next();
             continue;
         }
+        if a == "--check" {
+            check = true;
+            continue;
+        }
         if a.starts_with('-') {
             continue;
         }
-        if let Ok(n) = a.parse() {
-            if n >= 1 {
-                reps = n;
-            }
+        if let Ok(n) = a.parse::<usize>() {
+            // Medians of fewer than 5 reps are too noisy to gate on.
+            reps = n.max(5);
         }
     }
     let jobs = pool::jobs_for(&args);
-    bench::header("simperf", "fast vs reference engine / pool wall-clock");
+    bench::header(
+        "simperf",
+        "reference vs fast vs turbo engine / pool wall-clock",
+    );
 
-    let fast_cfg = SimConfig::default();
-    let ref_cfg = SimConfig {
-        reference: true,
+    let cfg_of = |e: Engine| SimConfig {
+        engine: e,
         ..SimConfig::default()
     };
     let mut rows = Vec::new();
     println!(
-        "{:<16} {:>12} {:>12} {:>12} {:>8}",
-        "workload", "dyn_insts", "ref_ms", "fast_ms", "speedup"
+        "{:<16} {:>12} {:>10} {:>10} {:>10} {:>7} {:>7} {:>7}",
+        "workload", "dyn_insts", "ref_ms", "fast_ms", "turbo_ms", "fast×", "turbo×", "t/f"
     );
     for name in TARGETS {
         let w = workload(name, Input::Large);
         let c = build(&w, &BuildConfig::baseline()).expect("build");
-        let dyn_insts = simulate_with(&c, &w, &fast_cfg)
+        // Untimed warm-up run; also the dyn_insts source.
+        let dyn_insts = simulate_with(&c, &w, &cfg_of(Engine::Turbo))
             .expect("sim")
             .counts
             .dyn_insts;
-        let (t_ref, t_fast) = sim_pair_secs(&c, &w, &ref_cfg, &fast_cfg, reps);
+        // Interleave engines within each round so clock and thermal drift
+        // hit all three equally.
+        let mut secs: [Vec<f64>; 3] = std::array::from_fn(|_| Vec::new());
+        for _ in 0..reps {
+            for (ei, (_, engine)) in ENGINES.iter().enumerate() {
+                secs[ei].push(once(&c, &w, &cfg_of(*engine)));
+            }
+        }
+        let med = [0, 1, 2].map(|ei| median(&mut secs[ei]));
+        let min = [0, 1, 2].map(|ei| secs[ei][0]); // sorted by median()
         println!(
-            "{name:<16} {dyn_insts:>12} {:>12.2} {:>12.2} {:>7.2}x",
-            t_ref * 1e3,
-            t_fast * 1e3,
-            t_ref / t_fast
+            "{name:<16} {dyn_insts:>12} {:>10.2} {:>10.2} {:>10.2} {:>6.2}x {:>6.2}x {:>6.2}x",
+            med[0] * 1e3,
+            med[1] * 1e3,
+            med[2] * 1e3,
+            med[0] / med[1],
+            med[0] / med[2],
+            med[1] / med[2]
         );
-        rows.push((name.to_string(), dyn_insts, t_ref, t_fast));
+        rows.push(Row {
+            name: name.to_string(),
+            dyn_insts,
+            med,
+            min,
+        });
     }
-    let sum_ref: f64 = rows.iter().map(|r| r.2).sum();
-    let sum_fast: f64 = rows.iter().map(|r| r.3).sum();
+    let tot = [0, 1, 2].map(|ei| rows.iter().map(|r| r.med[ei]).sum::<f64>());
     println!(
-        "{:<16} {:>12} {:>12.2} {:>12.2} {:>7.2}x",
+        "{:<16} {:>12} {:>10.2} {:>10.2} {:>10.2} {:>6.2}x {:>6.2}x {:>6.2}x",
         "TOTAL",
         "",
-        sum_ref * 1e3,
-        sum_fast * 1e3,
-        sum_ref / sum_fast
+        tot[0] * 1e3,
+        tot[1] * 1e3,
+        tot[2] * 1e3,
+        tot[0] / tot[1],
+        tot[0] / tot[2],
+        tot[1] / tot[2]
+    );
+
+    // Batch amortization: a fig16-style sweep — one build profiled on image
+    // 0, evaluated on BATCH_INPUTS run images. Sequential turbo predecodes
+    // per run; `simulate_batch` predecodes once and reuses the image.
+    let wb = Workload::from_source("susan-edges", mibench::source_of("susan-edges"))
+        .with_input("image", susan_image(Input::Seeded(0)))
+        .with_train_input("image", susan_image(Input::Seeded(0)));
+    let cb = build(&wb, &BuildConfig::bitspec()).expect("build");
+    let sets: Vec<Vec<(String, Vec<u8>)>> = (0..BATCH_INPUTS)
+        .map(|j| vec![("image".to_string(), susan_image(Input::Seeded(j)))])
+        .collect();
+    let seq_runs: Vec<Workload> = (0..BATCH_INPUTS)
+        .map(|j| {
+            Workload::from_source("susan-edges", mibench::source_of("susan-edges"))
+                .with_input("image", susan_image(Input::Seeded(j)))
+        })
+        .collect();
+    let sim_cfg = SimConfig::default();
+    // Correctness first: batch results must match independent runs.
+    let batched = simulate_batch(&cb, &sim_cfg, &sets);
+    for (j, (b, wj)) in batched.iter().zip(&seq_runs).enumerate() {
+        let b = b.as_ref().expect("batched sim");
+        let s = simulate_with(&cb, wj, &sim_cfg).expect("sim");
+        assert_eq!(b.outputs, s.outputs, "batch set {j} diverged");
+        assert_eq!(b.cycles, s.cycles, "batch set {j} cycles diverged");
+    }
+    let (mut seq_secs, mut batch_secs) = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        let t = Instant::now();
+        for wj in &seq_runs {
+            std::hint::black_box(simulate_with(&cb, wj, &sim_cfg).expect("sim").cycles);
+        }
+        seq_secs.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        std::hint::black_box(simulate_batch(&cb, &sim_cfg, &sets).len());
+        batch_secs.push(t.elapsed().as_secs_f64());
+    }
+    let seq_med = median(&mut seq_secs);
+    let batch_med = median(&mut batch_secs);
+    println!(
+        "batch: {BATCH_INPUTS} inputs sequential={:.2}ms batched={:.2}ms amortization={:.3}x",
+        seq_med * 1e3,
+        batch_med * 1e3,
+        seq_med / batch_med
     );
 
     // Harness wall-clock: the fig08 matrix under 1 worker vs the pool.
     let workloads: Vec<_> = TARGETS.iter().map(|n| workload(n, Input::Large)).collect();
     let cfgs = [BuildConfig::baseline(), BuildConfig::bitspec()];
+    let cells = workloads.len() * cfgs.len();
+    let workers = pool::effective_workers(cells, jobs);
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     clear_cache();
     let t1 = Instant::now();
     std::hint::black_box(run_matrix(&workloads, &cfgs, 1));
@@ -114,26 +211,58 @@ fn main() {
     let cached = t3.elapsed().as_secs_f64();
     assert_eq!(first.len(), second.len());
     println!(
-        "harness: serial={serial:.2}s pool(j={jobs})={pooled:.2}s cached_resweep={cached:.3}s"
+        "harness: serial={serial:.2}s pool(workers={workers}/{jobs} req, {host_cores} cores)=\
+         {pooled:.2}s cached_resweep={cached:.3}s"
     );
 
     let mut json = String::from("{\n  \"engines\": [\n");
-    for (i, (name, dyn_insts, t_ref, t_fast)) in rows.iter().enumerate() {
+    for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"workload\": \"{name}\", \"dyn_insts\": {dyn_insts}, \
-             \"reference_s\": {t_ref:.6}, \"fast_s\": {t_fast:.6}, \
-             \"speedup\": {:.3}}}{}\n",
-            t_ref / t_fast,
+            "    {{\"workload\": \"{}\", \"dyn_insts\": {}, \
+             \"reference_median_s\": {:.6}, \"reference_min_s\": {:.6}, \
+             \"fast_median_s\": {:.6}, \"fast_min_s\": {:.6}, \
+             \"turbo_median_s\": {:.6}, \"turbo_min_s\": {:.6}, \
+             \"fast_speedup\": {:.3}, \"turbo_speedup\": {:.3}, \
+             \"turbo_over_fast\": {:.3}}}{}\n",
+            r.name,
+            r.dyn_insts,
+            r.med[0],
+            r.min[0],
+            r.med[1],
+            r.min[1],
+            r.med[2],
+            r.min[2],
+            r.med[0] / r.med[1],
+            r.med[0] / r.med[2],
+            r.med[1] / r.med[2],
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"total_reference_s\": {sum_ref:.6},\n  \"total_fast_s\": {sum_fast:.6},\n  \
-         \"total_speedup\": {:.3},\n  \"harness\": {{\"jobs\": {jobs}, \
-         \"serial_s\": {serial:.6}, \"pool_s\": {pooled:.6}, \
-         \"cached_s\": {cached:.6}}},\n  \"reps\": {reps}\n}}\n",
-        sum_ref / sum_fast
+        "  ],\n  \"total_reference_s\": {:.6},\n  \"total_fast_s\": {:.6},\n  \
+         \"total_turbo_s\": {:.6},\n  \"total_fast_speedup\": {:.3},\n  \
+         \"total_speedup\": {:.3},\n  \"total_turbo_over_fast\": {:.3},\n  \
+         \"batch\": {{\"inputs\": {BATCH_INPUTS}, \"sequential_s\": {seq_med:.6}, \
+         \"batch_s\": {batch_med:.6}, \"amortization\": {:.3}}},\n  \
+         \"harness\": {{\"jobs_requested\": {jobs}, \"workers_effective\": {workers}, \
+         \"host_cores\": {host_cores}, \"serial_s\": {serial:.6}, \
+         \"pool_s\": {pooled:.6}, \"cached_s\": {cached:.6}}},\n  \"reps\": {reps}\n}}\n",
+        tot[0],
+        tot[1],
+        tot[2],
+        tot[0] / tot[1],
+        tot[0] / tot[2],
+        tot[1] / tot[2],
+        seq_med / batch_med
     ));
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
     println!("wrote BENCH_sim.json");
+
+    if check && tot[2] > tot[1] {
+        eprintln!(
+            "simperf --check: turbo total ({:.3}s) slower than fast total ({:.3}s)",
+            tot[2], tot[1]
+        );
+        std::process::exit(1);
+    }
 }

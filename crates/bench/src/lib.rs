@@ -20,8 +20,17 @@ pub use bitspec::pool;
 /// Panics on build or simulation failure — harnesses are batch tools and
 /// fail loudly.
 pub fn run(w: &Workload, cfg: &BuildConfig) -> (Compiled, SimResult) {
+    run_with(w, cfg, &SimConfig::default())
+}
+
+/// [`run`] with an explicit simulator configuration — harnesses use this
+/// to pin an engine (`SimConfig::engine`) or mode instead of the default.
+///
+/// # Panics
+/// Panics on build or simulation failure.
+pub fn run_with(w: &Workload, cfg: &BuildConfig, sim_cfg: &SimConfig) -> (Compiled, SimResult) {
     let c = build(w, cfg).unwrap_or_else(|e| panic!("{}: build failed: {e}", w.name));
-    let r = simulate_with(&c, w, &SimConfig::default())
+    let r = simulate_with(&c, w, sim_cfg)
         .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", w.name));
     (c, r)
 }

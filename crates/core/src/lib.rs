@@ -39,7 +39,7 @@ pub use backend::Program;
 pub use interp::Heuristic as BitwidthHeuristic;
 pub use opt::ExpanderConfig;
 pub use pipeline::BuildTrace;
-pub use sim::{SimConfig, SimResult};
+pub use sim::{Engine, SimConfig, SimResult};
 pub use stages::StageHits;
 
 use pipeline::{PassTrace, Tracer};
@@ -326,7 +326,9 @@ pub fn build(workload: &Workload, cfg: &BuildConfig) -> Result<Compiled, BuildEr
                             .map(|gi| (layout.addr(sir::GlobalId(gi as u32)), data.clone()))
                     })
                     .collect();
-                sim::run_program(p, &SimConfig::default(), &inputs)
+                sim::run_batch(p, &SimConfig::default(), std::slice::from_ref(&inputs))
+                    .pop()
+                    .expect("one result per input set")
                     .map(|r| r.total_energy())
                     .map_err(BuildError::TrainSim)
             };
@@ -468,6 +470,38 @@ pub fn simulate_with(
         })
         .collect();
     sim::run_program(&compiled.program, &config, &inputs)
+}
+
+/// Simulates `compiled` once per entry of `input_sets` (each a list of
+/// `(global name, bytes)` pairs), sharing one predecoded turbo image across
+/// all runs via [`sim::run_batch`] — the fig15/fig16 input sweeps use this
+/// to amortize decode across a whole sweep. Results are bit-identical to
+/// N separate [`simulate_with`] calls.
+pub fn simulate_batch(
+    compiled: &Compiled,
+    config: &SimConfig,
+    input_sets: &[Vec<(String, Vec<u8>)>],
+) -> Vec<Result<SimResult, sim::SimError>> {
+    let mut config = config.clone();
+    config.dts |= compiled.config.dts;
+    let layout = Layout::new(&compiled.module);
+    let resolved: Vec<Vec<(u32, Vec<u8>)>> = input_sets
+        .iter()
+        .map(|set| {
+            set.iter()
+                .map(|(g, data)| {
+                    let gid = compiled
+                        .module
+                        .globals
+                        .iter()
+                        .position(|x| x.name == *g)
+                        .unwrap_or_else(|| panic!("no global named `{g}`"));
+                    (layout.addr(sir::GlobalId(gid as u32)), data.clone())
+                })
+                .collect()
+        })
+        .collect();
+    sim::run_batch(&compiled.program, &config, &resolved)
 }
 
 /// Reference interpreter run of the *compiled (transformed)* module on the

@@ -56,6 +56,13 @@ pub fn jobs_for<S: AsRef<str>>(args: &[S]) -> usize {
     jobs_from_args(args).unwrap_or_else(jobs)
 }
 
+/// The worker count [`run_ordered`] actually uses for `count` work items
+/// when asked for `workers` — exposed so harnesses can report the real
+/// thread count instead of the requested one.
+pub fn effective_workers(count: usize, workers: usize) -> usize {
+    workers.clamp(1, count.max(1))
+}
+
 /// Runs `f(0..count)` across `workers` scoped threads and returns the
 /// results in input order (`out[i] == f(i)`), deterministically for any
 /// worker count. `workers <= 1` degenerates to a plain sequential map —

@@ -8,7 +8,7 @@
 //! |---|---|---|
 //! | build | frontend + verify-each checkers | acceptance (generated programs are well-typed by construction) |
 //! | interp | tree-walk reference vs predecoded fast path | full `Result` — outputs, return value, stats, traps |
-//! | sim | reference engine vs fast path | outputs/cycles/counts/activity exactly, energy within `REL_TOL` |
+//! | sim | reference engine vs fast path vs block-fused turbo | outputs/cycles/counts/activity exactly, energy within `REL_TOL` |
 //! | arch | BITSPEC (Max/Avg/Min), NoSpec vs BASELINE | output stream + trap behaviour |
 //! | cross | interpreter vs simulator, per config | output stream + trap behaviour |
 //!
@@ -18,7 +18,9 @@
 //! a checker rejection of generated (legal) code is itself a finding.
 
 use crate::gen::Case;
-use bitspec::{build_for_fuzz, simulate_with, Arch, BuildConfig, Compiled, SimConfig, Workload};
+use bitspec::{
+    build_for_fuzz, simulate_with, Arch, BuildConfig, Compiled, Engine, SimConfig, Workload,
+};
 use interp::{ExecError, Heuristic, Interpreter, RunResult};
 use sim::SimResult;
 
@@ -57,7 +59,7 @@ pub enum Kind {
     Panic,
     /// Interpreter tree-walk vs fast path disagreed.
     InterpEngines,
-    /// Simulator reference vs fast path disagreed.
+    /// A simulator engine (fast or turbo) disagreed with the reference.
     SimEngines,
     /// A speculative config's outputs/trap differ from BASELINE.
     ArchOutputs,
@@ -217,24 +219,30 @@ pub fn check_workload(w: &Workload) -> Vec<Finding> {
         }
     }
 
-    // Oracle: simulator reference engine vs fast path, per config.
+    // Oracle: simulator reference engine vs fast path vs turbo, per config.
+    // Both optimized engines are held to the reference independently so a
+    // finding names the engine that broke.
     for &(name, c) in &compiled {
-        let s_ref = simulate_with(c, w, &sim_cfg(true));
-        let s_fast = simulate_with(c, w, &sim_cfg(false));
-        match (&s_ref, &s_fast) {
-            (Ok(a), Ok(b)) => {
-                if let Some(diff) = sim_diff(a, b) {
-                    findings.push(Finding {
-                        kind: Kind::SimEngines,
-                        detail: format!("[{name}] {diff}"),
-                    });
+        let s_ref = simulate_with(c, w, &sim_cfg(Engine::Reference));
+        for (leg, engine) in [("fast", Engine::Fast), ("turbo", Engine::Turbo)] {
+            let s_leg = simulate_with(c, w, &sim_cfg(engine));
+            match (&s_ref, &s_leg) {
+                (Ok(a), Ok(b)) => {
+                    if let Some(diff) = sim_diff(a, b) {
+                        findings.push(Finding {
+                            kind: Kind::SimEngines,
+                            detail: format!("[{name}] {leg}: {diff}"),
+                        });
+                    }
                 }
+                (Err(a), Err(b)) if a == b => {}
+                _ => findings.push(Finding {
+                    kind: Kind::SimEngines,
+                    detail: format!(
+                        "[{name}] trap asymmetry: reference {s_ref:?} vs {leg} {s_leg:?}"
+                    ),
+                }),
             }
-            (Err(a), Err(b)) if a == b => {}
-            _ => findings.push(Finding {
-                kind: Kind::SimEngines,
-                detail: format!("[{name}] trap asymmetry: reference {s_ref:?} vs fast {s_fast:?}"),
-            }),
         }
     }
 
@@ -245,9 +253,9 @@ pub fn check_workload(w: &Workload) -> Vec<Finding> {
     // build pins down which pipeline layer introduced the difference
     // ("squeeze" is expected for speculative configs; anything earlier
     // means a shared stage or its cache broke).
-    let base_sim = simulate_with(baseline, w, &sim_cfg(false));
+    let base_sim = simulate_with(baseline, w, &sim_cfg(Engine::Turbo));
     for &(name, c) in &compiled[1..] {
-        let r = simulate_with(c, w, &sim_cfg(false));
+        let r = simulate_with(c, w, &sim_cfg(Engine::Turbo));
         match (&base_sim, &r) {
             (Ok(b), Ok(r)) => {
                 if b.outputs != r.outputs {
@@ -280,7 +288,7 @@ pub fn check_workload(w: &Workload) -> Vec<Finding> {
     // Δ-skeleton layout all sit between the two).
     for &(name, c) in &compiled {
         let i = run_interp(c, w, false);
-        let s = simulate_with(c, w, &sim_cfg(false));
+        let s = simulate_with(c, w, &sim_cfg(Engine::Turbo));
         match (&i, &s) {
             (Ok(i), Ok(s)) => {
                 if i.outputs != s.outputs {
@@ -332,10 +340,10 @@ fn run_interp(c: &Compiled, w: &Workload, reference: bool) -> Result<RunResult, 
 }
 
 /// The simulator configuration every oracle run uses: default DTS/energy
-/// model, [`SIM_FUEL`] budget, engine selected by `reference`.
-fn sim_cfg(reference: bool) -> SimConfig {
+/// model, [`SIM_FUEL`] budget, the given engine.
+fn sim_cfg(engine: Engine) -> SimConfig {
     SimConfig {
-        reference,
+        engine,
         fuel: SIM_FUEL,
         ..SimConfig::default()
     }

@@ -80,6 +80,61 @@ impl Memory {
         })
     }
 
+    /// Width-specialized accessors for addresses whose [`GLOBAL_BASE`]
+    /// floor the caller has already validated (the simulator's predecoded
+    /// engines check it on the cache path before touching memory): one
+    /// slice bounds check, no `AccessError` plumbing. `None` means the
+    /// access runs past the end of memory.
+    ///
+    /// [`GLOBAL_BASE`]: crate::layout::GLOBAL_BASE
+    #[inline]
+    pub fn load1(&self, addr: u32) -> Option<u8> {
+        self.bytes.get(addr as usize).copied()
+    }
+
+    /// See [`Memory::load1`].
+    #[inline]
+    pub fn load2(&self, addr: u32) -> Option<u16> {
+        let lo = addr as usize;
+        let b = self.bytes.get(lo..lo + 2)?;
+        Some(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// See [`Memory::load1`].
+    #[inline]
+    pub fn load4(&self, addr: u32) -> Option<u32> {
+        let lo = addr as usize;
+        let b = self.bytes.get(lo..lo + 4)?;
+        Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// See [`Memory::load1`].
+    #[inline]
+    pub fn store1(&mut self, addr: u32, v: u8) -> Option<()> {
+        *self.bytes.get_mut(addr as usize)? = v;
+        Some(())
+    }
+
+    /// See [`Memory::load1`].
+    #[inline]
+    pub fn store2(&mut self, addr: u32, v: u16) -> Option<()> {
+        let lo = addr as usize;
+        self.bytes
+            .get_mut(lo..lo + 2)?
+            .copy_from_slice(&v.to_le_bytes());
+        Some(())
+    }
+
+    /// See [`Memory::load1`].
+    #[inline]
+    pub fn store4(&mut self, addr: u32, v: u32) -> Option<()> {
+        let lo = addr as usize;
+        self.bytes
+            .get_mut(lo..lo + 4)?
+            .copy_from_slice(&v.to_le_bytes());
+        Some(())
+    }
+
     /// Stores the low `w` bits of `value` little-endian.
     ///
     /// # Errors

@@ -16,10 +16,24 @@ pub struct Cache {
     sets: usize,
     ways: usize,
     line: u32,
+    /// `log2(line)` — line sizes are powers of two, so set/tag extraction
+    /// is shift+mask instead of the integer divisions the compiler would
+    /// otherwise emit for the runtime-valued `line`/`sets` (three `udiv`s
+    /// per access dominate pointer-chasing simulations).
+    line_shift: u32,
+    /// `log2(sets)`.
+    set_shift: u32,
     /// tags[set * ways + way]
     tags: Vec<Option<u32>>,
     dirty: Vec<bool>,
     lru: Vec<u64>,
+    /// Most-recently-hit way per set — a lookup shortcut only. Temporal
+    /// locality makes the MRU way the overwhelmingly likely hit, so
+    /// [`Cache::access`] probes it before scanning the set. Tags are
+    /// unique within a set, so probing in a different order can never
+    /// change which way matches: observable state (tags, LRU order,
+    /// dirty bits, counters) evolves identically.
+    mru: Vec<u32>,
     tick: u64,
     pub hits: u64,
     pub misses: u64,
@@ -35,13 +49,17 @@ impl Cache {
     pub fn new(size: u32, ways: usize, line: u32) -> Cache {
         let sets = (size / line) as usize / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(line.is_power_of_two(), "line size must be a power of two");
         Cache {
             sets,
             ways,
             line,
+            line_shift: line.trailing_zeros(),
+            set_shift: sets.trailing_zeros(),
             tags: vec![None; sets * ways],
             dirty: vec![false; sets * ways],
             lru: vec![0; sets * ways],
+            mru: vec![0; sets],
             tick: 0,
             hits: 0,
             misses: 0,
@@ -49,28 +67,50 @@ impl Cache {
         }
     }
 
+    #[inline]
     fn set_of(&self, addr: u32) -> usize {
-        ((addr / self.line) as usize) & (self.sets - 1)
+        ((addr >> self.line_shift) as usize) & (self.sets - 1)
     }
 
+    #[inline]
     fn tag_of(&self, addr: u32) -> u32 {
-        addr / self.line / self.sets as u32
+        addr >> (self.line_shift + self.set_shift)
     }
 
     /// Performs an access; returns the outcome.
     pub fn access(&mut self, addr: u32, write: bool) -> Outcome {
+        self.access_at(addr, write).0
+    }
+
+    /// [`Self::access`], additionally returning the flat slot the line
+    /// lives in afterwards (the hit way, or the filled victim on a miss).
+    /// The simulator's line buffers re-arm from this, saving the separate
+    /// [`Self::slot_of`] set scan per buffer miss.
+    pub fn access_at(&mut self, addr: u32, write: bool) -> (Outcome, usize) {
         self.tick += 1;
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
         let base = set * self.ways;
+        // MRU probe first: on pointer-chasing access patterns most hits
+        // land on the way hit last time, skipping the set scan.
+        let hint = self.mru[set] as usize;
+        if self.tags[base + hint] == Some(tag) {
+            self.lru[base + hint] = self.tick;
+            if write {
+                self.dirty[base + hint] = true;
+            }
+            self.hits += 1;
+            return (Outcome::Hit, base + hint);
+        }
         for w in 0..self.ways {
-            if self.tags[base + w] == Some(tag) {
+            if w != hint && self.tags[base + w] == Some(tag) {
                 self.lru[base + w] = self.tick;
                 if write {
                     self.dirty[base + w] = true;
                 }
                 self.hits += 1;
-                return Outcome::Hit;
+                self.mru[set] = w as u32;
+                return (Outcome::Hit, base + w);
             }
         }
         // Miss: fill LRU victim.
@@ -85,7 +125,8 @@ impl Cache {
         self.tags[base + victim] = Some(tag);
         self.dirty[base + victim] = write;
         self.lru[base + victim] = self.tick;
-        Outcome::Miss { writeback: wb }
+        self.mru[set] = victim as u32;
+        (Outcome::Miss { writeback: wb }, base + victim)
     }
 
     /// Probes for `addr` without touching any state or counters; returns
@@ -120,6 +161,21 @@ impl Cache {
         self.touch_hit(slot, false);
     }
 
+    /// `n` consecutive read hits on the same resident `slot`, batched.
+    /// Equivalent to calling [`Self::touch_read_hit`] `n` times: only the
+    /// final LRU stamp survives consecutive touches of one slot, so the
+    /// intermediate stamps are unobservable. The turbo engine uses this
+    /// to flush accumulated same-line instruction fetches in O(1).
+    #[inline]
+    pub fn touch_hits(&mut self, slot: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.tick += n;
+        self.lru[slot] = self.tick;
+        self.hits += n;
+    }
+
     /// Total accesses.
     pub fn accesses(&self) -> u64 {
         self.hits + self.misses
@@ -128,6 +184,12 @@ impl Cache {
     /// Line size in bytes.
     pub fn line(&self) -> u32 {
         self.line
+    }
+
+    /// Number of sets (always a power of two; the set index is
+    /// `(addr >> line_shift) & (sets - 1)`).
+    pub fn sets(&self) -> usize {
+        self.sets
     }
 }
 
@@ -161,7 +223,13 @@ impl Default for Hierarchy {
 impl Hierarchy {
     /// Instruction fetch of one slot at `addr`; returns stall cycles.
     pub fn fetch(&mut self, addr: u32) -> u64 {
-        match self.l1i.access(addr, false) {
+        self.fetch_at(addr).0
+    }
+
+    /// [`Self::fetch`], also returning the L1I slot holding the line.
+    pub fn fetch_at(&mut self, addr: u32) -> (u64, usize) {
+        let (outcome, slot) = self.l1i.access_at(addr, false);
+        let stall = match outcome {
             Outcome::Hit => 0,
             Outcome::Miss { .. } => match self.l2.access(addr, false) {
                 Outcome::Hit => self.l2_latency,
@@ -173,20 +241,26 @@ impl Hierarchy {
                     self.l2_latency + self.dram_latency
                 }
             },
-        }
+        };
+        (stall, slot)
     }
 
     /// Data access; returns stall cycles.
     pub fn data(&mut self, addr: u32, write: bool) -> u64 {
-        match self.l1d.access(addr, write) {
+        self.data_at(addr, write).0
+    }
+
+    /// [`Self::data`], also returning the L1D slot holding the line.
+    pub fn data_at(&mut self, addr: u32, write: bool) -> (u64, usize) {
+        let (outcome, slot) = self.l1d.access_at(addr, write);
+        let stall = match outcome {
             Outcome::Hit => 0,
             Outcome::Miss { writeback } => {
-                let mut stall = 0;
                 if writeback {
                     // Write-back to L2 (buffered; energy only, via counts).
                     self.l2.access(addr, true);
                 }
-                stall += match self.l2.access(addr, false) {
+                match self.l2.access(addr, false) {
                     Outcome::Hit => self.l2_latency,
                     Outcome::Miss { writeback: wb2 } => {
                         self.dram_accesses += 1;
@@ -195,10 +269,10 @@ impl Hierarchy {
                         }
                         self.l2_latency + self.dram_latency
                     }
-                };
-                stall
+                }
             }
-        }
+        };
+        (stall, slot)
     }
 }
 
@@ -274,6 +348,34 @@ mod tests {
         assert_eq!(a.tags, b.tags);
         assert_eq!(a.lru, b.lru);
         assert_eq!(a.dirty, b.dirty);
+    }
+
+    #[test]
+    fn touch_hits_batches_read_hits() {
+        // touch_hits(slot, n) must leave exactly the state n separate
+        // touch_read_hit calls would, for any n — including interleaved
+        // with real accesses that move the LRU clock.
+        for n in [1u64, 2, 3, 7, 32] {
+            let mut a = Cache::new(1 << 10, 2, 32);
+            let mut b = a.clone();
+            a.access(0x100, false);
+            b.access(0x100, false);
+            a.access(0x200, true);
+            b.access(0x200, true);
+            let slot = a.slot_of(0x100).expect("resident");
+            for _ in 0..n {
+                a.touch_read_hit(slot);
+            }
+            b.touch_hits(slot, n);
+            assert_eq!((a.hits, a.misses, a.tick), (b.hits, b.misses, b.tick));
+            assert_eq!(a.tags, b.tags);
+            assert_eq!(a.lru, b.lru);
+            assert_eq!(a.dirty, b.dirty);
+            // And both caches keep behaving identically afterwards.
+            assert_eq!(a.access(0x100, false), b.access(0x100, false));
+            assert_eq!(a.access(0x340, true), b.access(0x340, true));
+            assert_eq!(a.lru, b.lru);
+        }
     }
 
     #[test]

@@ -162,7 +162,7 @@ impl<'p> Simulator<'p> {
     /// One I-fetch slot at `addr`; returns stall cycles. Same-line
     /// sequential fetches short-circuit through the line buffer.
     #[inline]
-    fn fetch_fast(&mut self, addr: u32, line_shift: u32) -> u64 {
+    pub(crate) fn fetch_fast(&mut self, addr: u32, line_shift: u32) -> u64 {
         let line = addr >> line_shift;
         if line == self.ibuf_line {
             self.hier.l1i.touch_read_hit(self.ibuf_slot);
@@ -170,15 +170,11 @@ impl<'p> Simulator<'p> {
         }
         let l2_before = self.hier.l2.accesses();
         let dram_before = self.hier.dram_accesses;
-        let stall = self.hier.fetch(addr);
+        let (stall, slot) = self.hier.fetch_at(addr);
         self.act.l2_from_i += self.hier.l2.accesses() - l2_before;
         self.act.dram_from_i += self.hier.dram_accesses - dram_before;
         self.ibuf_line = line;
-        self.ibuf_slot = self
-            .hier
-            .l1i
-            .slot_of(addr)
-            .expect("line resident after fetch");
+        self.ibuf_slot = slot;
         stall
     }
 
@@ -197,13 +193,22 @@ impl<'p> Simulator<'p> {
             self.hier.l1d.touch_hit(self.dbuf_slot, write);
             return Ok(0);
         }
-        let stall = self.hier.data(addr, write);
+        if line == self.dbuf_line2 {
+            // Promote: keep the two most-recent lines buffered in order.
+            self.hier.l1d.touch_hit(self.dbuf_slot2, write);
+            std::mem::swap(&mut self.dbuf_line, &mut self.dbuf_line2);
+            std::mem::swap(&mut self.dbuf_slot, &mut self.dbuf_slot2);
+            return Ok(0);
+        }
+        let (stall, slot) = self.hier.data_at(addr, write);
+        self.dbuf_line2 = self.dbuf_line;
+        self.dbuf_slot2 = self.dbuf_slot;
         self.dbuf_line = line;
-        self.dbuf_slot = self
-            .hier
-            .l1d
-            .slot_of(addr)
-            .expect("line resident after data access");
+        self.dbuf_slot = slot;
+        if slot == self.dbuf_slot2 {
+            // The refill evicted (or re-used) the demoted entry's slot.
+            self.dbuf_line2 = u32::MAX;
+        }
         Ok(stall)
     }
 
@@ -260,7 +265,12 @@ impl<'p> Simulator<'p> {
     // --- main dispatch (counter-only mirror of the reference `exec`) --------
 
     #[allow(clippy::too_many_lines)]
-    fn exec_fast(&mut self, pc: usize, inst: &MInst, cyc: &mut u64) -> Result<usize, SimError> {
+    pub(crate) fn exec_fast(
+        &mut self,
+        pc: usize,
+        inst: &MInst,
+        cyc: &mut u64,
+    ) -> Result<usize, SimError> {
         let next = pc + 1;
         match inst {
             MInst::Alu { op, rd, rn, src2 } => {

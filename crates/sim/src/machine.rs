@@ -9,6 +9,30 @@ use isa::{AluOp, Cond, MInst, MemWidth, Operand, Reg, Slice, SliceOperand, LR, S
 use std::error::Error;
 use std::fmt;
 
+/// Which simulation engine to run. All three are equivalent — `outputs`,
+/// `cycles`, `counts` and `activity` are bit-identical, energy matches
+/// within float-summation tolerance (≤1e-6 rel) — and the regression
+/// suite holds them to that.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// The obviously-correct per-step oracle: full `match` dispatch,
+    /// per-instruction f64 energy accumulation.
+    Reference,
+    /// Predecoded per-instruction side tables (`PreInst`), integer
+    /// activity counters folded to energy at end of run, I/D line
+    /// buffers. ~2.2x over reference.
+    Fast,
+    /// Predecoded handler-LUT dispatch with basic-block fusion: one
+    /// static decode per instruction into a handler function pointer +
+    /// packed operands, straight-line runs fused into block
+    /// superinstructions whose counters are accumulated once at
+    /// predecode time, per-instruction fallback on misspeculation
+    /// redirects that enter mid-block. Supports batched multi-input
+    /// runs over one predecoded image ([`crate::run_batch`]).
+    #[default]
+    Turbo,
+}
+
 /// Simulator configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -18,12 +42,11 @@ pub struct SimConfig {
     pub fuel: u64,
     /// Energy model constants.
     pub energy: EnergyModel,
-    /// Run the retained reference (slow-path) engine instead of the
-    /// predecoded fast path. The two are equivalent — `outputs`, `cycles`,
-    /// `counts` and `activity` are bit-identical, energy matches within
-    /// float-summation tolerance — and the regression suite holds them to
-    /// that; the reference engine exists as the obviously-correct oracle.
-    pub reference: bool,
+    /// Simulation engine tier. Defaults to [`Engine::Turbo`]; the
+    /// reference engine exists as the oracle, fast as the mid tier.
+    /// DTS mode needs per-instruction activity snapshots, which block
+    /// fusion cannot provide, so `dts: true` runs turbo as fast.
+    pub engine: Engine,
 }
 
 impl Default for SimConfig {
@@ -32,7 +55,7 @@ impl Default for SimConfig {
             dts: false,
             fuel: 2_000_000_000,
             energy: EnergyModel::default(),
-            reference: false,
+            engine: Engine::Turbo,
         }
     }
 }
@@ -147,8 +170,30 @@ pub struct Simulator<'p> {
     /// nothing can evict the previously touched (MRU) line.
     pub(crate) dbuf_line: u32,
     pub(crate) dbuf_slot: usize,
+    /// Second D-side buffer entry: loops alternating between two data
+    /// lines (table lookups against a streaming input, graph rows against
+    /// a distance array) would otherwise miss the buffer on every access.
+    /// A hit here promotes the entry to primary; a refill demotes the
+    /// primary and *invalidates* this entry if the refill evicted its line
+    /// (same victim slot), so a buffered line is always resident.
+    pub(crate) dbuf_line2: u32,
+    pub(crate) dbuf_slot2: usize,
+    /// Turbo's D-side buffer: a per-set MRU line map (one entry per L1D
+    /// set, indexed by `line & (sets-1)` — the same function as the
+    /// cache's own set index). Entry `i` caches the most recently touched
+    /// resident line of set `i` and its flat slot. Valid by construction:
+    /// evicting a buffered line requires a fill in the same set, and every
+    /// fill overwrites that set's entry on the way through `turbo_data`.
+    /// Covers as many concurrent hot lines as the L1D has sets, where the
+    /// two-entry buffer above thrashes on 3+ interleaved streams
+    /// (partition loops, graph row + distance + visited arrays).
+    pub(crate) dmap: Vec<(u32, u32)>,
     /// `log2` of the L1D line size, for the data line-buffer index.
     pub(crate) dline_shift: u32,
+    /// Fault parked by a turbo handler (`Step::Fault`); handlers return a
+    /// register-sized `Step` instead of a `Result` so the hot dispatch loop
+    /// avoids a by-memory return, and the run loop picks the error up here.
+    pub(crate) terr: Option<SimError>,
 }
 
 impl<'p> Simulator<'p> {
@@ -184,7 +229,11 @@ impl<'p> Simulator<'p> {
             ibuf_slot: 0,
             dbuf_line: u32::MAX,
             dbuf_slot: 0,
+            dbuf_line2: u32::MAX,
+            dbuf_slot2: 0,
+            dmap: Vec::new(),
             dline_shift: dline.trailing_zeros(),
+            terr: None,
         }
     }
 
@@ -203,10 +252,13 @@ impl<'p> Simulator<'p> {
     /// # Errors
     /// Returns a [`SimError`] on faults or fuel exhaustion.
     pub fn run(self) -> Result<SimResult, SimError> {
-        if self.cfg.reference {
-            self.run_reference()
-        } else {
-            self.run_fast()
+        match self.cfg.engine {
+            Engine::Reference => self.run_reference(),
+            Engine::Fast => self.run_fast(),
+            // DTS needs per-instruction activity snapshots, which the
+            // block-fused engine cannot provide — delegate to fast.
+            Engine::Turbo if self.cfg.dts => self.run_fast(),
+            Engine::Turbo => self.run_turbo(),
         }
     }
 
@@ -891,6 +943,7 @@ fn reg_reads(inst: &MInst) -> Vec<Reg> {
     out
 }
 
+#[inline]
 pub(crate) fn alu_exec(op: AluOp, a: u32, b: u32, flags: Flags) -> (u32, Flags) {
     let mut fl = flags;
     let r = match op {

@@ -1,0 +1,3224 @@
+//! The turbo simulation engine: predecoded handler-LUT dispatch with
+//! basic-block fusion and batched multi-input runs.
+//!
+//! [`Simulator::run`] lands here by default ([`crate::machine::Engine::Turbo`]).
+//! Versus the fast engine (`fast.rs`), which still runs one `match` over
+//! `MInst` per dynamic instruction, turbo decodes each *static* instruction
+//! exactly once ([`TurboImage::build`]) into:
+//!
+//! * a **handler function pointer** plus a packed 8-byte operand record
+//!   ([`TOp`]) — GRBA-emulator-style LUT dispatch, one indirect call per
+//!   instruction, with ALU/slice-ALU opcodes monomorphized via const
+//!   generics so each handler is a straight-line function;
+//! * **fused basic blocks**: straight-line instruction runs become
+//!   block-level superinstructions. All deterministic per-instruction
+//!   counters (base cycles, fetch slots, register-file units, ALU ops,
+//!   event counts, *intra-block* load-use interlock stalls) are summed per
+//!   block at predecode time ([`SActs`]) and applied once per block
+//!   execution at end of run — the hot loop only tracks dynamic effects
+//!   (cache stalls, taken conditional branches, misspeculation, the
+//!   block-entry interlock);
+//! * **static fetch classification**: within a block, instruction addresses
+//!   are known, so whether a fetch slot stays on the previous slot's cache
+//!   line is decided at predecode time. Same-line fetches accumulate in a
+//!   pending counter flushed in O(1) via [`crate::cache::Cache::touch_hits`];
+//!   real fetches run at their exact program position so the shared-L2
+//!   access interleaving with data misses is preserved bit-exactly.
+//!
+//! **Misspeculation redirects** (`pc ← pc + Δ`) can land mid-block, in
+//! skeleton code that is not a block leader. The engine then flushes the
+//! static counters for the executed block prefix and falls back to
+//! per-instruction execution ([`Simulator::run_fallback`], an exact replica
+//! of the fast loop) until control reaches a block leader again. The same
+//! fallback covers `Ret` to a non-leader and fuel-tight block entries, so
+//! fuel exhaustion surfaces after exactly the same instruction as in the
+//! fast/reference engines.
+//!
+//! **Batch mode** ([`crate::run_batch`]) predecodes the program image once
+//! and reuses it across N inputs — the fig15/fig16 input sweeps and the
+//! empirical gate's training simulations amortize decode entirely.
+//!
+//! `outputs`, `cycles`, `counts` and `activity` are bit-identical to the
+//! reference engine; energy is folded from the same integer activity as the
+//! fast engine ([`crate::energy::EnergyModel::fold`]) and therefore
+//! bitwise-identical to fast (and within float-summation tolerance of
+//! reference). `tests/equivalence.rs` enforces the full 3-way matrix.
+//!
+//! DTS mode needs per-instruction activity snapshots, which block-level
+//! batching cannot provide; `SimConfig { dts: true, .. }` delegates to the
+//! fast engine (see `machine.rs::run`).
+
+use crate::cache::Hierarchy;
+use crate::energy::Activity;
+use crate::machine::{alu_exec, eval_cond, flags_sub8, Counts, SimError, SimResult, Simulator};
+use backend::Program;
+use isa::inst::SAluOp;
+use isa::{AluOp, Cond, MInst, MemWidth, Operand, Slice, SliceOperand, LR, SP};
+
+/// Handler outcome: continue in-block, take the misspeculation redirect,
+/// or fault (the `SimError` is parked in `Simulator::terr` so the return
+/// stays register-sized — a `Result<Step, SimError>` would be returned by
+/// memory on every dispatch).
+pub(crate) enum Step {
+    Next,
+    Misspec,
+    Fault,
+}
+
+type HR = Step;
+
+/// A predecoded handler: architectural state changes + *dynamic* counters
+/// only (cache stalls, conditional writes). Static counters live in
+/// [`SActs`].
+pub(crate) type Handler = for<'p> fn(&mut Simulator<'p>, &TOp) -> HR;
+
+/// Packed operands for one instruction: register indices / packed slices /
+/// condition codes in `a..d`, immediate or offset in `imm`. The meaning of
+/// each field is fixed by the paired handler.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct TOp {
+    a: u8,
+    b: u8,
+    c: u8,
+    d: u8,
+    imm: u32,
+}
+
+const ZOP: TOp = TOp {
+    a: 0,
+    b: 0,
+    c: 0,
+    d: 0,
+    imm: 0,
+};
+
+/// Pack a register slice into one byte: `(reg << 2) | byte`.
+fn sl_pack(s: Slice) -> u8 {
+    (s.reg.0 << 2) | s.byte
+}
+
+#[inline]
+fn sl_get(regs: &[u32; 16], p: u8) -> u32 {
+    (regs[((p >> 2) & 15) as usize] >> ((p & 3) * 8)) & 0xFF
+}
+
+#[inline]
+fn sl_set(regs: &mut [u32; 16], p: u8, v: u32) {
+    let sh = u32::from(p & 3) * 8;
+    let mask = 0xFFu32 << sh;
+    let r = &mut regs[((p >> 2) & 15) as usize];
+    *r = (*r & !mask) | ((v & 0xFF) << sh);
+}
+
+/// Padded to 16 entries so [`cond_of`] can mask the code instead of
+/// bounds-checking; only the first 10 slots are ever encoded.
+const COND_TABLE: [Cond; 16] = [
+    Cond::Eq,
+    Cond::Ne,
+    Cond::Lo,
+    Cond::Ls,
+    Cond::Hi,
+    Cond::Hs,
+    Cond::Lt,
+    Cond::Le,
+    Cond::Gt,
+    Cond::Ge,
+    Cond::Eq,
+    Cond::Eq,
+    Cond::Eq,
+    Cond::Eq,
+    Cond::Eq,
+    Cond::Eq,
+];
+
+fn cond_code(c: Cond) -> u8 {
+    COND_TABLE
+        .iter()
+        .position(|&x| x == c)
+        .expect("cond in table") as u8
+}
+
+#[inline]
+fn cond_of(code: u8) -> Cond {
+    COND_TABLE[(code & 15) as usize]
+}
+
+const ALU_OPS: [AluOp; 16] = [
+    AluOp::Add,
+    AluOp::Adds,
+    AluOp::Adc,
+    AluOp::Sub,
+    AluOp::Subs,
+    AluOp::Sbc,
+    AluOp::Sbcs,
+    AluOp::And,
+    AluOp::Orr,
+    AluOp::Eor,
+    AluOp::Lsl,
+    AluOp::Lsr,
+    AluOp::Asr,
+    AluOp::Mul,
+    AluOp::Udiv,
+    AluOp::Sdiv,
+];
+
+fn alu_code(op: AluOp) -> usize {
+    ALU_OPS.iter().position(|&x| x == op).expect("op in table")
+}
+
+const SALU_OPS: [SAluOp; 8] = [
+    SAluOp::Add,
+    SAluOp::Sub,
+    SAluOp::And,
+    SAluOp::Orr,
+    SAluOp::Eor,
+    SAluOp::Lsl,
+    SAluOp::Lsr,
+    SAluOp::Asr,
+];
+
+fn salu_code(op: SAluOp) -> usize {
+    SALU_OPS.iter().position(|&x| x == op).expect("op in table")
+}
+
+/// Static (execution-count-deterministic) activity of one instruction:
+/// everything the fast engine would add to `Activity`/`Counts`
+/// unconditionally when the instruction runs. Summed per block at
+/// predecode time; applied `block_exec_count` times at end of run.
+/// Conditional events (speculative-op destination writes, `MovCc` writes,
+/// taken `Bc`) are *excluded* and accounted dynamically.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SActs {
+    cyc: u32,
+    fetch_slots: u32,
+    alu_word: u32,
+    alu_slice: u32,
+    spec_mon: u32,
+    speccheck: u32,
+    mul: u32,
+    umull: u32,
+    div: u32,
+    extend: u32,
+    rf_r: u32,
+    rf_w: u32,
+    r32: u32,
+    r8: u32,
+    l1d: u32,
+    branches: u32,
+    taken: u32,
+    copies: u32,
+    loads: u32,
+    stores: u32,
+    spill_loads: u32,
+    spill_stores: u32,
+}
+
+impl SActs {
+    fn rr(&mut self) {
+        self.rf_r += 4;
+        self.r32 += 1;
+    }
+    fn wr(&mut self) {
+        self.rf_w += 4;
+        self.r32 += 1;
+    }
+    fn rs(&mut self) {
+        self.rf_r += 1;
+        self.r8 += 1;
+    }
+    fn ws(&mut self) {
+        self.rf_w += 1;
+        self.r8 += 1;
+    }
+    fn rop(&mut self, o: &Operand) {
+        if matches!(o, Operand::Reg(_)) {
+            self.rr();
+        }
+    }
+    fn rsop(&mut self, o: &SliceOperand) {
+        if matches!(o, SliceOperand::Slice(_)) {
+            self.rs();
+        }
+    }
+
+    fn add(&mut self, o: &SActs) {
+        self.cyc += o.cyc;
+        self.fetch_slots += o.fetch_slots;
+        self.alu_word += o.alu_word;
+        self.alu_slice += o.alu_slice;
+        self.spec_mon += o.spec_mon;
+        self.speccheck += o.speccheck;
+        self.mul += o.mul;
+        self.umull += o.umull;
+        self.div += o.div;
+        self.extend += o.extend;
+        self.rf_r += o.rf_r;
+        self.rf_w += o.rf_w;
+        self.r32 += o.r32;
+        self.r8 += o.r8;
+        self.l1d += o.l1d;
+        self.branches += o.branches;
+        self.taken += o.taken;
+        self.copies += o.copies;
+        self.loads += o.loads;
+        self.stores += o.stores;
+        self.spill_loads += o.spill_loads;
+        self.spill_stores += o.spill_stores;
+    }
+
+    fn apply(&self, k: u64, act: &mut Activity, counts: &mut Counts) {
+        act.cycles += u64::from(self.cyc) * k;
+        act.fetch_slots += u64::from(self.fetch_slots) * k;
+        act.alu_word_ops += u64::from(self.alu_word) * k;
+        act.alu_slice_ops += u64::from(self.alu_slice) * k;
+        act.spec_monitored_ops += u64::from(self.spec_mon) * k;
+        act.speccheck_ops += u64::from(self.speccheck) * k;
+        act.mul_ops += u64::from(self.mul) * k;
+        act.umull_ops += u64::from(self.umull) * k;
+        act.div_ops += u64::from(self.div) * k;
+        act.extend_ops += u64::from(self.extend) * k;
+        act.rf_read_units += u64::from(self.rf_r) * k;
+        act.rf_write_units += u64::from(self.rf_w) * k;
+        act.reg_accesses_32 += u64::from(self.r32) * k;
+        act.reg_accesses_8 += u64::from(self.r8) * k;
+        act.l1d_accesses += u64::from(self.l1d) * k;
+        counts.branches += u64::from(self.branches) * k;
+        counts.taken_branches += u64::from(self.taken) * k;
+        counts.copies += u64::from(self.copies) * k;
+        counts.loads += u64::from(self.loads) * k;
+        counts.stores += u64::from(self.stores) * k;
+        counts.spill_loads += u64::from(self.spill_loads) * k;
+        counts.spill_stores += u64::from(self.spill_stores) * k;
+    }
+
+    /// The unconditional counter footprint of `inst` — the mirror of
+    /// `exec_fast`, split into its deterministic part.
+    #[allow(clippy::too_many_lines)]
+    fn of(inst: &MInst, slots: u8) -> SActs {
+        let mut s = SActs {
+            cyc: 1,
+            fetch_slots: u32::from(slots),
+            ..SActs::default()
+        };
+        match inst {
+            MInst::Alu { op, src2, .. } => {
+                s.rr();
+                s.rop(src2);
+                match op {
+                    AluOp::Mul => {
+                        s.mul += 1;
+                        s.cyc += 2;
+                    }
+                    AluOp::Udiv | AluOp::Sdiv => {
+                        s.div += 1;
+                        s.cyc += 11;
+                    }
+                    _ => s.alu_word += 1,
+                }
+                s.wr();
+            }
+            MInst::MovImm { .. } | MInst::CSet { .. } => s.wr(),
+            MInst::Mov { .. } => {
+                s.copies += 1;
+                s.rr();
+                s.wr();
+            }
+            MInst::MovCc { .. } => {
+                // Write is conditional on the flags: dynamic.
+                s.copies += 1;
+                s.rr();
+            }
+            MInst::Cmp { src2, .. } => {
+                s.rr();
+                s.rop(src2);
+                s.alu_word += 1;
+            }
+            MInst::Umull { .. } => {
+                s.rr();
+                s.rr();
+                s.mul += 1;
+                s.umull += 1;
+                s.cyc += 3;
+                s.wr();
+                s.wr();
+            }
+            MInst::Extend { .. } => {
+                s.rr();
+                s.alu_word += 1;
+                s.extend += 1;
+                s.wr();
+            }
+            MInst::LoadIdx { .. } => {
+                s.loads += 1;
+                s.rr();
+                s.rs();
+                s.l1d += 1;
+                s.wr();
+            }
+            MInst::SLoadIdx { speculative, .. } => {
+                s.loads += 1;
+                s.rr();
+                s.rs();
+                s.l1d += 1;
+                if *speculative {
+                    s.spec_mon += 1; // write is dynamic
+                } else {
+                    s.ws();
+                }
+            }
+            MInst::Load { spill, .. } => {
+                s.loads += 1;
+                if *spill {
+                    s.spill_loads += 1;
+                }
+                s.rr();
+                s.l1d += 1;
+                s.wr();
+            }
+            MInst::Store { spill, .. } => {
+                s.stores += 1;
+                if *spill {
+                    s.spill_stores += 1;
+                }
+                s.rr();
+                s.rr();
+                s.l1d += 1;
+            }
+            MInst::Push { regs } => {
+                let k = regs.len() as u32;
+                s.rf_r += 4 * k;
+                s.r32 += k;
+                s.l1d += k;
+                s.cyc += k;
+                s.stores += k;
+            }
+            MInst::Pop { regs } => {
+                let k = regs.len() as u32;
+                s.rf_w += 4 * k;
+                s.r32 += k;
+                s.l1d += k;
+                s.cyc += k;
+                s.loads += k;
+            }
+            MInst::B { .. } => {
+                s.branches += 1;
+                s.taken += 1;
+                s.cyc += 2;
+            }
+            MInst::Bc { .. } => {
+                s.branches += 1; // taken + 2 cycles: dynamic
+            }
+            MInst::Bl { .. } => {
+                s.branches += 1;
+                s.taken += 1;
+                s.cyc += 2;
+                s.wr();
+            }
+            MInst::Ret => {
+                s.branches += 1;
+                s.taken += 1;
+                s.cyc += 2;
+                s.rr();
+            }
+            MInst::Out { .. } => s.rr(),
+            MInst::Halt | MInst::Nop => {}
+            MInst::SAlu {
+                op,
+                src2,
+                speculative,
+                ..
+            } => {
+                s.rs();
+                s.rsop(src2);
+                s.alu_slice += 1;
+                if *speculative {
+                    s.spec_mon += 1;
+                }
+                // Speculative Add/Sub/Lsl may misspeculate and skip the
+                // destination write; all other forms always write.
+                if !(*speculative && matches!(op, SAluOp::Add | SAluOp::Sub | SAluOp::Lsl)) {
+                    s.ws();
+                }
+            }
+            MInst::SCmp { src2, .. } => {
+                s.rs();
+                s.rsop(src2);
+                s.alu_slice += 1;
+            }
+            MInst::SLoadSpec { .. } => {
+                s.loads += 1;
+                s.rr();
+                s.l1d += 1;
+                s.spec_mon += 1; // write is dynamic
+            }
+            MInst::SLoad { spill, .. } => {
+                s.loads += 1;
+                if *spill {
+                    s.spill_loads += 1;
+                }
+                s.rr();
+                s.l1d += 1;
+                s.ws();
+            }
+            MInst::SStore { spill, .. } => {
+                s.stores += 1;
+                if *spill {
+                    s.spill_stores += 1;
+                }
+                s.rs();
+                s.rr();
+                s.l1d += 1;
+            }
+            MInst::SExtend { .. } => {
+                s.rs();
+                s.alu_slice += 1;
+                s.wr();
+            }
+            MInst::STrunc { speculative, .. } => {
+                s.rr();
+                if *speculative {
+                    s.spec_mon += 1; // write is dynamic
+                } else {
+                    s.ws();
+                }
+            }
+            MInst::SMov { .. } => {
+                s.copies += 1;
+                s.rs();
+                s.ws();
+            }
+            MInst::SMovImm { .. } => s.ws(),
+            MInst::SetDelta { .. } => {}
+            MInst::SpecCheck { .. } => {
+                s.rr();
+                s.spec_mon += 1;
+                s.speccheck += 1;
+            }
+        }
+        s
+    }
+}
+
+/// Block terminator, executed inline by the run loop (never via handler).
+///
+/// Successor fields are *block indices*, resolved at predecode time so the
+/// hot loop chains block to block without per-block `block_of`/leader
+/// lookups (the block pass stores pcs here, then rewrites them — see the
+/// successor-resolution pass in [`TurboImage::build`]). `Bl::ret_pc` stays
+/// a pc: it is the architectural value written to the link register.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Term {
+    /// Fall through to the next block.
+    Fall {
+        next: u32,
+    },
+    B {
+        target: u32,
+    },
+    Bc {
+        cond: Cond,
+        target: u32,
+        next: u32,
+    },
+    Bl {
+        target: u32,
+        ret_pc: u32,
+    },
+    Ret,
+    /// Pseudo-block for an out-of-range successor pc (held in `start`):
+    /// resyncs through the per-instruction fallback, which faults exactly
+    /// like the fast engine.
+    Oob,
+    Halt,
+}
+
+/// One fused basic block: the contiguous instruction span `[start,
+/// start+n)`, with its terminator (if a branch) executed inline.
+#[derive(Debug, Clone)]
+pub(crate) struct TBlock {
+    pub(crate) start: usize,
+    /// Dynamic instructions per full execution (= span length; 0 for Halt).
+    n: u32,
+    /// Instructions dispatched through handlers (`n` minus an inline
+    /// branch terminator).
+    n_handlers: u32,
+    /// This block's slice of [`TurboImage::plan`]: `[ps, ps + pn)`. `pn <
+    /// n_handlers` when the pairing pass fused adjacent instructions.
+    ps: u32,
+    pn: u32,
+    /// Interlock read mask of the first instruction (the only interlock
+    /// edge that crosses a block boundary).
+    entry_read_mask: u32,
+    /// `load_dest_mask` of the last instruction, carried to the next block.
+    exit_load_mask: u32,
+    /// Fetch address of the first instruction (avoids a `p.addrs` load in
+    /// the hot loop).
+    a0: u32,
+    /// This block's slice of [`TurboImage::revs`]: the statically known
+    /// real (line-crossing) I-fetches past the entry sub-slot.
+    rev_start: u32,
+    rev_len: u32,
+    /// Same-line touches after the last real event (the whole block past
+    /// its entry sub-slot when `rev_len == 0`).
+    tail_pend: u32,
+    term: Term,
+}
+
+/// One statically classified real (line-crossing) I-fetch inside a block.
+/// Everything before the block's first sub-slot is dynamic; everything
+/// after is decided at predecode time.
+#[derive(Debug, Clone, Copy)]
+struct RealEv {
+    /// Instruction index relative to the block start. The fetch fires
+    /// before that instruction's handler (fetch precedes execute).
+    k: u32,
+    /// Same position in *dispatch-slot* units (see [`TurboImage::plan`]).
+    /// Filled by the pairing pass; a fused pair never straddles an event.
+    ks: u32,
+    addr: u32,
+    /// Same-line touches since the previous real event (or block entry).
+    pend_before: u32,
+    /// Touches from block entry up to just before this fetch — the
+    /// misspeculation path uses it to reconstruct the pending count.
+    cum_before: u32,
+}
+
+/// The predecoded program image: shareable across simulations of the same
+/// `Program` (batch mode). Holds no per-run mutable state.
+pub(crate) struct TurboImage {
+    /// Block-major dispatch slots — (handler, packed operands), paired so
+    /// each dispatch pulls one 16-byte entry instead of touching two
+    /// arrays. One slot per instruction, except where the pairing pass
+    /// fused two adjacent instructions into a single superinstruction
+    /// slot; a block dispatches `plan[ps..ps + pn]`.
+    plan: Vec<(Handler, TOp)>,
+    /// Slot → offset (in instructions) of the slot's *first* instruction
+    /// within its block. Misspeculation redirects and fault pcs need
+    /// instruction granularity back out of the fused plan.
+    plan_off: Vec<u32>,
+    sacts: Vec<SActs>,
+    blocks: Vec<TBlock>,
+    /// Per-block sum of the span's static activity (parallel to `blocks`,
+    /// applied `executions` times at end of run). Kept out of [`TBlock`] so
+    /// the dispatch loop's per-block state stays small.
+    tots: Vec<SActs>,
+    /// pc → owning block index.
+    block_of: Vec<u32>,
+    /// All blocks' real-fetch events, flat (see [`TBlock::rev_start`]).
+    revs: Vec<RealEv>,
+    /// pc → same-line touches from the owning block's entry through the
+    /// end of this instruction's sub-slots (entry sub-slot excluded).
+    /// Misspeculation redirects use `cumtouch[ip] - consumed` to batch the
+    /// executed prefix's remaining touches.
+    cumtouch: Vec<u32>,
+    line_shift: u32,
+}
+
+impl TurboImage {
+    /// Predecodes `p`: one handler + packed operands per instruction,
+    /// block structure from leaders (entry, function entries, branch
+    /// targets, fall-throughs after control flow, `Halt`), per-block
+    /// static activity with intra-block interlock stalls folded in, and
+    /// static fetch-line classification.
+    #[allow(clippy::too_many_lines)]
+    pub(crate) fn build(p: &Program) -> TurboImage {
+        let len = p.insts.len();
+        assert_eq!(p.pre.len(), len, "stale predecode table");
+        let line = Hierarchy::default().l1i.line();
+        assert!(line.is_power_of_two(), "line size must be 2^k");
+        let line_shift = line.trailing_zeros();
+
+        // --- per-instruction decode -------------------------------------
+        let mut code: Vec<(Handler, TOp)> = Vec::with_capacity(len);
+        let mut sacts = Vec::with_capacity(len);
+        for (i, inst) in p.insts.iter().enumerate() {
+            code.push(decode(i, inst));
+            sacts.push(SActs::of(inst, p.pre[i].slots));
+        }
+
+        // --- leaders -----------------------------------------------------
+        let mut leader = vec![false; len];
+        let mark = |j: usize, leader: &mut Vec<bool>| {
+            if j < len {
+                leader[j] = true;
+            }
+        };
+        mark(p.entry, &mut leader);
+        for &f in &p.func_entries {
+            mark(f, &mut leader);
+        }
+        for (i, inst) in p.insts.iter().enumerate() {
+            match inst {
+                MInst::B { target } | MInst::Bl { target } | MInst::Bc { target, .. } => {
+                    mark(*target, &mut leader);
+                    mark(i + 1, &mut leader);
+                }
+                MInst::Ret => mark(i + 1, &mut leader),
+                MInst::Halt => {
+                    mark(i, &mut leader);
+                    mark(i + 1, &mut leader);
+                }
+                _ => {}
+            }
+        }
+
+        // --- blocks ------------------------------------------------------
+        let mut blocks = Vec::new();
+        let mut tots = Vec::new();
+        let mut block_of = vec![0u32; len];
+        let mut i = 0;
+        while i < len {
+            let start = i;
+            let (span, term) = if matches!(p.insts[start], MInst::Halt) {
+                (1, Term::Halt)
+            } else {
+                let mut j = start;
+                loop {
+                    // Successor fields hold *pcs* here; the resolution pass
+                    // below rewrites them to block indices.
+                    let t = match &p.insts[j] {
+                        MInst::B { target } => Some(Term::B {
+                            target: *target as u32,
+                        }),
+                        MInst::Bc { cond, target } => Some(Term::Bc {
+                            cond: *cond,
+                            target: *target as u32,
+                            next: (j + 1) as u32,
+                        }),
+                        MInst::Bl { target } => Some(Term::Bl {
+                            target: *target as u32,
+                            ret_pc: (j + 1) as u32,
+                        }),
+                        MInst::Ret => Some(Term::Ret),
+                        _ => None,
+                    };
+                    if let Some(t) = t {
+                        break (j + 1 - start, t);
+                    }
+                    j += 1;
+                    if j >= len || leader[j] {
+                        break (j - start, Term::Fall { next: j as u32 });
+                    }
+                }
+            };
+            let (n, n_handlers) = match term {
+                Term::Halt => (0, 0),
+                Term::Fall { .. } => (span as u32, span as u32),
+                _ => (span as u32, span as u32 - 1),
+            };
+            let mut tot = SActs::default();
+            for k in 0..n as usize {
+                // Intra-block interlock: a word load feeding the very next
+                // instruction's read set stalls one cycle — fold it into
+                // the consumer's static cycles.
+                if k > 0 && p.pre[start + k - 1].load_dest_mask & p.pre[start + k].read_mask != 0 {
+                    sacts[start + k].cyc += 1;
+                }
+                tot.add(&sacts[start + k]);
+            }
+            let end = start + span;
+            let bi = blocks.len() as u32;
+            block_of[start..end].fill(bi);
+            tots.push(tot);
+            blocks.push(TBlock {
+                start,
+                n,
+                n_handlers,
+                ps: 0, // filled by the pairing pass below
+                pn: 0,
+                entry_read_mask: p.pre[start].read_mask,
+                exit_load_mask: p.pre[end - 1].load_dest_mask,
+                a0: p.addrs[start],
+                rev_start: 0, // filled by the fetch pass below
+                rev_len: 0,
+                tail_pend: 0,
+                term,
+            });
+            i = end;
+        }
+
+        // --- static fetch classification ---------------------------------
+        // Walk each block's sub-slot stream in program order. The entry
+        // sub-slot is skipped (classified against the live line buffer at
+        // run time); every other sub-slot either crosses an I-line (a real
+        // fetch event, position and address known now) or is a same-line
+        // touch counted into the surrounding event's `pend_before` /
+        // the block's `tail_pend`.
+        let mut revs: Vec<RealEv> = Vec::new();
+        let mut cumtouch = vec![0u32; len];
+        for b in &mut blocks {
+            b.rev_start = revs.len() as u32;
+            let mut cum = 0u32;
+            let mut pend = 0u32;
+            for k in 0..b.n as usize {
+                let pc = b.start + k;
+                let addr = p.addrs[pc];
+                if k > 0 {
+                    let prev = pc - 1;
+                    let prev_slot = p.addrs[prev] + if p.pre[prev].two_slot { 4 } else { 0 };
+                    if addr >> line_shift != prev_slot >> line_shift {
+                        revs.push(RealEv {
+                            k: k as u32,
+                            ks: 0,
+                            addr,
+                            pend_before: pend,
+                            cum_before: cum,
+                        });
+                        pend = 0;
+                    } else {
+                        cum += 1;
+                        pend += 1;
+                    }
+                }
+                if p.pre[pc].two_slot {
+                    if (addr + 4) >> line_shift != addr >> line_shift {
+                        revs.push(RealEv {
+                            k: k as u32,
+                            ks: 0,
+                            addr: addr + 4,
+                            pend_before: pend,
+                            cum_before: cum,
+                        });
+                        pend = 0;
+                    } else {
+                        cum += 1;
+                        pend += 1;
+                    }
+                }
+                cumtouch[pc] = cum;
+            }
+            b.rev_len = revs.len() as u32 - b.rev_start;
+            b.tail_pend = pend;
+        }
+
+        // --- successor resolution ----------------------------------------
+        // Rewrite terminator successors from pcs to block indices. Every
+        // in-range successor of a terminator is a leader by construction
+        // (branch targets and post-branch pcs are marked above); the rare
+        // out-of-range successor routes through an `Oob` pseudo-block so
+        // the hot loop never needs a bounds or leader check.
+        fn resolve(
+            pc: u32,
+            len: usize,
+            block_of: &[u32],
+            blocks: &mut Vec<TBlock>,
+            tots: &mut Vec<SActs>,
+        ) -> u32 {
+            if (pc as usize) < len {
+                let bi = block_of[pc as usize];
+                debug_assert_eq!(
+                    blocks[bi as usize].start, pc as usize,
+                    "successor not a leader"
+                );
+                return bi;
+            }
+            if let Some(bi) = blocks
+                .iter()
+                .position(|b| matches!(b.term, Term::Oob) && b.start == pc as usize)
+            {
+                return bi as u32;
+            }
+            let bi = blocks.len() as u32;
+            blocks.push(TBlock {
+                start: pc as usize,
+                n: 0,
+                n_handlers: 0,
+                ps: 0,
+                pn: 0,
+                entry_read_mask: 0,
+                exit_load_mask: 0,
+                a0: 0,
+                rev_start: 0,
+                rev_len: 0,
+                tail_pend: 0,
+                term: Term::Oob,
+            });
+            tots.push(SActs::default());
+            bi
+        }
+        for i in 0..blocks.len() {
+            blocks[i].term = match blocks[i].term {
+                Term::Fall { next } => Term::Fall {
+                    next: resolve(next, len, &block_of, &mut blocks, &mut tots),
+                },
+                Term::B { target } => Term::B {
+                    target: resolve(target, len, &block_of, &mut blocks, &mut tots),
+                },
+                Term::Bc { cond, target, next } => Term::Bc {
+                    cond,
+                    target: resolve(target, len, &block_of, &mut blocks, &mut tots),
+                    next: resolve(next, len, &block_of, &mut blocks, &mut tots),
+                },
+                Term::Bl { target, ret_pc } => Term::Bl {
+                    target: resolve(target, len, &block_of, &mut blocks, &mut tots),
+                    ret_pc,
+                },
+                t @ (Term::Ret | Term::Oob | Term::Halt) => t,
+            };
+        }
+
+        // --- pair fusion -------------------------------------------------
+        // Fuse the dominant adjacent handler pairs (see `fuse`) into single
+        // dispatch slots. A real-fetch event must fire *between* its
+        // neighbouring handlers, so a pair never straddles an event
+        // boundary; `RealEv::ks` records each event's position in slot
+        // units as the walk passes it. Speculative ops never fuse, so a
+        // misspeculation always stops on an unfused slot and `plan_off`
+        // maps it back to a unique instruction.
+        let mut plan: Vec<(Handler, TOp)> = Vec::with_capacity(len);
+        let mut plan_off: Vec<u32> = Vec::with_capacity(len);
+        for b in &mut blocks {
+            b.ps = plan.len() as u32;
+            let nh = b.n_handlers as usize;
+            let ev_end = (b.rev_start + b.rev_len) as usize;
+            let mut ev = b.rev_start as usize;
+            let mut k = 0usize;
+            while k < nh {
+                while ev < ev_end && revs[ev].k as usize == k {
+                    revs[ev].ks = plan.len() as u32 - b.ps;
+                    ev += 1;
+                }
+                let split = ev < ev_end && revs[ev].k as usize == k + 1;
+                let fused = if k + 1 < nh && !split {
+                    fuse(&p.insts[b.start + k], &p.insts[b.start + k + 1])
+                } else {
+                    None
+                };
+                plan_off.push(k as u32);
+                if let Some(slot) = fused {
+                    plan.push(slot);
+                    k += 2;
+                } else {
+                    plan.push(code[b.start + k]);
+                    k += 1;
+                }
+            }
+            // Events at or past the handler span (an inline terminator's
+            // sub-slots) fire after every handler slot.
+            while ev < ev_end {
+                revs[ev].ks = plan.len() as u32 - b.ps;
+                ev += 1;
+            }
+            b.pn = plan.len() as u32 - b.ps;
+        }
+
+        TurboImage {
+            plan,
+            plan_off,
+            sacts,
+            blocks,
+            tots,
+            block_of,
+            revs,
+            cumtouch,
+            line_shift,
+        }
+    }
+
+    #[inline]
+    fn is_leader(&self, pc: usize) -> bool {
+        self.blocks[self.block_of[pc] as usize].start == pc
+    }
+}
+
+// --- handlers ---------------------------------------------------------------
+
+fn h_nop(_s: &mut Simulator<'_>, _o: &TOp) -> HR {
+    Step::Next
+}
+
+fn h_alu_rr<const OP: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let a = s.regs[(o.b & 15) as usize];
+    let b = s.regs[(o.c & 15) as usize];
+    let (r, fl) = alu_exec(ALU_OPS[OP], a, b, s.flags);
+    if ALU_OPS[OP].sets_flags() {
+        s.flags = fl;
+    }
+    s.regs[(o.a & 15) as usize] = r;
+    Step::Next
+}
+
+fn h_alu_ri<const OP: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let a = s.regs[(o.b & 15) as usize];
+    let (r, fl) = alu_exec(ALU_OPS[OP], a, o.imm, s.flags);
+    if ALU_OPS[OP].sets_flags() {
+        s.flags = fl;
+    }
+    s.regs[(o.a & 15) as usize] = r;
+    Step::Next
+}
+
+fn h_mov_imm(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    s.regs[(o.a & 15) as usize] = o.imm;
+    Step::Next
+}
+
+fn h_mov(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    s.regs[(o.a & 15) as usize] = s.regs[(o.b & 15) as usize];
+    Step::Next
+}
+
+fn h_mov_cc(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    if eval_cond(cond_of(o.c), s.flags) {
+        s.act.rf_write_units += 4;
+        s.act.reg_accesses_32 += 1;
+        s.regs[(o.a & 15) as usize] = s.regs[(o.b & 15) as usize];
+    }
+    Step::Next
+}
+
+fn h_cmp_rr(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let a = s.regs[(o.a & 15) as usize];
+    let b = s.regs[(o.b & 15) as usize];
+    s.flags = alu_exec(AluOp::Subs, a, b, s.flags).1;
+    Step::Next
+}
+
+fn h_cmp_ri(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let a = s.regs[(o.a & 15) as usize];
+    s.flags = alu_exec(AluOp::Subs, a, o.imm, s.flags).1;
+    Step::Next
+}
+
+fn h_cset(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    s.regs[(o.a & 15) as usize] = u32::from(eval_cond(cond_of(o.b), s.flags));
+    Step::Next
+}
+
+fn h_umull(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let a = u64::from(s.regs[(o.c & 15) as usize]);
+    let b = u64::from(s.regs[(o.d & 15) as usize]);
+    let r = a * b;
+    s.regs[(o.a & 15) as usize] = r as u32;
+    s.regs[(o.b & 15) as usize] = (r >> 32) as u32;
+    Step::Next
+}
+
+/// Extend variants: 0 = zext8, 1 = sext8, 2 = zext16, 3 = sext16, 4 = word.
+fn h_extend<const V: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let v = s.regs[(o.b & 15) as usize];
+    let r = match V {
+        0 => v & 0xFF,
+        1 => v as u8 as i8 as i32 as u32,
+        2 => v & 0xFFFF,
+        3 => v as u16 as i16 as i32 as u32,
+        _ => v,
+    };
+    s.regs[(o.a & 15) as usize] = r;
+    Step::Next
+}
+
+fn h_load<const W: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let addr = s.regs[(o.b & 15) as usize].wrapping_add(o.imm);
+    if !s.turbo_data(addr, false) {
+        return Step::Fault;
+    }
+    let Some(v) = mem_load::<W>(s, addr) else {
+        return s.tfault(addr);
+    };
+    s.regs[(o.a & 15) as usize] = v;
+    Step::Next
+}
+
+fn h_store<const W: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let v = s.regs[(o.a & 15) as usize];
+    let addr = s.regs[(o.b & 15) as usize].wrapping_add(o.imm);
+    if !s.turbo_data(addr, true) {
+        return Step::Fault;
+    }
+    if mem_store::<W>(s, addr, v).is_none() {
+        return s.tfault(addr);
+    }
+    Step::Next
+}
+
+fn h_load_idx<const W: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let base = s.regs[(o.b & 15) as usize];
+    let idx = sl_get(&s.regs, o.c);
+    let addr = base.wrapping_add(idx << o.d);
+    if !s.turbo_data(addr, false) {
+        return Step::Fault;
+    }
+    let Some(v) = mem_load::<W>(s, addr) else {
+        return s.tfault(addr);
+    };
+    s.regs[(o.a & 15) as usize] = v;
+    Step::Next
+}
+
+fn h_sload_idx(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let base = s.regs[(o.b & 15) as usize];
+    let idx = sl_get(&s.regs, o.c);
+    let addr = base.wrapping_add(idx << o.d);
+    if !s.turbo_data(addr, false) {
+        return Step::Fault;
+    }
+    let Some(v) = mem_load::<0>(s, addr) else {
+        return s.tfault(addr);
+    };
+    sl_set(&mut s.regs, o.a, v);
+    Step::Next
+}
+
+fn h_sload_idx_spec(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let base = s.regs[(o.b & 15) as usize];
+    let idx = sl_get(&s.regs, o.c);
+    let addr = base.wrapping_add(idx << o.d);
+    if !s.turbo_data(addr, false) {
+        return Step::Fault;
+    }
+    let Some(v) = mem_load::<2>(s, addr) else {
+        return s.tfault(addr);
+    };
+    if v > 0xFF {
+        return Step::Misspec;
+    }
+    s.act.rf_write_units += 1;
+    s.act.reg_accesses_8 += 1;
+    sl_set(&mut s.regs, o.a, v);
+    Step::Next
+}
+
+/// Push with the register list packed into the operand word at predecode:
+/// `imm` holds up to eight 4-bit register indices in store order, `a` the
+/// count. Lists longer than eight take [`h_push_slow`].
+fn h_push(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let mut sp = s.regs[SP.index()];
+    let mut bits = o.imm;
+    for _ in 0..o.a {
+        sp = sp.wrapping_sub(4);
+        let v = s.regs[(bits & 0xF) as usize];
+        bits >>= 4;
+        if !s.turbo_data(sp, true) {
+            return Step::Fault;
+        }
+        if mem_store::<2>(s, sp, v).is_none() {
+            return s.tfault(sp);
+        }
+    }
+    s.regs[SP.index()] = sp;
+    Step::Next
+}
+
+fn h_push_slow(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let pc = o.imm as usize;
+    let p = s.p;
+    let MInst::Push { regs } = &p.insts[pc] else {
+        unreachable!("handler paired at decode")
+    };
+    let mut sp = s.regs[SP.index()];
+    for r in regs.iter().rev() {
+        sp = sp.wrapping_sub(4);
+        let v = s.regs[r.index()];
+        if !s.turbo_data(sp, true) {
+            return Step::Fault;
+        }
+        if mem_store::<2>(s, sp, v).is_none() {
+            return s.tfault(sp);
+        }
+    }
+    s.regs[SP.index()] = sp;
+    Step::Next
+}
+
+/// Pop counterpart of [`h_push`]: `imm` holds the indices in load order.
+fn h_pop(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let mut sp = s.regs[SP.index()];
+    let mut bits = o.imm;
+    for _ in 0..o.a {
+        if !s.turbo_data(sp, false) {
+            return Step::Fault;
+        }
+        let Some(v) = mem_load::<2>(s, sp) else {
+            return s.tfault(sp);
+        };
+        s.regs[(bits & 0xF) as usize] = v;
+        bits >>= 4;
+        sp = sp.wrapping_add(4);
+    }
+    s.regs[SP.index()] = sp;
+    Step::Next
+}
+
+fn h_pop_slow(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let pc = o.imm as usize;
+    let p = s.p;
+    let MInst::Pop { regs } = &p.insts[pc] else {
+        unreachable!("handler paired at decode")
+    };
+    let mut sp = s.regs[SP.index()];
+    for r in regs.iter() {
+        if !s.turbo_data(sp, false) {
+            return Step::Fault;
+        }
+        let Some(v) = mem_load::<2>(s, sp) else {
+            return s.tfault(sp);
+        };
+        s.regs[r.index()] = v;
+        sp = sp.wrapping_add(4);
+    }
+    s.regs[SP.index()] = sp;
+    Step::Next
+}
+
+/// Packs up to eight register indices into 4-bit nibbles (low nibble
+/// first, i.e. the order the consuming handler walks them). Returns `None`
+/// for longer lists, which keep the slow MInst-walking handlers.
+fn pack_regs(regs: impl Iterator<Item = usize>) -> Option<(u32, u8)> {
+    let mut imm = 0u32;
+    let mut count = 0u8;
+    for r in regs {
+        if count == 8 {
+            return None;
+        }
+        debug_assert!(r < 16, "register index fits a nibble");
+        imm |= (r as u32) << (4 * count);
+        count += 1;
+    }
+    Some((imm, count))
+}
+
+fn h_out(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let v = s.regs[(o.a & 15) as usize];
+    s.outputs.push(v);
+    Step::Next
+}
+
+/// Slice-ALU value + "would misspeculate if speculative" (Table 1).
+#[inline]
+fn salu_val<const OP: usize>(a: u32, b: u32) -> (u32, bool) {
+    match OP {
+        0 => {
+            let r = a + b;
+            (r & 0xFF, r > 0xFF)
+        }
+        1 => (a.wrapping_sub(b) & 0xFF, a < b),
+        2 => (a & b, false),
+        3 => (a | b, false),
+        4 => (a ^ b, false),
+        5 => {
+            if b >= 8 {
+                (0, a != 0)
+            } else {
+                let r = a << b;
+                (r & 0xFF, r > 0xFF)
+            }
+        }
+        6 => (if b >= 8 { 0 } else { a >> b }, false),
+        7 => {
+            let sa = (a as u8 as i8) >> b.min(7);
+            (u32::from(sa as u8), false)
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn h_salu_ss<const OP: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let a = sl_get(&s.regs, o.b);
+    let b = sl_get(&s.regs, o.c);
+    let (r, _) = salu_val::<OP>(a, b);
+    sl_set(&mut s.regs, o.a, r);
+    Step::Next
+}
+
+fn h_salu_si<const OP: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let a = sl_get(&s.regs, o.b);
+    let (r, _) = salu_val::<OP>(a, o.imm);
+    sl_set(&mut s.regs, o.a, r);
+    Step::Next
+}
+
+fn h_salu_spec_ss<const OP: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let a = sl_get(&s.regs, o.b);
+    let b = sl_get(&s.regs, o.c);
+    let (r, mis) = salu_val::<OP>(a, b);
+    if mis {
+        return Step::Misspec;
+    }
+    s.act.rf_write_units += 1;
+    s.act.reg_accesses_8 += 1;
+    sl_set(&mut s.regs, o.a, r);
+    Step::Next
+}
+
+fn h_salu_spec_si<const OP: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let a = sl_get(&s.regs, o.b);
+    let (r, mis) = salu_val::<OP>(a, o.imm);
+    if mis {
+        return Step::Misspec;
+    }
+    s.act.rf_write_units += 1;
+    s.act.reg_accesses_8 += 1;
+    sl_set(&mut s.regs, o.a, r);
+    Step::Next
+}
+
+fn h_scmp_s(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let a = sl_get(&s.regs, o.a);
+    let b = sl_get(&s.regs, o.b);
+    s.flags = flags_sub8(a, b);
+    Step::Next
+}
+
+fn h_scmp_i(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let a = sl_get(&s.regs, o.a);
+    s.flags = flags_sub8(a, o.imm);
+    Step::Next
+}
+
+fn h_sload_spec(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let addr = s.regs[(o.b & 15) as usize].wrapping_add(o.imm);
+    if !s.turbo_data(addr, false) {
+        return Step::Fault;
+    }
+    let Some(v) = mem_load::<2>(s, addr) else {
+        return s.tfault(addr);
+    };
+    if v > 0xFF {
+        return Step::Misspec;
+    }
+    s.act.rf_write_units += 1;
+    s.act.reg_accesses_8 += 1;
+    sl_set(&mut s.regs, o.a, v);
+    Step::Next
+}
+
+fn h_sload(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let addr = s.regs[(o.b & 15) as usize].wrapping_add(o.imm);
+    if !s.turbo_data(addr, false) {
+        return Step::Fault;
+    }
+    let Some(v) = mem_load::<0>(s, addr) else {
+        return s.tfault(addr);
+    };
+    sl_set(&mut s.regs, o.a, v);
+    Step::Next
+}
+
+fn h_sstore(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let v = sl_get(&s.regs, o.a);
+    let addr = s.regs[(o.b & 15) as usize].wrapping_add(o.imm);
+    if !s.turbo_data(addr, true) {
+        return Step::Fault;
+    }
+    if mem_store::<0>(s, addr, v).is_none() {
+        return s.tfault(addr);
+    }
+    Step::Next
+}
+
+fn h_sextend<const SIGNED: bool>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let v = sl_get(&s.regs, o.b);
+    s.regs[(o.a & 15) as usize] = if SIGNED {
+        v as u8 as i8 as i32 as u32
+    } else {
+        v
+    };
+    Step::Next
+}
+
+fn h_strunc(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let v = s.regs[(o.b & 15) as usize];
+    sl_set(&mut s.regs, o.a, v & 0xFF);
+    Step::Next
+}
+
+fn h_strunc_spec(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let v = s.regs[(o.b & 15) as usize];
+    if v > 0xFF {
+        return Step::Misspec;
+    }
+    s.act.rf_write_units += 1;
+    s.act.reg_accesses_8 += 1;
+    sl_set(&mut s.regs, o.a, v & 0xFF);
+    Step::Next
+}
+
+fn h_smov(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    let v = sl_get(&s.regs, o.b);
+    sl_set(&mut s.regs, o.a, v);
+    Step::Next
+}
+
+fn h_smov_imm(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    sl_set(&mut s.regs, o.a, o.imm);
+    Step::Next
+}
+
+fn h_set_delta(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    s.delta = o.imm;
+    Step::Next
+}
+
+fn h_spec_check(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    if s.regs[(o.a & 15) as usize] != 0 {
+        return Step::Misspec;
+    }
+    Step::Next
+}
+
+// --- fused pair handlers ----------------------------------------------------
+//
+// The pairing pass fuses the adjacent instruction pairs that dominate the
+// dynamic dispatch stream (measured via the TURBO_STATS pair histogram)
+// into single "superinstruction" slots, halving the indirect-call +
+// `Step`-match overhead on those pairs. Sub-ops are `#[inline(always)]`
+// helpers shared by the fused bodies; the ALU op becomes a runtime table
+// index (a 16-way jump inside the handler), which is still far cheaper
+// than a second indirect dispatch.
+//
+// Fault protocol: memory sub-ops park `SimError::MemFault` with the pair
+// *sub-index* (0 or 1) in the `pc` field; the dispatch loop rebases it
+// onto `start + plan_off[slot]` (see `Simulator::take_fault`).
+
+// The ALU op stays a *const* generic in fused bodies: the specialized
+// `h_alu_rr::<OP>` handlers compile to straight-line code, and an early
+// version of fusion that looked the op up at run time traded the saved
+// dispatch for a hard-to-predict 16-way jump per ALU sub-op — a net
+// regression. Pairs with two ALU ops are left unfused for the same
+// reason (16×16 monomorphizations are not worth their share of pairs).
+
+#[inline(always)]
+fn sub_alu_rr<const OP: usize>(s: &mut Simulator<'_>, rd: u8, rn: u8, rm: u8) {
+    let a = s.regs[(rn & 15) as usize];
+    let b = s.regs[(rm & 15) as usize];
+    let (r, fl) = alu_exec(ALU_OPS[OP], a, b, s.flags);
+    if ALU_OPS[OP].sets_flags() {
+        s.flags = fl;
+    }
+    s.regs[(rd & 15) as usize] = r;
+}
+
+#[inline(always)]
+fn sub_alu_ri<const OP: usize>(s: &mut Simulator<'_>, rd: u8, rn: u8, imm: u32) {
+    let a = s.regs[(rn & 15) as usize];
+    let (r, fl) = alu_exec(ALU_OPS[OP], a, imm, s.flags);
+    if ALU_OPS[OP].sets_flags() {
+        s.flags = fl;
+    }
+    s.regs[(rd & 15) as usize] = r;
+}
+
+/// Rewrites the sub-index of a fault parked by `turbo_data` (which always
+/// parks 0) when the faulting sub-op is the pair's second half.
+#[cold]
+fn sub_fault_at<const D: usize>(s: &mut Simulator<'_>) -> Step {
+    if D != 0 {
+        if let Some(SimError::MemFault { pc, .. }) = &mut s.terr {
+            *pc = D;
+        }
+    }
+    Step::Fault
+}
+
+/// Parks a memory width/range fault from pair sub-op `D`.
+#[cold]
+fn sub_mem_fault<const D: usize>(s: &mut Simulator<'_>, addr: u32) -> Step {
+    s.terr = Some(SimError::MemFault { pc: D, addr });
+    Step::Fault
+}
+
+/// Const-width memory access over [`Memory`]'s prevalidated-address
+/// accessors. `turbo_data` has already bounced sub-`GLOBAL_BASE` and
+/// past-the-end addresses, so the only reachable `None` is a line-tail
+/// straddle, which faults exactly like `Memory::load`/`store` would.
+#[inline(always)]
+fn mem_load<const W: usize>(s: &Simulator<'_>, addr: u32) -> Option<u32> {
+    match W {
+        0 => s.mem.load1(addr).map(u32::from),
+        1 => s.mem.load2(addr).map(u32::from),
+        _ => s.mem.load4(addr),
+    }
+}
+
+/// See [`mem_load`].
+#[inline(always)]
+fn mem_store<const W: usize>(s: &mut Simulator<'_>, addr: u32, v: u32) -> Option<()> {
+    match W {
+        0 => s.mem.store1(addr, v as u8),
+        1 => s.mem.store2(addr, v as u16),
+        _ => s.mem.store4(addr, v),
+    }
+}
+
+#[inline(always)]
+fn sub_load<const W: usize, const D: usize>(
+    s: &mut Simulator<'_>,
+    rd: u8,
+    rn: u8,
+    off: u32,
+) -> Option<Step> {
+    let addr = s.regs[(rn & 15) as usize].wrapping_add(off);
+    if !s.turbo_data(addr, false) {
+        return Some(sub_fault_at::<D>(s));
+    }
+    let Some(v) = mem_load::<W>(s, addr) else {
+        return Some(sub_mem_fault::<D>(s, addr));
+    };
+    s.regs[(rd & 15) as usize] = v;
+    None
+}
+
+#[inline(always)]
+fn sub_store<const W: usize, const D: usize>(
+    s: &mut Simulator<'_>,
+    rs: u8,
+    rn: u8,
+    off: u32,
+) -> Option<Step> {
+    let v = s.regs[(rs & 15) as usize];
+    let addr = s.regs[(rn & 15) as usize].wrapping_add(off);
+    if !s.turbo_data(addr, true) {
+        return Some(sub_fault_at::<D>(s));
+    }
+    if mem_store::<W>(s, addr, v).is_none() {
+        return Some(sub_mem_fault::<D>(s, addr));
+    }
+    None
+}
+
+#[inline(always)]
+fn sub_sload<const D: usize>(s: &mut Simulator<'_>, bd: u8, rn: u8, off: u32) -> Option<Step> {
+    let addr = s.regs[(rn & 15) as usize].wrapping_add(off);
+    if !s.turbo_data(addr, false) {
+        return Some(sub_fault_at::<D>(s));
+    }
+    let Some(v) = mem_load::<0>(s, addr) else {
+        return Some(sub_mem_fault::<D>(s, addr));
+    };
+    sl_set(&mut s.regs, bd, v);
+    None
+}
+
+/// Sign-extends a packed 16-bit load/store offset half.
+#[inline(always)]
+fn sx16(v: u32) -> u32 {
+    v as u16 as i16 as i32 as u32
+}
+
+/// `a` = alu₁ rd, `b` = rn₁|rm₁·16, `c` = alu₂ rd, `d` = rn₂|rm₂·16.
+fn h_f_alu_rr_alu_rr<const OP1: usize, const OP2: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    sub_alu_rr::<OP1>(s, o.a, o.b & 15, o.b >> 4);
+    sub_alu_rr::<OP2>(s, o.c, o.d & 15, o.d >> 4);
+    Step::Next
+}
+
+/// `a` = alu₁ rd, `b` = rn₁|rm₁·16, `c` = alu₂ rd, `d` = rn₂, `imm` = imm₂.
+fn h_f_alu_rr_alu_ri<const OP1: usize, const OP2: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    sub_alu_rr::<OP1>(s, o.a, o.b & 15, o.b >> 4);
+    sub_alu_ri::<OP2>(s, o.c, o.d, o.imm);
+    Step::Next
+}
+
+/// `a` = alu₁ rd, `b` = rn₁, `imm` = imm₁, `c` = alu₂ rd, `d` = rn₂|rm₂·16.
+fn h_f_alu_ri_alu_rr<const OP1: usize, const OP2: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    sub_alu_ri::<OP1>(s, o.a, o.b, o.imm);
+    sub_alu_rr::<OP2>(s, o.c, o.d & 15, o.d >> 4);
+    Step::Next
+}
+
+/// `a` = alu₁ rd, `b` = rn₁, `c` = alu₂ rd, `d` = rn₂, `imm` = imm₁ | imm₂·2¹⁶.
+fn h_f_alu_ri_alu_ri<const OP1: usize, const OP2: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    sub_alu_ri::<OP1>(s, o.a, o.b, o.imm & 0xFFFF);
+    sub_alu_ri::<OP2>(s, o.c, o.d, o.imm >> 16);
+    Step::Next
+}
+
+/// `a` = mov₁ rd|rm·16, `b` = mov₂ rd|rm·16.
+fn h_f_mov_mov(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    s.regs[(o.a & 15) as usize] = s.regs[(o.a >> 4) as usize];
+    s.regs[(o.b & 15) as usize] = s.regs[(o.b >> 4) as usize];
+    Step::Next
+}
+
+/// `a` = mov_imm rd, `imm` = mov imm (full 32 bits), `b` = mov rd|rm·16.
+fn h_f_mov_imm_mov(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    s.regs[(o.a & 15) as usize] = o.imm;
+    s.regs[(o.b & 15) as usize] = s.regs[(o.b >> 4) as usize];
+    Step::Next
+}
+
+/// `a` = alu rd, `b` = rn|rm·16, `c` = mov rd|rm·16.
+fn h_f_alu_rr_mov<const OP: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    sub_alu_rr::<OP>(s, o.a, o.b & 15, o.b >> 4);
+    s.regs[(o.c & 15) as usize] = s.regs[(o.c >> 4) as usize];
+    Step::Next
+}
+
+/// `a` = alu rd, `b` = rn, `imm` = alu imm (full 32 bits), `c` = mov rd|rm·16.
+fn h_f_alu_ri_mov<const OP: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    sub_alu_ri::<OP>(s, o.a, o.b, o.imm);
+    s.regs[(o.c & 15) as usize] = s.regs[(o.c >> 4) as usize];
+    Step::Next
+}
+
+/// `a` = alu rd, `b` = rn|rm·16, `c` = mov_imm rd, `imm` = mov imm.
+fn h_f_alu_rr_mov_imm<const OP: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    sub_alu_rr::<OP>(s, o.a, o.b & 15, o.b >> 4);
+    s.regs[(o.c & 15) as usize] = o.imm;
+    Step::Next
+}
+
+/// `a` = alu rd, `b` = rn, `imm` = alu imm | cmp imm·2¹⁶, `c` = cmp rn.
+fn h_f_alu_ri_cmp_ri<const OP: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    sub_alu_ri::<OP>(s, o.a, o.b, o.imm & 0xFFFF);
+    let a = s.regs[(o.c & 15) as usize];
+    s.flags = alu_exec(AluOp::Subs, a, o.imm >> 16, s.flags).1;
+    Step::Next
+}
+
+/// `a` = alu rd, `b` = rn|rm·16, `c` = cmp rn, `imm` = cmp imm (full 32 bits).
+fn h_f_alu_rr_cmp_ri<const OP: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    sub_alu_rr::<OP>(s, o.a, o.b & 15, o.b >> 4);
+    let a = s.regs[(o.c & 15) as usize];
+    s.flags = alu_exec(AluOp::Subs, a, o.imm, s.flags).1;
+    Step::Next
+}
+
+/// `a` = alu rd, `b` = rn|rm·16, `c` = cmp rn|rm·16.
+fn h_f_alu_rr_cmp_rr<const OP: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    sub_alu_rr::<OP>(s, o.a, o.b & 15, o.b >> 4);
+    let a = s.regs[(o.c & 15) as usize];
+    let b = s.regs[(o.c >> 4) as usize];
+    s.flags = alu_exec(AluOp::Subs, a, b, s.flags).1;
+    Step::Next
+}
+
+/// `a` = mov rd, `imm` = mov imm (full 32 bits), `c` = alu rd, `d` = rn|rm·16.
+fn h_f_mov_imm_alu_rr<const OP: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    s.regs[(o.a & 15) as usize] = o.imm;
+    sub_alu_rr::<OP>(s, o.c, o.d & 15, o.d >> 4);
+    Step::Next
+}
+
+/// `a` = mov rd, `c` = alu rd, `d` = rn, `imm` = mov imm | alu imm·2¹⁶.
+fn h_f_mov_imm_alu_ri<const OP: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    s.regs[(o.a & 15) as usize] = o.imm & 0xFFFF;
+    sub_alu_ri::<OP>(s, o.c, o.d, o.imm >> 16);
+    Step::Next
+}
+
+/// `a` = load rd|rn·16, `imm` = offset (full 32 bits), `c` = alu rd, `d` = rn|rm·16.
+fn h_f_load_alu_rr<const W: usize, const OP: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    if let Some(f) = sub_load::<W, 0>(s, o.a & 15, o.a >> 4, o.imm) {
+        return f;
+    }
+    sub_alu_rr::<OP>(s, o.c, o.d & 15, o.d >> 4);
+    Step::Next
+}
+
+/// `a` = alu rd, `b` = rn|rm·16, `c` = load rd|rn·16, `imm` = offset.
+fn h_f_alu_rr_load<const W: usize, const OP: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    sub_alu_rr::<OP>(s, o.a, o.b & 15, o.b >> 4);
+    if let Some(f) = sub_load::<W, 1>(s, o.c & 15, o.c >> 4, o.imm) {
+        return f;
+    }
+    Step::Next
+}
+
+/// `a` = alu rd, `b` = rn|rm·16, `c` = store rs|rn·16, `imm` = offset.
+fn h_f_alu_rr_store<const W: usize, const OP: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    sub_alu_rr::<OP>(s, o.a, o.b & 15, o.b >> 4);
+    if let Some(f) = sub_store::<W, 1>(s, o.c & 15, o.c >> 4, o.imm) {
+        return f;
+    }
+    Step::Next
+}
+
+/// `a` = alu rd, `b` = rn, `c` = store rs|rn·16, `imm` = alu imm | store off·2¹⁶.
+fn h_f_alu_ri_store<const W: usize, const OP: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    sub_alu_ri::<OP>(s, o.a, o.b, o.imm & 0xFFFF);
+    if let Some(f) = sub_store::<W, 1>(s, o.c & 15, o.c >> 4, sx16(o.imm >> 16)) {
+        return f;
+    }
+    Step::Next
+}
+
+/// `a` = alu rd, `b` = rn|rm·16, `c` = sload bd (packed slice), `d` = rn, `imm` = offset.
+fn h_f_alu_rr_sload<const OP: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    sub_alu_rr::<OP>(s, o.a, o.b & 15, o.b >> 4);
+    if let Some(f) = sub_sload::<1>(s, o.c, o.d, o.imm) {
+        return f;
+    }
+    Step::Next
+}
+
+/// Match arms of the `(width, alu op)` monomorphization matrix of a fused
+/// handler with one memory sub-op and one const-specialized ALU sub-op.
+macro_rules! fused_w_op_arms {
+    ($h:ident, $w:expr, $code:expr; $($n:literal),*) => {
+        match ($w, $code) {
+            $( (MemWidth::B, $n) => $h::<0, $n>,
+               (MemWidth::H, $n) => $h::<1, $n>,
+               (MemWidth::W, $n) => $h::<2, $n>, )*
+            _ => unreachable!("alu op code"),
+        }
+    };
+}
+
+macro_rules! fused_w_op_picker {
+    ($name:ident, $h:ident) => {
+        fn $name(w: MemWidth, code: usize) -> Handler {
+            fused_w_op_arms!($h, w, code; 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15)
+        }
+    };
+}
+
+/// Same for fused handlers generic over the ALU op only.
+macro_rules! fused_op_arms {
+    ($h:ident, $code:expr; $($n:literal),*) => {
+        match $code {
+            $( $n => $h::<$n>, )*
+            _ => unreachable!("alu op code"),
+        }
+    };
+}
+
+macro_rules! fused_op_picker {
+    ($name:ident, $h:ident) => {
+        fn $name(code: usize) -> Handler {
+            fused_op_arms!($h, code; 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15)
+        }
+    };
+}
+
+/// Match arms over the second op code of a two-ALU fused handler, the first
+/// op code already fixed as `$a`.
+macro_rules! fused_op2_arms {
+    ($h:ident, $c2:expr, $a:literal; $($n:literal),*) => {
+        match $c2 {
+            $( $n => $h::<$a, $n>, )*
+            _ => return None,
+        }
+    };
+}
+
+/// Cartesian `(op₁, op₂)` matrix for fused ALU+ALU pairs, restricted to the
+/// ten hot codes (Add/Adds/Sub/Subs/And/Orr/Eor/Lsl/Lsr/Asr). Rare codes
+/// (Adc/Sbc/Sbcs/Mul/divides) fall back to unfused dispatch via `None`
+/// rather than paying another 156 monomorphizations.
+macro_rules! fused_op_op_picker {
+    ($name:ident, $h:ident) => {
+        fn $name(c1: usize, c2: usize) -> Option<Handler> {
+            Some(match c1 {
+                0 => fused_op2_arms!($h, c2, 0; 0, 1, 3, 4, 7, 8, 9, 10, 11, 12),
+                1 => fused_op2_arms!($h, c2, 1; 0, 1, 3, 4, 7, 8, 9, 10, 11, 12),
+                3 => fused_op2_arms!($h, c2, 3; 0, 1, 3, 4, 7, 8, 9, 10, 11, 12),
+                4 => fused_op2_arms!($h, c2, 4; 0, 1, 3, 4, 7, 8, 9, 10, 11, 12),
+                7 => fused_op2_arms!($h, c2, 7; 0, 1, 3, 4, 7, 8, 9, 10, 11, 12),
+                8 => fused_op2_arms!($h, c2, 8; 0, 1, 3, 4, 7, 8, 9, 10, 11, 12),
+                9 => fused_op2_arms!($h, c2, 9; 0, 1, 3, 4, 7, 8, 9, 10, 11, 12),
+                10 => fused_op2_arms!($h, c2, 10; 0, 1, 3, 4, 7, 8, 9, 10, 11, 12),
+                11 => fused_op2_arms!($h, c2, 11; 0, 1, 3, 4, 7, 8, 9, 10, 11, 12),
+                12 => fused_op2_arms!($h, c2, 12; 0, 1, 3, 4, 7, 8, 9, 10, 11, 12),
+                _ => return None,
+            })
+        }
+    };
+}
+
+fused_w_op_picker!(f_load_alu_rr, h_f_load_alu_rr);
+fused_w_op_picker!(f_alu_rr_load, h_f_alu_rr_load);
+fused_w_op_picker!(f_alu_rr_store, h_f_alu_rr_store);
+fused_w_op_picker!(f_alu_ri_store, h_f_alu_ri_store);
+fused_op_picker!(f_mov_imm_alu_rr, h_f_mov_imm_alu_rr);
+fused_op_picker!(f_mov_imm_alu_ri, h_f_mov_imm_alu_ri);
+fused_op_picker!(f_alu_rr_sload, h_f_alu_rr_sload);
+fused_op_picker!(f_alu_rr_mov, h_f_alu_rr_mov);
+fused_op_picker!(f_alu_ri_mov, h_f_alu_ri_mov);
+fused_op_picker!(f_alu_rr_mov_imm, h_f_alu_rr_mov_imm);
+fused_op_picker!(f_alu_ri_cmp_ri, h_f_alu_ri_cmp_ri);
+fused_op_picker!(f_alu_rr_cmp_ri, h_f_alu_rr_cmp_ri);
+fused_op_picker!(f_alu_rr_cmp_rr, h_f_alu_rr_cmp_rr);
+fused_op_op_picker!(f_alu_rr_alu_rr, h_f_alu_rr_alu_rr);
+fused_op_op_picker!(f_alu_rr_alu_ri, h_f_alu_rr_alu_ri);
+fused_op_op_picker!(f_alu_ri_alu_rr, h_f_alu_ri_alu_rr);
+fused_op_op_picker!(f_alu_ri_alu_ri, h_f_alu_ri_alu_ri);
+
+/// `a` = load₁ rd|rn·16, `b` = load₂ rd|rn·16, `imm` = off₁ | off₂·2¹⁶.
+fn h_f_load_load<const W1: usize, const W2: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    if let Some(f) = sub_load::<W1, 0>(s, o.a & 15, o.a >> 4, sx16(o.imm)) {
+        return f;
+    }
+    if let Some(f) = sub_load::<W2, 1>(s, o.b & 15, o.b >> 4, sx16(o.imm >> 16)) {
+        return f;
+    }
+    Step::Next
+}
+
+/// `a` = store rs|rn·16, `b` = load rd|rn·16, `imm` = store off | load off·2¹⁶.
+fn h_f_store_load<const W1: usize, const W2: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    if let Some(f) = sub_store::<W1, 0>(s, o.a & 15, o.a >> 4, sx16(o.imm)) {
+        return f;
+    }
+    if let Some(f) = sub_load::<W2, 1>(s, o.b & 15, o.b >> 4, sx16(o.imm >> 16)) {
+        return f;
+    }
+    Step::Next
+}
+
+/// `a` = store rs|rn·16, `imm` = offset (full 32 bits), `b` = mov rd|rm·16.
+fn h_f_store_mov<const W: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    if let Some(f) = sub_store::<W, 0>(s, o.a & 15, o.a >> 4, o.imm) {
+        return f;
+    }
+    s.regs[(o.b & 15) as usize] = s.regs[(o.b >> 4) as usize];
+    Step::Next
+}
+
+/// `a` = store rs|rn·16, `b` = mov rd, `imm` = store off | mov imm·2¹⁶.
+fn h_f_store_mov_imm<const W: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    if let Some(f) = sub_store::<W, 0>(s, o.a & 15, o.a >> 4, sx16(o.imm)) {
+        return f;
+    }
+    s.regs[(o.b & 15) as usize] = o.imm >> 16;
+    Step::Next
+}
+
+/// `a` = mov rd, `b` = load rd|rn·16, `imm` = mov imm | load off·2¹⁶.
+fn h_f_mov_imm_load<const W: usize>(s: &mut Simulator<'_>, o: &TOp) -> HR {
+    s.regs[(o.a & 15) as usize] = o.imm & 0xFFFF;
+    if let Some(f) = sub_load::<W, 1>(s, o.b & 15, o.b >> 4, sx16(o.imm >> 16)) {
+        return f;
+    }
+    Step::Next
+}
+
+// --- handler selection ------------------------------------------------------
+
+fn alu_handler(code: usize, imm: bool) -> Handler {
+    macro_rules! pick {
+        ($($n:literal),*) => {
+            match (code, imm) {
+                $( ($n, false) => h_alu_rr::<$n>, ($n, true) => h_alu_ri::<$n>, )*
+                _ => unreachable!("alu op code"),
+            }
+        };
+    }
+    pick!(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15)
+}
+
+fn salu_handler(code: usize, imm: bool) -> Handler {
+    macro_rules! pick {
+        ($($n:literal),*) => {
+            match (code, imm) {
+                $( ($n, false) => h_salu_ss::<$n>, ($n, true) => h_salu_si::<$n>, )*
+                _ => unreachable!("salu op code"),
+            }
+        };
+    }
+    pick!(0, 1, 2, 3, 4, 5, 6, 7)
+}
+
+fn salu_spec_handler(code: usize, imm: bool) -> Handler {
+    match (code, imm) {
+        (0, false) => h_salu_spec_ss::<0>,
+        (0, true) => h_salu_spec_si::<0>,
+        (1, false) => h_salu_spec_ss::<1>,
+        (1, true) => h_salu_spec_si::<1>,
+        (5, false) => h_salu_spec_ss::<5>,
+        (5, true) => h_salu_spec_si::<5>,
+        _ => unreachable!("only Add/Sub/Lsl speculate"),
+    }
+}
+
+fn width_handler(w: MemWidth, hb: Handler, hh: Handler, hw: Handler) -> Handler {
+    match w {
+        MemWidth::B => hb,
+        MemWidth::H => hh,
+        MemWidth::W => hw,
+    }
+}
+
+/// Predecode one instruction into its handler + packed operands.
+/// Branch terminators and `Halt` get a placeholder — the run loop executes
+/// them inline and never dispatches their handler slot.
+#[allow(clippy::too_many_lines)]
+fn decode(pc: usize, inst: &MInst) -> (Handler, TOp) {
+    match inst {
+        MInst::Alu { op, rd, rn, src2 } => {
+            let code = alu_code(*op);
+            match src2 {
+                Operand::Reg(rm) => (
+                    alu_handler(code, false),
+                    TOp {
+                        a: rd.0,
+                        b: rn.0,
+                        c: rm.0,
+                        ..ZOP
+                    },
+                ),
+                Operand::Imm(i) => (
+                    alu_handler(code, true),
+                    TOp {
+                        a: rd.0,
+                        b: rn.0,
+                        imm: *i,
+                        ..ZOP
+                    },
+                ),
+            }
+        }
+        MInst::MovImm { rd, imm } => (
+            h_mov_imm,
+            TOp {
+                a: rd.0,
+                imm: *imm,
+                ..ZOP
+            },
+        ),
+        MInst::Mov { rd, rm } => (
+            h_mov,
+            TOp {
+                a: rd.0,
+                b: rm.0,
+                ..ZOP
+            },
+        ),
+        MInst::MovCc { rd, rm, cond } => (
+            h_mov_cc,
+            TOp {
+                a: rd.0,
+                b: rm.0,
+                c: cond_code(*cond),
+                ..ZOP
+            },
+        ),
+        MInst::Cmp { rn, src2 } => match src2 {
+            Operand::Reg(rm) => (
+                h_cmp_rr,
+                TOp {
+                    a: rn.0,
+                    b: rm.0,
+                    ..ZOP
+                },
+            ),
+            Operand::Imm(i) => (
+                h_cmp_ri,
+                TOp {
+                    a: rn.0,
+                    imm: *i,
+                    ..ZOP
+                },
+            ),
+        },
+        MInst::CSet { rd, cond } => (
+            h_cset,
+            TOp {
+                a: rd.0,
+                b: cond_code(*cond),
+                ..ZOP
+            },
+        ),
+        MInst::Umull { rdlo, rdhi, rn, rm } => (
+            h_umull,
+            TOp {
+                a: rdlo.0,
+                b: rdhi.0,
+                c: rn.0,
+                d: rm.0,
+                ..ZOP
+            },
+        ),
+        MInst::Extend {
+            rd,
+            rm,
+            from,
+            signed,
+        } => {
+            let h: Handler = match (from, signed) {
+                (MemWidth::B, false) => h_extend::<0>,
+                (MemWidth::B, true) => h_extend::<1>,
+                (MemWidth::H, false) => h_extend::<2>,
+                (MemWidth::H, true) => h_extend::<3>,
+                (MemWidth::W, _) => h_extend::<4>,
+            };
+            (
+                h,
+                TOp {
+                    a: rd.0,
+                    b: rm.0,
+                    ..ZOP
+                },
+            )
+        }
+        MInst::Load {
+            rd,
+            rn,
+            offset,
+            width,
+            ..
+        } => (
+            width_handler(*width, h_load::<0>, h_load::<1>, h_load::<2>),
+            TOp {
+                a: rd.0,
+                b: rn.0,
+                imm: *offset as u32,
+                ..ZOP
+            },
+        ),
+        MInst::Store {
+            rs,
+            rn,
+            offset,
+            width,
+            ..
+        } => (
+            width_handler(*width, h_store::<0>, h_store::<1>, h_store::<2>),
+            TOp {
+                a: rs.0,
+                b: rn.0,
+                imm: *offset as u32,
+                ..ZOP
+            },
+        ),
+        MInst::LoadIdx {
+            rd,
+            rn,
+            bidx,
+            shift,
+            width,
+        } => (
+            width_handler(*width, h_load_idx::<0>, h_load_idx::<1>, h_load_idx::<2>),
+            TOp {
+                a: rd.0,
+                b: rn.0,
+                c: sl_pack(*bidx),
+                d: *shift,
+                ..ZOP
+            },
+        ),
+        MInst::SLoadIdx {
+            bd,
+            rn,
+            bidx,
+            shift,
+            speculative,
+        } => (
+            if *speculative {
+                h_sload_idx_spec
+            } else {
+                h_sload_idx
+            },
+            TOp {
+                a: sl_pack(*bd),
+                b: rn.0,
+                c: sl_pack(*bidx),
+                d: *shift,
+                ..ZOP
+            },
+        ),
+        MInst::Push { regs } => match pack_regs(regs.iter().rev().map(|r| r.index())) {
+            Some((imm, count)) => (
+                h_push,
+                TOp {
+                    a: count,
+                    imm,
+                    ..ZOP
+                },
+            ),
+            None => (
+                h_push_slow,
+                TOp {
+                    imm: pc as u32,
+                    ..ZOP
+                },
+            ),
+        },
+        MInst::Pop { regs } => match pack_regs(regs.iter().map(|r| r.index())) {
+            Some((imm, count)) => (
+                h_pop,
+                TOp {
+                    a: count,
+                    imm,
+                    ..ZOP
+                },
+            ),
+            None => (
+                h_pop_slow,
+                TOp {
+                    imm: pc as u32,
+                    ..ZOP
+                },
+            ),
+        },
+        MInst::Out { rn } => (h_out, TOp { a: rn.0, ..ZOP }),
+        MInst::B { .. }
+        | MInst::Bc { .. }
+        | MInst::Bl { .. }
+        | MInst::Ret
+        | MInst::Halt
+        | MInst::Nop => (h_nop, ZOP),
+        MInst::SAlu {
+            op,
+            bd,
+            bn,
+            src2,
+            speculative,
+        } => {
+            let code = salu_code(*op);
+            let spec = *speculative && matches!(op, SAluOp::Add | SAluOp::Sub | SAluOp::Lsl);
+            match src2 {
+                SliceOperand::Slice(s2) => (
+                    if spec {
+                        salu_spec_handler(code, false)
+                    } else {
+                        salu_handler(code, false)
+                    },
+                    TOp {
+                        a: sl_pack(*bd),
+                        b: sl_pack(*bn),
+                        c: sl_pack(*s2),
+                        ..ZOP
+                    },
+                ),
+                SliceOperand::Imm(i) => (
+                    if spec {
+                        salu_spec_handler(code, true)
+                    } else {
+                        salu_handler(code, true)
+                    },
+                    TOp {
+                        a: sl_pack(*bd),
+                        b: sl_pack(*bn),
+                        imm: u32::from(*i),
+                        ..ZOP
+                    },
+                ),
+            }
+        }
+        MInst::SCmp { bn, src2 } => match src2 {
+            SliceOperand::Slice(s2) => (
+                h_scmp_s,
+                TOp {
+                    a: sl_pack(*bn),
+                    b: sl_pack(*s2),
+                    ..ZOP
+                },
+            ),
+            SliceOperand::Imm(i) => (
+                h_scmp_i,
+                TOp {
+                    a: sl_pack(*bn),
+                    imm: u32::from(*i),
+                    ..ZOP
+                },
+            ),
+        },
+        MInst::SLoadSpec { bd, rn, offset } => (
+            h_sload_spec,
+            TOp {
+                a: sl_pack(*bd),
+                b: rn.0,
+                imm: *offset as u32,
+                ..ZOP
+            },
+        ),
+        MInst::SLoad { bd, rn, offset, .. } => (
+            h_sload,
+            TOp {
+                a: sl_pack(*bd),
+                b: rn.0,
+                imm: *offset as u32,
+                ..ZOP
+            },
+        ),
+        MInst::SStore { bs, rn, offset, .. } => (
+            h_sstore,
+            TOp {
+                a: sl_pack(*bs),
+                b: rn.0,
+                imm: *offset as u32,
+                ..ZOP
+            },
+        ),
+        MInst::SExtend { rd, bn, signed } => (
+            if *signed {
+                h_sextend::<true>
+            } else {
+                h_sextend::<false>
+            },
+            TOp {
+                a: rd.0,
+                b: sl_pack(*bn),
+                ..ZOP
+            },
+        ),
+        MInst::STrunc {
+            bd,
+            rn,
+            speculative,
+        } => (
+            if *speculative {
+                h_strunc_spec
+            } else {
+                h_strunc
+            },
+            TOp {
+                a: sl_pack(*bd),
+                b: rn.0,
+                ..ZOP
+            },
+        ),
+        MInst::SMov { bd, bs } => (
+            h_smov,
+            TOp {
+                a: sl_pack(*bd),
+                b: sl_pack(*bs),
+                ..ZOP
+            },
+        ),
+        MInst::SMovImm { bd, imm } => (
+            h_smov_imm,
+            TOp {
+                a: sl_pack(*bd),
+                imm: u32::from(*imm),
+                ..ZOP
+            },
+        ),
+        MInst::SetDelta { bytes } => (h_set_delta, TOp { imm: *bytes, ..ZOP }),
+        MInst::SpecCheck { rn } => (h_spec_check, TOp { a: rn.0, ..ZOP }),
+    }
+}
+
+/// Attempts to fuse two adjacent instructions into one dispatch slot.
+/// Conservative by design: only the pair shapes that dominate the dynamic
+/// adjacent-pair histogram, and only when the packed operands fit `TOp`
+/// (ALU immediates are ≤ 12 bits by the encoding contract; load/store
+/// offsets must fit a signed 16-bit half when two immediates share `imm`).
+/// Speculative ops never fuse — a misspeculation redirect must map its
+/// slot back to a unique instruction, and only faults carry a sub-index.
+#[allow(clippy::too_many_lines)]
+fn fuse(i1: &MInst, i2: &MInst) -> Option<(Handler, TOp)> {
+    use MInst as M;
+    fn u16ok(v: u32) -> bool {
+        v <= 0xFFFF
+    }
+    fn i16ok(v: i32) -> bool {
+        (-32768..=32767).contains(&v)
+    }
+    /// Two 4-bit fields in one operand byte, low nibble first.
+    fn nib(lo: u8, hi: u8) -> u8 {
+        lo | (hi << 4)
+    }
+    let f: (Handler, TOp) = match (i1, i2) {
+        (
+            M::MovImm { rd: d1, imm },
+            M::Alu {
+                op: o2,
+                rd: d2,
+                rn: n2,
+                src2: Operand::Reg(m2),
+            },
+        ) => (
+            f_mov_imm_alu_rr(alu_code(*o2)),
+            TOp {
+                a: d1.0,
+                b: 0,
+                c: d2.0,
+                d: nib(n2.0, m2.0),
+                imm: *imm,
+            },
+        ),
+        (
+            M::MovImm { rd: d1, imm },
+            M::Alu {
+                op: o2,
+                rd: d2,
+                rn: n2,
+                src2: Operand::Imm(i2),
+            },
+        ) if u16ok(*imm) && u16ok(*i2) => (
+            f_mov_imm_alu_ri(alu_code(*o2)),
+            TOp {
+                a: d1.0,
+                b: 0,
+                c: d2.0,
+                d: n2.0,
+                imm: imm | (i2 << 16),
+            },
+        ),
+        (
+            M::Load {
+                rd,
+                rn,
+                offset,
+                width,
+                ..
+            },
+            M::Alu {
+                op: o2,
+                rd: d2,
+                rn: n2,
+                src2: Operand::Reg(m2),
+            },
+        ) => (
+            f_load_alu_rr(*width, alu_code(*o2)),
+            TOp {
+                a: nib(rd.0, rn.0),
+                b: 0,
+                c: d2.0,
+                d: nib(n2.0, m2.0),
+                imm: *offset as u32,
+            },
+        ),
+        (
+            M::Alu {
+                op: o1,
+                rd: d1,
+                rn: n1,
+                src2: Operand::Reg(m1),
+            },
+            M::Load {
+                rd,
+                rn,
+                offset,
+                width,
+                ..
+            },
+        ) => (
+            f_alu_rr_load(*width, alu_code(*o1)),
+            TOp {
+                a: d1.0,
+                b: nib(n1.0, m1.0),
+                c: nib(rd.0, rn.0),
+                d: 0,
+                imm: *offset as u32,
+            },
+        ),
+        (
+            M::Alu {
+                op: o1,
+                rd: d1,
+                rn: n1,
+                src2: Operand::Reg(m1),
+            },
+            M::Store {
+                rs,
+                rn,
+                offset,
+                width,
+                ..
+            },
+        ) => (
+            f_alu_rr_store(*width, alu_code(*o1)),
+            TOp {
+                a: d1.0,
+                b: nib(n1.0, m1.0),
+                c: nib(rs.0, rn.0),
+                d: 0,
+                imm: *offset as u32,
+            },
+        ),
+        (
+            M::Alu {
+                op: o1,
+                rd: d1,
+                rn: n1,
+                src2: Operand::Imm(i1),
+            },
+            M::Store {
+                rs,
+                rn,
+                offset,
+                width,
+                ..
+            },
+        ) if u16ok(*i1) && i16ok(*offset) => (
+            f_alu_ri_store(*width, alu_code(*o1)),
+            TOp {
+                a: d1.0,
+                b: n1.0,
+                c: nib(rs.0, rn.0),
+                d: 0,
+                imm: i1 | ((*offset as u32 & 0xFFFF) << 16),
+            },
+        ),
+        (
+            M::Alu {
+                op: o1,
+                rd: d1,
+                rn: n1,
+                src2: Operand::Reg(m1),
+            },
+            M::SLoad { bd, rn, offset, .. },
+        ) => (
+            f_alu_rr_sload(alu_code(*o1)),
+            TOp {
+                a: d1.0,
+                b: nib(n1.0, m1.0),
+                c: sl_pack(*bd),
+                d: rn.0,
+                imm: *offset as u32,
+            },
+        ),
+        (
+            M::Alu {
+                op: o1,
+                rd: d1,
+                rn: n1,
+                src2: Operand::Reg(m1),
+            },
+            M::Alu {
+                op: o2,
+                rd: d2,
+                rn: n2,
+                src2: Operand::Reg(m2),
+            },
+        ) => (
+            f_alu_rr_alu_rr(alu_code(*o1), alu_code(*o2))?,
+            TOp {
+                a: d1.0,
+                b: nib(n1.0, m1.0),
+                c: d2.0,
+                d: nib(n2.0, m2.0),
+                imm: 0,
+            },
+        ),
+        (
+            M::Alu {
+                op: o1,
+                rd: d1,
+                rn: n1,
+                src2: Operand::Reg(m1),
+            },
+            M::Alu {
+                op: o2,
+                rd: d2,
+                rn: n2,
+                src2: Operand::Imm(i2),
+            },
+        ) => (
+            f_alu_rr_alu_ri(alu_code(*o1), alu_code(*o2))?,
+            TOp {
+                a: d1.0,
+                b: nib(n1.0, m1.0),
+                c: d2.0,
+                d: n2.0,
+                imm: *i2,
+            },
+        ),
+        (
+            M::Alu {
+                op: o1,
+                rd: d1,
+                rn: n1,
+                src2: Operand::Imm(i1),
+            },
+            M::Alu {
+                op: o2,
+                rd: d2,
+                rn: n2,
+                src2: Operand::Reg(m2),
+            },
+        ) => (
+            f_alu_ri_alu_rr(alu_code(*o1), alu_code(*o2))?,
+            TOp {
+                a: d1.0,
+                b: n1.0,
+                c: d2.0,
+                d: nib(n2.0, m2.0),
+                imm: *i1,
+            },
+        ),
+        (
+            M::Alu {
+                op: o1,
+                rd: d1,
+                rn: n1,
+                src2: Operand::Imm(i1),
+            },
+            M::Alu {
+                op: o2,
+                rd: d2,
+                rn: n2,
+                src2: Operand::Imm(i2),
+            },
+        ) if u16ok(*i1) && u16ok(*i2) => (
+            f_alu_ri_alu_ri(alu_code(*o1), alu_code(*o2))?,
+            TOp {
+                a: d1.0,
+                b: n1.0,
+                c: d2.0,
+                d: n2.0,
+                imm: i1 | (i2 << 16),
+            },
+        ),
+        (M::Mov { rd: d1, rm: m1 }, M::Mov { rd: d2, rm: m2 }) => (
+            h_f_mov_mov,
+            TOp {
+                a: nib(d1.0, m1.0),
+                b: nib(d2.0, m2.0),
+                c: 0,
+                d: 0,
+                imm: 0,
+            },
+        ),
+        (M::MovImm { rd: d1, imm }, M::Mov { rd: d2, rm: m2 }) => (
+            h_f_mov_imm_mov,
+            TOp {
+                a: d1.0,
+                b: nib(d2.0, m2.0),
+                c: 0,
+                d: 0,
+                imm: *imm,
+            },
+        ),
+        (
+            M::Alu {
+                op: o1,
+                rd: d1,
+                rn: n1,
+                src2: Operand::Reg(m1),
+            },
+            M::Mov { rd: d2, rm: m2 },
+        ) => (
+            f_alu_rr_mov(alu_code(*o1)),
+            TOp {
+                a: d1.0,
+                b: nib(n1.0, m1.0),
+                c: nib(d2.0, m2.0),
+                d: 0,
+                imm: 0,
+            },
+        ),
+        (
+            M::Alu {
+                op: o1,
+                rd: d1,
+                rn: n1,
+                src2: Operand::Imm(i1),
+            },
+            M::Mov { rd: d2, rm: m2 },
+        ) => (
+            f_alu_ri_mov(alu_code(*o1)),
+            TOp {
+                a: d1.0,
+                b: n1.0,
+                c: nib(d2.0, m2.0),
+                d: 0,
+                imm: *i1,
+            },
+        ),
+        (
+            M::Alu {
+                op: o1,
+                rd: d1,
+                rn: n1,
+                src2: Operand::Reg(m1),
+            },
+            M::MovImm { rd: d2, imm },
+        ) => (
+            f_alu_rr_mov_imm(alu_code(*o1)),
+            TOp {
+                a: d1.0,
+                b: nib(n1.0, m1.0),
+                c: d2.0,
+                d: 0,
+                imm: *imm,
+            },
+        ),
+        (
+            M::Alu {
+                op: o1,
+                rd: d1,
+                rn: n1,
+                src2: Operand::Imm(i1),
+            },
+            M::Cmp {
+                rn: cn,
+                src2: Operand::Imm(ci),
+            },
+        ) if u16ok(*i1) && u16ok(*ci) => (
+            f_alu_ri_cmp_ri(alu_code(*o1)),
+            TOp {
+                a: d1.0,
+                b: n1.0,
+                c: cn.0,
+                d: 0,
+                imm: i1 | (ci << 16),
+            },
+        ),
+        (
+            M::Alu {
+                op: o1,
+                rd: d1,
+                rn: n1,
+                src2: Operand::Reg(m1),
+            },
+            M::Cmp {
+                rn: cn,
+                src2: Operand::Imm(ci),
+            },
+        ) => (
+            f_alu_rr_cmp_ri(alu_code(*o1)),
+            TOp {
+                a: d1.0,
+                b: nib(n1.0, m1.0),
+                c: cn.0,
+                d: 0,
+                imm: *ci,
+            },
+        ),
+        (
+            M::Alu {
+                op: o1,
+                rd: d1,
+                rn: n1,
+                src2: Operand::Reg(m1),
+            },
+            M::Cmp {
+                rn: cn,
+                src2: Operand::Reg(cm),
+            },
+        ) => (
+            f_alu_rr_cmp_rr(alu_code(*o1)),
+            TOp {
+                a: d1.0,
+                b: nib(n1.0, m1.0),
+                c: nib(cn.0, cm.0),
+                d: 0,
+                imm: 0,
+            },
+        ),
+        (
+            M::Store {
+                rs,
+                rn: sn,
+                offset: so,
+                width: sw,
+                ..
+            },
+            M::Load {
+                rd,
+                rn: ln,
+                offset: lo,
+                width: lw,
+                ..
+            },
+        ) if i16ok(*so) && i16ok(*lo) => {
+            let h = match (sw, lw) {
+                (MemWidth::B, MemWidth::B) => h_f_store_load::<0, 0>,
+                (MemWidth::B, MemWidth::H) => h_f_store_load::<0, 1>,
+                (MemWidth::B, MemWidth::W) => h_f_store_load::<0, 2>,
+                (MemWidth::H, MemWidth::B) => h_f_store_load::<1, 0>,
+                (MemWidth::H, MemWidth::H) => h_f_store_load::<1, 1>,
+                (MemWidth::H, MemWidth::W) => h_f_store_load::<1, 2>,
+                (MemWidth::W, MemWidth::B) => h_f_store_load::<2, 0>,
+                (MemWidth::W, MemWidth::H) => h_f_store_load::<2, 1>,
+                (MemWidth::W, MemWidth::W) => h_f_store_load::<2, 2>,
+            };
+            (
+                h,
+                TOp {
+                    a: nib(rs.0, sn.0),
+                    b: nib(rd.0, ln.0),
+                    c: 0,
+                    d: 0,
+                    imm: (*so as u32 & 0xFFFF) | ((*lo as u32 & 0xFFFF) << 16),
+                },
+            )
+        }
+        (
+            M::Load {
+                rd: d1,
+                rn: n1,
+                offset: o1,
+                width: w1,
+                ..
+            },
+            M::Load {
+                rd: d2,
+                rn: n2,
+                offset: o2,
+                width: w2,
+                ..
+            },
+        ) if i16ok(*o1) && i16ok(*o2) => {
+            let h = match (w1, w2) {
+                (MemWidth::B, MemWidth::B) => h_f_load_load::<0, 0>,
+                (MemWidth::B, MemWidth::H) => h_f_load_load::<0, 1>,
+                (MemWidth::B, MemWidth::W) => h_f_load_load::<0, 2>,
+                (MemWidth::H, MemWidth::B) => h_f_load_load::<1, 0>,
+                (MemWidth::H, MemWidth::H) => h_f_load_load::<1, 1>,
+                (MemWidth::H, MemWidth::W) => h_f_load_load::<1, 2>,
+                (MemWidth::W, MemWidth::B) => h_f_load_load::<2, 0>,
+                (MemWidth::W, MemWidth::H) => h_f_load_load::<2, 1>,
+                (MemWidth::W, MemWidth::W) => h_f_load_load::<2, 2>,
+            };
+            (
+                h,
+                TOp {
+                    a: nib(d1.0, n1.0),
+                    b: nib(d2.0, n2.0),
+                    c: 0,
+                    d: 0,
+                    imm: (*o1 as u32 & 0xFFFF) | ((*o2 as u32 & 0xFFFF) << 16),
+                },
+            )
+        }
+        (
+            M::Store {
+                rs,
+                rn,
+                offset,
+                width,
+                ..
+            },
+            M::Mov { rd, rm },
+        ) => (
+            width_handler(
+                *width,
+                h_f_store_mov::<0>,
+                h_f_store_mov::<1>,
+                h_f_store_mov::<2>,
+            ),
+            TOp {
+                a: nib(rs.0, rn.0),
+                b: nib(rd.0, rm.0),
+                c: 0,
+                d: 0,
+                imm: *offset as u32,
+            },
+        ),
+        (
+            M::Store {
+                rs,
+                rn,
+                offset,
+                width,
+                ..
+            },
+            M::MovImm { rd, imm },
+        ) if i16ok(*offset) && u16ok(*imm) => (
+            width_handler(
+                *width,
+                h_f_store_mov_imm::<0>,
+                h_f_store_mov_imm::<1>,
+                h_f_store_mov_imm::<2>,
+            ),
+            TOp {
+                a: nib(rs.0, rn.0),
+                b: rd.0,
+                c: 0,
+                d: 0,
+                imm: (*offset as u32 & 0xFFFF) | (imm << 16),
+            },
+        ),
+        (
+            M::MovImm { rd: d1, imm },
+            M::Load {
+                rd,
+                rn,
+                offset,
+                width,
+                ..
+            },
+        ) if u16ok(*imm) && i16ok(*offset) => (
+            width_handler(
+                *width,
+                h_f_mov_imm_load::<0>,
+                h_f_mov_imm_load::<1>,
+                h_f_mov_imm_load::<2>,
+            ),
+            TOp {
+                a: d1.0,
+                b: nib(rd.0, rn.0),
+                c: 0,
+                d: 0,
+                imm: imm | ((*offset as u32 & 0xFFFF) << 16),
+            },
+        ),
+        _ => return None,
+    };
+    Some(f)
+}
+
+// --- run loop ---------------------------------------------------------------
+
+impl<'p> Simulator<'p> {
+    /// Data access with the stall charged directly to `cycles`; the
+    /// `l1d_accesses` counter is static (lives in [`SActs`]), unlike
+    /// `data_fast`. Routes through the per-set MRU line map
+    /// ([`Simulator::dmap`]), which tracks one resident line per L1D set
+    /// instead of the fast engine's two-entry buffer.
+    #[inline]
+    fn turbo_data(&mut self, addr: u32, write: bool) -> bool {
+        if addr < 0x100 || addr >= self.p.mem_size {
+            self.terr = Some(SimError::MemFault { pc: 0, addr });
+            return false;
+        }
+        let line = addr >> self.dline_shift;
+        let i = (line as usize) & (self.dmap.len() - 1);
+        let (bl, bs) = self.dmap[i];
+        if bl == line {
+            self.hier.l1d.touch_hit(bs as usize, write);
+            return true;
+        }
+        let (stall, slot) = self.hier.data_at(addr, write);
+        self.act.cycles += stall;
+        self.dmap[i] = (line, slot as u32);
+        true
+    }
+
+    /// Surface a parked fault. Handlers don't carry their pc — they park
+    /// the *pair sub-index* (0 for unfused slots, 0/1 inside a fused pair)
+    /// in the `pc` field, and the dispatch loop rebases it onto the slot's
+    /// first instruction (`start + plan_off[slot]`).
+    #[cold]
+    fn take_fault(&mut self, base: usize) -> SimError {
+        match self.terr.take().expect("fault recorded") {
+            SimError::MemFault { pc, addr } => SimError::MemFault {
+                pc: base + pc,
+                addr,
+            },
+            e => e,
+        }
+    }
+
+    /// Park a memory fault for the dispatch loop to surface.
+    #[cold]
+    fn tfault(&mut self, addr: u32) -> Step {
+        self.terr = Some(SimError::MemFault { pc: 0, addr });
+        Step::Fault
+    }
+
+    /// Flush batched same-line I-fetch touches. Must run before anything
+    /// else mutates or reads the L1I (a real fetch, the fallback loop) so
+    /// tick/LRU ordering matches unbatched simulation exactly.
+    #[inline]
+    fn flush_touches(&mut self, pending: &mut u64) {
+        if *pending > 0 {
+            self.hier.l1i.touch_hits(self.ibuf_slot, *pending);
+            *pending = 0;
+        }
+    }
+
+    /// A real (line-crossing) I-fetch; caller must have flushed pending
+    /// touches. Stall goes directly to `cycles`.
+    fn fetch_turbo_real(&mut self, addr: u32, line_shift: u32) {
+        let l2_before = self.hier.l2.accesses();
+        let dram_before = self.hier.dram_accesses;
+        let (stall, slot) = self.hier.fetch_at(addr);
+        self.act.cycles += stall;
+        self.act.l2_from_i += self.hier.l2.accesses() - l2_before;
+        self.act.dram_from_i += self.hier.dram_accesses - dram_before;
+        self.ibuf_line = addr >> line_shift;
+        self.ibuf_slot = slot;
+    }
+
+    /// Per-instruction execution (an exact replica of the fast loop) from
+    /// `self.pc` until control reaches a block leader (returns `false`) or
+    /// `Halt` (returns `true`). Used for mid-block entry after
+    /// misspeculation redirects, `Ret` to a non-leader, and fuel-tight
+    /// blocks.
+    fn run_fallback(&mut self, img: &TurboImage, line_shift: u32) -> Result<bool, SimError> {
+        let p = self.p;
+        let fuel = self.cfg.fuel;
+        loop {
+            if self.counts.dyn_insts >= fuel {
+                return Err(SimError::OutOfFuel);
+            }
+            let pc = self.pc;
+            let inst = &p.insts[pc];
+            if matches!(inst, MInst::Halt) {
+                return Ok(true);
+            }
+            self.counts.dyn_insts += 1;
+            let pre = p.pre[pc];
+            let addr = p.addrs[pc];
+            let mut stall = self.fetch_fast(addr, line_shift);
+            if pre.two_slot {
+                stall += self.fetch_fast(addr + 4, line_shift);
+            }
+            self.act.fetch_slots += u64::from(pre.slots);
+            let mut cyc: u64 = 1 + stall;
+            if self.last_load_mask & pre.read_mask != 0 {
+                cyc += 1;
+            }
+            let next_pc = self.exec_fast(pc, inst, &mut cyc)?;
+            self.last_load_mask = pre.load_dest_mask;
+            self.act.cycles += cyc;
+            self.pc = next_pc;
+            // Leader check only after executing ≥1 instruction, and only
+            // for in-bounds pcs — an out-of-bounds pc must fault at the
+            // `p.insts[pc]` access above, exactly like the fast engine.
+            if next_pc < p.insts.len() && img.is_leader(next_pc) {
+                return Ok(false);
+            }
+        }
+    }
+
+    /// Dispatches handlers over `[k, lim)` of a block starting at `start`.
+    /// Returns the index of the instruction that stopped the run plus its
+    /// [`Step`] (`(lim, Next)` when the span completes). Unrolled four-wide
+    /// so the indirect calls spread over several call sites — a single
+    /// dispatch site cycling through every handler in a block defeats the
+    /// host's indirect-branch predictor, which costs more than the calls.
+    #[inline(always)]
+    fn run_span(&mut self, code: &[(Handler, TOp)], mut k: usize, lim: usize) -> (usize, Step) {
+        // Narrow to the span so `lim == code.len()` and the unrolled
+        // indexing below needs no per-element bounds checks.
+        let code = &code[..lim];
+        while k + 4 <= lim {
+            let (h, ref op) = code[k];
+            match h(self, op) {
+                Step::Next => {}
+                s => return (k, s),
+            }
+            let (h, ref op) = code[k + 1];
+            match h(self, op) {
+                Step::Next => {}
+                s => return (k + 1, s),
+            }
+            let (h, ref op) = code[k + 2];
+            match h(self, op) {
+                Step::Next => {}
+                s => return (k + 2, s),
+            }
+            let (h, ref op) = code[k + 3];
+            match h(self, op) {
+                Step::Next => {}
+                s => return (k + 3, s),
+            }
+            k += 4;
+        }
+        // Positional tail sites: short blocks (3–4 instructions are common
+        // in branchy code) never reach the four-wide loop, so give each
+        // remaining position its own call site too.
+        if k < lim {
+            let (h, ref op) = code[k];
+            match h(self, op) {
+                Step::Next => {}
+                s => return (k, s),
+            }
+            k += 1;
+            if k < lim {
+                let (h, ref op) = code[k];
+                match h(self, op) {
+                    Step::Next => {}
+                    s => return (k, s),
+                }
+                k += 1;
+                if k < lim {
+                    let (h, ref op) = code[k];
+                    match h(self, op) {
+                        Step::Next => {}
+                        s => return (k, s),
+                    }
+                }
+            }
+        }
+        (lim, Step::Next)
+    }
+
+    /// Out-of-line copy of [`Self::run_span`] for the rev-walk path, so
+    /// the block loop inlines only one dispatch copy.
+    #[inline(never)]
+    fn run_span_outlined(
+        &mut self,
+        code: &[(Handler, TOp)],
+        k: usize,
+        lim: usize,
+    ) -> (usize, Step) {
+        self.run_span(code, k, lim)
+    }
+
+    /// Entry point from [`Simulator::run`]: predecode, then execute.
+    pub(crate) fn run_turbo(self) -> Result<SimResult, SimError> {
+        let img = TurboImage::build(self.p);
+        self.run_turbo_with(&img)
+    }
+
+    /// Executes over a prebuilt (possibly shared) image.
+    #[allow(clippy::too_many_lines)]
+    pub(crate) fn run_turbo_with(mut self, img: &TurboImage) -> Result<SimResult, SimError> {
+        let p = self.p;
+        debug_assert_eq!(img.block_of.len(), p.insts.len(), "image/program mismatch");
+        let em = self.cfg.energy;
+        let fuel = self.cfg.fuel;
+        let shift = img.line_shift;
+        assert_eq!(
+            shift,
+            self.hier.l1i.line().trailing_zeros(),
+            "image built for a different I$ line size"
+        );
+        let len = p.insts.len();
+        // Arm the per-set D-line map (fast/reference runs never pay the
+        // allocation). Entries start invalid; `turbo_data` fills them.
+        self.dmap = vec![(u32::MAX, 0); self.hier.l1d.sets()];
+        let mut bexec = vec![0u64; img.blocks.len()];
+        let mut pending: u64 = 0;
+        'outer: loop {
+            // Resync from an architectural pc: run entry, misspeculation
+            // redirects, and fallback returns land here. Anything that is
+            // not an in-range block leader (mid-block skeleton targets,
+            // out-of-range pcs) runs per-instruction until control reaches
+            // a leader — or faults, exactly like the fast engine.
+            let pc = self.pc;
+            if pc >= len || !img.is_leader(pc) {
+                self.flush_touches(&mut pending);
+                if self.run_fallback(img, shift)? {
+                    break 'outer;
+                }
+                continue 'outer;
+            }
+            let mut bi = img.block_of[pc] as usize;
+            // Block-to-block dispatch: terminator successors are precomputed
+            // block indices, so this loop needs no bounds or leader checks —
+            // it leaves only for `Halt`, fuel-tight blocks, misspeculation,
+            // and dynamic `Ret` targets.
+            loop {
+                let blk = &img.blocks[bi];
+                // One guard for every cold block-entry exit: `Halt` and
+                // `Oob` blocks are built with `n == 0`, and a block that
+                // might overrun the fuel budget runs per-instruction. The
+                // hot path pays a single almost-never-taken branch.
+                if blk.n == 0 || self.counts.dyn_insts + u64::from(blk.n) > fuel {
+                    match blk.term {
+                        Term::Halt => {
+                            if self.counts.dyn_insts >= fuel {
+                                return Err(SimError::OutOfFuel);
+                            }
+                            break 'outer;
+                        }
+                        _ => {
+                            // `Oob`: fault via the fallback's `insts[pc]`
+                            // access, like the fast engine. Fuel-tight: run
+                            // per-instruction so OutOfFuel surfaces after
+                            // the exact same instruction.
+                            self.pc = blk.start;
+                            self.flush_touches(&mut pending);
+                            if self.run_fallback(img, shift)? {
+                                break 'outer;
+                            }
+                            continue 'outer;
+                        }
+                    }
+                }
+                // Block-entry interlock: a word load at the end of the
+                // previous block feeding our first instruction's read set.
+                if self.last_load_mask & blk.entry_read_mask != 0 {
+                    self.act.cycles += 1;
+                }
+                let start = blk.start;
+                let ps = blk.ps as usize;
+                let pn = blk.pn as usize;
+                // Entry fetch: the only dynamically classified sub-slot —
+                // does the block's first slot sit on the buffered line?
+                let a0 = blk.a0;
+                if a0 >> shift != self.ibuf_line {
+                    self.flush_touches(&mut pending);
+                    self.fetch_turbo_real(a0, shift);
+                } else {
+                    pending += 1;
+                }
+                // Dispatch handlers in straight runs between the block's
+                // static real-fetch events; each real fetch fires at its
+                // exact program position (shared-L2 ordering vs data
+                // misses), while same-line touches batch into `pending` —
+                // they only mutate the L1I, so their position relative to
+                // data accesses commutes.
+                let code = &img.plan[ps..ps + pn];
+                let mut k = 0usize;
+                let mut cum_consumed = 0u32;
+                let mut redirected = false;
+                'block: {
+                    // Blocks that cross an I-line carry real-fetch events;
+                    // the walk is outlined so the (line-local) common path
+                    // keeps a single compact inlined dispatch copy.
+                    if blk.rev_len > 0 {
+                        let revs = &img.revs
+                            [blk.rev_start as usize..(blk.rev_start + blk.rev_len) as usize];
+                        for ev in revs {
+                            let lim = (ev.ks as usize).min(pn);
+                            let (k2, sig) = self.run_span_outlined(code, k, lim);
+                            k = k2;
+                            match sig {
+                                Step::Next => {}
+                                Step::Misspec => {
+                                    redirected = true;
+                                    break 'block;
+                                }
+                                Step::Fault => {
+                                    return Err(
+                                        self.take_fault(start + img.plan_off[ps + k] as usize)
+                                    )
+                                }
+                            }
+                            pending += u64::from(ev.pend_before);
+                            self.flush_touches(&mut pending);
+                            self.fetch_turbo_real(ev.addr, shift);
+                            cum_consumed = ev.cum_before;
+                        }
+                    }
+                    let (k2, sig) = self.run_span(code, k, pn);
+                    k = k2;
+                    match sig {
+                        Step::Next => {}
+                        Step::Misspec => {
+                            redirected = true;
+                            break 'block;
+                        }
+                        Step::Fault => {
+                            return Err(self.take_fault(start + img.plan_off[ps + k] as usize))
+                        }
+                    }
+                }
+                if redirected {
+                    // Flush the executed prefix's static counters and the
+                    // touches of the prefix's not-yet-batched sub-slots,
+                    // then redirect through the resync path (the target is
+                    // usually mid-block skeleton code). Speculative ops
+                    // never fuse, so the stopping slot maps to exactly one
+                    // instruction.
+                    let off = img.plan_off[ps + k] as usize;
+                    let ip = start + off;
+                    pending += u64::from(img.cumtouch[ip] - cum_consumed);
+                    for sa in &img.sacts[start..=ip] {
+                        sa.apply(1, &mut self.act, &mut self.counts);
+                    }
+                    self.counts.dyn_insts += off as u64 + 1;
+                    self.last_load_mask = p.pre[ip].load_dest_mask;
+                    self.act.cycles += 3;
+                    self.pc = self.misspec_target(ip)?;
+                    continue 'outer;
+                }
+                // Full block executed: one bookkeeping step for the span.
+                pending += u64::from(blk.tail_pend);
+                bexec[bi] += 1;
+                self.counts.dyn_insts += u64::from(blk.n);
+                self.last_load_mask = blk.exit_load_mask;
+                match blk.term {
+                    Term::Fall { next } => bi = next as usize,
+                    Term::B { target } => bi = target as usize,
+                    Term::Bc { cond, target, next } => {
+                        // Branchless select: partition-style loops resolve
+                        // ~50/50, so a data-dependent host branch here costs
+                        // a mispredict per block. cmov + arithmetic don't.
+                        let t = eval_cond(cond, self.flags);
+                        self.counts.taken_branches += u64::from(t);
+                        self.act.cycles += 2 * u64::from(t);
+                        bi = if t { target } else { next } as usize;
+                    }
+                    Term::Bl { target, ret_pc } => {
+                        self.regs[LR.index()] = ret_pc;
+                        bi = target as usize;
+                    }
+                    Term::Ret => {
+                        // The one dynamic successor: a leader continues in
+                        // block mode, anything else resyncs (corrupted or
+                        // in-skeleton return addresses run per-instruction
+                        // until they re-sync or fault).
+                        let lr = self.regs[LR.index()] as usize;
+                        if lr < len {
+                            let b = img.block_of[lr] as usize;
+                            if img.blocks[b].start == lr {
+                                bi = b;
+                                continue;
+                            }
+                        }
+                        self.pc = lr;
+                        continue 'outer;
+                    }
+                    Term::Oob | Term::Halt => unreachable!("handled at block entry"),
+                }
+            }
+        }
+        self.flush_touches(&mut pending);
+        if std::env::var_os("TURBO_STATS").is_some() {
+            let nblocks: u64 = bexec.iter().sum();
+            let binsts: u64 = img
+                .blocks
+                .iter()
+                .zip(&bexec)
+                .map(|(b, &k)| u64::from(b.n) * k)
+                .sum();
+            let bslots: u64 = img
+                .blocks
+                .iter()
+                .zip(&bexec)
+                .map(|(b, &k)| u64::from(b.pn) * k)
+                .sum();
+            let nfall: u64 = img
+                .blocks
+                .iter()
+                .zip(&bexec)
+                .filter(|(b, _)| matches!(b.term, Term::Fall { .. }))
+                .map(|(_, &k)| k)
+                .sum();
+            eprintln!(
+                "turbo-stats: blocks_exec={nblocks} fall_exec={nfall} block_insts={binsts} \
+                 slots_exec={bslots} dyn_insts={} fallback_insts={} revs={}",
+                self.counts.dyn_insts,
+                self.counts.dyn_insts - binsts,
+                img.revs.len()
+            );
+            // Dynamically-weighted adjacent-pair histogram inside handler
+            // spans — which superinstruction fusions would pay off.
+            fn kind(i: &MInst) -> &'static str {
+                match i {
+                    MInst::Alu {
+                        src2: Operand::Reg(_),
+                        ..
+                    } => "alu_rr",
+                    MInst::Alu { .. } => "alu_ri",
+                    MInst::MovImm { .. } => "mov_imm",
+                    MInst::Mov { .. } => "mov",
+                    MInst::MovCc { .. } => "mov_cc",
+                    MInst::Cmp {
+                        src2: Operand::Reg(_),
+                        ..
+                    } => "cmp_rr",
+                    MInst::Cmp { .. } => "cmp_ri",
+                    MInst::CSet { .. } => "cset",
+                    MInst::Umull { .. } => "umull",
+                    MInst::Extend { .. } => "extend",
+                    MInst::Load { .. } => "load",
+                    MInst::LoadIdx { .. } => "load_idx",
+                    MInst::Store { .. } => "store",
+                    MInst::Push { .. } => "push",
+                    MInst::Pop { .. } => "pop",
+                    MInst::SAlu { .. } => "salu",
+                    MInst::SLoad { .. } => "sload",
+                    MInst::SLoadIdx { .. } => "sload_idx",
+                    MInst::SStore { .. } => "sstore",
+                    MInst::Out { .. } => "out",
+                    _ => "other",
+                }
+            }
+            let mut pairs: std::collections::HashMap<(&str, &str), u64> =
+                std::collections::HashMap::new();
+            for (b, &x) in img.blocks.iter().zip(&bexec) {
+                if x == 0 {
+                    continue;
+                }
+                for k in 0..b.n_handlers.saturating_sub(1) as usize {
+                    let a = kind(&self.p.insts[b.start + k]);
+                    let c = kind(&self.p.insts[b.start + k + 1]);
+                    *pairs.entry((a, c)).or_insert(0) += x;
+                }
+            }
+            let mut top: Vec<_> = pairs.into_iter().collect();
+            top.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+            for ((a, c), n) in top.into_iter().take(12) {
+                eprintln!("turbo-pair: {a}+{c} {n}");
+            }
+        }
+        for (tot, &k) in img.tots.iter().zip(&bexec) {
+            if k > 0 {
+                tot.apply(k, &mut self.act, &mut self.counts);
+            }
+        }
+        self.act.l2_accesses = self.hier.l2.accesses();
+        self.act.dram_accesses = self.hier.dram_accesses;
+        let energy = em.fold(&self.act);
+        Ok(SimResult {
+            outputs: self.outputs,
+            cycles: self.act.cycles,
+            counts: self.counts,
+            activity: self.act,
+            energy,
+        })
+    }
+}

@@ -1,19 +1,24 @@
-//! Fast-path vs reference-engine equivalence (the tentpole regression).
+//! Three-way engine equivalence (the tentpole regression).
 //!
-//! The simulator keeps two engines: the predecoded, allocation-free fast
-//! path (`fast.rs`, the default) and the retained reference engine
-//! (`machine.rs`, `SimConfig::reference = true`). Their contract:
+//! The simulator keeps three engines: the retained reference engine
+//! (`machine.rs`, `Engine::Reference`), the predecoded fast path
+//! (`fast.rs`, `Engine::Fast`) and the block-fused turbo engine
+//! (`turbo.rs`, `Engine::Turbo`, the default). Their contract:
 //!
-//! * `outputs`, `cycles`, `counts` and `activity` are **bit-identical**,
+//! * `outputs`, `cycles`, `counts` and `activity` are **bit-identical**
+//!   across all three,
 //! * every energy component agrees within float-summation tolerance
-//!   (the fast path folds integer counters once at end of run; the
+//!   (the optimized engines fold integer counters once at end of run; the
 //!   reference accumulates f64 per step — same events, different
 //!   summation order).
 //!
-//! This suite holds both engines to that contract on every MiBench
-//! workload under the BASELINE and BITSPEC builds, plus the DTS mode.
+//! This suite holds all engines to that contract on every MiBench
+//! workload under the BASELINE and BITSPEC builds, a misspeculation-heavy
+//! Min-heuristic build (mid-block redirect entries stress turbo's
+//! fallback path), the DTS mode, and alternate inputs.
 
-use bitspec::{build, simulate_with, BuildConfig, SimConfig, Workload};
+use bitspec::{build, simulate_with, BuildConfig, Engine, SimConfig, Workload};
+use interp::Heuristic;
 use mibench::{names, workload, Input};
 use sim::SimResult;
 
@@ -23,38 +28,63 @@ fn rel_close(a: f64, b: f64) -> bool {
     (a - b).abs() <= REL_TOL * a.abs().max(b.abs()).max(1.0)
 }
 
-fn run_both(w: &Workload, cfg: &BuildConfig, dts: bool) -> (SimResult, SimResult) {
+/// (reference, fast, turbo) results for one build.
+fn run_all(w: &Workload, cfg: &BuildConfig, dts: bool) -> [SimResult; 3] {
     let c = build(w, cfg).unwrap_or_else(|e| panic!("{}: build: {e}", w.name));
-    let fast_cfg = SimConfig {
-        dts,
-        ..SimConfig::default()
-    };
-    let ref_cfg = SimConfig {
-        dts,
-        reference: true,
-        ..SimConfig::default()
-    };
-    let fast = simulate_with(&c, w, &fast_cfg).unwrap_or_else(|e| panic!("{}: fast: {e}", w.name));
-    let refr = simulate_with(&c, w, &ref_cfg).unwrap_or_else(|e| panic!("{}: ref: {e}", w.name));
-    (fast, refr)
+    [Engine::Reference, Engine::Fast, Engine::Turbo].map(|engine| {
+        let sim_cfg = SimConfig {
+            dts,
+            engine,
+            ..SimConfig::default()
+        };
+        simulate_with(&c, w, &sim_cfg).unwrap_or_else(|e| panic!("{}: {engine:?}: {e}", w.name))
+    })
 }
 
-fn assert_equivalent(name: &str, tag: &str, fast: &SimResult, refr: &SimResult) {
-    assert_eq!(fast.outputs, refr.outputs, "{name}/{tag}: outputs");
-    assert_eq!(fast.cycles, refr.cycles, "{name}/{tag}: cycles");
-    assert_eq!(fast.counts, refr.counts, "{name}/{tag}: counts");
-    assert_eq!(fast.activity, refr.activity, "{name}/{tag}: activity");
-    for (comp, f, r) in [
-        ("alu", fast.energy.alu, refr.energy.alu),
-        ("regfile", fast.energy.regfile, refr.energy.regfile),
-        ("icache", fast.energy.icache, refr.energy.icache),
-        ("dcache", fast.energy.dcache, refr.energy.dcache),
-        ("pipeline", fast.energy.pipeline, refr.energy.pipeline),
-    ] {
-        assert!(
-            rel_close(f, r),
-            "{name}/{tag}: energy.{comp} diverges: fast={f} ref={r}"
-        );
+fn assert_equivalent(name: &str, tag: &str, refr: &SimResult, fast: &SimResult, turbo: &SimResult) {
+    for (engine, r) in [("fast", fast), ("turbo", turbo)] {
+        assert_eq!(r.outputs, refr.outputs, "{name}/{tag}/{engine}: outputs");
+        assert_eq!(r.cycles, refr.cycles, "{name}/{tag}/{engine}: cycles");
+        assert_eq!(r.counts, refr.counts, "{name}/{tag}/{engine}: counts");
+        assert_eq!(r.activity, refr.activity, "{name}/{tag}/{engine}: activity");
+        for (comp, e, x) in [
+            ("alu", r.energy.alu, refr.energy.alu),
+            ("regfile", r.energy.regfile, refr.energy.regfile),
+            ("icache", r.energy.icache, refr.energy.icache),
+            ("dcache", r.energy.dcache, refr.energy.dcache),
+            ("pipeline", r.energy.pipeline, refr.energy.pipeline),
+        ] {
+            assert!(
+                rel_close(e, x),
+                "{name}/{tag}/{engine}: energy.{comp} diverges: {engine}={e} ref={x}"
+            );
+        }
+    }
+    // Fast and turbo fold the same integer activity through the same
+    // energy model — their energies are bitwise-identical, which is what
+    // keeps the empirical gate's decisions engine-independent.
+    assert_eq!(
+        fast.energy.total_bits(),
+        turbo.energy.total_bits(),
+        "{name}/{tag}: fast/turbo energy must be bitwise-identical"
+    );
+}
+
+/// Bitwise view of the energy components (exact-equality check between the
+/// two integer-counter engines).
+trait EnergyBits {
+    fn total_bits(&self) -> [u64; 5];
+}
+
+impl EnergyBits for sim::EnergyBreakdown {
+    fn total_bits(&self) -> [u64; 5] {
+        [
+            self.alu.to_bits(),
+            self.regfile.to_bits(),
+            self.icache.to_bits(),
+            self.dcache.to_bits(),
+            self.pipeline.to_bits(),
+        ]
     }
 }
 
@@ -69,50 +99,66 @@ fn bitspec_ungated() -> BuildConfig {
 }
 
 #[test]
-fn fast_matches_reference_on_baseline_suite() {
+fn engines_match_on_baseline_suite() {
     for name in names() {
         let w = workload(name, Input::Large);
-        let (fast, refr) = run_both(&w, &BuildConfig::baseline(), false);
-        assert_equivalent(name, "baseline", &fast, &refr);
+        let [refr, fast, turbo] = run_all(&w, &BuildConfig::baseline(), false);
+        assert_equivalent(name, "baseline", &refr, &fast, &turbo);
     }
 }
 
 #[test]
-fn fast_matches_reference_on_bitspec_suite() {
+fn engines_match_on_bitspec_suite() {
     for name in names() {
         let w = workload(name, Input::Large);
-        let (fast, refr) = run_both(&w, &bitspec_ungated(), false);
-        assert!(
-            fast.counts.misspecs == refr.counts.misspecs,
-            "{name}: misspec counts"
-        );
-        assert_equivalent(name, "bitspec", &fast, &refr);
+        let [refr, fast, turbo] = run_all(&w, &bitspec_ungated(), false);
+        assert_equivalent(name, "bitspec", &refr, &fast, &turbo);
     }
 }
 
 #[test]
-fn fast_matches_reference_under_dts() {
+fn engines_match_under_min_heuristic_misspeculation() {
+    // The Min heuristic narrows aggressively, so evaluation inputs drive
+    // far more misspeculation redirects — each one enters a block
+    // mid-span through the Δ-skeleton, exercising turbo's per-instruction
+    // fallback and prefix-counter flush.
+    let cfg = BuildConfig {
+        empirical_gate: false,
+        ..BuildConfig::bitspec_with(Heuristic::Min)
+    };
+    for name in names() {
+        let w = workload(name, Input::Large);
+        let [refr, fast, turbo] = run_all(&w, &cfg, false);
+        assert_equivalent(name, "bitspec-min", &refr, &fast, &turbo);
+    }
+}
+
+#[test]
+fn engines_match_under_dts() {
     // DTS is path-dependent per step in the reference engine and
-    // class-accumulated in the fast path: the per-component split of the
-    // discount can differ in summation order, but totals and all integer
-    // state must still agree.
+    // class-accumulated in the fast path (turbo delegates to fast here —
+    // block fusion cannot see per-instruction activity): the
+    // per-component split of the discount can differ in summation order,
+    // but totals and all integer state must still agree.
     for name in ["crc32", "sha", "dijkstra"] {
         let w = workload(name, Input::Large);
-        let (fast, refr) = run_both(&w, &bitspec_ungated(), true);
-        assert_eq!(fast.outputs, refr.outputs, "{name}/dts: outputs");
-        assert_eq!(fast.cycles, refr.cycles, "{name}/dts: cycles");
-        assert_eq!(fast.counts, refr.counts, "{name}/dts: counts");
-        assert_eq!(fast.activity, refr.activity, "{name}/dts: activity");
-        assert!(
-            rel_close(fast.total_energy(), refr.total_energy()),
-            "{name}/dts: total energy diverges: fast={} ref={}",
-            fast.total_energy(),
-            refr.total_energy()
-        );
-        // Caches are a separate voltage domain — DTS must not touch them,
-        // so those components stay point-comparable.
-        assert!(rel_close(fast.energy.icache, refr.energy.icache));
-        assert!(rel_close(fast.energy.dcache, refr.energy.dcache));
+        let [refr, fast, turbo] = run_all(&w, &bitspec_ungated(), true);
+        for (engine, r) in [("fast", &fast), ("turbo", &turbo)] {
+            assert_eq!(r.outputs, refr.outputs, "{name}/dts/{engine}: outputs");
+            assert_eq!(r.cycles, refr.cycles, "{name}/dts/{engine}: cycles");
+            assert_eq!(r.counts, refr.counts, "{name}/dts/{engine}: counts");
+            assert_eq!(r.activity, refr.activity, "{name}/dts/{engine}: activity");
+            assert!(
+                rel_close(r.total_energy(), refr.total_energy()),
+                "{name}/dts/{engine}: total energy diverges: {} ref={}",
+                r.total_energy(),
+                refr.total_energy()
+            );
+            // Caches are a separate voltage domain — DTS must not touch
+            // them, so those components stay point-comparable.
+            assert!(rel_close(r.energy.icache, refr.energy.icache));
+            assert!(rel_close(r.energy.dcache, refr.energy.dcache));
+        }
     }
 }
 
@@ -122,7 +168,7 @@ fn alternate_inputs_agree_too() {
     // rates change with data).
     for name in ["bitcount", "qsort", "stringsearch"] {
         let w = workload(name, Input::Alternate);
-        let (fast, refr) = run_both(&w, &bitspec_ungated(), false);
-        assert_equivalent(name, "alternate", &fast, &refr);
+        let [refr, fast, turbo] = run_all(&w, &bitspec_ungated(), false);
+        assert_equivalent(name, "alternate", &refr, &fast, &turbo);
     }
 }
