@@ -32,3 +32,29 @@ cargo test --release -q -p fuzz --test print_after
 # nonzero on any divergence) plus replay of every minimized corpus entry.
 cargo run --release -p fuzz --bin fuzzer -- --seed 42 --iters 50 --no-save
 cargo test --release -q -p fuzz --test fuzz_corpus
+
+# Artifact store round-trip: the store/codec integration tests (corrupt
+# entries recompute + rewrite, publish races, GC cap), then a bitspecd
+# smoke — build a batch against a scratch store, re-serve it from a
+# second cold process (memory caches necessarily empty, so every cell
+# must come off disk bit-identically), and diff the result streams.
+cargo test --release -q -p bitspec --test store --test wire_roundtrip
+cargo test --release -q -p serve --test serve_integration
+STORE_DIR=$(mktemp -d)
+cat > "$STORE_DIR/batch.txt" <<'EOF'
+sim crc32 config=bitspec
+sim crc32 config=baseline
+sim basicmath config=bitspec
+EOF
+cargo run --release -p serve --bin bitspecd -- \
+  --store "$STORE_DIR/store" --ordered --file "$STORE_DIR/batch.txt" \
+  | grep -v '"summary"' | sed 's/"source": "[a-z-]*"/"source": "-"/' \
+  > "$STORE_DIR/cold.jsonl"
+cargo run --release -p serve --bin bitspecd -- \
+  --store "$STORE_DIR/store" --ordered --file "$STORE_DIR/batch.txt" \
+  | tee "$STORE_DIR/warm.raw" \
+  | grep -v '"summary"' | sed 's/"source": "[a-z-]*"/"source": "-"/' \
+  > "$STORE_DIR/warm.jsonl"
+grep -q '"computed": 0' "$STORE_DIR/warm.raw"   # everything off disk
+cmp "$STORE_DIR/cold.jsonl" "$STORE_DIR/warm.jsonl"  # bit-identical
+rm -rf "$STORE_DIR"

@@ -19,43 +19,11 @@
 //!
 //! Usage: `buildperf [-j N] [reps]`.
 
-use bench::{clear_cache, pool, run};
-use bitspec::{build, stages, BitwidthHeuristic, BuildConfig, Workload};
+use bench::{clear_cache, pool, run, run_cached_traced, suite_configs, CellSource};
+use bitspec::{build, stages, BuildConfig, Workload};
 use interp::{Interpreter, Profile, RunResult};
 use mibench::{names, workload, Input};
 use std::time::Instant;
-
-/// The evaluation matrix: the fig09 pair, the table2 heuristic study
-/// (gate off, per its protocol), the rq3 ablations and fig12's
-/// no-speculation architecture. All eight differ only downstream of the
-/// profiling stage — exactly the sharing a full experiment-suite run
-/// exhibits.
-fn config_set() -> Vec<BuildConfig> {
-    let mut cfgs = vec![BuildConfig::baseline(), BuildConfig::bitspec()];
-    for h in [
-        BitwidthHeuristic::Max,
-        BitwidthHeuristic::Avg,
-        BitwidthHeuristic::Min,
-    ] {
-        cfgs.push(BuildConfig {
-            empirical_gate: false,
-            ..BuildConfig::bitspec_with(h)
-        });
-    }
-    cfgs.push(BuildConfig {
-        compare_elim: false,
-        ..BuildConfig::bitspec()
-    });
-    cfgs.push(BuildConfig {
-        bitmask_elision: false,
-        ..BuildConfig::bitspec()
-    });
-    cfgs.push(BuildConfig {
-        arch: bitspec::Arch::NoSpec,
-        ..BuildConfig::bitspec()
-    });
-    cfgs
-}
 
 /// Clears both the bench artifact cache and the stage caches.
 fn clear_all() {
@@ -116,7 +84,9 @@ fn main() {
     bench::header("buildperf", "staged build pipeline / profiler wall-clock");
 
     let workloads: Vec<_> = names().iter().map(|n| workload(n, Input::Large)).collect();
-    let cfgs = config_set();
+    // The shared 112-cell evaluation matrix (`bench::suite_configs`):
+    // fig09 pair + table2 heuristics + rq3 ablations + fig12 nospec.
+    let cfgs = suite_configs();
 
     // 1. Cold full builds (every cache cleared per build), with the
     // pass-manager's per-pass wall-time breakdown aggregated across
@@ -179,6 +149,55 @@ fn main() {
          staged_serial={warm_serial:.3}s ({warm_speedup:.2}x) \
          staged_pool(j={jobs})={warm_pool:.3}s resweep={resweep:.3}s"
     );
+
+    // 2b. Persistent store matrix: cold (populate a fresh store) /
+    // disk-warm (memory caches wiped, cells served from disk) /
+    // memory-warm (the `resweep` above). The disk-warm leg asserts every
+    // cell really came from the store and that the artifacts are
+    // bit-identical to the builds that populated it.
+    let store_dir = std::env::temp_dir().join(format!("buildperf-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    bitspec::store::configure(Some(&store_dir), None);
+    clear_all();
+    let t = Instant::now();
+    let mut populate_fps = Vec::with_capacity(cells);
+    for w in &workloads {
+        for cfg in &cfgs {
+            let (cell, _) = run_cached_traced(w, cfg);
+            populate_fps.push(backend::program_fingerprint(&cell.0.program));
+        }
+    }
+    let store_populate = t.elapsed().as_secs_f64();
+    clear_all(); // memory gone; the store keeps its entries
+    let t = Instant::now();
+    let mut disk_hits = 0usize;
+    for (i, (w, cfg)) in workloads
+        .iter()
+        .flat_map(|w| cfgs.iter().map(move |c| (w, c)))
+        .enumerate()
+    {
+        let (cell, source) = run_cached_traced(w, cfg);
+        if source == CellSource::Disk {
+            disk_hits += 1;
+        }
+        assert_eq!(
+            backend::program_fingerprint(&cell.0.program),
+            populate_fps[i],
+            "{}: disk-served artifact differs from the build that populated it",
+            w.name
+        );
+    }
+    let disk_resweep = t.elapsed().as_secs_f64();
+    assert_eq!(disk_hits, cells, "disk-warm re-sweep missed the store");
+    let disk_speedup = uncached_serial / disk_resweep;
+    println!(
+        "store matrix ({cells} cells): populate={store_populate:.3}s \
+         disk_resweep={disk_resweep:.3}s ({disk_speedup:.1}x vs uncached) \
+         memory_resweep={resweep:.3}s"
+    );
+    bitspec::store::configure(None, None);
+    let _ = std::fs::remove_dir_all(&store_dir);
+    clear_all();
 
     // 3. Profiler engines on every workload's expanded module.
     let mut prof_rows = Vec::new();
@@ -247,7 +266,8 @@ fn main() {
          \"configs\": {}, \"uncached_serial_s\": {uncached_serial:.6}, \
          \"staged_serial_s\": {warm_serial:.6}, \"warm_speedup\": {warm_speedup:.3}, \
          \"staged_pool_jobs\": {jobs}, \"staged_pool_s\": {warm_pool:.6}, \
-         \"resweep_s\": {resweep:.6}}},\n  \"profiler\": [\n",
+         \"resweep_s\": {resweep:.6}, \"store_populate_s\": {store_populate:.6}, \
+         \"disk_resweep_s\": {disk_resweep:.6}, \"disk_speedup\": {disk_speedup:.3}}},\n  \"profiler\": [\n",
         cfgs.len()
     ));
     for (i, (name, dyn_insts, t_ref, t_fast, identical)) in prof_rows.iter().enumerate() {

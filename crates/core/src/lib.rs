@@ -34,6 +34,8 @@ pub mod fingerprint;
 pub mod pipeline;
 pub mod pool;
 pub mod stages;
+pub mod store;
+pub mod wire;
 
 pub use backend::Program;
 pub use interp::Heuristic as BitwidthHeuristic;

@@ -94,6 +94,13 @@ pub struct CacheStats {
     pub profile_misses: u64,
     pub gate_hits: u64,
     pub gate_misses: u64,
+    /// Stage artifacts served from the persistent store ([`crate::store`])
+    /// after a memory miss; these also count toward the per-stage hit
+    /// counters above (the stage's work was saved either way).
+    pub disk_hits: u64,
+    /// Memory misses that consulted an active store and found nothing
+    /// usable (recompute followed, then a publish).
+    pub disk_misses: u64,
 }
 
 struct Caches {
@@ -110,6 +117,8 @@ struct Caches {
     profile_misses: AtomicU64,
     gate_hits: AtomicU64,
     gate_misses: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
 }
 
 fn caches() -> &'static Caches {
@@ -128,6 +137,8 @@ fn caches() -> &'static Caches {
         profile_misses: AtomicU64::new(0),
         gate_hits: AtomicU64::new(0),
         gate_misses: AtomicU64::new(0),
+        disk_hits: AtomicU64::new(0),
+        disk_misses: AtomicU64::new(0),
     })
 }
 
@@ -159,6 +170,8 @@ pub fn stats() -> CacheStats {
         profile_misses: c.profile_misses.load(Ordering::SeqCst),
         gate_hits: c.gate_hits.load(Ordering::SeqCst),
         gate_misses: c.gate_misses.load(Ordering::SeqCst),
+        disk_hits: c.disk_hits.load(Ordering::SeqCst),
+        disk_misses: c.disk_misses.load(Ordering::SeqCst),
     }
 }
 
@@ -221,16 +234,30 @@ fn bypass(policy: &TracePolicy) -> bool {
     policy.print_after != PrintAfter::None
 }
 
+/// How a stage artifact round-trips through the persistent store: the
+/// entry kind (store subdirectory) plus the [`crate::wire`] codec pair.
+struct DiskCodec<T> {
+    kind: &'static str,
+    enc: fn(&T) -> Vec<u8>,
+    dec: fn(&[u8]) -> Result<T, crate::wire::WireError>,
+}
+
 /// Looks up `key` in `map` (when the caches are enabled and the caller
-/// does not bypass them), else computes via `make` and publishes the
-/// result. Concurrent misses on the same key compute independently; the
-/// first to publish wins and the rest adopt it.
+/// does not bypass them), then — for stages with a `disk` codec and an
+/// active persistent store — on disk, else computes via `make` and
+/// publishes the result to both tiers. Lookup order is memory → disk →
+/// compute; a disk hit is adopted into the memory map so repeats within
+/// the process stay at memory speed. Concurrent misses on the same key
+/// compute independently; the first to publish wins and the rest adopt
+/// it. Bypass and disabled modes skip *both* tiers (print-after dumps
+/// must come from real runs and must not be published anywhere).
 fn memo<T, E>(
     map: &Mutex<HashMap<u64, Arc<T>>>,
     hits: &AtomicU64,
     misses: &AtomicU64,
     key: u64,
     bypass: bool,
+    disk: Option<DiskCodec<T>>,
     make: impl FnOnce() -> Result<T, E>,
 ) -> Result<(Arc<T>, bool), E> {
     if bypass || !caches().enabled.load(Ordering::SeqCst) {
@@ -240,6 +267,21 @@ fn memo<T, E>(
         hits.fetch_add(1, Ordering::SeqCst);
         return Ok((Arc::clone(hit), true));
     }
+    let store = disk.as_ref().and_then(|_| crate::store::active());
+    if let (Some(dc), Some(store)) = (&disk, &store) {
+        if let Some(art) = crate::store::get_decoded(store, dc.kind, key, dc.dec) {
+            caches().disk_hits.fetch_add(1, Ordering::SeqCst);
+            hits.fetch_add(1, Ordering::SeqCst);
+            let shared = map
+                .lock()
+                .expect("stage cache")
+                .entry(key)
+                .or_insert_with(|| Arc::new(art))
+                .clone();
+            return Ok((shared, true));
+        }
+        caches().disk_misses.fetch_add(1, Ordering::SeqCst);
+    }
     let made = Arc::new(make()?);
     misses.fetch_add(1, Ordering::SeqCst);
     let shared = map
@@ -248,6 +290,9 @@ fn memo<T, E>(
         .entry(key)
         .or_insert(made)
         .clone();
+    if let (Some(dc), Some(store)) = (&disk, &store) {
+        store.put(dc.kind, key, &(dc.enc)(&shared));
+    }
     Ok((shared, false))
 }
 
@@ -262,6 +307,9 @@ fn front_art(w: &Workload, policy: &TracePolicy) -> Result<(Arc<SirStage>, bool)
         &c.front_misses,
         front_key(w, verify),
         bypass(policy),
+        // The frontend is cheap enough that a disk round-trip wouldn't
+        // pay; it stays memory-only.
+        None,
         || {
             let t = Instant::now();
             let module = lang::compile(&w.name, &w.source).map_err(BuildError::Compile)?;
@@ -301,6 +349,11 @@ fn expand_art(
         &c.expand_misses,
         key,
         bypass(policy),
+        Some(DiskCodec {
+            kind: "expand",
+            enc: crate::wire::encode_sir_stage,
+            dec: crate::wire::decode_sir_stage,
+        }),
         || {
             let (front, hit) = front_art(w, policy)?;
             front_hit = hit;
@@ -387,6 +440,11 @@ pub fn profile(
         &c.profile_misses,
         key,
         bypass(&policy),
+        Some(DiskCodec {
+            kind: "profile",
+            enc: crate::wire::encode_profile_data,
+            dec: crate::wire::decode_profile_data,
+        }),
         || {
             let (art, hits) = expand_art(w, ecfg, &policy)?;
             let t = Instant::now();
@@ -439,6 +497,11 @@ pub fn gate_ref(
         &c.gate_misses,
         key,
         bypass(policy),
+        Some(DiskCodec {
+            kind: "gate",
+            enc: crate::wire::encode_gate_ref,
+            dec: crate::wire::decode_gate_ref,
+        }),
         make,
     )
 }

@@ -126,6 +126,21 @@ impl Profile {
         Width::for_bits(bits)
     }
 
+    /// The raw per-function, per-value statistics, indexed `[func][value]`
+    /// over the module's instruction arenas. Serialization support: the
+    /// persistent artifact store flattens profiles through this accessor
+    /// and rebuilds them with [`Profile::from_raw`].
+    pub fn raw(&self) -> &[Vec<VarStats>] {
+        &self.funcs
+    }
+
+    /// Rebuilds a profile from raw statistics (the inverse of
+    /// [`Profile::raw`]). The caller is responsible for the shape matching
+    /// the module the profile will be used with.
+    pub fn from_raw(funcs: Vec<Vec<VarStats>>) -> Profile {
+        Profile { funcs }
+    }
+
     /// Merges another profile collected on the same module shape (used when
     /// profiling over several inputs).
     ///

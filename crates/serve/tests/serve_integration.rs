@@ -1,0 +1,237 @@
+//! Serve-layer integration: the cell-level cache tiers under
+//! [`bench::run_cached_traced`], corrupt cell entries falling back to
+//! compute, and real `bitspecd` child processes — concurrent children
+//! racing one store, and fresh-store children agreeing bit-for-bit.
+//!
+//! The store configuration, cell cache and stage caches are all
+//! process-global, so the in-process tests take a file-wide lock and
+//! use tag-unique sources. The child-process tests are independent of
+//! this process's globals but still serialize to keep wall-clock sane.
+
+use bench::{clear_cache, run_cached_traced, CellSource};
+use bitspec::{stages, store, BuildConfig, Workload};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn unique_workload(tag: &str) -> Workload {
+    let src = format!(
+        "global u8 seed[2]; // serve {tag}
+         void main() {{
+            u32 s = 1;
+            for (u32 i = 0; i < 40; i++) {{ s = (s + seed[i & 1]) * 3 & 255; }}
+            out(s);
+         }}"
+    );
+    Workload::from_source(format!("serve_{tag}"), src)
+        .with_input("seed", vec![3, 9])
+        .with_train_input("seed", vec![5, 2])
+}
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let dir =
+            std::env::temp_dir().join(format!("bitspec-serve-it-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        store::configure(None, None);
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Wipes the in-process caches (bench cell cache + stage caches) while
+/// leaving any configured disk store untouched.
+fn wipe_memory() {
+    clear_cache();
+    stages::clear();
+}
+
+#[test]
+fn cell_cache_walks_memory_then_disk_then_compute() {
+    let _g = serial();
+    let scratch = Scratch::new("tiers");
+    store::configure(Some(scratch.path()), None);
+    wipe_memory();
+    let w = unique_workload("tiers");
+    let cfg = BuildConfig::bitspec();
+
+    let (cold, src) = run_cached_traced(&w, &cfg);
+    assert_eq!(src, CellSource::Computed);
+    let (mem, src) = run_cached_traced(&w, &cfg);
+    assert_eq!(src, CellSource::Memory);
+    assert!(std::sync::Arc::ptr_eq(&cold, &mem), "memory tier shares");
+
+    wipe_memory();
+    let (disk, src) = run_cached_traced(&w, &cfg);
+    assert_eq!(src, CellSource::Disk, "fresh memory must fall to disk");
+    assert_eq!(disk.1.outputs, cold.1.outputs);
+    assert_eq!(disk.1.cycles, cold.1.cycles);
+    assert_eq!(
+        backend::program_fingerprint(&disk.0.program),
+        backend::program_fingerprint(&cold.0.program)
+    );
+    // And the disk hit re-seeded memory.
+    let (_, src) = run_cached_traced(&w, &cfg);
+    assert_eq!(src, CellSource::Memory);
+}
+
+#[test]
+fn corrupt_cell_entry_falls_back_to_compute_and_rewrites() {
+    let _g = serial();
+    let scratch = Scratch::new("corrupt");
+    store::configure(Some(scratch.path()), None);
+    wipe_memory();
+    let w = unique_workload("corrupt");
+    let cfg = BuildConfig::bitspec();
+    let (cold, _) = run_cached_traced(&w, &cfg);
+
+    // Stomp every cell entry's payload.
+    let cell_dir = scratch.path().join("cell");
+    let mut stomped = 0;
+    for f in fs::read_dir(&cell_dir).unwrap().flatten() {
+        let mut bytes = fs::read(f.path()).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(f.path(), &bytes).unwrap();
+        stomped += 1;
+    }
+    assert!(stomped > 0);
+
+    wipe_memory();
+    let before = store::stats();
+    let (again, src) = run_cached_traced(&w, &cfg);
+    assert_eq!(src, CellSource::Computed, "corrupt entry must not serve");
+    assert!(store::stats().corrupt > before.corrupt);
+    assert_eq!(again.1.outputs, cold.1.outputs);
+
+    // The recompute republished a clean entry.
+    wipe_memory();
+    let (_, src) = run_cached_traced(&w, &cfg);
+    assert_eq!(src, CellSource::Disk, "fallback must rewrite the entry");
+}
+
+/// A small build+sim request batch over cheap MiBench workloads —
+/// child processes run debug binaries, so keep the matrix tiny.
+const BATCH: &str = "\
+sim crc32 config=bitspec
+sim crc32 config=baseline
+sim basicmath config=bitspec
+sim basicmath config=nospec gate=off
+";
+
+fn run_child(store_dir: &Path, batch_file: &Path) -> (String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bitspecd"))
+        .arg("--store")
+        .arg(store_dir)
+        .arg("--ordered")
+        .arg("--file")
+        .arg(batch_file)
+        .output()
+        .expect("spawn bitspecd");
+    assert!(
+        out.status.success(),
+        "bitspecd failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    let summary = stdout
+        .lines()
+        .rev()
+        .find(|l| l.contains("\"summary\""))
+        .expect("summary line")
+        .to_string();
+    (stdout, summary)
+}
+
+fn suite_fp_of(summary: &str) -> &str {
+    let key = "\"suite_fp\": \"";
+    let start = summary.find(key).expect("suite_fp field") + key.len();
+    &summary[start..start + 16]
+}
+
+/// Strips fields that legitimately differ between runs (cache
+/// provenance and wall-clock) so the rest must match byte-for-byte.
+fn normalize(stdout: &str) -> String {
+    stdout
+        .lines()
+        .filter(|l| !l.contains("\"summary\""))
+        .map(|l| {
+            let mut s = l.to_string();
+            for tier in ["memory", "disk", "computed"] {
+                s = s.replace(&format!("\"source\": \"{tier}\", "), "\"source\": \"-\", ");
+            }
+            s
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn concurrent_children_race_one_store_and_agree() {
+    let _g = serial();
+    let scratch = Scratch::new("children-race");
+    let store_dir = scratch.path().join("store");
+    let batch = scratch.path().join("batch.txt");
+    fs::create_dir_all(scratch.path()).unwrap();
+    fs::write(&batch, BATCH).unwrap();
+
+    // Two processes race cold against one store: both publish every
+    // cell, both must succeed and agree on the suite fingerprint.
+    let a = {
+        let (d, b) = (store_dir.clone(), batch.clone());
+        std::thread::spawn(move || run_child(&d, &b))
+    };
+    let b = run_child(&store_dir, &batch);
+    let a = a.join().unwrap();
+    assert_eq!(suite_fp_of(&a.1), suite_fp_of(&b.1));
+    assert_eq!(normalize(&a.0), normalize(&b.0));
+
+    // A third, cold process re-sweeps the racers' store purely from
+    // disk — no compute — and still matches.
+    let c = run_child(&store_dir, &batch);
+    assert!(
+        c.1.contains("\"computed\": 0"),
+        "warm child recomputed: {}",
+        c.1
+    );
+    assert_eq!(suite_fp_of(&c.1), suite_fp_of(&a.1));
+    assert_eq!(normalize(&c.0), normalize(&a.0));
+}
+
+#[test]
+fn fresh_store_children_are_bit_identical() {
+    let _g = serial();
+    let scratch = Scratch::new("children-fresh");
+    let batch = scratch.path().join("batch.txt");
+    fs::create_dir_all(scratch.path()).unwrap();
+    fs::write(&batch, BATCH).unwrap();
+
+    // Two children with separate empty stores: everything computed in
+    // both, and the artifacts (fingerprints, outputs, cycles, energy —
+    // the full result stream) must be bit-identical across processes.
+    let a = run_child(&scratch.path().join("store-a"), &batch);
+    let b = run_child(&scratch.path().join("store-b"), &batch);
+    assert!(a.1.contains("\"disk_hits\": 0"));
+    assert!(b.1.contains("\"disk_hits\": 0"));
+    assert_eq!(suite_fp_of(&a.1), suite_fp_of(&b.1));
+    assert_eq!(a.0.replace(&a.1, ""), b.0.replace(&b.1, ""));
+}

@@ -1,0 +1,293 @@
+//! Persistent artifact store integration: the disk tier under the real
+//! build pipeline, corruption robustness, publish races and GC.
+//!
+//! The store (`bitspec::store`) is process-global once configured, and
+//! the stage caches plus the store counters are process-global too, so
+//! every test takes a file-wide lock (same pattern as
+//! `tests/stage_cache.rs`) and each test uses a tag-unique source so no
+//! two tests can share cells. Tests that exercise [`Store`] directly
+//! (GC, publish races) open private scratch stores and do not need the
+//! global configuration, but still serialize: the cumulative counters
+//! are shared.
+
+use bitspec::{build, stages, store, BuildConfig, Workload};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A workload with a `tag`-unique source so tests cannot share cells.
+fn unique_workload(tag: &str) -> Workload {
+    let src = format!(
+        "global u8 seed[1]; // store {tag}
+         void main() {{
+            u32 s = 0;
+            for (u32 i = 0; i < 50; i++) {{ s += (i * seed[0]) & 63; }}
+            out(s);
+         }}"
+    );
+    Workload::from_source(format!("store_{tag}"), src)
+        .with_input("seed", vec![7])
+        .with_train_input("seed", vec![4])
+}
+
+/// Scratch directory for one test; removed on drop along with the
+/// global store configuration, so a panicking test cannot leave the
+/// process pointed at a dead directory.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let dir =
+            std::env::temp_dir().join(format!("bitspec-store-it-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        store::configure(None, None);
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Every published entry file under the store root (any kind).
+fn entry_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(kinds) = fs::read_dir(root) else {
+        return out;
+    };
+    for kind in kinds.flatten() {
+        if !kind.path().is_dir() || kind.file_name() == "tmp" {
+            continue;
+        }
+        for f in fs::read_dir(kind.path()).into_iter().flatten().flatten() {
+            if f.path().extension().is_some_and(|e| e == "art") {
+                out.push(f.path());
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn disk_tier_survives_memory_wipe() {
+    let _g = serial();
+    let scratch = Scratch::new("survive");
+    store::configure(Some(scratch.path()), None);
+    stages::clear();
+    let w = unique_workload("survive");
+
+    let before = store::stats();
+    let cold = build(&w, &BuildConfig::bitspec()).unwrap();
+    let mid = store::stats();
+    assert!(!cold.stage_hits.expand && !cold.stage_hits.profile);
+    assert!(
+        mid.puts >= before.puts + 3,
+        "expand, profile and gate artifacts must all publish"
+    );
+    assert!(!entry_files(scratch.path()).is_empty());
+
+    // Wipe memory; the disk tier must serve the stages the frontend
+    // (deliberately memory-only) sits above.
+    stages::clear();
+    let warm = build(&w, &BuildConfig::bitspec()).unwrap();
+    let after = store::stats();
+    assert!(warm.stage_hits.expand, "expand must hit via disk");
+    assert!(warm.stage_hits.profile, "profile must hit via disk");
+    assert!(after.hits > mid.hits, "disk hits must be counted");
+    assert_eq!(cold.profile, warm.profile);
+    assert_eq!(
+        backend::program_fingerprint(&cold.program),
+        backend::program_fingerprint(&warm.program),
+        "disk-served artifacts must be bit-identical"
+    );
+    let s = stages::stats();
+    assert!(s.disk_hits > 0, "stage counters must surface the disk tier");
+}
+
+#[test]
+fn truncated_entries_recompute_and_rewrite() {
+    let _g = serial();
+    let scratch = Scratch::new("truncate");
+    store::configure(Some(scratch.path()), None);
+    stages::clear();
+    let w = unique_workload("truncate");
+    let cold = build(&w, &BuildConfig::bitspec()).unwrap();
+
+    // Plant truncation in every published entry (header cut short).
+    let files = entry_files(scratch.path());
+    assert!(!files.is_empty());
+    for f in &files {
+        let bytes = fs::read(f).unwrap();
+        fs::write(f, &bytes[..bytes.len().min(11)]).unwrap();
+    }
+
+    stages::clear();
+    let before = store::stats();
+    let again = build(&w, &BuildConfig::bitspec()).unwrap();
+    let after = store::stats();
+    assert!(
+        after.corrupt > before.corrupt,
+        "truncated entries must be classified corrupt"
+    );
+    assert!(!again.stage_hits.expand, "corrupt entry cannot hit");
+    assert_eq!(cold.profile, again.profile, "recompute must be identical");
+
+    // The recompute republished: a third, memory-wiped build hits disk
+    // without any further corruption.
+    stages::clear();
+    let mid = store::stats();
+    let warm = build(&w, &BuildConfig::bitspec()).unwrap();
+    let end = store::stats();
+    assert!(warm.stage_hits.expand && warm.stage_hits.profile);
+    assert_eq!(end.corrupt, mid.corrupt, "rewritten entries are clean");
+}
+
+#[test]
+fn garbage_and_schema_mismatch_detected() {
+    let _g = serial();
+    let scratch = Scratch::new("garbage");
+    store::configure(Some(scratch.path()), None);
+    stages::clear();
+    let w = unique_workload("garbage");
+    let cold = build(&w, &BuildConfig::bitspec()).unwrap();
+
+    // Alternate two corruptions across the published entries: flip a
+    // payload byte (checksum mismatch) and patch the schema version
+    // field at offset 4 (mis-versioned entry).
+    let files = entry_files(scratch.path());
+    assert!(files.len() >= 2, "need entries to corrupt");
+    for (i, f) in files.iter().enumerate() {
+        let mut bytes = fs::read(f).unwrap();
+        if i % 2 == 0 {
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xA5;
+        } else {
+            bytes[4] = bytes[4].wrapping_add(1);
+        }
+        fs::write(f, &bytes).unwrap();
+    }
+
+    stages::clear();
+    let before = store::stats();
+    let again = build(&w, &BuildConfig::bitspec()).unwrap();
+    let after = store::stats();
+    assert!(
+        after.corrupt >= before.corrupt + 2,
+        "both corruption styles must be caught"
+    );
+    assert_eq!(cold.profile, again.profile);
+    // Corrupt entries were deleted and replaced by the recompute — none
+    // of the planted bytes survive.
+    for f in entry_files(scratch.path()) {
+        let bytes = fs::read(&f).unwrap();
+        assert_eq!(&bytes[0..4], b"BSST");
+    }
+}
+
+#[test]
+fn gc_keeps_store_under_cap_and_serves_survivors() {
+    let _g = serial();
+    let scratch = Scratch::new("gc");
+    // Direct store, private to this test: ~1 KiB entries, 4 KiB cap.
+    let cap = 4096u64;
+    let s = store::Store::open(scratch.path(), Some(cap)).unwrap();
+    let payload = vec![0x5Au8; 1000];
+    for key in 0..12u64 {
+        s.put("cell", key, &payload);
+        assert!(
+            s.total_bytes() <= cap,
+            "publish #{key} left the store over its cap"
+        );
+        // Distinct mtimes so the LRU-ish eviction order is well defined.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let before = store::stats();
+    assert!(before.evictions > 0, "a capped store must have evicted");
+    // Three ~1 KiB entries fit under the 4 KiB cap: the newest three
+    // (9, 10, 11) survive, everything older is gone.
+    assert!(s.get("cell", 11).is_some(), "newest entry must survive GC");
+    assert!(s.get("cell", 0).is_none(), "oldest entry must be evicted");
+    // Reads touch mtime (LRU-ish, not FIFO): touch the oldest survivor,
+    // then overflow by one — the untouched middle entry is the coldest
+    // and must be the one evicted.
+    assert!(s.get("cell", 9).is_some());
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    s.put("cell", 100, &payload);
+    assert!(s.total_bytes() <= cap);
+    assert!(s.get("cell", 9).is_some(), "recently-read entry evicted");
+    assert!(s.get("cell", 10).is_none(), "coldest entry must be evicted");
+}
+
+#[test]
+fn env_cap_knob_parses_like_the_flag() {
+    let _g = serial();
+    // `BITSPEC_STORE_MAX_BYTES` and `--store-cap` share one parser.
+    assert_eq!(store::parse_cap("64m"), Some(64 << 20));
+    let scratch = Scratch::new("capknob");
+    let s = store::Store::open(scratch.path(), store::parse_cap("8k")).unwrap();
+    assert_eq!(s.cap(), Some(8192));
+}
+
+#[test]
+fn racing_publishers_same_key_both_succeed() {
+    let _g = serial();
+    let scratch = Scratch::new("race");
+    let s = Arc::new(store::Store::open(scratch.path(), None).unwrap());
+    // Content addressing: racers for one key write identical bytes.
+    let payload: Vec<u8> = (0..4096u32).map(|i| (i * 7) as u8).collect();
+
+    let writers: Vec<_> = (0..2)
+        .map(|_| {
+            let s = Arc::clone(&s);
+            let p = payload.clone();
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    s.put("race", 42, &p);
+                }
+            })
+        })
+        .collect();
+    // A reader hammers the same key while the writers race. Atomic
+    // publish means every observation is either "absent" or the full
+    // payload — never a torn prefix.
+    let reader = {
+        let s = Arc::clone(&s);
+        let p = payload.clone();
+        std::thread::spawn(move || {
+            let mut seen = 0u32;
+            for _ in 0..400 {
+                if let Some(got) = s.get("race", 42) {
+                    assert_eq!(got, p, "reader observed a partial artifact");
+                    seen += 1;
+                }
+            }
+            seen
+        })
+    };
+    for w in writers {
+        w.join().unwrap();
+    }
+    let seen = reader.join().unwrap();
+    assert!(seen > 0, "reader never saw the published entry");
+    assert_eq!(s.get("race", 42).as_deref(), Some(&payload[..]));
+    // No tmp litter left behind.
+    let tmp_left = fs::read_dir(scratch.path().join("tmp"))
+        .unwrap()
+        .flatten()
+        .count();
+    assert_eq!(tmp_left, 0, "publish must not leak temp files");
+}
