@@ -17,9 +17,20 @@ cargo run --release -p bench --bin simperf -- --check 1
 
 # Compiler side: the profiler engine contract, then the staged-pipeline
 # target (2 reps → min-of-2 sweeps; also checks BENCH_build.json
-# generation and asserts fast/reference profiler equivalence end to end).
+# generation and asserts fast/reference profiler equivalence end to end;
+# its -j cold-build matrix aborts on any parallel-vs-serial suite
+# fingerprint divergence, and its incremental leg asserts a
+# one-function rebuild links bit-identically to the cold build).
 cargo test --release -q -p bitspec --test profiler_equivalence
 cargo run --release -p bench --bin buildperf -- 2
+
+# Parallel & incremental build determinism: -j1 vs -j8 sweeps of the
+# suite (memory + disk store tiers), function-cache invalidation
+# precision, pool output ordering, and the fuzzer's seeded
+# serial/parallel/incremental agreement property.
+cargo test --release -q -p bitspec --test parallel_determinism --test fn_cache
+cargo test --release -q -p bench --test pool_order
+cargo test --release -q -p fuzz --test parallel_incremental
 
 # Pass-manager smoke: a gated BITSPEC build with verify-each produces a
 # JSON pass trace naming every registered pass with nonzero timings, the

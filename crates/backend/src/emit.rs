@@ -107,43 +107,92 @@ impl Program {
 /// Default memory image size (matches the interpreter).
 pub const MEM_SIZE: u32 = 8 << 20;
 
-/// One branch-target fixup: instruction slot → (function, block).
-enum Fixup {
-    Block(usize, MBlockId),
+/// One branch-target fixup, *function-relative*: the slot index is within
+/// the owning function's own code, and the target is either a block of the
+/// same function or a symbolic callee. [`link_codes`] globalizes both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FnFixup {
+    Block(MBlockId),
     Func(sir::FuncId),
 }
 
-/// Links allocated functions into a program image.
+/// Position-independent emitted code for one function: the per-function
+/// share of the `emit` pass, before the serial layout/link pass. Every
+/// index is function-relative and callee references stay symbolic
+/// ([`FnFixup::Func`]), so a `FnCode` depends only on the function's own
+/// allocated MIR and the codegen options — never on its neighbours or its
+/// final base address. That is what makes it cacheable by function content.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FnCode {
+    /// Function name (diagnostics; becomes `Program::func_names[fi]`).
+    pub name: String,
+    /// The function's instructions, branch targets unresolved (0) where a
+    /// fixup is recorded.
+    pub insts: Vec<MInst>,
+    /// Branch-slot fixups to resolve at link time.
+    pub fixups: Vec<(usize, FnFixup)>,
+    /// Block → first-instruction slot (function-relative).
+    pub block_starts: Vec<(MBlockId, usize)>,
+    /// `(spec slot, skeleton branch slot, handler block)` cover triples;
+    /// globalized by [`link_codes`] into [`Program::spec_targets`].
+    pub spec_pairs: Vec<(usize, usize, MBlockId)>,
+}
+
+/// Emits one allocated function to position-independent [`FnCode`]. The
+/// Δ-skeleton layout (spec segment, mirrored skeleton, `SetDelta` patch) is
+/// entirely intra-function, so this is the whole `emit` pass except the
+/// final concatenation + fixup resolution of [`link_codes`].
+pub fn emit_function(af: &AllocatedFn, opts: &CodegenOpts) -> FnCode {
+    FnEmitter::new(af, opts).emit()
+}
+
+/// Links allocated functions into a program image: per-function emission
+/// followed by the serial layout pass over the per-function code.
 pub fn link(m: &Module, funcs: Vec<AllocatedFn>, opts: &CodegenOpts, layout: &Layout) -> Program {
+    let codes: Vec<FnCode> = funcs.iter().map(|af| emit_function(af, opts)).collect();
+    let refs: Vec<&FnCode> = codes.iter().collect();
+    link_codes(m, &refs, opts, layout)
+}
+
+/// The serial layout/link pass: concatenates per-function code in function
+/// order, resolves block/callee fixups against the global image, assigns
+/// addresses, and derives the simulator side tables. This is the only
+/// cross-function step of the back-end — given the same `codes` in the
+/// same order it is a pure function of its inputs, which is what makes
+/// parallel per-function compilation bit-identical to serial.
+pub fn link_codes(m: &Module, codes: &[&FnCode], opts: &CodegenOpts, layout: &Layout) -> Program {
     let mut insts: Vec<MInst> = Vec::new();
-    let mut fixups: Vec<(usize, Fixup)> = Vec::new();
-    let mut func_entries = Vec::with_capacity(funcs.len());
-    let mut block_index: Vec<HashMap<MBlockId, usize>> = Vec::with_capacity(funcs.len());
+    let mut fixups: Vec<(usize, usize, FnFixup)> = Vec::new();
+    let mut func_entries = Vec::with_capacity(codes.len());
+    let mut block_index: Vec<HashMap<MBlockId, usize>> = Vec::with_capacity(codes.len());
     let mut spec_targets: Vec<(usize, usize, usize)> = Vec::new();
 
-    for (fi, af) in funcs.iter().enumerate() {
-        let mut e = FnEmitter::new(af, opts, fi);
-        let (code, fx, blocks, pairs) = e.emit();
+    for (fi, code) in codes.iter().enumerate() {
         let base = insts.len();
         func_entries.push(base);
-        for (slot, f) in fx {
-            fixups.push((base + slot, f));
+        for (slot, f) in &code.fixups {
+            fixups.push((base + slot, fi, *f));
         }
-        block_index.push(blocks.into_iter().map(|(b, i)| (b, base + i)).collect());
+        block_index.push(
+            code.block_starts
+                .iter()
+                .map(|&(b, i)| (b, base + i))
+                .collect(),
+        );
         let bi = block_index.last().expect("just pushed");
-        for (spec, branch, handler) in pairs {
+        for &(spec, branch, handler) in &code.spec_pairs {
             spec_targets.push((base + spec, base + branch, bi[&handler]));
         }
-        insts.extend(code);
+        insts.extend(code.insts.iter().cloned());
     }
     // Halt stub.
     let halt = insts.len();
     insts.push(MInst::Halt);
     // Resolve fixups.
-    for (slot, f) in fixups {
+    for (slot, fi, f) in fixups {
         let target = match f {
-            Fixup::Block(fi, b) => block_index[fi][&b],
-            Fixup::Func(fid) => func_entries[fid.index()],
+            FnFixup::Block(b) => block_index[fi][&b],
+            FnFixup::Func(fid) => func_entries[fid.index()],
         };
         match &mut insts[slot] {
             MInst::B { target: t } | MInst::Bc { target: t, .. } | MInst::Bl { target: t } => {
@@ -178,7 +227,7 @@ pub fn link(m: &Module, funcs: Vec<AllocatedFn>, opts: &CodegenOpts, layout: &La
         entry,
         halt,
         func_entries,
-        func_names: funcs.iter().map(|f| f.mir.name.clone()).collect(),
+        func_names: codes.iter().map(|c| c.name.clone()).collect(),
         global_inits,
         mem_size: MEM_SIZE,
         compact: opts.compact,
@@ -284,14 +333,14 @@ pub fn verify_layout(p: &Program) -> Vec<sir::Diag> {
 struct FnEmitter<'a> {
     af: &'a AllocatedFn,
     opts: &'a CodegenOpts,
-    fi: usize,
     out: Vec<MInst>,
-    fixups: Vec<(usize, Fixup)>,
+    fixups: Vec<(usize, FnFixup)>,
     block_starts: Vec<(MBlockId, usize)>,
     /// Handler (region) mirrored for each emitted spec-segment slot.
     spec_slots: Vec<Option<MBlockId>>,
     /// `(spec slot, skeleton branch slot, handler block)` cover triples,
-    /// function-relative; globalized by `link` into [`Program::spec_targets`].
+    /// function-relative; globalized by [`link_codes`] into
+    /// [`Program::spec_targets`].
     spec_pairs: Vec<(usize, usize, MBlockId)>,
     /// Index of SetDelta instructions to patch with Δ.
     delta_slots: Vec<usize>,
@@ -316,7 +365,7 @@ impl FrameInfo {
 }
 
 impl<'a> FnEmitter<'a> {
-    fn new(af: &'a AllocatedFn, opts: &'a CodegenOpts, fi: usize) -> Self {
+    fn new(af: &'a AllocatedFn, opts: &'a CodegenOpts) -> Self {
         let out_words = af
             .mir
             .blocks
@@ -339,7 +388,6 @@ impl<'a> FnEmitter<'a> {
         FnEmitter {
             af,
             opts,
-            fi,
             out: Vec::new(),
             fixups: Vec::new(),
             block_starts: Vec::new(),
@@ -396,15 +444,7 @@ impl<'a> FnEmitter<'a> {
         self.out.push(i);
     }
 
-    #[allow(clippy::type_complexity)]
-    fn emit(
-        &mut self,
-    ) -> (
-        Vec<MInst>,
-        Vec<(usize, Fixup)>,
-        Vec<(MBlockId, usize)>,
-        Vec<(usize, usize, MBlockId)>,
-    ) {
+    fn emit(mut self) -> FnCode {
         let order = self.af.order.clone();
         let has_regions = !self.af.mir.regions.is_empty();
         let spec_count = order
@@ -429,7 +469,7 @@ impl<'a> FnEmitter<'a> {
                     Some(h) => {
                         let slot = self.out.len();
                         self.push(MInst::B { target: 0 });
-                        self.fixups.push((slot, Fixup::Block(self.fi, h)));
+                        self.fixups.push((slot, FnFixup::Block(h)));
                         self.spec_pairs.push((spec_slot, slot, h));
                     }
                     None => {
@@ -451,12 +491,13 @@ impl<'a> FnEmitter<'a> {
         for (oi, &b) in order.iter().enumerate().skip(spec_count) {
             self.begin_block(b, oi, &order, false);
         }
-        (
-            std::mem::take(&mut self.out),
-            std::mem::take(&mut self.fixups),
-            std::mem::take(&mut self.block_starts),
-            std::mem::take(&mut self.spec_pairs),
-        )
+        FnCode {
+            name: self.af.mir.name.clone(),
+            insts: self.out,
+            fixups: self.fixups,
+            block_starts: self.block_starts,
+            spec_pairs: self.spec_pairs,
+        }
     }
 
     fn begin_block(&mut self, b: MBlockId, oi: usize, order: &[MBlockId], in_spec: bool) {
@@ -502,7 +543,7 @@ impl<'a> FnEmitter<'a> {
                 } else {
                     let slot = self.out.len();
                     self.push(MInst::B { target: 0 });
-                    self.fixups.push((slot, Fixup::Block(self.fi, t)));
+                    self.fixups.push((slot, FnFixup::Block(t)));
                 }
             }
             MirTerm::Bc {
@@ -512,7 +553,7 @@ impl<'a> FnEmitter<'a> {
             } => {
                 let slot = self.out.len();
                 self.push(MInst::Bc { cond, target: 0 });
-                self.fixups.push((slot, Fixup::Block(self.fi, if_true)));
+                self.fixups.push((slot, FnFixup::Block(if_true)));
                 let next = order.get(oi + 1).copied();
                 if next == Some(if_false)
                     && next.map(|n| self.af.mir.block(n).spec_side == in_spec) == Some(true)
@@ -521,7 +562,7 @@ impl<'a> FnEmitter<'a> {
                 } else {
                     let slot = self.out.len();
                     self.push(MInst::B { target: 0 });
-                    self.fixups.push((slot, Fixup::Block(self.fi, if_false)));
+                    self.fixups.push((slot, FnFixup::Block(if_false)));
                 }
             }
             MirTerm::Ret(vals) => self.emit_epilogue(&vals),
@@ -1188,7 +1229,7 @@ impl<'a> FnEmitter<'a> {
                 }
                 let slot = self.out.len();
                 self.push(MInst::Bl { target: 0 });
-                self.fixups.push((slot, Fixup::Func(*callee)));
+                self.fixups.push((slot, FnFixup::Func(*callee)));
                 // Returns: ordered moves out of r0/r1.
                 let mut moves: Vec<(Reg, Reg)> = Vec::new();
                 let mut wt_ret_stores: Vec<(Reg, i32)> = Vec::new();

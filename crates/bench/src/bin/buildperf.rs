@@ -199,6 +199,143 @@ fn main() {
     let _ = std::fs::remove_dir_all(&store_dir);
     clear_all();
 
+    // 2c. `-j` cold-build matrix: the full suite matrix from an entirely
+    // cold start (stage, function and artifact caches all cleared) at
+    // increasing pool widths. Every width must produce bit-identical
+    // programs: the suite fingerprint (an order-sensitive fold of the
+    // per-cell program fingerprints) is asserted equal across widths,
+    // which is the parallel-vs-serial divergence gate ci.sh relies on.
+    let host_par = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut js = vec![1usize, 2, 4, jobs.max(host_par)];
+    js.sort_unstable();
+    js.dedup();
+    let mut jrows: Vec<(usize, f64, u64, u32, u32)> = Vec::new();
+    for &j in &js {
+        clear_all();
+        let t = Instant::now();
+        let m = bench::run_matrix(&workloads, &cfgs, j);
+        let secs = t.elapsed().as_secs_f64();
+        let mut suite_fp = 0xcbf2_9ce4_8422_2325u64;
+        let (mut fn_hits, mut fn_total) = (0u32, 0u32);
+        for row in &m {
+            for cell in row {
+                suite_fp = suite_fp.rotate_left(13) ^ backend::program_fingerprint(&cell.0.program);
+                fn_hits += cell.0.stage_hits.fn_hits;
+                fn_total += cell.0.stage_hits.fn_total;
+            }
+        }
+        jrows.push((j, secs, suite_fp, fn_hits, fn_total));
+    }
+    let serial_suite_fp = jrows[0].2;
+    for (j, _, fp, _, _) in &jrows {
+        assert_eq!(
+            *fp, serial_suite_fp,
+            "-j{j} cold build diverged from the -j1 suite fingerprint"
+        );
+    }
+    let cold_j1 = jrows[0].1;
+    let cold_best = jrows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+    let jobs_speedup = uncached_serial / cold_best;
+    println!(
+        "{:<8} {:>10} {:>20} {:>10} {:>10}",
+        "jobs", "cold_s", "suite_fp", "fn_hits", "fn_total"
+    );
+    for (j, secs, fp, hits, total) in &jrows {
+        println!("{j:<8} {secs:>10.3} {fp:>20x} {hits:>10} {total:>10}");
+    }
+    println!(
+        "cold -j matrix: parallel cold build {jobs_speedup:.2}x over the uncached \
+         serial pipeline ({:.2}x over -j1; host parallelism {host_par})",
+        cold_j1 / cold_best
+    );
+
+    // 2d. Function-granular incremental rebuild on the synthetic multifn
+    // workload (expander off so its k+1 functions stay separate backend
+    // compilation units; no empirical gate so the timed region is
+    // front/expand/profile cache hits + codegen + link). `T_full` wipes
+    // the function cache so every function recompiles; `T_inc` primes it
+    // with the pre-edit module first, so the one-constant edit recompiles
+    // exactly one function. Both must link bit-identical programs.
+    let kfns = 40usize;
+    let mut icfg = BuildConfig::baseline();
+    icfg.expander.enabled = false;
+    icfg.empirical_gate = false;
+    // Verification off so the timed region isolates codegen: the
+    // per-function mir/regalloc verdicts are cached inside the artifacts
+    // either way, but the Δ-skeleton check on the linked image is
+    // whole-program and would rerun on every rebuild, swamping the
+    // incremental win with a cost the function cache cannot remove.
+    icfg.verify_each = false;
+    let w_pre = mibench::multifn(kfns, 0);
+    let w_post = mibench::multifn(kfns, 1);
+    clear_all();
+    build(&w_pre, &icfg).expect("multifn pre-edit build");
+    build(&w_post, &icfg).expect("multifn post-edit build");
+    let (mut t_full, mut t_inc) = (f64::INFINITY, f64::INFINITY);
+    let (mut full_fp, mut inc_fp) = (0u64, 0u64);
+    let (mut inc_hits, mut inc_total) = (0u32, 0u32);
+    for _ in 0..reps {
+        stages::clear_fns();
+        let t = Instant::now();
+        let c = build(&w_post, &icfg).expect("full warm rebuild");
+        t_full = t_full.min(t.elapsed().as_secs_f64());
+        full_fp = backend::program_fingerprint(&c.program);
+        assert_eq!(c.stage_hits.fn_hits, 0, "full rebuild hit the fn cache");
+
+        stages::clear_fns();
+        build(&w_pre, &icfg).expect("prime pre-edit fn artifacts");
+        let t = Instant::now();
+        let c = build(&w_post, &icfg).expect("incremental rebuild");
+        t_inc = t_inc.min(t.elapsed().as_secs_f64());
+        inc_fp = backend::program_fingerprint(&c.program);
+        inc_hits = c.stage_hits.fn_hits;
+        inc_total = c.stage_hits.fn_total;
+    }
+    assert_eq!(full_fp, inc_fp, "incremental rebuild diverged from full");
+    assert_eq!(
+        (inc_hits, inc_total),
+        (kfns as u32, kfns as u32 + 1),
+        "one-function edit should recompile exactly one of k+1 functions"
+    );
+    let inc_speedup = t_full / t_inc;
+    println!(
+        "incremental rebuild ({} fns): full={:.2}ms one-fn-edit={:.2}ms \
+         ({inc_speedup:.2}x; {inc_hits}/{inc_total} fn cache hits)",
+        kfns + 1,
+        t_full * 1e3,
+        t_inc * 1e3
+    );
+
+    // Parallel per-function codegen on the same workload: worker counts
+    // must not change the linked image (the serial layout pass is the
+    // only cross-function step).
+    let cg_jobs = jobs.max(2).max(host_par);
+    let mut cg_rows: Vec<(usize, f64, u64)> = Vec::new();
+    for &j in &[1usize, cg_jobs] {
+        stages::set_codegen_workers(j);
+        let (mut best, mut fp) = (f64::INFINITY, 0u64);
+        for _ in 0..reps {
+            stages::clear_fns();
+            let t = Instant::now();
+            let c = build(&w_pre, &icfg).expect("parallel codegen build");
+            best = best.min(t.elapsed().as_secs_f64());
+            fp = backend::program_fingerprint(&c.program);
+        }
+        cg_rows.push((j, best, fp));
+    }
+    stages::set_codegen_workers(1);
+    assert_eq!(
+        cg_rows[0].2, cg_rows[1].2,
+        "parallel codegen diverged from serial"
+    );
+    println!(
+        "parallel codegen: j=1 {:.2}ms  j={} {:.2}ms (bit-identical)",
+        cg_rows[0].1 * 1e3,
+        cg_rows[1].0,
+        cg_rows[1].1 * 1e3
+    );
+    clear_all();
+
     // 3. Profiler engines on every workload's expanded module.
     let mut prof_rows = Vec::new();
     println!(
@@ -267,8 +404,28 @@ fn main() {
          \"staged_serial_s\": {warm_serial:.6}, \"warm_speedup\": {warm_speedup:.3}, \
          \"staged_pool_jobs\": {jobs}, \"staged_pool_s\": {warm_pool:.6}, \
          \"resweep_s\": {resweep:.6}, \"store_populate_s\": {store_populate:.6}, \
-         \"disk_resweep_s\": {disk_resweep:.6}, \"disk_speedup\": {disk_speedup:.3}}},\n  \"profiler\": [\n",
+         \"disk_resweep_s\": {disk_resweep:.6}, \"disk_speedup\": {disk_speedup:.3}}},\n  \"jobs_matrix\": [\n",
         cfgs.len()
+    ));
+    for (i, (j, secs, fp, hits, total)) in jrows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"jobs\": {j}, \"cold_s\": {secs:.6}, \"suite_fp\": \"{fp:016x}\", \
+             \"fn_hits\": {hits}, \"fn_total\": {total}}}{}\n",
+            if i + 1 < jrows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"jobs_speedup\": {jobs_speedup:.3},\n  \
+         \"host_parallelism\": {host_par},\n  \"incremental\": {{\
+         \"functions\": {}, \"full_rebuild_s\": {t_full:.6}, \
+         \"incremental_s\": {t_inc:.6}, \"speedup\": {inc_speedup:.3}, \
+         \"fn_hits\": {inc_hits}, \"fn_total\": {inc_total}, \
+         \"codegen_serial_s\": {:.6}, \"codegen_parallel_s\": {:.6}, \
+         \"codegen_jobs\": {}}},\n  \"profiler\": [\n",
+        kfns + 1,
+        cg_rows[0].1,
+        cg_rows[1].1,
+        cg_rows[1].0
     ));
     for (i, (name, dyn_insts, t_ref, t_fast, identical)) in prof_rows.iter().enumerate() {
         json.push_str(&format!(

@@ -186,6 +186,21 @@ pub fn run_suite(workloads: &[Workload], cfg: &BuildConfig, workers: usize) -> V
 /// threads. `out[wi][ci]` is workload `wi` under config `ci`; the cells
 /// are fanned out flat so a slow workload doesn't serialize a column.
 pub fn run_matrix(workloads: &[Workload], cfgs: &[BuildConfig], workers: usize) -> Vec<Vec<Cell>> {
+    if workers > 1 {
+        if let Some(first) = cfgs.first() {
+            // Pre-warm each workload's shared profile serially (the same
+            // idiom as `bitspec::build_matrix`) so concurrent cells of
+            // one workload don't race to compute — and so duplicate —
+            // the expensive profiling stage. Errors simply recur in the
+            // owning cell, where they are reported per config.
+            for w in workloads {
+                let mut tr =
+                    bitspec::pipeline::Tracer::new(bitspec::pipeline::policy(first.verify_each));
+                let _ =
+                    bitspec::stages::profile(w, &first.expander, first.reference_profiler, &mut tr);
+            }
+        }
+    }
     let n = workloads.len() * cfgs.len();
     let flat = pool::run_ordered(n, workers, |k| {
         run_cached(&workloads[k / cfgs.len()], &cfgs[k % cfgs.len()])

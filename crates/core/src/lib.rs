@@ -37,7 +37,7 @@ pub mod stages;
 pub mod store;
 pub mod wire;
 
-pub use backend::Program;
+pub use backend::{program_fingerprint, Program};
 pub use interp::Heuristic as BitwidthHeuristic;
 pub use opt::ExpanderConfig;
 pub use pipeline::BuildTrace;
@@ -250,7 +250,7 @@ pub fn build(workload: &Workload, cfg: &BuildConfig) -> Result<Compiled, BuildEr
     let mut tr = Tracer::new(pipeline::policy(cfg.verify_each));
     // Stages 1–3 (frontend, expander, profiler) are memoized process-wide;
     // sweeps differing only in downstream knobs share them (see `stages`).
-    let (expanded, pdata, stage_hits) =
+    let (expanded, pdata, mut stage_hits) =
         stages::profile(workload, &cfg.expander, cfg.reference_profiler, &mut tr)?;
     let profile = Arc::clone(&pdata.profile);
     let profile_dyn_insts = pdata.dyn_insts;
@@ -286,15 +286,14 @@ pub fn build(workload: &Workload, cfg: &BuildConfig) -> Result<Compiled, BuildEr
                 .map_err(BuildError::Verify)?;
             if !cfg.verify_each {
                 // The squeeze pass verified under verify-each; otherwise
-                // the pipeline still checks the pre-backend module once.
-                tr.run_check("verify", || sir::verify::verify_module(&module))
-                    .map_err(BuildError::Verify)?;
+                // the pipeline still checks the pre-backend module once
+                // (memoized per distinct module content).
+                stages::check_module(&module, &mut tr).map_err(BuildError::Verify)?;
             }
             (Some(module), pass.report)
         }
         None => {
-            tr.run_check("verify", || sir::verify::verify_module(&expanded))
-                .map_err(BuildError::Verify)?;
+            stages::check_module(&expanded, &mut tr).map_err(BuildError::Verify)?;
             (None, SqueezeReport::default())
         }
     };
@@ -335,24 +334,26 @@ pub fn build(workload: &Workload, cfg: &BuildConfig) -> Result<Compiled, BuildEr
                     .map_err(BuildError::TrainSim)
             };
             let policy = tr.policy.clone();
-            type Leg = (Program, f64, Vec<PassTrace>, bool);
+            type Leg = (Program, f64, Vec<PassTrace>, bool, stages::FnHits);
             let mut legs = pool::run_ordered(2, 2, |i| -> Result<Leg, BuildError> {
                 if i == 0 {
                     // Candidate leg: the squeezed codegen, traced as the
                     // build's canonical back-end passes.
                     let mut leg_tr = Tracer::new(policy.clone());
-                    let p = backend::compile_module_traced(&module, &opts, &mut leg_tr)
-                        .map_err(BuildError::Verify)?;
+                    let (p, fns) =
+                        stages::codegen(&module, &opts, &mut leg_tr).map_err(BuildError::Verify)?;
                     let t = Instant::now();
                     let e = energy_of(&module, &p)?;
                     leg_tr.record(PassTrace::new("gate.sim", t.elapsed().as_nanos() as u64));
-                    Ok((p, e, leg_tr.finish(), false))
+                    Ok((p, e, leg_tr.finish(), false, fns))
                 } else {
+                    let mut ref_fns = stages::FnHits::default();
                     let (r, hit) =
                         stages::gate_ref(workload, &cfg.expander, &policy, &opts, || {
                             let mut leg_tr = Tracer::new(policy.clone());
-                            let p = backend::compile_module_traced(&expanded, &opts, &mut leg_tr)
+                            let (p, fns) = stages::codegen(&expanded, &opts, &mut leg_tr)
                                 .map_err(BuildError::Verify)?;
+                            ref_fns = fns;
                             let t = Instant::now();
                             let e = energy_of(&expanded, &p)?;
                             let mut traces = leg_tr.finish();
@@ -369,12 +370,16 @@ pub fn build(workload: &Workload, cfg: &BuildConfig) -> Result<Compiled, BuildEr
                                 traces,
                             })
                         })?;
-                    Ok((r.program.clone(), r.energy, r.traces.clone(), hit))
+                    Ok((r.program.clone(), r.energy, r.traces.clone(), hit, ref_fns))
                 }
             });
-            let (base_program, eb, ref_traces, ref_cached) =
+            let (base_program, eb, ref_traces, ref_cached, ref_fns) =
                 legs.pop().expect("gate ran two legs")?;
-            let (program, es, cand_traces, _) = legs.pop().expect("gate ran two legs")?;
+            let (program, es, cand_traces, _, cand_fns) = legs.pop().expect("gate ran two legs")?;
+            stage_hits.add_fns(cand_fns);
+            // On a gate-ref hit the reference leg compiled nothing, so its
+            // (zero) function counts contribute nothing.
+            stage_hits.add_fns(ref_fns);
             tr.replay(&cand_traces, false);
             tr.replay(&ref_traces, ref_cached);
             if es <= eb {
@@ -386,13 +391,15 @@ pub fn build(workload: &Workload, cfg: &BuildConfig) -> Result<Compiled, BuildEr
             }
         }
         Some(module) => {
-            let program = backend::compile_module_traced(&module, &opts, &mut tr)
-                .map_err(BuildError::Verify)?;
+            let (program, fns) =
+                stages::codegen(&module, &opts, &mut tr).map_err(BuildError::Verify)?;
+            stage_hits.add_fns(fns);
             (Arc::new(module), program, false)
         }
         None => {
-            let program = backend::compile_module_traced(&expanded, &opts, &mut tr)
-                .map_err(BuildError::Verify)?;
+            let (program, fns) =
+                stages::codegen(&expanded, &opts, &mut tr).map_err(BuildError::Verify)?;
+            stage_hits.add_fns(fns);
             (expanded, program, false)
         }
     };
@@ -414,16 +421,17 @@ pub fn build(workload: &Workload, cfg: &BuildConfig) -> Result<Compiled, BuildEr
 /// Builds one workload under every configuration in `cfgs`, fanning the
 /// per-config squeeze+codegen legs across `workers` pool threads.
 ///
-/// The differential fuzzer's oracle matrix builds each generated program
-/// under ~5 configurations; this entry keeps that cheap by design:
-/// stages 1–3 (frontend, expander, profiler) run **once** up front and
-/// every config leg then serves them from the process-wide stage cache
-/// ([`stages`]), so only the config-specific squeezer/backend/gate work
-/// fans out. Results are in `cfgs` order for any worker count.
+/// Matrix sweeps (and the differential fuzzer's ~5-config oracle) stay
+/// cheap by design: stages 1–3 (frontend, expander, profiler) run
+/// **once** up front and every config leg then serves them from the
+/// process-wide stage cache ([`stages`]), so only the config-specific
+/// squeezer/backend/gate work fans out. Results are in `cfgs` order for
+/// any worker count, and the linked programs are bit-identical for any
+/// worker count — parallelism never changes outputs.
 ///
 /// Configs whose expander knobs or verify flag differ from `cfgs[0]`
 /// still build correctly — they simply warm their own stage-cache cells.
-pub fn build_for_fuzz(
+pub fn build_matrix(
     workload: &Workload,
     cfgs: &[BuildConfig],
     workers: usize,
@@ -436,6 +444,16 @@ pub fn build_for_fuzz(
         let _ = stages::profile(workload, &first.expander, first.reference_profiler, &mut tr);
     }
     pool::run_ordered(cfgs.len(), workers, |i| build(workload, &cfgs[i]))
+}
+
+/// [`build_matrix`] under its historical name (the fuzzer's oracle was
+/// its first caller).
+pub fn build_for_fuzz(
+    workload: &Workload,
+    cfgs: &[BuildConfig],
+    workers: usize,
+) -> Vec<Result<Compiled, BuildError>> {
+    build_matrix(workload, cfgs, workers)
 }
 
 /// Runs `compiled` on the simulator with the workload's evaluation inputs.

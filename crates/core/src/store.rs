@@ -45,7 +45,7 @@ use crate::fingerprint::Fnv;
 /// On-disk format version. Bump on any incompatible change to the entry
 /// framing *or* to the wire codec ([`crate::wire`]); every key changes
 /// and old entries become unreachable (then unreferenced, then GC'd).
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Entry file magic.
 const MAGIC: [u8; 4] = *b"BSST";

@@ -1773,10 +1773,14 @@ fn put_compiled(e: &mut Enc, c: &Compiled) {
         front,
         expand,
         profile: profile_hit,
+        fn_hits,
+        fn_total,
     } = stage_hits;
     e.bool(*front);
     e.bool(*expand);
     e.bool(*profile_hit);
+    e.vu(u64::from(*fn_hits));
+    e.vu(u64::from(*fn_total));
     put_traces(e, &trace.passes);
 }
 
@@ -1798,6 +1802,8 @@ fn get_compiled(d: &mut Dec) -> Res<Compiled> {
         front: d.bool()?,
         expand: d.bool()?,
         profile: d.bool()?,
+        fn_hits: d.vu32()?,
+        fn_total: d.vu32()?,
     };
     let trace = BuildTrace {
         passes: get_traces(d)?,
@@ -1956,6 +1962,161 @@ pub fn decode_gate_ref(bytes: &[u8]) -> Res<GateRef> {
         program,
         energy,
         traces,
+    })
+}
+
+fn put_fn_code(e: &mut Enc, c: &backend::emit::FnCode) {
+    let backend::emit::FnCode {
+        name,
+        insts,
+        fixups,
+        block_starts,
+        spec_pairs,
+    } = c;
+    e.str(name);
+    e.vu(insts.len() as u64);
+    for i in insts {
+        put_minst(e, i);
+    }
+    e.vu(fixups.len() as u64);
+    for (slot, f) in fixups {
+        e.vu(*slot as u64);
+        match f {
+            backend::emit::FnFixup::Block(b) => {
+                e.u8(0);
+                e.vu(u64::from(b.0));
+            }
+            backend::emit::FnFixup::Func(fid) => {
+                e.u8(1);
+                e.vu(u64::from(fid.0));
+            }
+        }
+    }
+    e.vu(block_starts.len() as u64);
+    for (b, i) in block_starts {
+        e.vu(u64::from(b.0));
+        e.vu(*i as u64);
+    }
+    e.vu(spec_pairs.len() as u64);
+    for (spec, branch, handler) in spec_pairs {
+        e.vu(*spec as u64);
+        e.vu(*branch as u64);
+        e.vu(u64::from(handler.0));
+    }
+}
+
+fn get_fn_code(d: &mut Dec) -> Res<backend::emit::FnCode> {
+    use backend::mir::MBlockId;
+    let name = d.str()?;
+    let n = d.vusize()?;
+    let mut insts = Vec::with_capacity(n);
+    for _ in 0..n {
+        insts.push(get_minst(d)?);
+    }
+    let n = d.vusize()?;
+    let mut fixups = Vec::with_capacity(n);
+    for _ in 0..n {
+        let slot = d.vusize()?;
+        let f = match d.u8()? {
+            0 => backend::emit::FnFixup::Block(MBlockId(d.vu32()?)),
+            1 => backend::emit::FnFixup::Func(sir::FuncId(d.vu32()?)),
+            _ => return Err(bad("bad FnFixup tag")),
+        };
+        fixups.push((slot, f));
+    }
+    let n = d.vusize()?;
+    let mut block_starts = Vec::with_capacity(n);
+    for _ in 0..n {
+        block_starts.push((MBlockId(d.vu32()?), d.vusize()?));
+    }
+    let n = d.vusize()?;
+    let mut spec_pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        spec_pairs.push((d.vusize()?, d.vusize()?, MBlockId(d.vu32()?)));
+    }
+    Ok(backend::emit::FnCode {
+        name,
+        insts,
+        fixups,
+        block_starts,
+        spec_pairs,
+    })
+}
+
+/// Encodes a function-level codegen artifact (the `fnmir` store kind).
+/// Only clean artifacts are published — verification accepted, no dump
+/// payload — so diagnostics and dumps are not part of the format; the
+/// verdict bools are carried for trace fidelity.
+pub fn encode_fn_artifact(a: &backend::FnArtifact) -> Vec<u8> {
+    let backend::FnArtifact {
+        code,
+        mid,
+        alloc,
+        t_isel,
+        t_mirv,
+        t_ra,
+        t_rav,
+        t_emit,
+        mirv_ok,
+        rav_ok,
+        mirv_problems,
+        rav_problems,
+        isel_dump,
+        ra_dump,
+    } = a;
+    debug_assert!(
+        mirv_problems.is_empty()
+            && rav_problems.is_empty()
+            && isel_dump.is_none()
+            && ra_dump.is_none(),
+        "only clean fn artifacts are published"
+    );
+    let mut e = Enc::new();
+    put_fn_code(&mut e, code);
+    put_ir_stats(&mut e, mid);
+    put_ir_stats(&mut e, alloc);
+    e.vu(*t_isel);
+    e.vu(*t_mirv);
+    e.vu(*t_ra);
+    e.vu(*t_rav);
+    e.vu(*t_emit);
+    e.bool(*mirv_ok);
+    e.bool(*rav_ok);
+    e.into_bytes()
+}
+
+/// Decodes a function-level codegen artifact.
+///
+/// # Errors
+/// Returns a [`WireError`] on truncation, bad tags or trailing bytes.
+pub fn decode_fn_artifact(bytes: &[u8]) -> Res<backend::FnArtifact> {
+    let mut d = Dec::new(bytes);
+    let code = get_fn_code(&mut d)?;
+    let mid = get_ir_stats(&mut d)?;
+    let alloc = get_ir_stats(&mut d)?;
+    let t_isel = d.vu()?;
+    let t_mirv = d.vu()?;
+    let t_ra = d.vu()?;
+    let t_rav = d.vu()?;
+    let t_emit = d.vu()?;
+    let mirv_ok = d.bool()?;
+    let rav_ok = d.bool()?;
+    d.finish()?;
+    Ok(backend::FnArtifact {
+        code,
+        mid,
+        alloc,
+        t_isel,
+        t_mirv,
+        t_ra,
+        t_rav,
+        t_emit,
+        mirv_ok,
+        rav_ok,
+        mirv_problems: Vec::new(),
+        rav_problems: Vec::new(),
+        isel_dump: None,
+        ra_dump: None,
     })
 }
 

@@ -1,0 +1,140 @@
+//! Property: serial, parallel, and incrementally-edited builds agree.
+//!
+//! For seeded generated multi-function programs, the oracle config
+//! matrix is built three ways — cold serial (`-j1`), cold parallel
+//! (pool workers + per-function codegen workers), and incrementally
+//! (the function cache primed by a one-function-edited variant of the
+//! same program) — and every way must link bit-identical programs per
+//! config. The sweep runs on the generator's default (expander-on)
+//! pipeline and again with the expander disabled, where the generated
+//! helpers survive to the backend as separate compilation units and the
+//! incremental leg must actually serve functions from the cache.
+//!
+//! The "edit" mutates the AST the way a programmer would: one helper's
+//! return expression is xored with a constant, changing exactly that
+//! function's body (and, post-inlining, anything that absorbed it).
+//!
+//! The stage caches are process-global, so the test is a single
+//! sequential function (`ci.sh` runs it as its parallel-build smoke).
+
+use bitspec::{build_matrix, program_fingerprint, stages, BuildConfig, Workload};
+use fuzz::gen::{generate, Case};
+use fuzz::oracle::config_matrix;
+use lang::ast::{BinOp, Expr, ExprKind, Stmt};
+
+/// The case rendered as a workload with one helper's return expression
+/// xored with a constant. `None` when the program has no helper to edit.
+fn edited_workload(case: &Case) -> Option<Workload> {
+    let mut unit = case.unit.clone();
+    let f = unit.funcs.iter_mut().find(|f| f.name != "main")?;
+    let Some(Stmt::Return(Some(e))) = f.body.last_mut() else {
+        return None;
+    };
+    let old = e.clone();
+    let wrap = |kind| Expr {
+        kind,
+        line: 0,
+        col: 0,
+    };
+    *e = wrap(ExprKind::Binary(
+        BinOp::Xor,
+        Box::new(old),
+        Box::new(wrap(ExprKind::Int(7))),
+    ));
+    let mut w = Workload::from_source("fuzz-edited", lang::print::unit(&unit));
+    for (g, d) in &case.inputs {
+        w = w.with_input(g, d.clone());
+    }
+    for (g, d) in &case.train_inputs {
+        w = w.with_train_input(g, d.clone());
+    }
+    Some(w)
+}
+
+/// Builds the matrix and returns per-config program fingerprints plus
+/// the builds' summed function-cache hits.
+fn fingerprints(w: &Workload, cfgs: &[BuildConfig], workers: usize) -> (Vec<u64>, u32) {
+    let mut hits = 0;
+    let fps = build_matrix(w, cfgs, workers)
+        .into_iter()
+        .map(|r| {
+            let c = r.unwrap_or_else(|e| panic!("{}: build failed: {e}", w.name));
+            hits += c.stage_hits.fn_hits;
+            program_fingerprint(&c.program)
+        })
+        .collect();
+    (fps, hits)
+}
+
+#[test]
+fn serial_parallel_incremental_agree() {
+    // First three generated programs that actually have helper functions
+    // (deterministic scan — the generator sometimes emits main-only
+    // programs, which have nothing to edit).
+    let mut cases: Vec<Case> = Vec::new();
+    let mut seed = 0x5EED;
+    while cases.len() < 3 {
+        let case = generate(seed);
+        if case.unit.funcs.len() >= 2 {
+            cases.push(case);
+        }
+        seed += 1;
+    }
+
+    let oracle_cfgs: Vec<BuildConfig> = config_matrix().into_iter().map(|(_, c)| c).collect();
+    let uninlined: Vec<BuildConfig> = oracle_cfgs
+        .iter()
+        .map(|c| {
+            let mut c = c.clone();
+            c.expander.enabled = false;
+            c
+        })
+        .collect();
+
+    for case in &cases {
+        let w = case.workload();
+        let we = edited_workload(case).expect("case has a helper");
+        for (tag, cfgs, expect_fn_hits) in [
+            ("expanded", &oracle_cfgs, false),
+            ("uninlined", &uninlined, true),
+        ] {
+            // Cold serial reference.
+            stages::clear();
+            stages::set_codegen_workers(1);
+            let (serial, _) = fingerprints(&w, cfgs, 1);
+
+            // Cold parallel: pool workers over configs, codegen workers
+            // over functions.
+            stages::clear();
+            stages::set_codegen_workers(8);
+            let (parallel, _) = fingerprints(&w, cfgs, cfgs.len());
+            stages::set_codegen_workers(1);
+            assert_eq!(
+                serial, parallel,
+                "seed {:#x} [{tag}]: parallel build diverged from serial",
+                case.seed
+            );
+
+            // Incremental: prime the caches with the edited variant, then
+            // build the original — shared functions come from the cache,
+            // and the result must still match the cold serial build.
+            stages::clear();
+            let _ = fingerprints(&we, cfgs, 1);
+            let (incremental, fn_hits) = fingerprints(&w, cfgs, 1);
+            assert_eq!(
+                serial, incremental,
+                "seed {:#x} [{tag}]: incremental build diverged from cold",
+                case.seed
+            );
+            if expect_fn_hits {
+                assert!(
+                    fn_hits > 0,
+                    "seed {:#x} [{tag}]: uninlined incremental build \
+                     should hit the function cache",
+                    case.seed
+                );
+            }
+        }
+    }
+    stages::clear();
+}

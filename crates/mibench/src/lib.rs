@@ -17,7 +17,7 @@
 mod programs;
 pub mod rng;
 
-pub use programs::{rq7_wide_variant, source_of};
+pub use programs::{multifn_source, rq7_wide_variant, source_of};
 
 use bitspec::Workload;
 use rng::Rng;
@@ -88,6 +88,16 @@ pub fn workload_with_train(name: &str, eval: Input, train: Input) -> Workload {
         w = w.with_train_input(g, data);
     }
     w
+}
+
+/// Synthetic `k`-function workload for the function-granular codegen
+/// cache studies (not part of the paper's suite). `edit` perturbs only
+/// `f0`'s round constant, modelling a one-function source edit; see
+/// [`multifn_source`]. Build it with the expander disabled to keep the
+/// functions as separate backend compilation units.
+pub fn multifn(k: usize, edit: u32) -> Workload {
+    let data: Vec<u8> = (0..64u32).map(|i| (i * 37 + 11) as u8).collect();
+    Workload::from_source("multifn", multifn_source(k, edit)).with_input("input", data)
 }
 
 /// Input data per benchmark. Global names match the benchmark sources.

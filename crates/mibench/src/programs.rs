@@ -1013,3 +1013,82 @@ void main() {
 "#
     )
 }
+
+// ---------------------------------------------------------------------------
+
+/// Synthetic K-function workload for the function-granular codegen cache
+/// studies (incremental rebuilds, parallel codegen, determinism tests).
+///
+/// Emits `k` structurally similar but constant-distinct `u32 -> u32`
+/// mixer functions plus a `main` that folds every function over the
+/// input bytes. Each function is self-contained (no calls between the
+/// mixers), so with the expander disabled the module reaches the backend
+/// as `k + 1` independent compilation units. `edit` perturbs only `f0`'s
+/// round constant — bumping it models a one-function source edit and must
+/// invalidate exactly one per-function artifact.
+pub fn multifn_source(k: usize, edit: u32) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from(
+        "// Synthetic multi-function mixer workload (function-cache studies).\n\
+         global u8 input[64];\n",
+    );
+    for i in 0..k {
+        let i32_ = i as u32;
+        let c1 = 0x9E37_79B9u32.wrapping_mul(i32_ + 1) ^ if i == 0 { edit } else { 0 };
+        let c2 = 0x85EB_CA6Bu32.wrapping_add(i32_ << 7);
+        let c3 = 0xC2B2_AE35u32 ^ i32_.wrapping_mul(0x27D4_EB2F);
+        write!(
+            s,
+            r#"
+u32 f{i}(u32 x) {{
+    u32 a = x ^ {c1};
+    u32 b = (x << 3) + {c2};
+    u32 c = (a >> 2) ^ b;
+    u32 d = {c3};
+    u32 e = a + b;
+    u32 g = (x >> 5) ^ {c2};
+    u32 h = (a << 1) + (b >> 7);
+    u32 m = c ^ d ^ e;
+    for (u32 j = 0; j < 8; j++) {{
+"#
+        )
+        .unwrap();
+        // Three unrolled mixing rounds per iteration: 8 live accumulators
+        // plus round temporaries keep the register allocator under real
+        // pressure, so per-function codegen cost dominates the build.
+        for r in 0..3u32 {
+            let rc = c3.rotate_left(r * 11).wrapping_add(r * 0x9E37);
+            write!(
+                s,
+                r#"        u32 t{r} = (a ^ (b >> {sh1})) + {rc};
+        a = ((a << 5) | (a >> 27)) ^ b;
+        b = b + (c ^ (j * {mul}));
+        c = (c >> 1) + (a ^ d) + t{r};
+        d = d ^ (a * 3) ^ (b * 5);
+        e = (e + c) ^ (d >> 3) ^ (t{r} << {sh2});
+        g = ((g << 7) | (g >> 25)) + (e ^ a);
+        h = (h ^ (g >> 2)) + (b * 7) + (t{r} >> 1);
+        m = (m + h) ^ ((c << 4) | (d >> 28));
+"#,
+                sh1 = 3 + r,
+                sh2 = 2 + r,
+                mul = 9 + 2 * r,
+            )
+            .unwrap();
+        }
+        s.push_str(
+            r#"    }
+    a = (a ^ (g >> 3)) + (h << 1);
+    b = (b + m) ^ (e >> 2);
+    return (a ^ b) + (c ^ d) + (e ^ g) + (h ^ m);
+}
+"#,
+        );
+    }
+    s.push_str("\nvoid main() {\n    u32 acc = 0;\n    for (u32 i = 0; i < 16; i++) {\n        u32 x = (u32)input[i] + (i << 8);\n");
+    for i in 0..k {
+        writeln!(s, "        acc = acc ^ f{i}(x + {i});").unwrap();
+    }
+    s.push_str("    }\n    out(acc);\n}\n");
+    s
+}

@@ -28,6 +28,7 @@ struct Args {
     store: Option<PathBuf>,
     store_cap: Option<u64>,
     jobs: usize,
+    codegen_jobs: Option<usize>,
     ordered: bool,
     file: Option<PathBuf>,
     bench: bool,
@@ -37,8 +38,9 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bitspecd [--store DIR] [--store-cap BYTES[k|m|g]] [-j N] [--ordered] \
-         [--file REQUESTS]\n       bitspecd --bench [--reps N] [-j N]"
+        "usage: bitspecd [--store DIR] [--store-cap BYTES[k|m|g]] [-j N] \
+         [--codegen-jobs N] [--ordered] [--file REQUESTS]\n       \
+         bitspecd --bench [--reps N] [-j N]"
     );
     std::process::exit(2);
 }
@@ -49,6 +51,7 @@ fn parse_args() -> Args {
         store: None,
         store_cap: None,
         jobs: bitspec::pool::jobs_for(&argv),
+        codegen_jobs: None,
         ordered: false,
         file: None,
         bench: false,
@@ -68,6 +71,13 @@ fn parse_args() -> Args {
                         std::process::exit(2);
                     }
                 }
+            }
+            "--codegen-jobs" => {
+                a.codegen_jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .or_else(|| usage());
             }
             "--ordered" => a.ordered = true,
             "--file" => a.file = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
@@ -324,6 +334,13 @@ fn main() {
     // BITSPEC_STORE_MAX_BYTES environment for this process.
     if let Some(dir) = &a.store {
         bitspec::store::configure(Some(dir), a.store_cap);
+    }
+    // `-j` fans requests across pool workers; `--codegen-jobs` further
+    // fans each miss's backend across per-function codegen workers
+    // (useful for few-request batches of large modules). Both settings
+    // leave served artifacts bit-identical.
+    if let Some(n) = a.codegen_jobs {
+        bitspec::stages::set_codegen_workers(n);
     }
     if a.bench_child {
         bench_child_mode(&a);

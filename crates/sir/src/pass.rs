@@ -240,31 +240,46 @@ pub fn ir_fingerprint(m: &Module) -> u64 {
     }
     (m.funcs.len() as u64).hash(&mut h);
     for f in &m.funcs {
-        f.name.hash(&mut h);
-        f.params.hash(&mut h);
-        f.ret.hash(&mut h);
-        f.entry.hash(&mut h);
-        (f.blocks.len() as u64).hash(&mut h);
-        for b in &f.blocks {
-            // Hash placed instructions by content, not arena id, but keep
-            // the ids too: operand references are ids, so renumbering is a
-            // structural difference.
-            (b.insts.len() as u64).hash(&mut h);
-            for &v in &b.insts {
-                v.hash(&mut h);
-                f.inst(v).hash(&mut h);
-            }
-            b.term.hash(&mut h);
-            b.region.hash(&mut h);
-            b.handler_for.hash(&mut h);
-        }
-        (f.regions.len() as u64).hash(&mut h);
-        for r in &f.regions {
-            r.blocks.hash(&mut h);
-            r.handler.hash(&mut h);
-        }
+        hash_function(f, &mut h);
     }
     h.finish()
+}
+
+/// Structural fingerprint of a single function: the per-function slice of
+/// [`ir_fingerprint`]. The function-level codegen cache keys on this. The
+/// name participates (renaming a function invalidates it), and call-site
+/// operands carry symbolic `FuncId`s, so reordering functions invalidates
+/// exactly the callers whose callee ids changed — never silently hits.
+pub fn fn_fingerprint(f: &crate::Function) -> u64 {
+    let mut h = FnvHasher::default();
+    hash_function(f, &mut h);
+    h.finish()
+}
+
+fn hash_function(f: &crate::Function, h: &mut FnvHasher) {
+    f.name.hash(h);
+    f.params.hash(h);
+    f.ret.hash(h);
+    f.entry.hash(h);
+    (f.blocks.len() as u64).hash(h);
+    for b in &f.blocks {
+        // Hash placed instructions by content, not arena id, but keep
+        // the ids too: operand references are ids, so renumbering is a
+        // structural difference.
+        (b.insts.len() as u64).hash(h);
+        for &v in &b.insts {
+            v.hash(h);
+            f.inst(v).hash(h);
+        }
+        b.term.hash(h);
+        b.region.hash(h);
+        b.handler_for.hash(h);
+    }
+    (f.regions.len() as u64).hash(h);
+    for r in &f.regions {
+        r.blocks.hash(h);
+        r.handler.hash(h);
+    }
 }
 
 /// Collects [`PassTrace`] records and applies the [`TracePolicy`] around

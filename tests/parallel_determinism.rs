@@ -1,0 +1,149 @@
+//! Parallel builds are bit-identical to serial builds.
+//!
+//! The backend compiles functions independently (possibly across pool
+//! workers, possibly served from the function cache in any interleaving)
+//! and a single serial layout/link pass assembles the image — so worker
+//! counts must never change a linked program. These tests sweep the full
+//! mibench suite across the arch × empirical-gate config grid at `-j1`
+//! and `-jN` (pool workers *and* per-function codegen workers) and assert
+//! the results are bit-identical: per-program fingerprints, instruction
+//! addresses, function tables, Δ-skeleton layout tables, and the folded
+//! suite fingerprint. The sweep then repeats against a persistent store
+//! (`BITSPEC_STORE_DIR` tier) to prove disk-served artifacts link the
+//! same images.
+//!
+//! Cache provenance (which worker computed an artifact first, hit/miss
+//! flags) legitimately varies with the worker count; the assertions
+//! compare only deterministic projections of the build outputs.
+//!
+//! The stage caches and store configuration are process-global, so the
+//! tests take a file-wide lock.
+
+use bitspec::{build_matrix, program_fingerprint, stages, Arch, BuildConfig, Workload};
+use mibench::{names, workload, Input};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The arch × empirical-gate grid: every architecture with the gate on
+/// and off (8 configs — the gate adds a second codegen leg, so both gate
+/// states must stay deterministic).
+fn arch_gate_configs() -> Vec<BuildConfig> {
+    let mut cfgs = Vec::new();
+    for arch in [Arch::Baseline, Arch::BitSpec, Arch::NoSpec, Arch::Compact] {
+        for gate in [false, true] {
+            cfgs.push(BuildConfig {
+                arch,
+                empirical_gate: gate,
+                ..BuildConfig::baseline()
+            });
+        }
+    }
+    cfgs
+}
+
+/// The deterministic projection of one build compared across `-j` levels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Snapshot {
+    fingerprint: u64,
+    addrs: Vec<u32>,
+    func_entries: Vec<usize>,
+    func_names: Vec<String>,
+    spec_targets: Vec<(usize, usize, usize)>,
+}
+
+/// One full suite × config sweep at the given worker count, from cold
+/// caches. Returns per-cell snapshots (suite order) plus the folded
+/// suite fingerprint.
+fn sweep(workloads: &[Workload], cfgs: &[BuildConfig], jobs: usize) -> (Vec<Snapshot>, u64) {
+    stages::clear();
+    stages::set_codegen_workers(jobs);
+    let mut snaps = Vec::new();
+    let mut suite_fp = 0xcbf2_9ce4_8422_2325u64;
+    for w in workloads {
+        for r in build_matrix(w, cfgs, jobs) {
+            let c = r.unwrap_or_else(|e| panic!("{}: build failed: {e}", w.name));
+            let fp = program_fingerprint(&c.program);
+            suite_fp = suite_fp.rotate_left(13) ^ fp;
+            snaps.push(Snapshot {
+                fingerprint: fp,
+                addrs: c.program.addrs.clone(),
+                func_entries: c.program.func_entries.clone(),
+                func_names: c.program.func_names.clone(),
+                spec_targets: c.program.spec_targets.clone(),
+            });
+        }
+    }
+    stages::set_codegen_workers(1);
+    (snaps, suite_fp)
+}
+
+fn assert_sweeps_identical(
+    label: &str,
+    workloads: &[Workload],
+    cfgs: &[BuildConfig],
+    a: &(Vec<Snapshot>, u64),
+    b: &(Vec<Snapshot>, u64),
+) {
+    for (i, (sa, sb)) in a.0.iter().zip(&b.0).enumerate() {
+        let (w, cfg) = (&workloads[i / cfgs.len()], &cfgs[i % cfgs.len()]);
+        assert_eq!(
+            sa, sb,
+            "{label}: {} under {:?}/gate={} diverged between -j1 and -jN",
+            w.name, cfg.arch, cfg.empirical_gate
+        );
+    }
+    assert_eq!(a.1, b.1, "{label}: suite fingerprint diverged");
+}
+
+#[test]
+fn suite_parallel_builds_match_serial() {
+    let _g = serial();
+    let workloads: Vec<_> = names().iter().map(|n| workload(n, Input::Large)).collect();
+    let cfgs = arch_gate_configs();
+    let serial_sweep = sweep(&workloads, &cfgs, 1);
+    let parallel_sweep = sweep(&workloads, &cfgs, 8);
+    assert_sweeps_identical("memory", &workloads, &cfgs, &serial_sweep, &parallel_sweep);
+    stages::clear();
+}
+
+#[test]
+fn suite_parallel_builds_match_serial_through_disk_store() {
+    let _g = serial();
+    // A reduced grid keeps the disk leg fast; it still covers every arch
+    // and both gate states across two workloads with very different
+    // function/region structure.
+    let workloads: Vec<_> = ["crc32", "dijkstra"]
+        .iter()
+        .map(|n| workload(n, Input::Large))
+        .collect();
+    let cfgs = arch_gate_configs();
+    let dir = std::env::temp_dir().join(format!("pdet-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    bitspec::store::configure(Some(&dir), None);
+
+    // Serial sweep populates the store; the parallel sweep starts with
+    // empty memory tiers, so its artifacts come off disk.
+    let serial_sweep = sweep(&workloads, &cfgs, 1);
+    let before = stages::stats();
+    let parallel_sweep = sweep(&workloads, &cfgs, 8);
+    let after = stages::stats();
+
+    bitspec::store::configure(None, None);
+    let _ = std::fs::remove_dir_all(&dir);
+    stages::clear();
+
+    assert_sweeps_identical("disk", &workloads, &cfgs, &serial_sweep, &parallel_sweep);
+    assert!(
+        after.disk_hits > before.disk_hits,
+        "the -jN sweep should have served artifacts from the store \
+         ({} -> {})",
+        before.disk_hits,
+        after.disk_hits
+    );
+}
